@@ -1,0 +1,51 @@
+package d2m
+
+import (
+	"fmt"
+	"io"
+
+	"d2m/internal/kernels"
+	"d2m/internal/trace"
+	"d2m/internal/workloads"
+)
+
+// Analysis characterizes an access stream independently of any cache
+// model: access mix, footprints, cross-node sharing, spatial locality,
+// and an exact LRU reuse-distance profile. It answers "what is this
+// workload like?" before any simulation — the lens the paper's Table IV
+// commentary looks through.
+type Analysis = trace.Analysis
+
+// AnalyzeBenchmark characterizes n accesses of a catalog benchmark.
+func AnalyzeBenchmark(bench string, nodes, n int) (Analysis, error) {
+	sp, ok := workloads.ByName(bench)
+	if !ok {
+		return Analysis{}, fmt.Errorf("d2m: unknown benchmark %q (see Benchmarks())", bench)
+	}
+	if nodes < 1 || nodes > 8 {
+		return Analysis{}, fmt.Errorf("d2m: nodes = %d out of range 1..8", nodes)
+	}
+	return trace.AnalyzeStream(trace.NewInterleaver(sp.Streams(nodes)), n), nil
+}
+
+// AnalyzeKernel characterizes n accesses of an algorithmic kernel.
+func AnalyzeKernel(kernel string, nodes, n int) (Analysis, error) {
+	k, ok := kernels.ByName(kernel)
+	if !ok {
+		return Analysis{}, fmt.Errorf("d2m: unknown kernel %q (see Kernels())", kernel)
+	}
+	if nodes < 1 || nodes > 8 {
+		return Analysis{}, fmt.Errorf("d2m: nodes = %d out of range 1..8", nodes)
+	}
+	return trace.AnalyzeStream(trace.NewInterleaver(k.Streams(nodes)), n), nil
+}
+
+// AnalyzeTrace characterizes an entire recorded binary trace (the
+// format RecordTrace writes).
+func AnalyzeTrace(r io.Reader) (Analysis, error) {
+	tr, err := trace.ReadTrace(r)
+	if err != nil {
+		return Analysis{}, err
+	}
+	return trace.AnalyzeReader(tr), nil
+}

@@ -1,0 +1,338 @@
+package d2m
+
+// The benchmark harness: one testing.B benchmark per table and figure of
+// the paper's evaluation (§V). Each benchmark regenerates its experiment
+// and reports the headline number(s) as custom metrics, so
+//
+//	go test -bench=. -benchmem
+//
+// reproduces the full evaluation and prints the measured counterparts of
+// every published result. The *shape* — who wins and by roughly what
+// factor — is the reproduction target; absolute cycle counts differ from
+// the paper's gem5/ARM testbed by construction.
+
+import (
+	"testing"
+)
+
+// benchOpt is the measurement window used by the benchmark harness. It
+// is longer than the unit-test window for more stable steady-state
+// numbers while keeping a full `go test -bench=.` run in the minutes.
+var benchOpt = Options{Warmup: 150_000, Measure: 500_000}
+
+// benchSubset is a representative benchmark-per-suite subset used by the
+// per-access microbenchmarks.
+var benchSubset = []string{"blackscholes", "fft", "wikipedia", "mix1", "tpc-c"}
+
+// BenchmarkFigure5_NetworkTraffic regenerates Figure 5 across all 45
+// benchmarks and reports the traffic reduction of each D2M variant.
+func BenchmarkFigure5_NetworkTraffic(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := Figure5(benchOpt)
+		b.ReportMetric(Figure5Reduction(rows)*100, "%traffic-cut-NSR")
+		var fs, ns []float64
+		for _, r := range rows {
+			if r.MsgsPerKI[0] > 0 {
+				fs = append(fs, r.MsgsPerKI[2]/r.MsgsPerKI[0])
+				ns = append(ns, r.MsgsPerKI[3]/r.MsgsPerKI[0])
+			}
+		}
+		b.ReportMetric((1-mean(fs))*100, "%traffic-cut-FS")
+		b.ReportMetric((1-mean(ns))*100, "%traffic-cut-NS")
+	}
+}
+
+// BenchmarkFigure6_EDP regenerates Figure 6 and reports the EDP
+// reductions (paper: 54% vs Base-2L, 40% vs Base-3L).
+func BenchmarkFigure6_EDP(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := Figure6(benchOpt)
+		b.ReportMetric(Figure6Reduction(rows, D2MNSR, Base2L)*100, "%EDP-cut-vs-2L")
+		b.ReportMetric(Figure6Reduction(rows, D2MNSR, Base3L)*100, "%EDP-cut-vs-3L")
+	}
+}
+
+// BenchmarkFigure7_Speedup regenerates Figure 7 and reports the average
+// speedups (paper: Base-3L +4%, D2M-FS +5.7%, D2M-NS +7%, D2M-NS-R
+// +8.5%, max +28% for tpc-c).
+func BenchmarkFigure7_Speedup(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := Figure7(benchOpt)
+		b.ReportMetric(Figure7Average(rows, Base3L), "%speedup-3L")
+		b.ReportMetric(Figure7Average(rows, D2MFS), "%speedup-FS")
+		b.ReportMetric(Figure7Average(rows, D2MNS), "%speedup-NS")
+		b.ReportMetric(Figure7Average(rows, D2MNSR), "%speedup-NSR")
+		max := 0.0
+		for _, r := range rows {
+			if r.SpeedupPct[4] > max {
+				max = r.SpeedupPct[4]
+			}
+		}
+		b.ReportMetric(max, "%speedup-NSR-max")
+	}
+}
+
+// BenchmarkTableIV_HitRatios regenerates Table IV and reports the
+// average near-side hit ratios with and without replication.
+func BenchmarkTableIV_HitRatios(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := TableIV(benchOpt)
+		var nsI, nsD, nsrI, nsrD float64
+		for _, r := range rows {
+			nsI += r.NSHitI / float64(len(rows))
+			nsD += r.NSHitD / float64(len(rows))
+			nsrI += r.NSRHitI / float64(len(rows))
+			nsrD += r.NSRHitD / float64(len(rows))
+		}
+		b.ReportMetric(nsI, "%near-I-NS")
+		b.ReportMetric(nsD, "%near-D-NS")
+		b.ReportMetric(nsrI, "%near-I-NSR")
+		b.ReportMetric(nsrD, "%near-D-NSR")
+	}
+}
+
+// BenchmarkTableV_Invalidations regenerates Table V and reports the
+// average private-miss fraction (paper: 68%).
+func BenchmarkTableV_Invalidations(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := TableV(benchOpt)
+		var priv, direct float64
+		for _, r := range rows {
+			priv += r.PrivateMissPct / float64(len(rows))
+			direct += r.DirectMissPct / float64(len(rows))
+		}
+		b.ReportMetric(priv, "%private-miss")
+		b.ReportMetric(direct, "%direct-miss")
+	}
+}
+
+// BenchmarkAppendixPKMO regenerates the appendix's event frequencies and
+// reports the directory-free miss fraction (paper: 90%) and the case-A
+// rate (paper: 12.5 PKMO).
+func BenchmarkAppendixPKMO(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep := AppendixPKMO(benchOpt)
+		b.ReportMetric(rep.DirectPct, "%direct")
+		b.ReportMetric(rep.Events.A(), "A-pkmo")
+		b.ReportMetric(rep.Events.B, "B-pkmo")
+		b.ReportMetric(rep.Events.C, "C-pkmo")
+		b.ReportMetric(rep.Events.D(), "D-pkmo")
+	}
+}
+
+// BenchmarkMDScaling regenerates the §V-D footnote-5 study (1x/2x/4x
+// metadata sizes; paper: speedup 8.5% -> 9.5%).
+func BenchmarkMDScaling(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := MDScaling(benchOpt, benchSubset)
+		b.ReportMetric(rows[0].SpeedupPct, "%speedup-1x")
+		b.ReportMetric(rows[len(rows)-1].SpeedupPct, "%speedup-4x")
+		b.ReportMetric(rows[0].MD1HitPct, "%md1-1x")
+		b.ReportMetric(rows[len(rows)-1].MD1HitPct, "%md1-4x")
+	}
+}
+
+// BenchmarkDynamicIndexing is the §IV-D ablation: DRAM traffic for the
+// power-of-two-strided LU benchmarks with and without the per-region
+// index scramble.
+func BenchmarkDynamicIndexing(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		var plain, scrambled float64
+		for _, name := range []string{"lu_cb", "lu_ncb"} {
+			ns, err := Run(D2MNS, name, benchOpt)
+			if err != nil {
+				b.Fatal(err)
+			}
+			nsr, err := Run(D2MNSR, name, benchOpt)
+			if err != nil {
+				b.Fatal(err)
+			}
+			plain += float64(ns.DRAMReads)
+			scrambled += float64(nsr.DRAMReads)
+		}
+		b.ReportMetric((1-scrambled/plain)*100, "%DRAM-cut-by-scramble")
+	}
+}
+
+// BenchmarkAccessD2M and BenchmarkAccessBase2L are throughput
+// microbenchmarks of the two protocol engines (accesses per second), one
+// per representative benchmark.
+func BenchmarkAccessD2M(b *testing.B) {
+	for _, name := range benchSubset {
+		b.Run(name, func(b *testing.B) {
+			opt := benchOpt
+			opt.Measure = b.N
+			if opt.Measure < 1 {
+				opt.Measure = 1
+			}
+			if _, err := Run(D2MNSR, name, opt); err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+}
+
+func BenchmarkAccessBase2L(b *testing.B) {
+	for _, name := range benchSubset {
+		b.Run(name, func(b *testing.B) {
+			opt := benchOpt
+			opt.Measure = b.N
+			if opt.Measure < 1 {
+				opt.Measure = 1
+			}
+			if _, err := Run(Base2L, name, opt); err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+}
+
+func mean(v []float64) float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range v {
+		s += x
+	}
+	return s / float64(len(v))
+}
+
+// BenchmarkSRAMPressure regenerates the §V-B structure-pressure numbers
+// (paper: MD3 at 11%/27% of the Base-2L/3L directory rate, MD2 at 58% of
+// the Base-3L L2-tag rate).
+func BenchmarkSRAMPressure(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep := SRAMPressure(benchOpt)
+		b.ReportMetric(rep.MD3VsBase2LDirPct, "%md3-vs-dir2L")
+		b.ReportMetric(rep.MD3VsBase3LDirPct, "%md3-vs-dir3L")
+		b.ReportMetric(rep.MD2VsL2TagPct, "%md2-vs-l2tag")
+	}
+}
+
+// BenchmarkAblations quantifies the contribution of each optimization the
+// paper layers on the split hierarchy (DESIGN.md's ablation index):
+// near-side placement, replication, MD2 pruning, dynamic indexing and
+// cache bypassing, each measured as traffic and cycles against the full
+// D2M-NS-R configuration.
+func BenchmarkAblations(b *testing.B) {
+	benches := []string{"tpc-c", "canneal", "fft", "mix1"}
+	sum := func(kind Kind, opt Options) (msgs, cycles float64) {
+		for _, name := range benches {
+			r, err := Run(kind, name, opt)
+			if err != nil {
+				b.Fatal(err)
+			}
+			msgs += r.MsgsPerKI
+			cycles += float64(r.Cycles)
+		}
+		return msgs, cycles
+	}
+	for i := 0; i < b.N; i++ {
+		fullM, fullC := sum(D2MNSR, benchOpt)
+		fsM, fsC := sum(D2MFS, benchOpt) // ablate near-side entirely
+		nsM, nsC := sum(D2MNS, benchOpt) // ablate replication+scramble
+		byOpt := benchOpt
+		byOpt.Bypass = true
+		byM, byC := sum(D2MNSR, byOpt) // add bypassing on top
+		b.ReportMetric((fsM/fullM-1)*100, "%traffic-wo-nearside")
+		b.ReportMetric((nsM/fullM-1)*100, "%traffic-wo-replication")
+		b.ReportMetric((fsC/fullC-1)*100, "%cycles-wo-nearside")
+		b.ReportMetric((nsC/fullC-1)*100, "%cycles-wo-replication")
+		b.ReportMetric((byM/fullM-1)*100, "%traffic-with-bypass")
+		b.ReportMetric((byC/fullC-1)*100, "%cycles-with-bypass")
+	}
+}
+
+// BenchmarkHybridInterface quantifies the §III-A claim: the hybrid
+// (traditional L1s + D2M backend) retains most of the speedup and
+// traffic advantages of the full split hierarchy.
+func BenchmarkHybridInterface(b *testing.B) {
+	benches := []string{"tpc-c", "fft", "mix1", "wikipedia"}
+	for i := 0; i < b.N; i++ {
+		var baseC, fullC, hybC, baseM, fullM, hybM float64
+		for _, name := range benches {
+			r0, err := Run(Base2L, name, benchOpt)
+			if err != nil {
+				b.Fatal(err)
+			}
+			r1, _ := Run(D2MNSR, name, benchOpt)
+			r2, _ := Run(D2MHybrid, name, benchOpt)
+			baseC += float64(r0.Cycles)
+			fullC += float64(r1.Cycles)
+			hybC += float64(r2.Cycles)
+			baseM += r0.MsgsPerKI
+			fullM += r1.MsgsPerKI
+			hybM += r2.MsgsPerKI
+		}
+		b.ReportMetric((baseC/fullC-1)*100, "%speedup-full")
+		b.ReportMetric((baseC/hybC-1)*100, "%speedup-hybrid")
+		b.ReportMetric((1-fullM/baseM)*100, "%traffic-cut-full")
+		b.ReportMetric((1-hybM/baseM)*100, "%traffic-cut-hybrid")
+	}
+}
+
+// BenchmarkMixStudy regenerates the multiprogram interference study
+// (§IV-B extension): victim slowdown under a traffic-heavy aggressor on
+// a bandwidth-constrained fabric, per configuration.
+func BenchmarkMixStudy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := MixStudy(Options{Warmup: 200_000, Measure: 600_000},
+			[][2]string{{"tpc-c", "streamcluster"}, {"facesim", "lu_ncb"}})
+		var base, nsr float64
+		for _, r := range rows {
+			base += r.SlowdownA[Base2L]
+			nsr += r.SlowdownA[D2MNSR]
+		}
+		n := float64(len(rows))
+		b.ReportMetric(base/n, "x-victim-slowdown-base2l")
+		b.ReportMetric(nsr/n, "x-victim-slowdown-nsr")
+		b.Log("\n" + RenderMix(rows))
+	}
+}
+
+// BenchmarkStorageBudgets regenerates the §V-B SRAM accounting (pure
+// arithmetic; the metric of interest is the overhead ratio).
+func BenchmarkStorageBudgets(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		reports := StorageComparison(Options{})
+		for _, r := range reports {
+			if r.Kind == D2MNS {
+				b.ReportMetric(r.OverheadFrac()*100, "%overhead-d2m-ns")
+			}
+			if r.Kind == Base2L {
+				b.ReportMetric(r.OverheadFrac()*100, "%overhead-base2l")
+			}
+		}
+		b.Log("\n" + RenderStorage(reports))
+	}
+}
+
+// BenchmarkTraceAnalysis measures the model-free characterizer (exact
+// reuse distances over a 400k-access tpc-c window).
+func BenchmarkTraceAnalysis(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		an, err := AnalyzeBenchmark("tpc-c", 8, 400_000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(an.ReuseCDF[9]*100, "%reuse-within-512-lines")
+	}
+}
+
+// BenchmarkPlacementPolicies regenerates the §IV-B placement design
+// space (local / pressure / spread victim allocation on D2M-NS).
+func BenchmarkPlacementPolicies(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := PlacementSweep(benchOpt, nil)
+		for _, r := range rows {
+			switch r.Policy {
+			case "pressure":
+				b.ReportMetric(r.LocalHitD*100, "%local-hits-pressure")
+			case "spread":
+				b.ReportMetric(r.CyclesPct, "%cycles-spread-vs-pressure")
+			}
+		}
+		b.Log("\n" + RenderPlacement(rows))
+	}
+}

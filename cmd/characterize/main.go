@@ -1,0 +1,78 @@
+// Command characterize prints the measured characteristics of every
+// benchmark in the catalog (or one suite) on the Base-2L reference
+// machine: the numbers the workload generators are calibrated against
+// (Table IV) plus footprint/sharing demographics. Useful when tuning
+// custom WorkloadSpecs against a known reference point.
+//
+// Usage:
+//
+//	characterize
+//	characterize -suite Database -measure 1000000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"d2m"
+)
+
+func main() {
+	var (
+		suite   = flag.String("suite", "", "restrict to one suite (Parallel, HPC, Mobile, Server, Database)")
+		nodes   = flag.Int("nodes", 8, "number of cores")
+		warmup  = flag.Int("warmup", 150_000, "warmup accesses")
+		measure = flag.Int("measure", 400_000, "measured accesses")
+		static  = flag.Bool("static", false, "add model-free characteristics (footprint, sharing, reuse) per benchmark")
+	)
+	flag.Parse()
+
+	suites := d2m.Suites()
+	if *suite != "" {
+		suites = []string{*suite}
+	}
+	opt := d2m.Options{Nodes: *nodes, Warmup: *warmup, Measure: *measure}
+
+	hdr := "%-15s %-9s %7s %7s %7s %7s %9s %8s %8s"
+	args := []interface{}{"benchmark", "suite", "missI%", "missD%", "lateI%", "lateD%", "msgs/KI", "dram/KI", "inv/KI"}
+	if *static {
+		hdr += " %9s %7s %7s %8s"
+		args = append(args, "lines", "shared%", "wshare%", "reuse512")
+	}
+	fmt.Printf(hdr+"\n", args...)
+	for _, s := range suites {
+		benches := d2m.BenchmarksOf(s)
+		if len(benches) == 0 {
+			fmt.Fprintf(os.Stderr, "characterize: unknown suite %q\n", s)
+			os.Exit(2)
+		}
+		for _, b := range benches {
+			r, err := d2m.Run(d2m.Base2L, b, opt)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			ki := float64(r.Instructions) / 1000
+			row := []interface{}{
+				b, r.Suite,
+				r.MissRatioI * 100, r.MissRatioD * 100,
+				r.LateHitI * 100, r.LateHitD * 100,
+				r.MsgsPerKI,
+				float64(r.DRAMReads+r.DRAMWrites) / ki,
+				float64(r.InvRecv) / ki,
+			}
+			line := "%-15s %-9s %7.2f %7.2f %7.2f %7.2f %9.1f %8.2f %8.2f"
+			if *static {
+				an, err := d2m.AnalyzeBenchmark(b, *nodes, *measure)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					os.Exit(1)
+				}
+				line += " %9d %7.1f %7.1f %7.1f%%"
+				row = append(row, an.Lines, an.SharedLines*100, an.WSharedLines*100, an.ReuseCDF[9]*100)
+			}
+			fmt.Printf(line+"\n", row...)
+		}
+	}
+}

@@ -1,0 +1,196 @@
+// Command d2msim runs one benchmark on one simulated system configuration
+// and prints the measured metrics.
+//
+// Usage:
+//
+//	d2msim -bench tpc-c -kind d2m-ns-r
+//	d2msim -list
+//	d2msim -bench canneal -kind base-2l -measure 1000000
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"d2m"
+)
+
+func main() {
+	var (
+		bench   = flag.String("bench", "tpc-c", "benchmark name (see -list)")
+		kernel  = flag.String("kernel", "", "run an algorithmic kernel instead of a benchmark (see -list)")
+		kindStr = flag.String("kind", "d2m-ns-r", "system kind: base-2l, base-3l, d2m-fs, d2m-ns, d2m-ns-r, d2m-hybrid")
+		nodes   = flag.Int("nodes", 8, "number of cores (1..8)")
+		warmup  = flag.Int("warmup", 200_000, "warmup accesses (untimed)")
+		measure = flag.Int("measure", 800_000, "measured accesses")
+		seed    = flag.Uint64("seed", 0, "workload seed offset")
+		mdScale = flag.Int("mdscale", 1, "metadata scale: 1, 2 or 4 (D2M kinds)")
+		bypass  = flag.Bool("bypass", false, "enable cache bypassing (D2M kinds)")
+		topo    = flag.String("topology", "crossbar", "interconnect: crossbar, ring, mesh, torus")
+		place   = flag.String("placement", "pressure", "NS-LLC placement policy: pressure, local, spread (D2M-NS kinds)")
+		record  = flag.String("record", "", "record the benchmark's access trace to this file and exit")
+		replay  = flag.String("replay", "", "replay a recorded trace file instead of a benchmark")
+		specFl  = flag.String("spec", "", "run a custom workload from this JSON spec file")
+		list    = flag.Bool("list", false, "list benchmarks and exit")
+		asJSON  = flag.Bool("json", false, "print the result as JSON")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, suite := range d2m.Suites() {
+			fmt.Printf("%s:\n", suite)
+			for _, b := range d2m.BenchmarksOf(suite) {
+				fmt.Printf("  %s\n", b)
+			}
+		}
+		fmt.Println("Kernels (-kernel):")
+		for _, k := range d2m.Kernels() {
+			fmt.Printf("  %-12s %s\n", k.Name, k.Description)
+		}
+		return
+	}
+
+	kind, err := parseKind(*kindStr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	opt := d2m.Options{
+		Nodes:     *nodes,
+		Warmup:    *warmup,
+		Measure:   *measure,
+		Seed:      *seed,
+		MDScale:   *mdScale,
+		Bypass:    *bypass,
+		Topology:  *topo,
+		Placement: *place,
+	}
+
+	if *record != "" {
+		f, err := os.Create(*record)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		src := *bench
+		var n int
+		if *kernel != "" {
+			src = *kernel
+			n, err = d2m.RecordKernelTrace(*kernel, *nodes, *warmup+*measure, f)
+		} else {
+			n, err = d2m.RecordTrace(*bench, *nodes, *warmup+*measure, f)
+		}
+		if err == nil {
+			err = f.Close()
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("recorded %d accesses of %s to %s\n", n, src, *record)
+		return
+	}
+
+	var res d2m.Result
+	if *specFl != "" {
+		data, err := os.ReadFile(*specFl)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		w, err := d2m.ParseWorkload(data)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		res, err = d2m.RunCustom(kind, w, opt)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	} else if *replay != "" {
+		f, err := os.Open(*replay)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		res, err = d2m.RunTrace(kind, f, opt)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	} else if *kernel != "" {
+		res, err = d2m.RunKernel(kind, *kernel, opt)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	} else {
+		res, err = d2m.Run(kind, *bench, opt)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+	printResult(res)
+}
+
+func parseKind(s string) (d2m.Kind, error) {
+	var k d2m.Kind
+	if err := k.UnmarshalText([]byte(s)); err != nil {
+		return 0, fmt.Errorf("d2msim: unknown kind %q (want base-2l, base-3l, d2m-fs, d2m-ns, d2m-ns-r, d2m-hybrid)", s)
+	}
+	return k, nil
+}
+
+func printResult(r d2m.Result) {
+	fmt.Printf("benchmark        %s (%s)\n", r.Benchmark, r.Suite)
+	fmt.Printf("configuration    %s\n", r.Kind)
+	fmt.Printf("accesses         %d (%d instructions)\n", r.Accesses, r.Instructions)
+	fmt.Printf("cycles           %d\n", r.Cycles)
+	fmt.Printf("L1 miss ratio    I=%.2f%%  D=%.2f%%\n", r.MissRatioI*100, r.MissRatioD*100)
+	fmt.Printf("late hits        I=%.2f%%  D=%.2f%%\n", r.LateHitI*100, r.LateHitD*100)
+	fmt.Printf("avg miss latency %.1f cycles (P50 %d, P95 %d, P99 %d)\n",
+		r.AvgMissLatency, r.MissLatP50, r.MissLatP95, r.MissLatP99)
+	fmt.Printf("traffic          %.1f msgs/KI (%d msgs, %d hops, %d bytes)\n", r.MsgsPerKI, r.Messages, r.Hops, r.Bytes)
+	fmt.Printf("energy           %.2f uJ   EDP %.3e pJ*cyc\n", r.EnergyPJ/1e6, r.EDP)
+	fmt.Printf("DRAM             %d reads, %d writes\n", r.DRAMReads, r.DRAMWrites)
+	if r.Kind.IsD2M() {
+		fmt.Printf("near-side hits   I=%.0f%%  D=%.0f%%\n", r.NearHitI*100, r.NearHitD*100)
+		fmt.Printf("MD1 coverage     %.1f%%\n", r.MD1HitFrac*100)
+		fmt.Printf("private misses   %.0f%%   direct (no MD3) misses %.0f%%\n",
+			r.PrivateMissFrac*100, r.DirectMissFrac*100)
+		e := r.Events
+		fmt.Printf("events (PKMO)    A=%.2f (llc %.2f, mem %.2f, node %.2f)  B=%.2f  C=%.2f\n",
+			e.A(), e.ALLC, e.AMem, e.ANode, e.B, e.C)
+		fmt.Printf("                 D=%.2f (d1 %.2f, d2 %.2f, d3 %.2f, d4 %.2f)  E=%.2f  F=%.2f\n",
+			e.D(), e.D1, e.D2, e.D3, e.D4, e.E, e.F)
+	} else if r.NearHitI > 0 {
+		fmt.Printf("L2 hit ratio     %.0f%%\n", r.NearHitI*100)
+	}
+	fmt.Printf("invalidations    %d received\n", r.InvRecv)
+	if len(r.EnergyByOp) > 0 {
+		fmt.Printf("energy breakdown (dynamic pJ):\n")
+		keys := make([]string, 0, len(r.EnergyByOp))
+		for k := range r.EnergyByOp {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool { return r.EnergyByOp[keys[i]] > r.EnergyByOp[keys[j]] })
+		for _, k := range keys {
+			fmt.Printf("  %-10s %14.0f\n", k, r.EnergyByOp[k])
+		}
+	}
+}

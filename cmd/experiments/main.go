@@ -1,0 +1,171 @@
+// Command experiments regenerates the paper's tables and figures
+// (DESIGN.md maps each experiment id to its driver) and prints them —
+// as rendered text, or as JSON rows for downstream tooling.
+//
+// Usage:
+//
+//	experiments -exp all
+//	experiments -exp fig5 -measure 1000000
+//	experiments -exp tab4 -out table4.txt
+//	experiments -exp fig6 -json | jq '.[].EDP'
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"d2m"
+)
+
+// experiment couples an id with its text renderer and (for the
+// simulation-driven ones) a structured-rows producer for -json.
+type experiment struct {
+	id    string
+	title string
+	text  func(opt d2m.Options) string
+	rows  func(opt d2m.Options) interface{} // nil: text-only (static tables)
+}
+
+func registry() []experiment {
+	return []experiment{
+		{"tab1", "Table I (LI encoding)",
+			func(d2m.Options) string { return d2m.RenderTableI() }, nil},
+		{"tab2", "Table II (region classification)",
+			func(d2m.Options) string { return d2m.RenderTableII() }, nil},
+		{"tab3", "Table III (configuration)",
+			func(opt d2m.Options) string { return d2m.RenderTableIII(opt) }, nil},
+		{"fig5", "Figure 5 (network traffic)",
+			func(opt d2m.Options) string { return d2m.RenderFigure5(d2m.Figure5(opt)) },
+			func(opt d2m.Options) interface{} { return d2m.Figure5(opt) }},
+		{"fig6", "Figure 6 (EDP)",
+			func(opt d2m.Options) string { return d2m.RenderFigure6(d2m.Figure6(opt)) },
+			func(opt d2m.Options) interface{} { return d2m.Figure6(opt) }},
+		{"fig7", "Figure 7 (speedup)",
+			func(opt d2m.Options) string { return d2m.RenderFigure7(d2m.Figure7(opt)) },
+			func(opt d2m.Options) interface{} { return d2m.Figure7(opt) }},
+		{"tab4", "Table IV (hit ratios)",
+			func(opt d2m.Options) string { return d2m.RenderTableIV(d2m.TableIV(opt)) },
+			func(opt d2m.Options) interface{} { return d2m.TableIV(opt) }},
+		{"tab5", "Table V (invalidations, private misses)",
+			func(opt d2m.Options) string { return d2m.RenderTableV(d2m.TableV(opt)) },
+			func(opt d2m.Options) interface{} { return d2m.TableV(opt) }},
+		{"pkmo", "Appendix (event frequencies)",
+			func(opt d2m.Options) string { return d2m.RenderPKMO(d2m.AppendixPKMO(opt)) },
+			func(opt d2m.Options) interface{} { return d2m.AppendixPKMO(opt) }},
+		{"scaling", "MD scaling (fn.5)",
+			func(opt d2m.Options) string { return d2m.RenderScaling(d2m.MDScaling(opt, nil)) },
+			func(opt d2m.Options) interface{} { return d2m.MDScaling(opt, nil) }},
+		{"pressure", "SRAM pressure (§V-B)",
+			func(opt d2m.Options) string { return d2m.RenderPressure(d2m.SRAMPressure(opt)) },
+			func(opt d2m.Options) interface{} { return d2m.SRAMPressure(opt) }},
+		{"nodes", "Node scaling (extension)",
+			func(opt d2m.Options) string { return d2m.RenderNodeScaling(d2m.NodeScaling(opt, nil)) },
+			func(opt d2m.Options) interface{} { return d2m.NodeScaling(opt, nil) }},
+		{"d2d", "§II-A MD1 coverage (D2D)",
+			func(opt d2m.Options) string {
+				rep, err := d2m.D2DCoverage(opt, "facesim")
+				if err != nil {
+					return err.Error()
+				}
+				return d2m.RenderCoverage(rep, "facesim")
+			},
+			func(opt d2m.Options) interface{} {
+				rep, err := d2m.D2DCoverage(opt, "facesim")
+				if err != nil {
+					return map[string]string{"error": err.Error()}
+				}
+				return rep
+			}},
+		{"topology", "Interconnect sweep (extension)",
+			func(opt d2m.Options) string { return d2m.RenderTopology(d2m.TopologySweep(opt, nil)) },
+			func(opt d2m.Options) interface{} { return d2m.TopologySweep(opt, nil) }},
+		{"kernels", "Algorithmic kernels (extension)",
+			func(opt d2m.Options) string { return d2m.RenderKernels(d2m.KernelComparison(opt)) },
+			func(opt d2m.Options) interface{} { return d2m.KernelComparison(opt) }},
+		{"storage", "SRAM budgets (§V-B)",
+			func(opt d2m.Options) string { return d2m.RenderStorage(d2m.StorageComparison(opt)) },
+			func(opt d2m.Options) interface{} { return d2m.StorageComparison(opt) }},
+		{"mix", "Multiprogram interference (extension)",
+			func(opt d2m.Options) string { return d2m.RenderMix(d2m.MixStudy(opt, nil)) },
+			func(opt d2m.Options) interface{} { return d2m.MixStudy(opt, nil) }},
+		{"placement", "§IV-B placement policies (ablation)",
+			func(opt d2m.Options) string { return d2m.RenderPlacement(d2m.PlacementSweep(opt, nil)) },
+			func(opt d2m.Options) interface{} { return d2m.PlacementSweep(opt, nil) }},
+	}
+}
+
+func main() {
+	ids := func() string {
+		var out []string
+		for _, e := range registry() {
+			out = append(out, e.id)
+		}
+		return strings.Join(out, ", ")
+	}()
+	var (
+		exp     = flag.String("exp", "all", "experiment: "+ids+", or all")
+		nodes   = flag.Int("nodes", 8, "number of cores")
+		warmup  = flag.Int("warmup", 200_000, "warmup accesses")
+		measure = flag.Int("measure", 600_000, "measured accesses")
+		out     = flag.String("out", "", "write output to this file instead of stdout")
+		asJSON  = flag.Bool("json", false, "emit structured rows as JSON instead of rendered text")
+	)
+	flag.Parse()
+
+	opt := d2m.Options{Nodes: *nodes, Warmup: *warmup, Measure: *measure}
+
+	var b strings.Builder
+	ran := false
+	if *asJSON {
+		payload := map[string]interface{}{}
+		for _, e := range registry() {
+			if *exp != "all" && *exp != e.id {
+				continue
+			}
+			ran = true
+			if e.rows == nil {
+				continue // static tables have no structured form
+			}
+			fmt.Fprintf(os.Stderr, "running %s...\n", e.title)
+			payload[e.id] = e.rows(opt)
+		}
+		if ran {
+			enc := json.NewEncoder(&b)
+			enc.SetIndent("", "  ")
+			var v interface{} = payload
+			if *exp != "all" {
+				v = payload[*exp]
+			}
+			if err := enc.Encode(v); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+	} else {
+		for _, e := range registry() {
+			if *exp != "all" && *exp != e.id {
+				continue
+			}
+			ran = true
+			fmt.Fprintf(os.Stderr, "running %s...\n", e.title)
+			fmt.Fprintf(&b, "==================== %s ====================\n%s\n", e.title, e.text(opt))
+		}
+	}
+	if !ran {
+		fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q (want one of %s, or all)\n", *exp, ids)
+		os.Exit(2)
+	}
+
+	if *out == "" {
+		fmt.Print(b.String())
+		return
+	}
+	if err := os.WriteFile(*out, []byte(b.String()), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", *out)
+}

@@ -1,0 +1,49 @@
+// dbserver reproduces the paper's §V-D story for instruction-heavy
+// workloads: Mobile and Database suffer large L1-I miss ratios that an
+// out-of-order core cannot hide, and D2M-NS-R's always-replicate-
+// instructions heuristic turns each near-side LLC slice into a de facto
+// private L2 for code ("This gives a net speedup of 28% over Base-2L").
+//
+// Run with:
+//
+//	go run ./examples/dbserver
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"d2m"
+)
+
+func main() {
+	opt := d2m.Options{Warmup: 150_000, Measure: 500_000}
+	benches := []string{"tpc-c", "wikipedia", "cnn", "facebook"}
+
+	fmt.Println("Instruction-footprint study (Database + Mobile)")
+	fmt.Println()
+	fmt.Printf("%-11s %8s | %9s %9s | %9s %9s | %9s\n",
+		"benchmark", "missI%", "NS nearI%", "NSR nearI%", "B3L spd%", "NSR spd%", "NSR lat")
+	for _, b := range benches {
+		base, err := d2m.Run(d2m.Base2L, b, opt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		b3, _ := d2m.Run(d2m.Base3L, b, opt)
+		ns, _ := d2m.Run(d2m.D2MNS, b, opt)
+		nsr, _ := d2m.Run(d2m.D2MNSR, b, opt)
+		speed := func(r d2m.Result) float64 {
+			return (float64(base.Cycles)/float64(r.Cycles) - 1) * 100
+		}
+		fmt.Printf("%-11s %8.2f | %9.0f %9.0f | %+9.1f %+9.1f | %8.1fc\n",
+			b, base.MissRatioI*100,
+			ns.NearHitI*100, nsr.NearHitI*100,
+			speed(b3), speed(nsr), nsr.AvgMissLatency)
+	}
+
+	fmt.Println()
+	fmt.Println("Replication (NS -> NS-R) raises the near-side instruction hit")
+	fmt.Println("ratio sharply; the speedup gap over Base-3L mirrors the paper's")
+	fmt.Println("observation that a 256kB private L2 cannot hold these code")
+	fmt.Println("footprints while the 1MB near-side slice can.")
+}

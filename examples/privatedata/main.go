@@ -1,0 +1,54 @@
+// privatedata explores the dynamic-coherence optimization (§IV-A): the
+// presence bits classify regions as private/shared for free, private
+// regions need no coherence at all, and the MD2 pruning heuristic
+// reclaims privacy after sharing ends. The paper reports 68% of all
+// private-cache misses going to private regions and ~90% of misses
+// needing no directory (MD3) interaction.
+//
+// Run with:
+//
+//	go run ./examples/privatedata
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"d2m"
+)
+
+func main() {
+	opt := d2m.Options{Warmup: 150_000, Measure: 500_000}
+
+	fmt.Println("Private/shared region classification study (D2M-NS-R)")
+	fmt.Println()
+	fmt.Printf("%-10s %10s %10s %12s %12s\n",
+		"suite", "private%", "direct%", "inv (D2M)", "inv (base)")
+	var priv, direct, n float64
+	for _, suite := range d2m.Suites() {
+		var p, d float64
+		var invD, invB uint64
+		benches := d2m.BenchmarksOf(suite)
+		for _, b := range benches {
+			r, err := d2m.Run(d2m.D2MNSR, b, opt)
+			if err != nil {
+				log.Fatal(err)
+			}
+			base, _ := d2m.Run(d2m.Base2L, b, opt)
+			p += r.PrivateMissFrac
+			d += r.DirectMissFrac
+			invD += r.InvRecv
+			invB += base.InvRecv
+		}
+		k := float64(len(benches))
+		fmt.Printf("%-10s %9.0f%% %9.0f%% %12d %12d\n", suite, p/k*100, d/k*100, invD, invB)
+		priv += p
+		direct += d
+		n += k
+	}
+	fmt.Printf("\naverage: %.0f%% of misses to private regions (paper: 68%%),\n", priv/n*100)
+	fmt.Printf("%.0f%% of misses resolved without MD3 (paper: ~90%%).\n", direct/n*100)
+	fmt.Println("\nServer mixes share nothing, so every miss is private and no")
+	fmt.Println("coherence traffic is ever generated for them — exactly the")
+	fmt.Println("deactivation effect the paper builds on (Cuesta et al. [8]).")
+}

@@ -1,0 +1,105 @@
+package d2m
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestExperimentDriversSmoke runs every table/figure driver end to end
+// with tiny measurement windows: not for shape assertions (d2m_test.go
+// does that at calibrated sizes) but to guard the drivers and renderers
+// themselves — row counts, labels, no panics across the full catalog.
+func TestExperimentDriversSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-catalog sweep")
+	}
+	opt := Options{Warmup: 10_000, Measure: 20_000}
+	nBench := len(allBenchNames())
+	if nBench != 45 {
+		t.Fatalf("catalog has %d benchmarks, want 45", nBench)
+	}
+
+	f5 := Figure5(opt)
+	if len(f5) != nBench {
+		t.Fatalf("Figure5: %d rows", len(f5))
+	}
+	if out := RenderFigure5(f5); !strings.Contains(out, "tpc-c") {
+		t.Error("RenderFigure5 missing tpc-c")
+	}
+	if red := Figure5Reduction(f5); red <= 0 || red >= 1 {
+		t.Errorf("Figure5Reduction = %v, want a real reduction even at tiny windows", red)
+	}
+
+	f6 := Figure6(opt)
+	if len(f6) != nBench {
+		t.Fatalf("Figure6: %d rows", len(f6))
+	}
+	if out := RenderFigure6(f6); !strings.Contains(out, "EDP") {
+		t.Error("RenderFigure6 malformed")
+	}
+	_ = Figure6Reduction(f6, D2MNSR, Base2L)
+
+	f7 := Figure7(opt)
+	if len(f7) != nBench {
+		t.Fatalf("Figure7: %d rows", len(f7))
+	}
+	if out := RenderFigure7(f7); !strings.Contains(out, "speedup") && !strings.Contains(out, "Speedup") {
+		t.Error("RenderFigure7 malformed")
+	}
+	_ = Figure7Average(f7, D2MNSR)
+
+	t4 := TableIV(opt)
+	if len(t4) != len(Suites()) {
+		t.Fatalf("TableIV: %d rows, want one per suite", len(t4))
+	}
+	if out := RenderTableIV(t4); !strings.Contains(out, "Database") {
+		t.Error("RenderTableIV missing Database suite")
+	}
+
+	t5 := TableV(opt)
+	if len(t5) != len(Suites()) {
+		t.Fatalf("TableV: %d rows", len(t5))
+	}
+	if out := RenderTableV(t5); !strings.Contains(out, "private") && !strings.Contains(out, "Private") {
+		t.Error("RenderTableV malformed")
+	}
+
+	pk := AppendixPKMO(opt)
+	if pk.Events.A() <= 0 {
+		t.Error("AppendixPKMO: zero case-A rate")
+	}
+	if out := RenderPKMO(pk); !strings.Contains(out, "paper") {
+		t.Error("RenderPKMO missing the paper column")
+	}
+
+	pr := SRAMPressure(opt)
+	if out := RenderPressure(pr); !strings.Contains(out, "MD3") {
+		t.Error("RenderPressure missing MD3")
+	}
+
+	ns := NodeScaling(opt, []string{"tpc-c"})
+	if len(ns) == 0 {
+		t.Fatal("NodeScaling: no rows")
+	}
+	if out := RenderNodeScaling(ns); !strings.Contains(out, "nodes") {
+		t.Error("RenderNodeScaling malformed")
+	}
+
+	tp := TopologySweep(opt, []string{"tpc-c"})
+	if len(tp) == 0 {
+		t.Fatal("TopologySweep: no rows")
+	}
+	if out := RenderTopology(tp); !strings.Contains(out, "mesh") {
+		t.Error("RenderTopology missing mesh")
+	}
+
+	for name, out := range map[string]string{
+		"RenderTableI":   RenderTableI(),
+		"RenderTableII":  RenderTableII(),
+		"RenderTableIII": RenderTableIII(opt),
+	} {
+		if len(out) < 100 {
+			t.Errorf("%s suspiciously short: %q", name, out)
+		}
+	}
+}

@@ -1,0 +1,3 @@
+module d2m
+
+go 1.22

@@ -1,0 +1,124 @@
+package baseline
+
+import (
+	"fmt"
+
+	"d2m/internal/mem"
+)
+
+// CheckInvariants audits the baseline machine:
+//
+//  1. Inclusion: every line in an L1 (and L2) has an LLC entry, and —
+//     within a Base-3L node — every L1 line is also in the node's L2.
+//  2. Directory soundness: a node holding a line appears in its sharer
+//     mask; a line in M or E anywhere is registered as the owner, and at
+//     most one node holds a line in M/E.
+//  3. MESI: an M/E copy excludes copies in other nodes; at most one
+//     dirty copy exists per line per node stack, and a dirty copy is M.
+func (s *System) CheckInvariants() error {
+	type holder struct {
+		node  int
+		state state
+	}
+	holders := make(map[mem.LineAddr][]holder)
+
+	for _, n := range s.nodes {
+		caches := []*nodeCache{n.l1i, n.l1d}
+		if n.l2 != nil {
+			caches = append(caches, n.l2)
+		}
+		perLine := map[mem.LineAddr]state{}
+		var failure error
+		for _, c := range caches {
+			c.tbl.ForEach(func(set, way int, key uint64) {
+				if failure != nil {
+					return
+				}
+				line := mem.LineAddr(key)
+				st := *c.stateAt(set, way)
+				if st == stInvalid {
+					failure = fmt.Errorf("%s: valid slot with invalid state for %v", c.name, line)
+					return
+				}
+				if *c.dirtyAt(set, way) && st != stModified {
+					failure = fmt.Errorf("%s: dirty %v in state %v", c.name, line, st)
+					return
+				}
+				// L1 lines must also be in the L2 (node-internal
+				// inclusion, Base-3L).
+				if n.l2 != nil && c != n.l2 {
+					if _, _, ok := n.l2.lookup(line); !ok {
+						failure = fmt.Errorf("%s: %v not in the node's L2", c.name, line)
+						return
+					}
+				}
+				// Inclusion in the LLC.
+				llcSet := s.llc.SetFor(key)
+				llcWay, ok := s.llc.Lookup(llcSet, key)
+				if !ok {
+					failure = fmt.Errorf("%s: %v not in the LLC (inclusion)", c.name, line)
+					return
+				}
+				d := s.dirAt(llcSet, llcWay)
+				if d.sharers&(1<<uint(n.id)) == 0 {
+					failure = fmt.Errorf("%s: %v held but sharer bit clear", c.name, line)
+					return
+				}
+				if (st == stModified || st == stExclusive) && d.owner != int8(n.id) {
+					failure = fmt.Errorf("%s: %v in %v but directory owner is %d", c.name, line, st, d.owner)
+					return
+				}
+				if prev, seen := perLine[line]; !seen || st > prev {
+					perLine[line] = st
+				}
+			})
+			if failure != nil {
+				return failure
+			}
+		}
+		for line, st := range perLine {
+			holders[line] = append(holders[line], holder{n.id, st})
+		}
+	}
+
+	for line, hs := range holders {
+		exclusive := 0
+		for _, h := range hs {
+			if h.state == stModified || h.state == stExclusive {
+				exclusive++
+			}
+		}
+		if exclusive > 1 || (exclusive == 1 && len(hs) > 1) {
+			return fmt.Errorf("line %v: E/M copy coexists with other holders (%v)", line, hs)
+		}
+	}
+
+	// Directory: an owner must actually hold the line.
+	var failure error
+	s.llc.ForEach(func(set, way int, key uint64) {
+		if failure != nil {
+			return
+		}
+		d := s.dirAt(set, way)
+		if d.owner >= 0 {
+			if int(d.owner) >= s.cfg.Nodes {
+				failure = fmt.Errorf("line %v: owner %d out of range", mem.LineAddr(key), d.owner)
+				return
+			}
+			n := s.nodes[d.owner]
+			found := false
+			for _, c := range []*nodeCache{n.l1i, n.l1d, n.l2} {
+				if c == nil {
+					continue
+				}
+				if _, _, ok := c.lookup(mem.LineAddr(key)); ok {
+					found = true
+				}
+			}
+			if !found {
+				failure = fmt.Errorf("line %v: directory owner %d holds no copy", mem.LineAddr(key), d.owner)
+			}
+		}
+	})
+	return failure
+}

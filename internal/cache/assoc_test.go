@@ -1,0 +1,153 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewTablePanics(t *testing.T) {
+	for _, g := range [][2]int{{0, 4}, {4, 0}, {-1, 2}, {3, 2}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewTable(%d,%d) did not panic", g[0], g[1])
+				}
+			}()
+			NewTable(g[0], g[1])
+		}()
+	}
+}
+
+func TestLookupPutInvalidate(t *testing.T) {
+	tb := NewTable(4, 2)
+	if _, ok := tb.Lookup(0, 100); ok {
+		t.Fatal("hit in empty table")
+	}
+	tb.Put(0, 1, 100)
+	w, ok := tb.Lookup(0, 100)
+	if !ok || w != 1 {
+		t.Fatalf("Lookup = %d,%v", w, ok)
+	}
+	if k, v := tb.KeyAt(0, 1); !v || k != 100 {
+		t.Fatalf("KeyAt = %d,%v", k, v)
+	}
+	if !tb.Valid(0, 1) || tb.Valid(0, 0) {
+		t.Fatal("Valid flags wrong")
+	}
+	tb.Invalidate(0, 1)
+	if _, ok := tb.Lookup(0, 100); ok {
+		t.Fatal("hit after invalidate")
+	}
+}
+
+func TestSetFor(t *testing.T) {
+	tb := NewTable(8, 1)
+	if tb.SetFor(13) != 13%8 {
+		t.Errorf("SetFor(13) = %d", tb.SetFor(13))
+	}
+}
+
+func TestVictimPrefersInvalid(t *testing.T) {
+	tb := NewTable(1, 4)
+	tb.Put(0, 0, 1)
+	tb.Put(0, 2, 2)
+	v := tb.VictimWay(0)
+	if v != 1 && v != 3 {
+		t.Errorf("VictimWay = %d, want an invalid way", v)
+	}
+}
+
+func TestVictimLRU(t *testing.T) {
+	tb := NewTable(1, 3)
+	tb.Put(0, 0, 1)
+	tb.Put(0, 1, 2)
+	tb.Put(0, 2, 3)
+	tb.Touch(0, 0) // order now: 1 (way1) oldest
+	if v := tb.VictimWay(0); v != 1 {
+		t.Errorf("VictimWay = %d, want 1", v)
+	}
+}
+
+func TestVictimScored(t *testing.T) {
+	tb := NewTable(1, 3)
+	tb.Put(0, 0, 1)
+	tb.Put(0, 1, 2)
+	tb.Put(0, 2, 3)
+	// Way 1 has the highest score: chosen despite way 0 being LRU.
+	v := tb.VictimWayScored(0, func(w int) int { return map[int]int{0: 0, 1: 5, 2: 1}[w] })
+	if v != 1 {
+		t.Errorf("VictimWayScored = %d, want 1", v)
+	}
+	// Tie on score falls back to LRU (way 0 is oldest).
+	v = tb.VictimWayScored(0, func(w int) int { return 7 })
+	if v != 0 {
+		t.Errorf("tied VictimWayScored = %d, want 0", v)
+	}
+}
+
+func TestCountValidAndForEach(t *testing.T) {
+	tb := NewTable(2, 2)
+	tb.Put(0, 0, 10)
+	tb.Put(1, 1, 11)
+	if tb.CountValid(0) != 1 || tb.CountValid(1) != 1 {
+		t.Error("CountValid wrong")
+	}
+	seen := map[uint64]bool{}
+	tb.ForEach(func(set, way int, key uint64) { seen[key] = true })
+	if !seen[10] || !seen[11] || len(seen) != 2 {
+		t.Errorf("ForEach saw %v", seen)
+	}
+}
+
+// Property: after any sequence of Put/Invalidate operations, Lookup finds
+// exactly the keys most recently Put and not Invalidated, and never
+// reports an invalid way.
+func TestTableConsistencyProperty(t *testing.T) {
+	type op struct {
+		Key uint16
+		Del bool
+	}
+	f := func(ops []op) bool {
+		tb := NewTable(4, 4)
+		shadow := map[uint64][2]int{} // key -> (set, way)
+		for _, o := range ops {
+			key := uint64(o.Key)
+			set := tb.SetFor(key)
+			if o.Del {
+				if loc, ok := shadow[key]; ok {
+					tb.Invalidate(loc[0], loc[1])
+					delete(shadow, key)
+				}
+				continue
+			}
+			if _, ok := shadow[key]; ok {
+				continue
+			}
+			w := tb.VictimWay(set)
+			// Evict whatever is there from the shadow.
+			if old, valid := tb.KeyAt(set, w); valid {
+				delete(shadow, old)
+			}
+			tb.Put(set, w, key)
+			shadow[key] = [2]int{set, w}
+		}
+		// Verify shadow and table agree.
+		for key, loc := range shadow {
+			w, ok := tb.Lookup(loc[0], key)
+			if !ok || w != loc[1] {
+				return false
+			}
+		}
+		count := 0
+		tb.ForEach(func(set, way int, key uint64) {
+			count++
+			if loc, ok := shadow[key]; !ok || loc != [2]int{set, way} {
+				count = -1 << 20
+			}
+		})
+		return count == len(shadow)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

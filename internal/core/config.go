@@ -1,0 +1,133 @@
+package core
+
+import (
+	"fmt"
+
+	"d2m/internal/noc"
+)
+
+// Config describes a D2M system. The zero value is not usable; start from
+// DefaultConfig.
+type Config struct {
+	// Nodes is the number of cores/nodes (1..8; the 6-bit LI encoding
+	// caps NodeID at 3 bits).
+	Nodes int
+
+	// L1Sets and L1Ways give the geometry of each L1-I and L1-D.
+	L1Sets, L1Ways int
+	// L2Sets and L2Ways give the geometry of the per-node L2; zero sets
+	// means no private L2 (the evaluated D2M configurations, Figure 4).
+	L2Sets, L2Ways int
+	// LLCSets and LLCWays give the far-side LLC geometry. Ignored when
+	// NearSide is set.
+	LLCSets, LLCWays int
+	// NearSide moves the LLC to per-node slices (§IV-B).
+	NearSide bool
+	// SliceSets and SliceWays give each NS-LLC slice's geometry.
+	SliceSets, SliceWays int
+
+	// Metadata store geometries, in region entries.
+	MD1Sets, MD1Ways int
+	MD2Sets, MD2Ways int
+	MD3Sets, MD3Ways int
+
+	// Placement selects the NS-LLC victim-slice policy (§IV-B: "We
+	// evaluated several different policies"). The zero value is the
+	// paper's pressure-based policy; PlaceLocal and PlaceSpread are the
+	// endpoints of the design space, for ablations.
+	Placement PlacementPolicy
+	// Replication enables the cooperative-caching heuristic of §IV-C:
+	// instructions are always replicated into the local NS-LLC slice,
+	// and data read from the MRU position of a remote slice is
+	// replicated. Requires NearSide.
+	Replication bool
+	// DynamicIndexing assigns each region a random index scramble when
+	// its MD3 entry is created (§IV-D).
+	DynamicIndexing bool
+	// MD2Pruning enables the pruning heuristic of §IV-A: an MD2 entry
+	// is dropped when an invalidation arrives for a region with no
+	// local copies and an inactive MD1 entry.
+	MD2Pruning bool
+	// LockBits is the number of hashed lock bits serializing region
+	// transactions at MD3 (appendix: "1K lock bits result in a
+	// negligible collision rate"). Zero selects the paper's 1024.
+	LockBits int
+	// TraditionalL1 models the paper's §III-A interoperability variant:
+	// "unmodified cores with traditional TLBs and L1 caches, and
+	// traditional coherence interfaces (e.g., ARM's ACE interface)
+	// while achieving most of the reported D2M advantages". The L1s
+	// stay tagged (every access pays a TLB lookup and an associative
+	// tag search, as in the baselines) and the MD1 stores disappear —
+	// the metadata hierarchy starts at MD2. Everything below the L1
+	// (direct-to-master misses, near-side slices, replication) is
+	// unchanged.
+	TraditionalL1 bool
+	// Prefetch enables the metadata-guided next-line prefetcher, one of
+	// the extensions §IV-D says the region metadata makes easy ("can be
+	// easily extended to record ... prefetch statistics"): on a read
+	// miss, the next line of the region is fetched off the critical
+	// path when its Location Information already names an LLC slot or
+	// memory — no probing or tag checks needed to know where it is.
+	Prefetch bool
+	// CacheBypass enables the bypass optimization from the paper's §I
+	// list: regions whose metadata shows streaming behaviour (lines
+	// installed but barely re-touched) skip L1 allocation — data is
+	// served to the core and placed (or left) at the LLC level, "while
+	// retaining the benefits of inclusion for other data".
+	CacheBypass bool
+
+	// Topology selects the interconnect model (nil = crossbar, the
+	// calibrated default). Near-side locality gains grow on ring/mesh
+	// topologies, where distance varies with placement.
+	Topology noc.Topology
+
+	// Seed drives every stochastic policy decision.
+	Seed uint64
+
+	// CoherenceDebug threads a data-version oracle through every data
+	// movement so tests can prove that each read observes the latest
+	// write. It costs memory proportional to the footprint; leave it
+	// off for benchmarking runs.
+	CoherenceDebug bool
+}
+
+// DefaultConfig returns the paper's Table III configuration: eight nodes,
+// 32kB 8-way L1s, no private L2, an 8MB LLC (far-side monolithic 32-way,
+// or eight 1MB 4-way near-side slices), and 128/4k/16k-entry MD1/MD2/MD3.
+func DefaultConfig() Config {
+	return Config{
+		Nodes:  8,
+		L1Sets: 64, L1Ways: 8, // 32kB
+		L2Sets: 0, L2Ways: 0,
+		LLCSets: 4096, LLCWays: 32, // 8MB far-side
+		SliceSets: 4096, SliceWays: 4, // 1MB per slice, 8MB total
+		MD1Sets: 16, MD1Ways: 8, // 128 regions
+		MD2Sets: 512, MD2Ways: 8, // 4k regions
+		MD3Sets: 1024, MD3Ways: 16, // 16k regions
+		LockBits: 1024,
+		Seed:     1,
+	}
+}
+
+// Validate reports whether the configuration is internally consistent.
+func (c Config) Validate() error {
+	switch {
+	case c.Nodes < 1 || c.Nodes > 8:
+		return fmt.Errorf("core: Nodes = %d, want 1..8 (3-bit NodeID)", c.Nodes)
+	case c.L1Sets <= 0 || c.L1Ways <= 0 || c.L1Ways > 8:
+		return fmt.Errorf("core: L1 geometry %dx%d invalid (3-bit way)", c.L1Sets, c.L1Ways)
+	case c.L2Sets < 0 || (c.L2Sets > 0 && (c.L2Ways <= 0 || c.L2Ways > 8)):
+		return fmt.Errorf("core: L2 geometry %dx%d invalid", c.L2Sets, c.L2Ways)
+	case !c.NearSide && (c.LLCSets <= 0 || c.LLCWays <= 0 || c.LLCWays > 32):
+		return fmt.Errorf("core: LLC geometry %dx%d invalid (5-bit way)", c.LLCSets, c.LLCWays)
+	case c.NearSide && (c.SliceSets <= 0 || c.SliceWays <= 0 || c.SliceWays > 4):
+		return fmt.Errorf("core: slice geometry %dx%d invalid (2-bit way)", c.SliceSets, c.SliceWays)
+	case c.MD1Sets <= 0 || c.MD1Ways <= 0 || c.MD2Sets <= 0 || c.MD2Ways <= 0 || c.MD3Sets <= 0 || c.MD3Ways <= 0:
+		return fmt.Errorf("core: metadata geometry invalid")
+	case c.Replication && !c.NearSide:
+		return fmt.Errorf("core: Replication requires NearSide")
+	case c.LockBits < 0:
+		return fmt.Errorf("core: LockBits = %d negative", c.LockBits)
+	}
+	return nil
+}

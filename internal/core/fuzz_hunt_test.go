@@ -1,0 +1,80 @@
+package core
+
+// A deeper fuzz pass than TestQuickProtocolInvariants: wider seed sweep,
+// invariants audited after EVERY access (not just at the end), and a
+// greedy shrinker that minimizes any failing script for the regression
+// suite (see fuzz_regress_test.go for past finds).
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"d2m/internal/mem"
+)
+
+func runScript(sc accessScript) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("panic: %v", r)
+		}
+	}()
+	cfg := testConfig(sc.NearSide)
+	cfg.Replication = sc.Replication
+	cfg.DynamicIndexing = sc.Scramble
+	cfg.MD2Pruning = sc.Pruning
+	cfg.CacheBypass = sc.Bypass
+	cfg.Prefetch = sc.Prefetch
+	cfg.TraditionalL1 = sc.Hybrid
+	s := NewSystem(cfg)
+	for i, st := range sc.Steps {
+		kind := mem.Load
+		region := int(st.Region)
+		switch {
+		case st.Kind < 2:
+			kind = mem.IFetch
+			region += 1 << 16
+		case st.Kind < 5:
+			kind = mem.Store
+		}
+		s.Access(mem.Access{
+			Node: int(st.Node) % cfg.Nodes,
+			Addr: mem.RegionAddr(region).Line(int(st.Line)).Addr(),
+			Kind: kind,
+		})
+		if e := s.CheckInvariants(); e != nil {
+			return fmt.Errorf("step %d: %v", i, e)
+		}
+	}
+	return nil
+}
+
+func TestFuzzHunt(t *testing.T) {
+	if testing.Short() {
+		t.Skip()
+	}
+	for seed := int64(0); seed < 500; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		v := accessScript{}.Generate(r, 80)
+		sc := v.Interface().(accessScript)
+		if err := runScript(sc); err != nil {
+			// Shrink: greedily drop steps while the failure persists.
+			fail := func(c accessScript) bool { return runScript(c) != nil }
+			for i := 0; i < len(sc.Steps); {
+				c := sc
+				c.Steps = append(append([]accessStep{}, sc.Steps[:i]...), sc.Steps[i+1:]...)
+				if fail(c) {
+					sc = c
+				} else {
+					i++
+				}
+			}
+			t.Fatalf("seed %d: %v\nflags near=%v repl=%v scr=%v prune=%v byp=%v pref=%v hyb=%v\nsteps (%d): %+v",
+				seed, runScript(sc), sc.NearSide, sc.Replication, sc.Scramble, sc.Pruning,
+				sc.Bypass, sc.Prefetch, sc.Hybrid, len(sc.Steps), sc.Steps)
+		}
+	}
+}
+
+var _ = reflect.ValueOf

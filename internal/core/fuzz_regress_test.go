@@ -1,0 +1,83 @@
+package core
+
+import (
+	"testing"
+
+	"d2m/internal/mem"
+)
+
+// Regression tests for protocol bugs found by the property-based fuzz
+// harness (TestQuickProtocolInvariants). Each script is the shrunken
+// access sequence that first exposed the bug; the invariant audit runs
+// after every access, so any regression pins the exact step.
+
+func replayScript(t *testing.T, cfg Config, steps []accessStep) {
+	t.Helper()
+	cfg.CoherenceDebug = true
+	s := NewSystem(cfg)
+	for i, st := range steps {
+		kind := mem.Load
+		region := int(st.Region)
+		switch {
+		case st.Kind < 2:
+			kind = mem.IFetch
+			region += 1 << 16
+		case st.Kind < 5:
+			kind = mem.Store
+		}
+		a := mem.Access{Node: int(st.Node) % cfg.Nodes, Addr: mem.RegionAddr(region).Line(int(st.Line)).Addr(), Kind: kind}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("step %d (%v): panic: %v", i, a, r)
+				}
+			}()
+			s.Access(a)
+		}()
+		if err := s.CheckInvariants(); err != nil {
+			t.Fatalf("step %d (%v): %v", i, a, err)
+		}
+	}
+}
+
+// A master eviction whose LLC victim slot holds a stale clean duplicate
+// of the very line being evicted: the duplicate's repoint walk used to
+// dereference the evictor's dangling LI (the L1 slot was dropped before
+// the cascade ran). Fixed by marking the line in transit (LI := MEM)
+// across the cascade.
+func TestFuzzRegressDuplicateVictimCollision(t *testing.T) {
+	cfg := testConfig(false)
+	cfg.CacheBypass = true
+	cfg.Prefetch = true
+	cfg.TraditionalL1 = true
+	replayScript(t, cfg, []accessStep{
+		{3, 9, 3, 3}, {2, 4, 10, 1}, {0, 4, 11, 0}, {0, 9, 4, 3}, {0, 9, 0, 2},
+		{3, 2, 3, 5}, {3, 9, 15, 3}, {1, 2, 3, 4}, {1, 9, 8, 5}, {1, 9, 2, 2},
+		{0, 9, 13, 4}, {1, 8, 12, 1}, {1, 9, 6, 4}, {1, 1, 5, 2}, {2, 8, 5, 0},
+		{1, 10, 7, 7}, {0, 8, 3, 3}, {1, 9, 4, 5}, {1, 9, 8, 7}, {2, 11, 3, 3},
+		{0, 9, 9, 7}, {0, 9, 11, 5}, {3, 2, 1, 0}, {2, 2, 1, 1}, {0, 9, 8, 4},
+		{3, 8, 14, 0}, {0, 3, 3, 4}, {0, 3, 9, 6}, {3, 4, 8, 2}, {0, 4, 0, 7},
+		{2, 3, 3, 3}, {1, 7, 6, 5}, {2, 4, 14, 4}, {2, 8, 0, 3}, {2, 1, 3, 7},
+		{2, 0, 10, 2}, {2, 9, 2, 7}, {2, 8, 10, 7}, {0, 9, 3, 7}, {2, 10, 7, 4},
+	})
+}
+
+// A region privatized while its owner's LI pointed directly at an
+// own-slice replica whose RP still named the departed node: a later
+// silent replacement copied the dead referral back into the private
+// region's metadata. Fixed by sanitizing replica RPs reachable through
+// concrete LLC LIs at privatization (and by the repointLine guard).
+func TestFuzzRegressPrivateRegionStaleReplicaRP(t *testing.T) {
+	cfg := testConfig(true)
+	cfg.Replication = true
+	cfg.DynamicIndexing = true
+	cfg.CacheBypass = true
+	cfg.Prefetch = true
+	replayScript(t, cfg, []accessStep{
+		{0, 0, 3, 1}, {2, 2, 1, 4}, {2, 7, 13, 5}, {3, 3, 6, 2}, {1, 10, 1, 2},
+		{3, 6, 15, 7}, {0, 1, 8, 5}, {3, 3, 0, 0}, {2, 11, 6, 3}, {3, 6, 14, 1},
+		{3, 9, 13, 7}, {3, 7, 1, 0}, {0, 3, 10, 0}, {3, 3, 9, 0}, {1, 5, 11, 3},
+		{1, 4, 12, 6}, {0, 7, 5, 1}, {0, 1, 11, 0}, {0, 9, 0, 2}, {3, 0, 9, 0},
+		{0, 0, 9, 0}, {3, 7, 10, 0}, {0, 4, 3, 0}, {3, 7, 2, 1}, {3, 5, 10, 0},
+	})
+}

@@ -1,0 +1,165 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestLIEncodingTable pins the exact bit patterns of Table I.
+func TestLIEncodingTable(t *testing.T) {
+	cases := []struct {
+		loc  Location
+		ns   bool
+		bits uint8
+	}{
+		{InNode(5), false, 0b000101},      // 000NNN
+		{InL1(7), false, 0b001111},        // 001WWW
+		{InL2(3), false, 0b010011},        // 010WWW
+		{Mem(), false, 0b011000},          // 011SSS, MEM symbol
+		{Invalid(), false, 0b011001},      // 011SSS, INVALID symbol
+		{InLLC(31), false, 0b111111},      // 1WWWWW
+		{InLLC(0), false, 0b100000},       // 1WWWWW
+		{InSlice(6, 2), true, 0b1_110_10}, // 1NNNWW
+		{InSlice(0, 0), true, 0b100000},   // 1NNNWW
+	}
+	for _, c := range cases {
+		if got := EncodeLI(c.loc, c.ns); got != c.bits {
+			t.Errorf("EncodeLI(%v, ns=%v) = %06b, want %06b", c.loc, c.ns, got, c.bits)
+		}
+		if got := DecodeLI(c.bits, c.ns); got != c.loc {
+			t.Errorf("DecodeLI(%06b, ns=%v) = %v, want %v", c.bits, c.ns, got, c.loc)
+		}
+	}
+}
+
+// TestLISixBits verifies the encoding never exceeds six bits: the paper's
+// entire point is that 6 bits of LI replace a ~30-bit address tag.
+func TestLISixBits(t *testing.T) {
+	for _, ns := range []bool{false, true} {
+		for node := 0; node < 8; node++ {
+			if EncodeLI(InNode(node), ns) >= 64 {
+				t.Fatal("node encoding exceeds 6 bits")
+			}
+		}
+		for way := 0; way < 8; way++ {
+			if EncodeLI(InL1(way), ns) >= 64 || EncodeLI(InL2(way), ns) >= 64 {
+				t.Fatal("L1/L2 encoding exceeds 6 bits")
+			}
+		}
+	}
+	for way := 0; way < 32; way++ {
+		if EncodeLI(InLLC(way), false) >= 64 {
+			t.Fatal("LLC encoding exceeds 6 bits")
+		}
+	}
+}
+
+// Property: decode(encode(x)) == x for every encodable location, in both
+// far-side and near-side interpretations.
+func TestLIRoundTrip(t *testing.T) {
+	f := func(kindRaw, nodeRaw, wayRaw uint8, ns bool) bool {
+		var loc Location
+		switch kindRaw % 6 {
+		case 0:
+			loc = Mem()
+		case 1:
+			loc = Invalid()
+		case 2:
+			loc = InNode(int(nodeRaw % 8))
+		case 3:
+			loc = InL1(int(wayRaw % 8))
+		case 4:
+			loc = InL2(int(wayRaw % 8))
+		case 5:
+			if ns {
+				loc = InSlice(int(nodeRaw%8), int(wayRaw%4))
+			} else {
+				loc = InLLC(int(wayRaw % 32))
+			}
+		}
+		return DecodeLI(EncodeLI(loc, ns), ns) == loc
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLIEncodeUniqueness(t *testing.T) {
+	// Every distinct far-side location must map to a distinct code.
+	seen := map[uint8]Location{}
+	add := func(l Location) {
+		b := EncodeLI(l, false)
+		if prev, dup := seen[b]; dup {
+			t.Fatalf("code %06b maps both %v and %v", b, prev, l)
+		}
+		seen[b] = l
+	}
+	add(Mem())
+	add(Invalid())
+	for n := 0; n < 8; n++ {
+		add(InNode(n))
+	}
+	for w := 0; w < 8; w++ {
+		add(InL1(w))
+		add(InL2(w))
+	}
+	for w := 0; w < 32; w++ {
+		add(InLLC(w))
+	}
+	// 2 symbols + 8 nodes + 8 + 8 ways + 32 LLC ways = 58 codes <= 64.
+	if len(seen) != 58 {
+		t.Fatalf("expected 58 distinct codes, got %d", len(seen))
+	}
+}
+
+func TestEncodePanicsOutOfRange(t *testing.T) {
+	cases := []struct {
+		loc Location
+		ns  bool
+	}{
+		{InNode(8), false},
+		{InL1(8), false},
+		{InL2(-1), false},
+		{InLLC(32), false},
+		{InSlice(8, 0), true},
+		{InSlice(0, 4), true},
+		{Location{Kind: LocLLC, Way: WayUnresolved}, false},
+	}
+	for _, c := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("EncodeLI(%v) did not panic", c.loc)
+				}
+			}()
+			EncodeLI(c.loc, c.ns)
+		}()
+	}
+}
+
+func TestDecodePanicsWideInput(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("DecodeLI(64) did not panic")
+		}
+	}()
+	DecodeLI(64, false)
+}
+
+func TestLocationHelpers(t *testing.T) {
+	if !InL1(0).Local() || !InL2(1).Local() {
+		t.Error("L1/L2 should be Local")
+	}
+	if Mem().Local() || InNode(1).Local() || InLLC(0).Local() {
+		t.Error("mem/node/llc should not be Local")
+	}
+	if InSlice(3, 1).String() != "llc.n3.w1" {
+		t.Errorf("String = %q", InSlice(3, 1).String())
+	}
+	if Mem().String() != "mem" || Invalid().String() != "invalid" {
+		t.Error("symbol String wrong")
+	}
+	if InNode(2).String() != "node2" || InL1(4).String() != "l1.w4" || InL2(5).String() != "l2.w5" {
+		t.Error("location String wrong")
+	}
+}

@@ -1,0 +1,605 @@
+package core
+
+import (
+	"testing"
+
+	"d2m/internal/mem"
+)
+
+// testConfig returns a deliberately tiny geometry so that a few thousand
+// accesses exercise every eviction cascade: MD1/MD2/MD3 spills, L1/LLC
+// replacement, region flushes.
+func testConfig(nearSide bool) Config {
+	c := DefaultConfig()
+	c.Nodes = 4
+	c.L1Sets, c.L1Ways = 4, 2
+	c.L2Sets, c.L2Ways = 0, 0
+	c.LLCSets, c.LLCWays = 16, 4
+	c.NearSide = nearSide
+	c.SliceSets, c.SliceWays = 16, 2
+	c.MD1Sets, c.MD1Ways = 2, 2
+	c.MD2Sets, c.MD2Ways = 4, 4
+	c.MD3Sets, c.MD3Ways = 8, 4
+	c.CoherenceDebug = true
+	return c
+}
+
+func mustCheck(t *testing.T, s *System) {
+	t.Helper()
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatalf("invariant violation: %v", err)
+	}
+}
+
+func addrOf(region, lineIdx int) mem.Addr {
+	return mem.RegionAddr(region).Line(lineIdx).Addr()
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	bad := []func(*Config){
+		func(c *Config) { c.Nodes = 0 },
+		func(c *Config) { c.Nodes = 9 },
+		func(c *Config) { c.L1Ways = 9 },
+		func(c *Config) { c.LLCWays = 33 },
+		func(c *Config) { c.NearSide = true; c.SliceWays = 5 },
+		func(c *Config) { c.Replication = true }, // without NearSide
+		func(c *Config) { c.MD3Sets = 0 },
+	}
+	for i, mutate := range bad {
+		c := DefaultConfig()
+		mutate(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+}
+
+func TestFirstAccessIsUncachedToPrivate(t *testing.T) {
+	s := NewSystem(testConfig(false))
+	res := s.Access(mem.Access{Node: 0, Addr: addrOf(1, 0), Kind: mem.Load})
+	if res.L1Hit {
+		t.Fatal("first access hit")
+	}
+	st := s.Stats()
+	if st.EvD4 != 1 {
+		t.Errorf("EvD4 = %d, want 1 (uncached -> private)", st.EvD4)
+	}
+	if st.DRAMReads != 1 {
+		t.Errorf("DRAMReads = %d, want 1", st.DRAMReads)
+	}
+	if st.PrivateMisses != 1 || st.SharedMisses != 0 {
+		t.Errorf("private/shared misses = %d/%d", st.PrivateMisses, st.SharedMisses)
+	}
+	mustCheck(t, s)
+
+	// Second access to the same line: L1 hit, MD1 hit.
+	res = s.Access(mem.Access{Node: 0, Addr: addrOf(1, 0), Kind: mem.Load})
+	if !res.L1Hit {
+		t.Fatal("second access missed")
+	}
+	if st.MD1Hits == 0 {
+		t.Error("no MD1 hit recorded")
+	}
+	mustCheck(t, s)
+}
+
+func TestPrivateWriteNeedsNoCoherence(t *testing.T) {
+	s := NewSystem(testConfig(false))
+	s.Access(mem.Access{Node: 0, Addr: addrOf(1, 3), Kind: mem.Load})
+	base := s.Fabric().Messages()
+	s.Access(mem.Access{Node: 0, Addr: addrOf(1, 3), Kind: mem.Store})
+	if got := s.Fabric().Messages(); got != base {
+		t.Errorf("private write sent %d messages", got-base)
+	}
+	if s.Stats().InvRecv != 0 {
+		t.Error("private write caused invalidations")
+	}
+	if s.Stats().EvC != 0 {
+		t.Error("private write ran case C")
+	}
+	mustCheck(t, s)
+}
+
+func TestPrivateToSharedTransition(t *testing.T) {
+	s := NewSystem(testConfig(false))
+	a := addrOf(2, 5)
+	s.Access(mem.Access{Node: 0, Addr: a, Kind: mem.Load})
+	if s.Stats().EvD4 != 1 {
+		t.Fatalf("setup: EvD4 = %d", s.Stats().EvD4)
+	}
+	// Node 1 touches the same region: D2 (private -> shared), and the
+	// data is read directly from node 0 (the master), not memory.
+	dram := s.Stats().DRAMReads
+	s.Access(mem.Access{Node: 1, Addr: a, Kind: mem.Load})
+	st := s.Stats()
+	if st.EvD2 != 1 {
+		t.Errorf("EvD2 = %d, want 1", st.EvD2)
+	}
+	if st.EvANode != 1 {
+		t.Errorf("EvANode = %d, want 1 (read served by master node)", st.EvANode)
+	}
+	if st.DRAMReads != dram {
+		t.Errorf("read went to DRAM instead of the master node")
+	}
+	// Both nodes' entries must now be non-private and MD3 must classify
+	// the region shared.
+	d := s.md3Probe(mem.RegionAddr(2))
+	if d == nil || d.class() != Shared {
+		t.Fatalf("region class = %v", d.class())
+	}
+	for _, n := range s.nodes[:2] {
+		if ent := n.entry(mem.RegionAddr(2)); ent == nil || ent.private {
+			t.Errorf("node %d entry private after sharing", n.id)
+		}
+	}
+	mustCheck(t, s)
+}
+
+func TestSharedWriteInvalidatesAndRepoints(t *testing.T) {
+	s := NewSystem(testConfig(false))
+	a := addrOf(3, 7)
+	s.Access(mem.Access{Node: 0, Addr: a, Kind: mem.Load})
+	s.Access(mem.Access{Node: 1, Addr: a, Kind: mem.Load})
+	mustCheck(t, s)
+
+	// Node 1 writes: case C, node 0 receives a (true) invalidation.
+	s.Access(mem.Access{Node: 1, Addr: a, Kind: mem.Store})
+	st := s.Stats()
+	if st.EvC != 1 {
+		t.Errorf("EvC = %d, want 1", st.EvC)
+	}
+	if st.InvRecv != 1 || st.FalseInvRecv != 0 {
+		t.Errorf("InvRecv/false = %d/%d, want 1/0", st.InvRecv, st.FalseInvRecv)
+	}
+	// Node 0's LI must now point at node 1.
+	ent0 := s.nodes[0].entry(mem.RegionAddr(3))
+	if ent0 == nil || ent0.li[7] != InNode(1) {
+		t.Errorf("node 0 LI = %v, want node1", ent0.li[7])
+	}
+	mustCheck(t, s)
+
+	// Node 0 re-reads: served directly by node 1's dirty master, and the
+	// oracle verifies it observes the written version.
+	dram := st.DRAMReads
+	s.Access(mem.Access{Node: 0, Addr: a, Kind: mem.Load})
+	if s.Stats().DRAMReads != dram {
+		t.Error("re-read went to DRAM; must be served by the master node")
+	}
+	mustCheck(t, s)
+}
+
+func TestFalseInvalidation(t *testing.T) {
+	s := NewSystem(testConfig(false))
+	// Node 0 caches line 0 of the region; node 1 caches line 1. Node 1
+	// then writes line 0: node 0 gets a true invalidation. Node 1 writes
+	// line 1 afterwards — node 0 tracks the region (PB set) but never
+	// cached line 1, so it receives a false invalidation.
+	s.Access(mem.Access{Node: 0, Addr: addrOf(4, 0), Kind: mem.Load})
+	s.Access(mem.Access{Node: 1, Addr: addrOf(4, 1), Kind: mem.Load})
+	s.Access(mem.Access{Node: 1, Addr: addrOf(4, 0), Kind: mem.Store})
+	st := s.Stats()
+	if st.InvRecv != 1 || st.FalseInvRecv != 0 {
+		t.Fatalf("after first write: InvRecv/false = %d/%d", st.InvRecv, st.FalseInvRecv)
+	}
+	s.Access(mem.Access{Node: 1, Addr: addrOf(4, 1), Kind: mem.Store})
+	st = s.Stats()
+	if st.FalseInvRecv != 1 {
+		t.Errorf("FalseInvRecv = %d, want 1 (region-grained PB bits)", st.FalseInvRecv)
+	}
+	mustCheck(t, s)
+}
+
+func TestSecondWriteIsSilent(t *testing.T) {
+	s := NewSystem(testConfig(false))
+	a := addrOf(5, 2)
+	s.Access(mem.Access{Node: 0, Addr: a, Kind: mem.Load})
+	s.Access(mem.Access{Node: 1, Addr: a, Kind: mem.Load}) // region shared
+	s.Access(mem.Access{Node: 1, Addr: a, Kind: mem.Store})
+	evc := s.Stats().EvC
+	s.Access(mem.Access{Node: 1, Addr: a, Kind: mem.Store})
+	if s.Stats().EvC != evc {
+		t.Error("second write to an exclusive master ran case C again")
+	}
+	mustCheck(t, s)
+}
+
+func TestEvictionMovesMasterToLLC(t *testing.T) {
+	s := NewSystem(testConfig(false))
+	// Fill one L1 set beyond capacity with private lines; the evicted
+	// master must land in the LLC (its RP victim location) and the next
+	// access must be an LLC direct hit, not DRAM.
+	c := s.Config()
+	stride := c.L1Sets * mem.LineBytes // same L1 set, different lines
+	var addrs []mem.Addr
+	for i := 0; i < c.L1Ways+1; i++ {
+		a := mem.Addr(0x100000 + i*stride*16) // distinct regions
+		addrs = append(addrs, a)
+		s.Access(mem.Access{Node: 0, Addr: a, Kind: mem.Load})
+	}
+	mustCheck(t, s)
+	dram := s.Stats().DRAMReads
+	llc := s.Stats().LLCHits
+	s.Access(mem.Access{Node: 0, Addr: addrs[0], Kind: mem.Load})
+	st := s.Stats()
+	if st.DRAMReads != dram {
+		t.Errorf("re-access of evicted line went to DRAM")
+	}
+	if st.LLCHits != llc+1 {
+		t.Errorf("LLCHits = %d, want %d (direct LLC hit via LI)", st.LLCHits, llc+1)
+	}
+	if st.EvE == 0 {
+		t.Error("no private eviction (case E) recorded")
+	}
+	mustCheck(t, s)
+}
+
+func TestDirtyEvictionToMemPreservesData(t *testing.T) {
+	// Tiny LLC pressure: dirty masters eventually wash through the LLC
+	// to memory and must come back with the written version (oracle
+	// panics otherwise).
+	s := NewSystem(testConfig(false))
+	rng := mem.NewRNG(7)
+	for i := 0; i < 5000; i++ {
+		a := addrOf(rng.Intn(64), rng.Intn(16))
+		kind := mem.Load
+		if rng.Bool(0.3) {
+			kind = mem.Store
+		}
+		s.Access(mem.Access{Node: 0, Addr: a, Kind: kind})
+	}
+	if s.Stats().DRAMWrites == 0 {
+		t.Error("no dirty writebacks despite heavy pressure")
+	}
+	mustCheck(t, s)
+}
+
+func TestNearSideLocalHit(t *testing.T) {
+	c := testConfig(true)
+	s := NewSystem(c)
+	// Node 2 loads a private line, evicts it (the placement policy puts
+	// the victim in its own slice when pressures are equal), re-reads it:
+	// the hit must be local with no interconnect messages for the data.
+	stride := c.L1Sets * mem.LineBytes
+	var addrs []mem.Addr
+	for i := 0; i < c.L1Ways+1; i++ {
+		a := mem.Addr(0x200000 + i*stride*16)
+		addrs = append(addrs, a)
+		s.Access(mem.Access{Node: 2, Addr: a, Kind: mem.Load})
+	}
+	s.Access(mem.Access{Node: 2, Addr: addrs[0], Kind: mem.Load})
+	st := s.Stats()
+	if st.LLCLocalHitsD == 0 {
+		t.Errorf("no local near-side hits (local=%d remote=%d)", st.LLCLocalHitsD, st.LLCRemoteHitsD)
+	}
+	mustCheck(t, s)
+}
+
+func TestReplicationServesInstructionLocally(t *testing.T) {
+	c := testConfig(true)
+	c.Replication = true
+	s := NewSystem(c)
+	a := addrOf(9, 1)
+	// Node 0 fetches code, lets it age into its slice; node 1 then
+	// fetches the same code twice: the first remote read replicates it,
+	// the second is a local slice hit.
+	stride := c.L1Sets * mem.LineBytes
+	s.Access(mem.Access{Node: 0, Addr: a, Kind: mem.IFetch})
+	for i := 1; i <= c.L1Ways; i++ {
+		s.Access(mem.Access{Node: 0, Addr: a + mem.Addr(i*stride*16), Kind: mem.IFetch})
+	}
+	// Force the line out of node 1's L1 after its first read.
+	s.Access(mem.Access{Node: 1, Addr: a, Kind: mem.IFetch})
+	if s.Stats().Replications == 0 {
+		t.Skip("line was not yet in a remote slice; placement put it elsewhere")
+	}
+	for i := 1; i <= c.L1Ways; i++ {
+		s.Access(mem.Access{Node: 1, Addr: a + mem.Addr(i*stride*16) + 0x400000, Kind: mem.IFetch})
+	}
+	local := s.Stats().LLCLocalHitsI
+	s.Access(mem.Access{Node: 1, Addr: a, Kind: mem.IFetch})
+	if s.Stats().LLCLocalHitsI != local+1 {
+		t.Errorf("replicated instruction not served locally (local=%d)", s.Stats().LLCLocalHitsI)
+	}
+	mustCheck(t, s)
+}
+
+func TestMD2PruningTurnsRegionPrivate(t *testing.T) {
+	c := testConfig(false)
+	c.MD2Pruning = true
+	s := NewSystem(c)
+	a := addrOf(11, 0)
+	s.Access(mem.Access{Node: 0, Addr: a, Kind: mem.Load})
+	s.Access(mem.Access{Node: 1, Addr: a, Kind: mem.Load})
+	// Pruning requires the MD1 entry to be inactive (the paper's TP
+	// condition): push node 0's entry for region 11 out of its MD1 by
+	// touching conflicting regions (same MD1 set, different regions).
+	for i := 1; i <= c.MD1Ways+1; i++ {
+		s.Access(mem.Access{Node: 0, Addr: addrOf(11+2*c.MD1Sets*i, 0), Kind: mem.Load})
+	}
+	// Node 1 writes the line node 0 held; after the invalidation node 0
+	// has no copies left in the region and prunes its entry, which
+	// makes the region private for node 1 again.
+	s.Access(mem.Access{Node: 1, Addr: a, Kind: mem.Store})
+	st := s.Stats()
+	if st.MD2Prunes == 0 {
+		t.Fatalf("no pruning after invalidation emptied node 0")
+	}
+	ent1 := s.nodes[1].entry(mem.RegionAddr(11))
+	if ent1 == nil || !ent1.private {
+		t.Error("region not reclassified private after pruning")
+	}
+	if s.nodes[0].entry(mem.RegionAddr(11)) != nil {
+		t.Error("node 0 entry survived pruning")
+	}
+	mustCheck(t, s)
+}
+
+func TestStreamSwitch(t *testing.T) {
+	s := NewSystem(testConfig(false))
+	a := addrOf(13, 4)
+	s.Access(mem.Access{Node: 0, Addr: a, Kind: mem.IFetch})
+	s.Access(mem.Access{Node: 0, Addr: a, Kind: mem.Load}) // same line as data
+	s.Access(mem.Access{Node: 0, Addr: a, Kind: mem.Store})
+	s.Access(mem.Access{Node: 0, Addr: a, Kind: mem.IFetch})
+	mustCheck(t, s)
+}
+
+func TestDynamicIndexingScramblesSets(t *testing.T) {
+	c := testConfig(false)
+	c.DynamicIndexing = true
+	s := NewSystem(c)
+	// Power-of-two-strided regions that would all map to LLC set 0
+	// without scrambling.
+	sets := map[int]bool{}
+	for i := 0; i < 8; i++ {
+		r := mem.RegionAddr(i * c.LLCSets * 4)
+		line := r.Line(0)
+		d := s.md3Probe(r)
+		if d == nil {
+			tt := &txn{}
+			d = s.md3Alloc(r, tt)
+		}
+		if !c.NearSide {
+			sets[s.far.setFor(line, d.scramble)] = true
+		}
+	}
+	if len(sets) < 3 {
+		t.Errorf("scrambling left %d distinct sets for a malicious stride", len(sets))
+	}
+}
+
+func TestAccessPanicsOnBadNode(t *testing.T) {
+	s := NewSystem(testConfig(false))
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic for out-of-range node")
+		}
+	}()
+	s.Access(mem.Access{Node: 12, Addr: 0, Kind: mem.Load})
+}
+
+// TestRegionClassificationTable pins Table II: the classification implied
+// by the number of set presence bits.
+func TestRegionClassificationTable(t *testing.T) {
+	cases := []struct {
+		pb   uint16
+		want Class
+	}{
+		{0b0000, Untracked},
+		{0b0001, Private},
+		{0b1000, Private},
+		{0b0011, Shared},
+		{0b1111, Shared},
+		{0b11111111, Shared},
+	}
+	for _, c := range cases {
+		if got := ClassifyPB(c.pb); got != c.want {
+			t.Errorf("ClassifyPB(%b) = %v, want %v", c.pb, got, c.want)
+		}
+	}
+	// Strings used in reports.
+	for c, s := range map[Class]string{Uncached: "uncached", Untracked: "untracked", Private: "private", Shared: "shared"} {
+		if c.String() != s {
+			t.Errorf("%d.String() = %q", c, c.String())
+		}
+	}
+	if Class(9).String() != "class(9)" {
+		t.Error("unknown class string")
+	}
+}
+
+// TestClassifyPBQuick: classification is monotone in the popcount.
+func TestClassifyPBQuick(t *testing.T) {
+	for pb := uint16(0); pb < 1<<8; pb++ {
+		n := popcount16(pb)
+		want := Shared
+		switch n {
+		case 0:
+			want = Untracked
+		case 1:
+			want = Private
+		}
+		if got := ClassifyPB(pb); got != want {
+			t.Fatalf("ClassifyPB(%b) = %v, want %v", pb, got, want)
+		}
+	}
+}
+
+// TestPBHelpers covers the presence-bit manipulation used by MD3.
+func TestPBHelpers(t *testing.T) {
+	d := newDirRegion(5, 0)
+	if d.class() != Untracked {
+		t.Error("fresh region not untracked")
+	}
+	d.setPB(3)
+	if !d.hasPB(3) || d.hasPB(2) {
+		t.Error("setPB/hasPB wrong")
+	}
+	if d.class() != Private || d.solePBNode() != 3 {
+		t.Error("single-PB region not private to 3")
+	}
+	d.setPB(6)
+	if got := d.pbNodes(); len(got) != 2 || got[0] != 3 || got[1] != 6 {
+		t.Errorf("pbNodes = %v", got)
+	}
+	d.clearPB(3)
+	if d.hasPB(3) || d.class() != Private {
+		t.Error("clearPB wrong")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("solePBNode on shared region did not panic")
+		}
+	}()
+	d.setPB(1)
+	d.solePBNode()
+}
+
+// TestCacheBypassStreamingRegion drives a region with streaming behaviour
+// (every line touched once) and verifies that, once the predictor warms
+// up, reads stop allocating in the L1 — while a reused (hot) region keeps
+// normal allocation.
+func TestCacheBypassStreamingRegion(t *testing.T) {
+	cfg := testConfig(false)
+	cfg.CacheBypass = true
+	s := NewSystem(cfg)
+
+	// Streaming region: touch many distinct lines, once each, across
+	// several regions to warm the per-region predictors.
+	for r := 20; r < 24; r++ {
+		for i := 0; i < mem.LinesPerRegion; i++ {
+			s.Access(mem.Access{Node: 0, Addr: addrOf(r, i), Kind: mem.Load})
+		}
+	}
+	if s.Stats().BypassedReads == 0 {
+		t.Error("no bypassed reads on a streaming pattern")
+	}
+	mustCheck(t, s)
+
+	// Hot region: repeated touches of the same lines must not bypass.
+	before := s.Stats().BypassedReads
+	for pass := 0; pass < 20; pass++ {
+		for i := 0; i < 4; i++ {
+			s.Access(mem.Access{Node: 1, Addr: addrOf(30, i), Kind: mem.Load})
+		}
+	}
+	if s.Stats().BypassedReads != before {
+		t.Error("hot region reads were bypassed")
+	}
+	mustCheck(t, s)
+}
+
+// TestCacheBypassCoherent verifies bypassed reads stay coherent when the
+// line is written by another node (the oracle panics otherwise).
+func TestCacheBypassCoherent(t *testing.T) {
+	cfg := testConfig(false)
+	cfg.CacheBypass = true
+	s := NewSystem(cfg)
+	rng := mem.NewRNG(21)
+	for i := 0; i < 20000; i++ {
+		node := rng.Intn(cfg.Nodes)
+		kind := mem.Load
+		if rng.Bool(0.25) {
+			kind = mem.Store
+		}
+		s.Access(mem.Access{Node: node, Addr: mem.RegionAddr(rng.Intn(48)).Line(rng.Intn(16)).Addr(), Kind: kind})
+		if i%997 == 0 {
+			if err := s.CheckInvariants(); err != nil {
+				t.Fatalf("after %d: %v", i, err)
+			}
+		}
+	}
+	mustCheck(t, s)
+}
+
+// TestCacheBypassNearSide exercises the bypass paths against near-side
+// slices with every other optimization on.
+func TestCacheBypassNearSide(t *testing.T) {
+	cfg := testConfig(true)
+	cfg.CacheBypass = true
+	cfg.Replication = true
+	cfg.DynamicIndexing = true
+	cfg.MD2Pruning = true
+	s := NewSystem(cfg)
+	rng := mem.NewRNG(22)
+	for i := 0; i < 25000; i++ {
+		node := rng.Intn(cfg.Nodes)
+		kind := mem.Load
+		switch {
+		case rng.Bool(0.3):
+			kind = mem.IFetch
+		case rng.Bool(0.3):
+			kind = mem.Store
+		}
+		region := rng.Intn(64)
+		if kind == mem.IFetch {
+			region += 1 << 20
+		}
+		s.Access(mem.Access{Node: node, Addr: mem.RegionAddr(region).Line(rng.Intn(16)).Addr(), Kind: kind})
+		if i%997 == 0 {
+			if err := s.CheckInvariants(); err != nil {
+				t.Fatalf("after %d: %v", i, err)
+			}
+		}
+	}
+	mustCheck(t, s)
+}
+
+// TestStatsHelpers covers the ratio accessors directly.
+func TestStatsHelpers(t *testing.T) {
+	st := Stats{
+		L1IHits: 90, L1IMisses: 10,
+		L1DHits: 80, L1DMisses: 20,
+		MissLatencySum: 600, MissCount: 30,
+		LLCLocalHitsI: 3, LLCRemoteHitsI: 1,
+		LLCLocalHitsD: 1, LLCRemoteHitsD: 3,
+		PrivateMisses: 6, SharedMisses: 4,
+		DirectMisses: 9, IndirectMisses: 1,
+		Accesses: 2000, EvC: 4,
+		LockAcquires: 100, LockCollisions: 1,
+	}
+	if st.MissRatioI() != 0.1 || st.MissRatioD() != 0.2 {
+		t.Error("miss ratios wrong")
+	}
+	if st.AvgMissLatency() != 20 {
+		t.Error("avg miss latency wrong")
+	}
+	if st.NearSideHitRatioI() != 0.75 || st.NearSideHitRatioD() != 0.25 {
+		t.Error("near-side ratios wrong")
+	}
+	if st.PrivateMissFraction() != 0.6 || st.DirectMissFraction() != 0.9 {
+		t.Error("classification fractions wrong")
+	}
+	if st.PKMO(st.EvC) != 2 {
+		t.Errorf("PKMO = %v", st.PKMO(st.EvC))
+	}
+	if st.LockCollisionRate() != 0.01 {
+		t.Error("lock rate wrong")
+	}
+	var zero Stats
+	if zero.MissRatioI() != 0 || zero.AvgMissLatency() != 0 || zero.PKMO(5) != 0 {
+		t.Error("zero stats ratios not zero")
+	}
+}
+
+// TestResetMeasurement: the warmup boundary must zero counters but keep
+// cache contents (the next access hits).
+func TestResetMeasurement(t *testing.T) {
+	s := NewSystem(testConfig(false))
+	a := addrOf(1, 0)
+	s.Access(mem.Access{Node: 0, Addr: a, Kind: mem.Load})
+	s.ResetMeasurement()
+	if s.Stats().Accesses != 0 || s.Fabric().Messages() != 0 {
+		t.Error("counters survived reset")
+	}
+	res := s.Access(mem.Access{Node: 0, Addr: a, Kind: mem.Load})
+	if !res.L1Hit {
+		t.Error("cache contents lost at the measurement boundary")
+	}
+	if s.Stats().Accesses != 1 {
+		t.Error("post-reset accounting wrong")
+	}
+}

@@ -1,0 +1,252 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"d2m/internal/mem"
+)
+
+// randomWorkload drives a system with a seeded random access stream over
+// a mixed private/shared footprint and audits the invariants
+// periodically. With the tiny testConfig geometries this exercises every
+// eviction and reclassification cascade thousands of times; the
+// coherence oracle additionally proves every read observes the latest
+// write.
+func randomWorkload(t *testing.T, cfg Config, seed uint64, accesses, regions int, shareFrac, writeFrac, instrFrac float64) {
+	t.Helper()
+	s := NewSystem(cfg)
+	rng := mem.NewRNG(seed)
+	sharedCut := int(float64(regions) * shareFrac)
+	for i := 0; i < accesses; i++ {
+		node := rng.Intn(cfg.Nodes)
+		var region int
+		if rng.Bool(shareFrac) && sharedCut > 0 {
+			region = rng.Intn(sharedCut) // shared pool, all nodes
+		} else {
+			// Private pool: disjoint per node.
+			region = sharedCut + node + cfg.Nodes*rng.Intn((regions-sharedCut)/cfg.Nodes+1)
+		}
+		kind := mem.Load
+		switch {
+		case rng.Bool(instrFrac):
+			kind = mem.IFetch
+			region += 1 << 20 // code lives in its own regions
+		case rng.Bool(writeFrac):
+			kind = mem.Store
+		}
+		a := mem.Access{Node: node, Addr: mem.RegionAddr(region).Line(rng.Intn(mem.LinesPerRegion)).Addr(), Kind: kind}
+		s.Access(a)
+		if i%997 == 0 {
+			if err := s.CheckInvariants(); err != nil {
+				t.Fatalf("seed %d after %d accesses (%v): %v", seed, i, a, err)
+			}
+		}
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatalf("seed %d at end: %v", seed, err)
+	}
+	st := s.Stats()
+	if st.Accesses != uint64(accesses) {
+		t.Fatalf("accesses = %d, want %d", st.Accesses, accesses)
+	}
+	// Basic sanity on the counters.
+	if st.L1IHits+st.L1IMisses+st.L1DHits+st.L1DMisses != uint64(accesses) {
+		t.Error("hit/miss counters do not add up")
+	}
+	if st.MD1Hits+st.MD2Hits+st.MDMisses != uint64(accesses) {
+		t.Error("metadata level counters do not add up")
+	}
+}
+
+func TestRandomFarSide(t *testing.T) {
+	for seed := uint64(1); seed <= 4; seed++ {
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			randomWorkload(t, testConfig(false), seed, 20000, 48, 0.3, 0.3, 0.3)
+		})
+	}
+}
+
+func TestRandomNearSide(t *testing.T) {
+	for seed := uint64(1); seed <= 4; seed++ {
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			randomWorkload(t, testConfig(true), seed, 20000, 48, 0.3, 0.3, 0.3)
+		})
+	}
+}
+
+func TestRandomNearSideReplication(t *testing.T) {
+	cfg := testConfig(true)
+	cfg.Replication = true
+	for seed := uint64(1); seed <= 4; seed++ {
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			randomWorkload(t, cfg, seed, 20000, 48, 0.4, 0.3, 0.3)
+		})
+	}
+}
+
+func TestRandomAllOptimizations(t *testing.T) {
+	cfg := testConfig(true)
+	cfg.Replication = true
+	cfg.DynamicIndexing = true
+	cfg.MD2Pruning = true
+	for seed := uint64(1); seed <= 6; seed++ {
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			randomWorkload(t, cfg, seed, 25000, 64, 0.4, 0.35, 0.25)
+		})
+	}
+}
+
+func TestRandomWithL2(t *testing.T) {
+	cfg := testConfig(false)
+	cfg.L2Sets, cfg.L2Ways = 8, 4
+	for seed := uint64(1); seed <= 4; seed++ {
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			randomWorkload(t, cfg, seed, 20000, 48, 0.3, 0.3, 0.3)
+		})
+	}
+}
+
+func TestRandomPruningHeavySharing(t *testing.T) {
+	cfg := testConfig(false)
+	cfg.MD2Pruning = true
+	for seed := uint64(1); seed <= 4; seed++ {
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			randomWorkload(t, cfg, seed, 20000, 24, 0.8, 0.5, 0.1)
+		})
+	}
+}
+
+func TestRandomSingleNodeD2DMode(t *testing.T) {
+	// One node: the system degenerates to D2D (private hierarchy only);
+	// everything must classify private and no invalidations occur.
+	cfg := testConfig(false)
+	cfg.Nodes = 1
+	s := NewSystem(cfg)
+	rng := mem.NewRNG(3)
+	for i := 0; i < 20000; i++ {
+		kind := mem.Load
+		if rng.Bool(0.3) {
+			kind = mem.Store
+		}
+		s.Access(mem.Access{Node: 0, Addr: mem.RegionAddr(rng.Intn(40)).Line(rng.Intn(16)).Addr(), Kind: kind})
+		if i%1499 == 0 {
+			if err := s.CheckInvariants(); err != nil {
+				t.Fatalf("after %d: %v", i, err)
+			}
+		}
+	}
+	st := s.Stats()
+	if st.InvRecv != 0 || st.EvC != 0 || st.EvD2 != 0 || st.EvD3 != 0 || st.EvF != 0 {
+		t.Errorf("single-node system ran coherence: inv=%d C=%d D2=%d D3=%d F=%d",
+			st.InvRecv, st.EvC, st.EvD2, st.EvD3, st.EvF)
+	}
+	if st.SharedMisses != 0 {
+		t.Errorf("single-node system recorded %d shared misses", st.SharedMisses)
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandomMigratorySharing(t *testing.T) {
+	// Migratory pattern: nodes take turns writing the same small set of
+	// lines — the worst case for master movement and NodeID chasing.
+	cfg := testConfig(false)
+	cfg.MD2Pruning = true
+	s := NewSystem(cfg)
+	rng := mem.NewRNG(11)
+	for i := 0; i < 15000; i++ {
+		node := (i / 10) % cfg.Nodes
+		a := mem.RegionAddr(rng.Intn(4)).Line(rng.Intn(16)).Addr()
+		kind := mem.Load
+		if rng.Bool(0.5) {
+			kind = mem.Store
+		}
+		s.Access(mem.Access{Node: node, Addr: a, Kind: kind})
+		if i%991 == 0 {
+			if err := s.CheckInvariants(); err != nil {
+				t.Fatalf("after %d: %v", i, err)
+			}
+		}
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Stats().EvC == 0 || s.Stats().EvANode == 0 {
+		t.Error("migratory pattern exercised no master movement")
+	}
+}
+
+// TestRandomGeometries fuzzes the machine shape itself: random (power-
+// of-two) geometries for every structure, random optimization flags, and
+// a random access mix — all under the coherence oracle and the invariant
+// auditor. This is the broadest net for cascade bugs that only appear at
+// unusual aspect ratios (single-set tables, single-way caches, tiny
+// MD3s that flush constantly).
+func TestRandomGeometries(t *testing.T) {
+	pow2 := func(r *mem.RNG, min, max int) int {
+		v := min
+		for v < max && r.Bool(0.5) {
+			v *= 2
+		}
+		return v
+	}
+	for trial := 0; trial < 12; trial++ {
+		rng := mem.NewRNG(uint64(trial) + 100)
+		cfg := Config{
+			Nodes:  1 + rng.Intn(8),
+			L1Sets: pow2(rng, 2, 16), L1Ways: 1 + rng.Intn(4),
+			MD1Sets: pow2(rng, 1, 4), MD1Ways: 1 + rng.Intn(4),
+			MD2Sets: pow2(rng, 1, 8), MD2Ways: 2 + rng.Intn(4),
+			MD3Sets: pow2(rng, 2, 16), MD3Ways: 2 + rng.Intn(6),
+			LockBits:       pow2(rng, 2, 1024),
+			CoherenceDebug: true,
+			Seed:           uint64(trial),
+		}
+		if rng.Bool(0.5) {
+			cfg.NearSide = true
+			cfg.SliceSets = pow2(rng, 4, 32)
+			cfg.SliceWays = 1 + rng.Intn(4)
+			cfg.Replication = rng.Bool(0.5)
+		} else {
+			cfg.LLCSets = pow2(rng, 4, 64)
+			cfg.LLCWays = 1 + rng.Intn(8)
+		}
+		if rng.Bool(0.4) {
+			cfg.L2Sets = pow2(rng, 2, 16)
+			cfg.L2Ways = 1 + rng.Intn(4)
+		}
+		cfg.MD2Pruning = rng.Bool(0.5)
+		cfg.DynamicIndexing = rng.Bool(0.5)
+		cfg.CacheBypass = rng.Bool(0.3)
+		cfg.Prefetch = rng.Bool(0.3)
+		cfg.TraditionalL1 = rng.Bool(0.3)
+		if err := cfg.Validate(); err != nil {
+			t.Fatalf("trial %d: generated invalid config: %v", trial, err)
+		}
+		s := NewSystem(cfg)
+		regions := 8 + rng.Intn(56)
+		for i := 0; i < 12000; i++ {
+			node := rng.Intn(cfg.Nodes)
+			kind := mem.Load
+			region := rng.Intn(regions)
+			switch {
+			case rng.Bool(0.25):
+				kind = mem.IFetch
+				region += 1 << 20
+			case rng.Bool(0.35):
+				kind = mem.Store
+			}
+			s.Access(mem.Access{Node: node, Addr: mem.RegionAddr(region).Line(rng.Intn(16)).Addr(), Kind: kind})
+			if i%1499 == 0 {
+				if err := s.CheckInvariants(); err != nil {
+					t.Fatalf("trial %d (cfg %+v) after %d: %v", trial, cfg, i, err)
+				}
+			}
+		}
+		if err := s.CheckInvariants(); err != nil {
+			t.Fatalf("trial %d at end: %v", trial, err)
+		}
+	}
+}

@@ -1,0 +1,78 @@
+package kernels
+
+import (
+	"fmt"
+
+	"d2m/internal/mem"
+	"d2m/internal/trace"
+)
+
+// MergeSort emits the access pattern of bottom-up merge sort over a
+// private array of 8-byte keys: each pass reads two sequential runs and
+// writes one sequential output, ping-ponging between two buffers. Pure
+// streaming with zero temporal reuse inside a pass — the bandwidth
+// workload cache bypassing targets.
+type MergeSort struct {
+	N int // keys per node (power of two)
+}
+
+// Name implements Kernel.
+func (MergeSort) Name() string { return "mergesort" }
+
+// Description implements Kernel.
+func (k MergeSort) Description() string {
+	return fmt.Sprintf("bottom-up merge sort of %d keys per node, ping-pong buffers", k.N)
+}
+
+// Streams implements Kernel.
+func (k MergeSort) Streams(nodes int) []trace.Stream {
+	check(k.N > 1 && k.N&(k.N-1) == 0, "mergesort: N=%d not a power of two", k.N)
+	out := make([]trace.Stream, nodes)
+	for n := 0; n < nodes; n++ {
+		out[n] = k.stream(n)
+	}
+	return out
+}
+
+func (k MergeSort) stream(node int) trace.Stream {
+	base := mem.Addr(dataBase) + mem.Addr(node)*nodeStride + 0x380_0000
+	buf := [2]mem.Addr{base, base + mem.Addr(k.N)*8}
+
+	// State: run width, output position, cursors into the two runs.
+	width := 1
+	src := 0
+	out := 0
+	aOff, bOff := 0, 0 // consumed counts within the current run pair
+	return newEmitter(node, 7, 8, func(e *emitter) {
+		// One batch merges up to 8 elements of the current run pair.
+		runStart := out / (2 * width) * (2 * width)
+		for c := 0; c < 8; c++ {
+			// A deterministic pseudo-comparison drains the two runs in
+			// interleaved order (real key order would need values; the
+			// access PATTERN is what matters here).
+			takeA := bOff >= width || (aOff < width && hashKey(uint64(out))&1 == 0)
+			if takeA {
+				e.load(buf[src] + mem.Addr(runStart+aOff)*8)
+				aOff++
+			} else {
+				e.load(buf[src] + mem.Addr(runStart+width+bOff)*8)
+				bOff++
+			}
+			e.store(buf[1-src] + mem.Addr(out)*8)
+			out++
+			if aOff+bOff == 2*width { // run pair exhausted
+				aOff, bOff = 0, 0
+				runStart = out / (2 * width) * (2 * width)
+			}
+			if out == k.N { // pass complete: double the width, swap
+				out, aOff, bOff = 0, 0, 0
+				src = 1 - src
+				width *= 2
+				if width >= k.N {
+					width = 1 // array sorted: start over
+				}
+				return
+			}
+		}
+	})
+}

@@ -1,0 +1,128 @@
+// Package mem defines the address arithmetic, access types, and geometry
+// shared by every component of the simulated memory system.
+//
+// The geometry follows the paper: 64-byte cachelines grouped into 1KB
+// regions of 16 lines each. Regions are the granularity of the metadata
+// hierarchy (MD1/MD2/MD3); lines are the granularity of the data hierarchy.
+package mem
+
+import "fmt"
+
+// Geometry constants for the simulated memory system.
+const (
+	// LineBytes is the cacheline size in bytes.
+	LineBytes = 64
+	// LineShift is log2(LineBytes).
+	LineShift = 6
+	// LinesPerRegion is the number of cachelines tracked by one region
+	// metadata entry ("For tracking 16 cachelines in a region...", §III-A).
+	LinesPerRegion = 16
+	// RegionBytes is the region size in bytes (1KB).
+	RegionBytes = LineBytes * LinesPerRegion
+	// RegionShift is log2(RegionBytes).
+	RegionShift = 10
+	// PageBytes is the (base) virtual-memory page size used by the
+	// baseline TLBs.
+	PageBytes = 4096
+	// PageShift is log2(PageBytes).
+	PageShift = 12
+)
+
+// Addr is a byte address in the simulated physical address space. The
+// simulator does not model virtual-to-physical aliasing: virtual and
+// physical addresses are numerically identical, but components that would
+// perform a translation (TLBs, the physically tagged MD2) still charge the
+// latency and energy a translation would cost.
+type Addr uint64
+
+// Line returns the address of the cacheline containing a.
+func (a Addr) Line() LineAddr { return LineAddr(a >> LineShift) }
+
+// Region returns the address of the region containing a.
+func (a Addr) Region() RegionAddr { return RegionAddr(a >> RegionShift) }
+
+// Page returns the page number containing a.
+func (a Addr) Page() uint64 { return uint64(a) >> PageShift }
+
+// LineAddr identifies a cacheline (the address with the offset bits
+// stripped).
+type LineAddr uint64
+
+// Addr returns the byte address of the first byte of the line.
+func (l LineAddr) Addr() Addr { return Addr(l) << LineShift }
+
+// Region returns the region containing the line.
+func (l LineAddr) Region() RegionAddr { return RegionAddr(l >> (RegionShift - LineShift)) }
+
+// Index returns the position of the line within its region, in
+// [0, LinesPerRegion).
+func (l LineAddr) Index() int { return int(l & (LinesPerRegion - 1)) }
+
+func (l LineAddr) String() string { return fmt.Sprintf("line:%#x", uint64(l)) }
+
+// RegionAddr identifies a 1KB region (the address with the region offset
+// bits stripped).
+type RegionAddr uint64
+
+// Line returns the idx-th line of the region. idx must be in
+// [0, LinesPerRegion).
+func (r RegionAddr) Line(idx int) LineAddr {
+	if idx < 0 || idx >= LinesPerRegion {
+		panic(fmt.Sprintf("mem: line index %d out of range", idx))
+	}
+	return LineAddr(uint64(r)<<(RegionShift-LineShift) | uint64(idx))
+}
+
+// Addr returns the byte address of the first byte of the region.
+func (r RegionAddr) Addr() Addr { return Addr(r) << RegionShift }
+
+// Page returns the page number containing the region.
+func (r RegionAddr) Page() uint64 { return uint64(r.Addr()) >> PageShift }
+
+func (r RegionAddr) String() string { return fmt.Sprintf("region:%#x", uint64(r)) }
+
+// Kind classifies a memory access.
+type Kind uint8
+
+// Access kinds.
+const (
+	// IFetch is an instruction fetch (goes to L1-I / MD1-I).
+	IFetch Kind = iota
+	// Load is a data read.
+	Load
+	// Store is a data write.
+	Store
+)
+
+// IsWrite reports whether the access kind modifies the line.
+func (k Kind) IsWrite() bool { return k == Store }
+
+// IsInstr reports whether the access fetches instructions.
+func (k Kind) IsInstr() bool { return k == IFetch }
+
+func (k Kind) String() string {
+	switch k {
+	case IFetch:
+		return "ifetch"
+	case Load:
+		return "load"
+	case Store:
+		return "store"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Access is a single memory reference issued by a node's core.
+type Access struct {
+	// Node is the issuing node id.
+	Node int
+	// Addr is the referenced byte address.
+	Addr Addr
+	// Kind is the access type.
+	Kind Kind
+}
+
+func (a Access) String() string {
+	return fmt.Sprintf("n%d %s %#x", a.Node, a.Kind, uint64(a.Addr))
+}

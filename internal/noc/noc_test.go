@@ -1,0 +1,54 @@
+package noc
+
+import (
+	"testing"
+
+	"d2m/internal/energy"
+)
+
+func TestClassSizes(t *testing.T) {
+	if Ctrl.Bytes() != 8 || Ctrl.Flits() != 1 {
+		t.Errorf("Ctrl = %dB/%d flits", Ctrl.Bytes(), Ctrl.Flits())
+	}
+	if Data.Bytes() != 72 || Data.Flits() != 9 {
+		t.Errorf("Data = %dB/%d flits", Data.Bytes(), Data.Flits())
+	}
+	if MD.Bytes() != 24 || MD.Flits() != 3 {
+		t.Errorf("MD = %dB/%d flits", MD.Bytes(), MD.Flits())
+	}
+	if Class(99).Bytes() != 8 {
+		t.Errorf("unknown class bytes = %d", Class(99).Bytes())
+	}
+}
+
+func TestFabricAccounting(t *testing.T) {
+	f := NewFabric(nil)
+	lat := f.Send(Ctrl, Base)
+	if lat != TraversalCycles {
+		t.Errorf("latency = %d, want %d", lat, TraversalCycles)
+	}
+	f.Send(Data, Base)
+	f.Send(MD, D2MOnly)
+	if f.Messages() != 3 {
+		t.Errorf("Messages = %d", f.Messages())
+	}
+	if f.D2MMessages() != 1 || f.BaseMessages() != 2 {
+		t.Errorf("split = %d d2m / %d base", f.D2MMessages(), f.BaseMessages())
+	}
+	if f.Bytes() != 8+72+24 {
+		t.Errorf("Bytes = %d", f.Bytes())
+	}
+	if f.DataBytes() != 72 {
+		t.Errorf("DataBytes = %d", f.DataBytes())
+	}
+}
+
+func TestFabricChargesEnergy(t *testing.T) {
+	m := energy.NewMeter(energy.Default22nm())
+	f := NewFabric(m)
+	f.Send(Data, Base)
+	// 9 flits x 2 hops.
+	if got := m.Count(energy.OpNoCFlit); got != 18 {
+		t.Errorf("flit energy ops = %d, want 18", got)
+	}
+}

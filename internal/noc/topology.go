@@ -1,0 +1,197 @@
+package noc
+
+import "fmt"
+
+// Endpoint identifies a network attachment point: node i (and its
+// co-located NS-LLC slice) or the Hub, where the far-side LLC, MD3/
+// directory and the memory controller live.
+type Endpoint int
+
+// Hub is the shared far-side attachment point.
+const Hub Endpoint = -1
+
+// DirEP is the baseline directory, a separate structure hanging one link
+// off the hub (Figure 4 draws DIR as its own box on the interconnect).
+const DirEP Endpoint = -2
+
+// NodeEP returns the endpoint of node (or slice) i.
+func NodeEP(i int) Endpoint { return Endpoint(i) }
+
+// Topology maps endpoint pairs to hop counts. Implementations must be
+// symmetric and return 0 for identical endpoints.
+type Topology interface {
+	// Hops returns the number of router-to-router links a message
+	// crosses between the endpoints.
+	Hops(a, b Endpoint) int
+	// Name identifies the topology in reports.
+	Name() string
+}
+
+// Crossbar is the single-hop-fabric model the paper's message counting
+// corresponds to: any two distinct endpoints are two links apart
+// (endpoint->switch->endpoint). This is the default topology and matches
+// the calibrated energy/latency of the reproduction.
+type Crossbar struct{}
+
+// Hops implements Topology.
+func (Crossbar) Hops(a, b Endpoint) int {
+	if a == b {
+		return 0
+	}
+	return 2
+}
+
+// Name implements Topology.
+func (Crossbar) Name() string { return "crossbar" }
+
+// Ring places the N nodes and the hub on a bidirectional ring:
+// node 0, node 1, ..., node N-1, hub, back to node 0.
+type Ring struct {
+	// Nodes is the node count (the ring has Nodes+1 stops).
+	Nodes int
+}
+
+// Hops implements Topology.
+func (r Ring) Hops(a, b Endpoint) int {
+	stops := r.Nodes + 1
+	pos := func(e Endpoint) int {
+		if e == Hub {
+			return r.Nodes
+		}
+		return int(e)
+	}
+	d := pos(a) - pos(b)
+	if d < 0 {
+		d = -d
+	}
+	if stops-d < d {
+		d = stops - d
+	}
+	return d
+}
+
+// Name implements Topology.
+func (r Ring) Name() string { return fmt.Sprintf("ring-%d", r.Nodes) }
+
+// Mesh arranges nodes in a W x H grid with XY routing; the hub hangs off
+// the grid's right edge at row 0 (a common memory-controller placement).
+type Mesh struct {
+	// W and H are the grid dimensions; W*H must cover the node count.
+	W, H int
+}
+
+// Hops implements Topology.
+func (m Mesh) Hops(a, b Endpoint) int {
+	ax, ay := m.coord(a)
+	bx, by := m.coord(b)
+	dx, dy := ax-bx, ay-by
+	if dx < 0 {
+		dx = -dx
+	}
+	if dy < 0 {
+		dy = -dy
+	}
+	return dx + dy
+}
+
+func (m Mesh) coord(e Endpoint) (int, int) {
+	if e == Hub {
+		return m.W, 0
+	}
+	return int(e) % m.W, int(e) / m.W
+}
+
+// Name implements Topology.
+func (m Mesh) Name() string { return fmt.Sprintf("mesh-%dx%d", m.W, m.H) }
+
+// Torus is the Mesh with wrap-around links in both dimensions, halving
+// worst-case distances; the hub keeps its off-grid attachment.
+type Torus struct {
+	// W and H are the grid dimensions; W*H must cover the node count.
+	W, H int
+}
+
+// Hops implements Topology.
+func (t Torus) Hops(a, b Endpoint) int {
+	m := Mesh{W: t.W, H: t.H}
+	// The hub hangs off the grid (no wrap links reach it): route to its
+	// attachment column like the mesh does.
+	if a == Hub || b == Hub {
+		return m.Hops(a, b)
+	}
+	ax, ay := m.coord(a)
+	bx, by := m.coord(b)
+	dx := wrapDist(ax, bx, t.W)
+	dy := wrapDist(ay, by, t.H)
+	return dx + dy
+}
+
+func wrapDist(a, b, n int) int {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	if n-d < d {
+		d = n - d
+	}
+	return d
+}
+
+// Name implements Topology.
+func (t Torus) Name() string { return fmt.Sprintf("torus-%dx%d", t.W, t.H) }
+
+// Link-level constants: a message pays routerCycles once plus
+// cyclesPerHop per link, so a crossbar traversal (2 hops) costs the
+// TraversalCycles the calibrated model was built with.
+const (
+	routerCycles = TraversalCycles - 2*cyclesPerHop
+	cyclesPerHop = 4
+)
+
+// SendEP accounts one message between two endpoints under the fabric's
+// topology and returns its latency. Messages between co-located
+// endpoints (hops == 0) cost nothing and are not counted.
+func (f *Fabric) SendEP(from, to Endpoint, class Class, cat Category) uint64 {
+	hops := f.hopsBetween(from, to)
+	if hops == 0 {
+		return 0
+	}
+	f.msgs++
+	if cat == D2MOnly {
+		f.d2mMsgs++
+	}
+	f.bytes += class.Bytes()
+	if class == Data {
+		f.dataBytes += class.Bytes()
+	}
+	f.hops += uint64(hops)
+	if f.meter != nil {
+		f.meter.Do(energyOpFlit, class.Flits()*uint64(hops))
+	}
+	return uint64(routerCycles + hops*cyclesPerHop)
+}
+
+// hopsBetween resolves DirEP (one link off the hub) and delegates to the
+// topology.
+func (f *Fabric) hopsBetween(a, b Endpoint) int {
+	if a == b {
+		return 0
+	}
+	extra := 0
+	if a == DirEP {
+		a = Hub
+		extra++
+	}
+	if b == DirEP {
+		b = Hub
+		extra++
+	}
+	return f.topo.Hops(a, b) + extra
+}
+
+// Hops returns the total link crossings accounted so far (the
+// hop-weighted traffic the paper alludes to with "fewer network hops").
+func (f *Fabric) Hops() uint64 { return f.hops }
+
+// Topology returns the fabric's topology.
+func (f *Fabric) Topology() Topology { return f.topo }

@@ -1,0 +1,154 @@
+// Package report renders the reproduction's tables and figures as text:
+// aligned tables for the paper's Tables IV/V and horizontal bar charts
+// for Figures 5-7.
+package report
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a simple aligned text table.
+type Table struct {
+	Title   string
+	Headers []string
+	rows    [][]string
+}
+
+// NewTable returns a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends a row; cells beyond the header count are dropped,
+// missing cells are blank.
+func (t *Table) AddRow(cells ...string) {
+	row := make([]string, len(t.Headers))
+	for i := range row {
+		if i < len(cells) {
+			row[i] = cells[i]
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// AddRowf appends a row of formatted values: strings pass through,
+// float64 render with 2 decimals, integers as-is.
+func (t *Table) AddRowf(cells ...interface{}) {
+	row := make([]string, 0, len(cells))
+	for _, c := range cells {
+		switch v := c.(type) {
+		case string:
+			row = append(row, v)
+		case float64:
+			row = append(row, fmt.Sprintf("%.2f", v))
+		case int:
+			row = append(row, fmt.Sprintf("%d", v))
+		case uint64:
+			row = append(row, fmt.Sprintf("%d", v))
+		default:
+			row = append(row, fmt.Sprint(v))
+		}
+	}
+	t.AddRow(row...)
+}
+
+// Render returns the formatted table.
+func (t *Table) Render() string {
+	width := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		width[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if len(c) > width[i] {
+				width[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			// Left-align the first column, right-align the rest.
+			if i == 0 {
+				fmt.Fprintf(&b, "%-*s", width[i], c)
+			} else {
+				fmt.Fprintf(&b, "%*s", width[i], c)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Headers)
+	total := 0
+	for _, w := range width {
+		total += w + 2
+	}
+	b.WriteString(strings.Repeat("-", total-2))
+	b.WriteByte('\n')
+	for _, row := range t.rows {
+		line(row)
+	}
+	return b.String()
+}
+
+// Bars renders a horizontal bar chart: one labeled bar per entry,
+// scaled so the longest bar is width characters.
+type Bars struct {
+	Title string
+	Unit  string
+	width int
+	rows  []barRow
+}
+
+type barRow struct {
+	label string
+	value float64
+}
+
+// NewBars returns a chart with the given title and unit label.
+func NewBars(title, unit string) *Bars {
+	return &Bars{Title: title, Unit: unit, width: 50}
+}
+
+// Add appends one bar.
+func (c *Bars) Add(label string, value float64) {
+	c.rows = append(c.rows, barRow{label, value})
+}
+
+// Render returns the chart.
+func (c *Bars) Render() string {
+	var b strings.Builder
+	if c.Title != "" {
+		fmt.Fprintf(&b, "%s", c.Title)
+		if c.Unit != "" {
+			fmt.Fprintf(&b, " (%s)", c.Unit)
+		}
+		b.WriteByte('\n')
+	}
+	maxVal, maxLabel := 0.0, 0
+	for _, r := range c.rows {
+		if r.value > maxVal {
+			maxVal = r.value
+		}
+		if len(r.label) > maxLabel {
+			maxLabel = len(r.label)
+		}
+	}
+	for _, r := range c.rows {
+		n := 0
+		if maxVal > 0 {
+			n = int(r.value / maxVal * float64(c.width))
+		}
+		if n < 0 {
+			n = 0
+		}
+		fmt.Fprintf(&b, "%-*s %8.2f |%s\n", maxLabel, r.label, r.value, strings.Repeat("#", n))
+	}
+	return b.String()
+}

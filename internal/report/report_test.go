@@ -1,0 +1,71 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tb := NewTable("Title", "name", "value")
+	tb.AddRow("alpha", "1")
+	tb.AddRowf("beta", 2.5)
+	tb.AddRowf("gamma", 7, "extra-cell-dropped")
+	out := tb.Render()
+	if !strings.HasPrefix(out, "Title\n") {
+		t.Errorf("missing title: %q", out)
+	}
+	for _, want := range []string{"alpha", "beta", "2.50", "gamma", "7"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "extra-cell-dropped") {
+		t.Error("extra cell not dropped")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 6 { // title, header, rule, 3 rows
+		t.Errorf("got %d lines:\n%s", len(lines), out)
+	}
+}
+
+func TestTableRowfTypes(t *testing.T) {
+	tb := NewTable("", "a", "b", "c", "d")
+	tb.AddRowf("s", 1.0, 42, uint64(7))
+	out := tb.Render()
+	for _, want := range []string{"s", "1.00", "42", "7"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in %q", want, out)
+		}
+	}
+}
+
+func TestBarsRender(t *testing.T) {
+	c := NewBars("Traffic", "msgs")
+	c.Add("base", 100)
+	c.Add("d2m", 30)
+	out := c.Render()
+	if !strings.Contains(out, "Traffic (msgs)") {
+		t.Errorf("missing title: %q", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("got %d lines", len(lines))
+	}
+	baseHashes := strings.Count(lines[1], "#")
+	d2mHashes := strings.Count(lines[2], "#")
+	if baseHashes != 50 {
+		t.Errorf("max bar = %d chars, want 50", baseHashes)
+	}
+	if d2mHashes != 15 {
+		t.Errorf("d2m bar = %d chars, want 15", d2mHashes)
+	}
+}
+
+func TestBarsZero(t *testing.T) {
+	c := NewBars("z", "")
+	c.Add("only", 0)
+	out := c.Render()
+	if strings.Count(out, "#") != 0 {
+		t.Error("zero value produced bar characters")
+	}
+}

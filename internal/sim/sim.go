@@ -1,0 +1,241 @@
+// Package sim drives a simulated hierarchy with workload streams and
+// derives the paper's timing metrics: per-node cycle counts under an
+// out-of-order overlap model, late hits via an MSHR-style in-flight
+// table, and the normalized speedups of Figure 7.
+package sim
+
+import (
+	"d2m/internal/baseline"
+	"d2m/internal/core"
+	"d2m/internal/mem"
+	"d2m/internal/trace"
+)
+
+// Machine is any simulated memory hierarchy.
+type Machine interface {
+	// Access performs one access, returning its critical-path latency
+	// and whether it hit in the L1.
+	Access(a mem.Access) (latency uint64, l1Hit bool)
+	// ResetMeasurement starts the measurement window: statistics reset,
+	// hierarchy state preserved.
+	ResetMeasurement()
+}
+
+type coreMachine struct{ s *core.System }
+
+func (m coreMachine) Access(a mem.Access) (uint64, bool) {
+	r := m.s.Access(a)
+	return r.Latency, r.L1Hit
+}
+func (m coreMachine) ResetMeasurement() { m.s.ResetMeasurement() }
+
+// WrapCore adapts a D2M system to the Machine interface.
+func WrapCore(s *core.System) Machine { return coreMachine{s} }
+
+type baseMachine struct{ s *baseline.System }
+
+func (m baseMachine) Access(a mem.Access) (uint64, bool) {
+	r := m.s.Access(a)
+	return r.Latency, r.L1Hit
+}
+func (m baseMachine) ResetMeasurement() { m.s.ResetMeasurement() }
+
+// WrapBaseline adapts a baseline system to the Machine interface.
+func WrapBaseline(s *baseline.System) Machine { return baseMachine{s} }
+
+// CPU overlap model (§V-D): the simulated core is "a fairly aggressive
+// OoO CPU", so "not all of this latency reduction will translate
+// directly into performance". Instruction-miss stalls are unhidden (the
+// frontend starves), load misses are partially hidden by the window, and
+// store misses drain through the store buffer.
+const (
+	// InstructionsPerFetch converts fetch-group accesses to retired
+	// instructions for the per-kilo-instruction metrics of Figure 5.
+	InstructionsPerFetch = 6
+	// baseCyclesPerAccess is the pipeline's cost of one access when the
+	// memory system never stalls it.
+	baseCyclesPerAccess = 1
+	ifetchBlocking      = 1.0
+	loadBlocking        = 0.35
+	storeBlocking       = 0.05
+	// lateHitBlocking applies to the residual wait of a hit under an
+	// outstanding miss.
+	lateHitBlocking = 0.30
+)
+
+// Report summarizes one measured run.
+type Report struct {
+	// Cycles is the machine time: the maximum per-node clock.
+	Cycles uint64
+	// NodeCycles are the individual per-node clocks.
+	NodeCycles []uint64
+	// Instructions is the retired-instruction estimate across all nodes.
+	Instructions uint64
+	// Accesses is the number of memory accesses in the window.
+	Accesses uint64
+	// LateHitsI and LateHitsD count L1 hits that waited on an
+	// outstanding miss (the "Late Hits" columns of Table IV).
+	LateHitsI, LateHitsD uint64
+	// FetchAccesses counts instruction-fetch accesses.
+	FetchAccesses uint64
+	// missLat is the L1-miss latency histogram: missLat[c] counts
+	// misses whose critical-path latency was c cycles (the last bucket
+	// absorbs the overflow).
+	missLat []uint64
+	misses  uint64
+}
+
+// missLatBuckets bounds the latency histogram; DRAM round trips land
+// well under this, so the overflow bucket stays empty in practice.
+const missLatBuckets = 2048
+
+// MissLatencyPercentile returns the latency (cycles) at or below which
+// the given fraction (0 < p <= 1) of L1 misses completed.
+func (r Report) MissLatencyPercentile(p float64) uint64 {
+	if r.misses == 0 || len(r.missLat) == 0 {
+		return 0
+	}
+	want := uint64(p * float64(r.misses))
+	if want == 0 {
+		want = 1
+	}
+	var cum uint64
+	for c, n := range r.missLat {
+		cum += n
+		if cum >= want {
+			return uint64(c)
+		}
+	}
+	return uint64(len(r.missLat) - 1)
+}
+
+// IPA returns instructions per cycle-ish throughput (instructions over
+// machine cycles), the basis of Figure 7's speedups.
+func (r Report) IPA() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(r.Instructions) / float64(r.Cycles)
+}
+
+// LateHitRatioI returns late hits per L1-I access.
+func (r Report) LateHitRatioI() float64 {
+	if r.FetchAccesses == 0 {
+		return 0
+	}
+	return float64(r.LateHitsI) / float64(r.FetchAccesses)
+}
+
+// LateHitRatioD returns late hits per L1-D access.
+func (r Report) LateHitRatioD() float64 {
+	d := r.Accesses - r.FetchAccesses
+	if d == 0 {
+		return 0
+	}
+	return float64(r.LateHitsD) / float64(d)
+}
+
+// Engine runs streams against a machine. Each node has two clocks: the
+// issue clock advances roughly one cycle per access (the OoO frontend
+// runs ahead), and determines whether a later access to an in-flight
+// line is a late hit; the retire clock additionally absorbs the
+// blocking fraction of each stall and is what Cycles reports.
+type Engine struct {
+	m      Machine
+	nodes  int
+	clock  []uint64                  // retire clocks
+	issue  []uint64                  // issue clocks
+	inFly  []map[mem.LineAddr]uint64 // per node: line -> issue-ready time
+	report Report
+}
+
+// NewEngine returns an engine for a machine with the given node count.
+func NewEngine(m Machine, nodes int) *Engine {
+	e := &Engine{m: m, nodes: nodes, clock: make([]uint64, nodes), issue: make([]uint64, nodes)}
+	e.inFly = make([]map[mem.LineAddr]uint64, nodes)
+	for i := range e.inFly {
+		e.inFly[i] = make(map[mem.LineAddr]uint64)
+	}
+	return e
+}
+
+// Run executes warmup accesses (untimed, hierarchy state updates), then
+// measures the next measure accesses and returns the report. The source
+// is any access stream — typically a trace.Interleaver over workload
+// generators, or a trace.Reader replaying a recorded run.
+func (e *Engine) Run(iv trace.Stream, warmup, measure int) Report {
+	for i := 0; i < warmup; i++ {
+		a := iv.Next()
+		e.m.Access(a)
+	}
+	e.m.ResetMeasurement()
+	for i := range e.clock {
+		e.clock[i] = 0
+		e.issue[i] = 0
+		e.inFly[i] = make(map[mem.LineAddr]uint64)
+	}
+	e.report = Report{NodeCycles: make([]uint64, e.nodes), missLat: make([]uint64, missLatBuckets)}
+
+	for i := 0; i < measure; i++ {
+		e.step(iv.Next())
+	}
+
+	for i, c := range e.clock {
+		e.report.NodeCycles[i] = c
+		if c > e.report.Cycles {
+			e.report.Cycles = c
+		}
+	}
+	e.report.Instructions = e.report.FetchAccesses * InstructionsPerFetch
+	return e.report
+}
+
+// step processes one access through the timing model.
+func (e *Engine) step(a mem.Access) {
+	n := a.Node
+	now := e.issue[n]
+	line := a.Addr.Line()
+	lat, hit := e.m.Access(a)
+
+	e.report.Accesses++
+	if a.Kind.IsInstr() {
+		e.report.FetchAccesses++
+	}
+
+	stall := 0.0
+	if hit {
+		if ready, ok := e.inFly[n][line]; ok {
+			if ready > now {
+				// Late hit: the line is still in flight (a secondary
+				// miss on the MSHR); part of the residual wait blocks.
+				wait := float64(ready - now)
+				stall = wait * lateHitBlocking
+				if a.Kind.IsInstr() {
+					e.report.LateHitsI++
+				} else {
+					e.report.LateHitsD++
+				}
+			} else {
+				delete(e.inFly[n], line)
+			}
+		}
+	} else {
+		e.inFly[n][line] = now + lat
+		b := lat
+		if b >= missLatBuckets {
+			b = missLatBuckets - 1
+		}
+		e.report.missLat[b]++
+		e.report.misses++
+		switch {
+		case a.Kind.IsInstr():
+			stall = float64(lat) * ifetchBlocking
+		case a.Kind.IsWrite():
+			stall = float64(lat) * storeBlocking
+		default:
+			stall = float64(lat) * loadBlocking
+		}
+	}
+	e.issue[n] = now + baseCyclesPerAccess
+	e.clock[n] += baseCyclesPerAccess + uint64(stall)
+}

@@ -1,0 +1,35 @@
+// Package timing centralizes the access latencies (in core clock cycles)
+// of every structure in the simulated memory system. Values are
+// representative of the paper's A57-class mobile processor at 22nm
+// (Table III); as with energy, only the relative magnitudes drive the
+// reproduced shapes.
+package timing
+
+// Structure access latencies in cycles.
+const (
+	// L1 is a first-level cache access (tag+data for the baselines with
+	// perfect way prediction, metadata+data-way for D2M).
+	L1 = 2
+	// L2 is a 256kB second-level cache access (tags then data).
+	L2 = 10
+	// LLCTag is a last-level cache tag search.
+	LLCTag = 8
+	// LLCData is a last-level data array access for one way.
+	LLCData = 14
+	// TLB is a first-level TLB lookup (overlapped with L1 in the
+	// baselines; charged on the miss path).
+	TLB = 1
+	// TLB2 is a second-level TLB lookup.
+	TLB2 = 6
+	// MD1 is an MD1 metadata lookup. It is pipelined with the L1 access
+	// just as the TLB it replaces, so it adds a single cycle.
+	MD1 = 1
+	// MD2 is an MD2 metadata lookup.
+	MD2 = 6
+	// MD3 is a shared-metadata (MD3) lookup, comparable to a directory.
+	MD3 = 16
+	// Dir is a baseline directory lookup.
+	Dir = 16
+	// DRAM is a memory access.
+	DRAM = 120
+)

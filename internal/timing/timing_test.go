@@ -1,0 +1,24 @@
+package timing
+
+import "testing"
+
+// TestLatencyOrdering pins the structural relationships the reproduction
+// depends on: each level is slower than the one above it, metadata
+// lookups are cheap relative to the data they locate, and DRAM dominates.
+func TestLatencyOrdering(t *testing.T) {
+	if !(L1 < L2 && L2 < LLCTag+LLCData && LLCData < DRAM) {
+		t.Error("cache level latencies not monotonically increasing")
+	}
+	if MD1 > TLB+1 {
+		t.Error("MD1 must cost no more than the TLB lookup it replaces (§II-A)")
+	}
+	if MD2 > LLCTag+LLCData {
+		t.Error("an MD2 lookup must be cheaper than an LLC access")
+	}
+	if MD3 != Dir {
+		t.Error("MD3 and the baseline directory should cost the same (fair comparison)")
+	}
+	if DRAM < 5*(LLCTag+LLCData) {
+		t.Error("DRAM must dominate on-chip latencies")
+	}
+}

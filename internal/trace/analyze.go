@@ -1,0 +1,249 @@
+package trace
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+	"strings"
+
+	"d2m/internal/mem"
+)
+
+// Analyzer computes workload characteristics from an access stream:
+// footprints, read/write/fetch mix, cross-node sharing degrees, spatial
+// locality, and an exact LRU reuse-distance histogram (the number of
+// distinct lines touched between consecutive uses of a line — the
+// quantity cache hit ratios are a function of). Feed it accesses with
+// Add and read the result with Finish.
+type Analyzer struct {
+	n        int
+	kinds    [3]uint64
+	perNode  map[int]uint64
+	seqLines uint64
+
+	lineNodes   map[mem.LineAddr]uint8 // bitmask of nodes that touched the line
+	lineWriters map[mem.LineAddr]uint8
+	regionNodes map[mem.RegionAddr]uint8
+	codeLines   map[mem.LineAddr]bool
+
+	lastLine map[int]mem.LineAddr // per node, for stride detection
+
+	// Exact LRU stack distances via the classic Fenwick-tree algorithm:
+	// lastPos records each line's previous access position; the tree
+	// counts, for any window, how many lines have their LAST access
+	// inside it — which is the number of distinct lines between two
+	// uses.
+	lastPos map[mem.LineAddr]int
+	fenwick []int
+	dist    [32]uint64 // log2 buckets; index 31 = cold (first touch)
+	cap     int
+}
+
+// NewAnalyzer returns an analyzer sized for up to capacity accesses
+// (further accesses are still counted, but reuse distances stop being
+// recorded past the capacity).
+func NewAnalyzer(capacity int) *Analyzer {
+	return &Analyzer{
+		perNode:     make(map[int]uint64),
+		lineNodes:   make(map[mem.LineAddr]uint8),
+		lineWriters: make(map[mem.LineAddr]uint8),
+		regionNodes: make(map[mem.RegionAddr]uint8),
+		codeLines:   make(map[mem.LineAddr]bool),
+		lastLine:    make(map[int]mem.LineAddr),
+		lastPos:     make(map[mem.LineAddr]int),
+		fenwick:     make([]int, capacity+2),
+		cap:         capacity,
+	}
+}
+
+func (z *Analyzer) fenwickAdd(i, v int) {
+	for i++; i < len(z.fenwick); i += i & (-i) {
+		z.fenwick[i] += v
+	}
+}
+
+func (z *Analyzer) fenwickSum(i int) int {
+	s := 0
+	for i++; i > 0; i -= i & (-i) {
+		s += z.fenwick[i]
+	}
+	return s
+}
+
+// Add feeds one access.
+func (z *Analyzer) Add(a mem.Access) {
+	line := a.Addr.Line()
+	z.kinds[a.Kind]++
+	z.perNode[a.Node]++
+
+	// Sharing masks track up to 8 nodes (the machine's maximum); larger
+	// node ids alias, which only over-reports sharing.
+	nbit := uint8(1) << uint(a.Node&7)
+	z.lineNodes[line] |= nbit
+	z.regionNodes[a.Addr.Region()] |= nbit
+	if a.Kind == mem.Store {
+		z.lineWriters[line] |= nbit
+	}
+	if a.Kind == mem.IFetch {
+		z.codeLines[line] = true
+	}
+	if last, ok := z.lastLine[a.Node]; ok && line == last+1 {
+		z.seqLines++
+	}
+	z.lastLine[a.Node] = line
+
+	// Reuse distance.
+	if z.n < z.cap {
+		if prev, ok := z.lastPos[line]; ok {
+			d := z.fenwickSum(z.n) - z.fenwickSum(prev)
+			b := bits.Len(uint(d))
+			if b > 30 {
+				b = 30
+			}
+			z.dist[b]++
+			z.fenwickAdd(prev, -1)
+		} else {
+			z.dist[31]++ // cold
+		}
+		z.fenwickAdd(z.n, 1)
+		z.lastPos[line] = z.n
+	}
+	z.n++
+}
+
+// Analysis is the finished characterization.
+type Analysis struct {
+	Accesses     uint64
+	IFetchFrac   float64
+	LoadFrac     float64
+	StoreFrac    float64
+	Nodes        int
+	NodeBalance  float64 // min/max accesses across nodes
+	Lines        uint64  // distinct 64B lines
+	Regions      uint64  // distinct 1kB regions
+	CodeLines    uint64
+	SharedLines  float64 // fraction of lines touched by >1 node
+	WSharedLines float64 // fraction of lines written by ≥1 and touched by >1 node
+	SharedRgns   float64 // fraction of regions touched by >1 node
+	SeqFrac      float64 // fraction of accesses to the line after the node's previous
+	// ReuseCDF[k] is the fraction of non-cold accesses with LRU stack
+	// distance < 2^k (so ReuseCDF[9] ≈ the hit ratio of a 512-line
+	// fully associative cache).
+	ReuseCDF [31]float64
+	ColdFrac float64
+}
+
+// Finish computes the analysis.
+func (z *Analyzer) Finish() Analysis {
+	an := Analysis{
+		Accesses:  uint64(z.n),
+		Nodes:     len(z.perNode),
+		Lines:     uint64(len(z.lineNodes)),
+		Regions:   uint64(len(z.regionNodes)),
+		CodeLines: uint64(len(z.codeLines)),
+	}
+	if z.n == 0 {
+		return an
+	}
+	tot := float64(z.n)
+	an.IFetchFrac = float64(z.kinds[mem.IFetch]) / tot
+	an.LoadFrac = float64(z.kinds[mem.Load]) / tot
+	an.StoreFrac = float64(z.kinds[mem.Store]) / tot
+	an.SeqFrac = float64(z.seqLines) / tot
+
+	var mn, mx uint64
+	for _, c := range z.perNode {
+		if mn == 0 || c < mn {
+			mn = c
+		}
+		if c > mx {
+			mx = c
+		}
+	}
+	if mx > 0 {
+		an.NodeBalance = float64(mn) / float64(mx)
+	}
+
+	var shared, wshared uint64
+	for line, nodes := range z.lineNodes {
+		if bits.OnesCount8(nodes) > 1 {
+			shared++
+			if z.lineWriters[line] != 0 {
+				wshared++
+			}
+		}
+	}
+	an.SharedLines = float64(shared) / float64(len(z.lineNodes))
+	an.WSharedLines = float64(wshared) / float64(len(z.lineNodes))
+	var sharedR uint64
+	for _, nodes := range z.regionNodes {
+		if bits.OnesCount8(nodes) > 1 {
+			sharedR++
+		}
+	}
+	an.SharedRgns = float64(sharedR) / float64(len(z.regionNodes))
+
+	var warm uint64
+	for b := 0; b <= 30; b++ {
+		warm += z.dist[b]
+	}
+	recorded := warm + z.dist[31]
+	if recorded > 0 {
+		an.ColdFrac = float64(z.dist[31]) / float64(recorded)
+	}
+	if warm > 0 {
+		cum := uint64(0)
+		for b := 0; b <= 30; b++ {
+			cum += z.dist[b]
+			an.ReuseCDF[b] = float64(cum) / float64(warm)
+		}
+	}
+	return an
+}
+
+// Render formats the analysis as a human-readable report.
+func (an Analysis) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "accesses        %d (%.1f%% ifetch, %.1f%% load, %.1f%% store)\n",
+		an.Accesses, an.IFetchFrac*100, an.LoadFrac*100, an.StoreFrac*100)
+	fmt.Fprintf(&b, "nodes           %d (balance min/max = %.2f)\n", an.Nodes, an.NodeBalance)
+	fmt.Fprintf(&b, "footprint       %d lines (%.1f kB), %d regions, %d code lines\n",
+		an.Lines, float64(an.Lines)/16, an.Regions, an.CodeLines)
+	fmt.Fprintf(&b, "sharing         %.1f%% of lines, %.1f%% write-shared; %.1f%% of regions\n",
+		an.SharedLines*100, an.WSharedLines*100, an.SharedRgns*100)
+	fmt.Fprintf(&b, "spatial         %.1f%% of accesses sequential (next line)\n", an.SeqFrac*100)
+	fmt.Fprintf(&b, "cold accesses   %.1f%%\n", an.ColdFrac*100)
+	b.WriteString("reuse distance  (fraction of reuses within N distinct lines)\n")
+	for _, k := range []int{6, 9, 12, 15, 18} {
+		fmt.Fprintf(&b, "    < %-8d %5.1f%%\n", 1<<k, an.ReuseCDF[k]*100)
+	}
+	return b.String()
+}
+
+// AnalyzeStream pulls n accesses from a stream and characterizes them.
+func AnalyzeStream(s Stream, n int) Analysis {
+	z := NewAnalyzer(n)
+	for i := 0; i < n; i++ {
+		z.Add(s.Next())
+	}
+	return z.Finish()
+}
+
+// AnalyzeReader characterizes an entire recorded trace.
+func AnalyzeReader(r *Reader) Analysis {
+	z := NewAnalyzer(r.Len())
+	for i := 0; i < r.Len(); i++ {
+		z.Add(r.records[i])
+	}
+	return z.Finish()
+}
+
+// sortedNodes is used by tests to inspect per-node counts.
+func (z *Analyzer) sortedNodes() []int {
+	var out []int
+	for n := range z.perNode {
+		out = append(out, n)
+	}
+	sort.Ints(out)
+	return out
+}

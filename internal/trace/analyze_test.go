@@ -1,0 +1,184 @@
+package trace
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"d2m/internal/mem"
+)
+
+func TestAnalyzerMixAndFootprint(t *testing.T) {
+	z := NewAnalyzer(100)
+	// 2 nodes, node 0: 4 loads over 2 lines; node 1: 2 stores + 2
+	// ifetches over 2 other lines.
+	l := func(n int, line mem.LineAddr, k mem.Kind) {
+		z.Add(mem.Access{Node: n, Addr: line.Addr(), Kind: k})
+	}
+	l(0, 100, mem.Load)
+	l(0, 101, mem.Load)
+	l(0, 100, mem.Load)
+	l(0, 101, mem.Load)
+	l(1, 200, mem.Store)
+	l(1, 200, mem.Store)
+	l(1, 300, mem.IFetch)
+	l(1, 300, mem.IFetch)
+	an := z.Finish()
+	if an.Accesses != 8 || an.Nodes != 2 || an.Lines != 4 {
+		t.Fatalf("accesses/nodes/lines = %d/%d/%d", an.Accesses, an.Nodes, an.Lines)
+	}
+	if an.LoadFrac != 0.5 || an.StoreFrac != 0.25 || an.IFetchFrac != 0.25 {
+		t.Fatalf("mix = %v/%v/%v", an.LoadFrac, an.StoreFrac, an.IFetchFrac)
+	}
+	if an.CodeLines != 1 {
+		t.Fatalf("code lines = %d, want 1", an.CodeLines)
+	}
+	if an.SharedLines != 0 {
+		t.Fatalf("no line is shared, got %v", an.SharedLines)
+	}
+	if an.NodeBalance != 1.0 {
+		t.Fatalf("balance = %v, want 1 (4 accesses each)", an.NodeBalance)
+	}
+	if got := z.sortedNodes(); len(got) != 2 || got[0] != 0 || got[1] != 1 {
+		t.Fatalf("nodes = %v", got)
+	}
+}
+
+func TestAnalyzerSharingDegrees(t *testing.T) {
+	z := NewAnalyzer(100)
+	// Line 10: read by nodes 0 and 1 (read-shared). Line 11: written by
+	// node 0, read by node 1 (write-shared). Line 12: private to 2.
+	z.Add(mem.Access{Node: 0, Addr: mem.LineAddr(10).Addr(), Kind: mem.Load})
+	z.Add(mem.Access{Node: 1, Addr: mem.LineAddr(10).Addr(), Kind: mem.Load})
+	z.Add(mem.Access{Node: 0, Addr: mem.LineAddr(11).Addr(), Kind: mem.Store})
+	z.Add(mem.Access{Node: 1, Addr: mem.LineAddr(11).Addr(), Kind: mem.Load})
+	z.Add(mem.Access{Node: 2, Addr: mem.LineAddr(12).Addr(), Kind: mem.Load})
+	an := z.Finish()
+	if math.Abs(an.SharedLines-2.0/3) > 1e-9 {
+		t.Errorf("SharedLines = %v, want 2/3", an.SharedLines)
+	}
+	if math.Abs(an.WSharedLines-1.0/3) > 1e-9 {
+		t.Errorf("WSharedLines = %v, want 1/3", an.WSharedLines)
+	}
+}
+
+// The reuse-distance histogram must be exact: a cyclic walk over K
+// lines has every reuse at stack distance exactly K-1.
+func TestAnalyzerReuseDistanceExact(t *testing.T) {
+	const K = 100
+	z := NewAnalyzer(10 * K)
+	for i := 0; i < 10*K; i++ {
+		z.Add(mem.Access{Node: 0, Addr: mem.LineAddr(i % K).Addr(), Kind: mem.Load})
+	}
+	an := z.Finish()
+	// K-1 = 99: bits.Len(99) = 7, so CDF[6] (d < 64) must be 0 and
+	// CDF[7] (d < 128) must be 1.
+	if an.ReuseCDF[6] != 0 {
+		t.Errorf("CDF[6] = %v, want 0 (all distances are 99)", an.ReuseCDF[6])
+	}
+	if an.ReuseCDF[7] != 1 {
+		t.Errorf("CDF[7] = %v, want 1", an.ReuseCDF[7])
+	}
+	if math.Abs(an.ColdFrac-float64(K)/float64(10*K)) > 1e-9 {
+		t.Errorf("ColdFrac = %v, want 0.1", an.ColdFrac)
+	}
+}
+
+// An immediate re-access has stack distance zero; a two-line ping-pong
+// has distance one.
+func TestAnalyzerReuseDistanceSmall(t *testing.T) {
+	z := NewAnalyzer(10)
+	for _, line := range []mem.LineAddr{5, 5, 5, 6, 5, 6} {
+		z.Add(mem.Access{Node: 0, Addr: line.Addr(), Kind: mem.Load})
+	}
+	an := z.Finish()
+	// Reuses: 5→5 (d=0), 5→5 (d=0), 5 after 6 (d=1), 6 after 5 (d=1).
+	if an.ReuseCDF[0] != 0.5 {
+		t.Errorf("CDF[0] = %v, want 0.5 (two zero-distance reuses of four)", an.ReuseCDF[0])
+	}
+	if an.ReuseCDF[1] != 1 {
+		t.Errorf("CDF[1] = %v, want 1", an.ReuseCDF[1])
+	}
+}
+
+func TestAnalyzerSequentialFraction(t *testing.T) {
+	z := NewAnalyzer(100)
+	for i := 0; i < 64; i++ {
+		z.Add(mem.Access{Node: 0, Addr: mem.LineAddr(1000 + i).Addr(), Kind: mem.Load})
+	}
+	an := z.Finish()
+	if an.SeqFrac < 0.95 {
+		t.Errorf("SeqFrac = %v for a pure stream", an.SeqFrac)
+	}
+}
+
+func TestAnalyzeStreamAndReaderAgree(t *testing.T) {
+	gen := func() Stream {
+		i := 0
+		return StreamFunc(func() mem.Access {
+			i++
+			return mem.Access{Node: i % 3, Addr: mem.LineAddr(i % 37).Addr(), Kind: mem.Kind(i % 3)}
+		})
+	}
+	const n = 500
+	fromStream := AnalyzeStream(gen(), n)
+
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := gen()
+	for i := 0; i < n; i++ {
+		if err := w.Append(s.Next()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromReader := AnalyzeReader(r)
+	if fromStream != fromReader {
+		t.Fatalf("stream and reader analyses differ:\n%+v\n%+v", fromStream, fromReader)
+	}
+}
+
+func TestAnalysisRender(t *testing.T) {
+	z := NewAnalyzer(10)
+	z.Add(mem.Access{Node: 0, Addr: mem.LineAddr(1).Addr(), Kind: mem.Load})
+	z.Add(mem.Access{Node: 1, Addr: mem.LineAddr(1).Addr(), Kind: mem.Store})
+	out := z.Finish().Render()
+	for _, want := range []string{"accesses", "footprint", "sharing", "reuse distance"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Render missing %q", want)
+		}
+	}
+}
+
+func TestAnalyzerEmpty(t *testing.T) {
+	an := NewAnalyzer(0).Finish()
+	if an.Accesses != 0 || an.Nodes != 0 {
+		t.Fatalf("empty analysis non-zero: %+v", an)
+	}
+	_ = an.Render() // must not panic
+}
+
+// Past the recorded capacity, counting continues but distances stop.
+func TestAnalyzerCapacity(t *testing.T) {
+	z := NewAnalyzer(5)
+	for i := 0; i < 20; i++ {
+		z.Add(mem.Access{Node: 0, Addr: mem.LineAddr(i % 2).Addr(), Kind: mem.Load})
+	}
+	an := z.Finish()
+	if an.Accesses != 20 {
+		t.Fatalf("accesses = %d, want 20", an.Accesses)
+	}
+	if an.Lines != 2 {
+		t.Fatalf("lines = %d, want 2", an.Lines)
+	}
+}

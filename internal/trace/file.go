@@ -1,0 +1,145 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"d2m/internal/mem"
+)
+
+// Binary trace format: a 8-byte header ("D2MTRC" + 2-byte version),
+// followed by fixed 10-byte records: node (uint8), kind (uint8), address
+// (uint64 little-endian). The format is deliberately trivial so traces
+// can be produced or consumed by other tools.
+var traceMagic = [8]byte{'D', '2', 'M', 'T', 'R', 'C', 0, 1}
+
+const recordBytes = 10
+
+// Writer streams accesses to an io.Writer in the binary trace format.
+type Writer struct {
+	w   *bufio.Writer
+	n   uint64
+	err error
+}
+
+// NewWriter writes the header and returns a trace writer.
+func NewWriter(w io.Writer) (*Writer, error) {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(traceMagic[:]); err != nil {
+		return nil, fmt.Errorf("trace: writing header: %w", err)
+	}
+	return &Writer{w: bw}, nil
+}
+
+// Append writes one access record.
+func (tw *Writer) Append(a mem.Access) error {
+	if tw.err != nil {
+		return tw.err
+	}
+	var rec [recordBytes]byte
+	rec[0] = byte(a.Node)
+	rec[1] = byte(a.Kind)
+	binary.LittleEndian.PutUint64(rec[2:], uint64(a.Addr))
+	if _, err := tw.w.Write(rec[:]); err != nil {
+		tw.err = fmt.Errorf("trace: writing record: %w", err)
+		return tw.err
+	}
+	tw.n++
+	return nil
+}
+
+// Count returns the number of records written.
+func (tw *Writer) Count() uint64 { return tw.n }
+
+// Flush flushes buffered records.
+func (tw *Writer) Flush() error {
+	if tw.err != nil {
+		return tw.err
+	}
+	return tw.w.Flush()
+}
+
+// Tee wraps a stream so that every produced access is also recorded.
+func Tee(s Stream, tw *Writer) Stream {
+	return StreamFunc(func() mem.Access {
+		a := s.Next()
+		// A write error is remembered by the writer; recording must not
+		// perturb the simulation.
+		_ = tw.Append(a)
+		return a
+	})
+}
+
+// Reader replays a recorded trace.
+type Reader struct {
+	records []mem.Access
+	pos     int
+	// Loop makes Next wrap around at the end instead of panicking,
+	// allowing warmup+measure windows longer than the trace.
+	Loop bool
+}
+
+// ReadTrace loads an entire trace into memory.
+func ReadTrace(r io.Reader) (*Reader, error) {
+	br := bufio.NewReader(r)
+	var hdr [8]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("trace: reading header: %w", err)
+	}
+	if hdr != traceMagic {
+		return nil, fmt.Errorf("trace: bad magic %q", hdr[:])
+	}
+	out := &Reader{}
+	var rec [recordBytes]byte
+	for {
+		_, err := io.ReadFull(br, rec[:])
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("trace: reading record %d: %w", len(out.records), err)
+		}
+		kind := mem.Kind(rec[1])
+		if kind > mem.Store {
+			return nil, fmt.Errorf("trace: record %d has invalid kind %d", len(out.records), rec[1])
+		}
+		out.records = append(out.records, mem.Access{
+			Node: int(rec[0]),
+			Kind: kind,
+			Addr: mem.Addr(binary.LittleEndian.Uint64(rec[2:])),
+		})
+	}
+	if len(out.records) == 0 {
+		return nil, fmt.Errorf("trace: empty trace")
+	}
+	return out, nil
+}
+
+// Len returns the number of records.
+func (r *Reader) Len() int { return len(r.records) }
+
+// Next returns the next recorded access, wrapping if Loop is set.
+func (r *Reader) Next() mem.Access {
+	if r.pos >= len(r.records) {
+		if !r.Loop {
+			panic("trace: replay ran past the end of the trace (set Loop to wrap)")
+		}
+		r.pos = 0
+	}
+	a := r.records[r.pos]
+	r.pos++
+	return a
+}
+
+// MaxNode returns the largest node id appearing in the trace.
+func (r *Reader) MaxNode() int {
+	max := 0
+	for _, a := range r.records {
+		if a.Node > max {
+			max = a.Node
+		}
+	}
+	return max
+}

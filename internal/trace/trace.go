@@ -1,0 +1,45 @@
+// Package trace defines the access-stream abstractions connecting
+// workload generators to the simulation engine: per-node streams and the
+// round-robin interleaver that merges them into a single system-level
+// stream, modeling cores progressing at the same rate.
+package trace
+
+import "d2m/internal/mem"
+
+// Stream produces one node's infinite access stream.
+type Stream interface {
+	// Next returns the stream's next access.
+	Next() mem.Access
+}
+
+// StreamFunc adapts a function to the Stream interface.
+type StreamFunc func() mem.Access
+
+// Next calls the function.
+func (f StreamFunc) Next() mem.Access { return f() }
+
+// Interleaver merges per-node streams round-robin, one access per node
+// per turn.
+type Interleaver struct {
+	streams []Stream
+	next    int
+}
+
+// NewInterleaver returns an interleaver over the given streams. It
+// panics on an empty slice.
+func NewInterleaver(streams []Stream) *Interleaver {
+	if len(streams) == 0 {
+		panic("trace: no streams")
+	}
+	return &Interleaver{streams: streams}
+}
+
+// Next returns the next access in round-robin order.
+func (iv *Interleaver) Next() mem.Access {
+	a := iv.streams[iv.next].Next()
+	iv.next = (iv.next + 1) % len(iv.streams)
+	return a
+}
+
+// Nodes returns the number of merged streams.
+func (iv *Interleaver) Nodes() int { return len(iv.streams) }

@@ -1,0 +1,54 @@
+package trace
+
+import (
+	"testing"
+
+	"d2m/internal/mem"
+)
+
+func TestStreamFunc(t *testing.T) {
+	n := 0
+	s := StreamFunc(func() mem.Access {
+		n++
+		return mem.Access{Node: 2, Addr: mem.Addr(n * 64), Kind: mem.Load}
+	})
+	a := s.Next()
+	b := s.Next()
+	if a.Node != 2 || a.Addr != 64 || b.Addr != 128 {
+		t.Errorf("StreamFunc produced %v then %v", a, b)
+	}
+}
+
+func TestInterleaverRoundRobin(t *testing.T) {
+	mk := func(node int) Stream {
+		i := 0
+		return StreamFunc(func() mem.Access {
+			i++
+			return mem.Access{Node: node, Addr: mem.Addr(i * 64)}
+		})
+	}
+	iv := NewInterleaver([]Stream{mk(0), mk(1), mk(2)})
+	if iv.Nodes() != 3 {
+		t.Fatalf("Nodes() = %d", iv.Nodes())
+	}
+	for i := 0; i < 30; i++ {
+		a := iv.Next()
+		if a.Node != i%3 {
+			t.Fatalf("access %d from node %d", i, a.Node)
+		}
+		// Each stream advances independently: the i-th turn of a node is
+		// its (i/3+1)-th access.
+		if a.Addr != mem.Addr((i/3+1)*64) {
+			t.Fatalf("access %d addr %#x", i, uint64(a.Addr))
+		}
+	}
+}
+
+func TestInterleaverEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic for empty stream list")
+		}
+	}()
+	NewInterleaver(nil)
+}

@@ -1,0 +1,396 @@
+// Package workloads provides the synthetic statistical workload
+// generators standing in for the paper's benchmark suites (§V-A):
+// Parallel (Parsec), HPC (Splash2x), Mobile (Chrome/Telemetry), Server
+// (SPEC CPU2006 mixes) and Database (TPC-C on MySQL/InnoDB).
+//
+// Each benchmark is a Spec: a set of statistical parameters calibrated
+// so the generated streams reproduce the published workload
+// characteristics that drive the paper's results — the L1 miss and
+// late-hit ratios of Table IV, the private-region miss fraction of
+// Table V, and the instruction-footprint pressure of the Mobile and
+// Database suites.
+//
+// The data-side model is three-tier: a hot set that fits the L1, a warm
+// set that fits the LLC, and a cold tail that reaches memory; shared
+// data has its own hot/cold split. Line-level reuse bursts (RepeatFrac)
+// produce the late hits of Table IV; the instruction side fetches
+// cachelines sequentially within basic-block runs and jumps mostly into
+// the hot loop body, with re-jumps modeling call/return reuse.
+package workloads
+
+import (
+	"d2m/internal/mem"
+	"d2m/internal/trace"
+)
+
+// Address-space layout shared by all generated programs. Code, private
+// data, shared data and the migratory pool live in disjoint windows so
+// region classification is driven by behaviour, not aliasing.
+const (
+	privateBase   = 0x0000_4000
+	privateSpan   = 0x1000_0000 // 256MB per node
+	codeBase      = 0x1_0000_0000
+	codeNodeSpan  = 0x0100_0000 // per-node window for unshared binaries
+	sharedBase    = 0x2_0000_0000
+	migratoryBase = 0x3_0000_0000
+	streamBase    = 0x4_0000_0000
+	streamSpan    = 0x0400_0000
+)
+
+// Spec parameterizes one synthetic benchmark.
+type Spec struct {
+	Name  string
+	Suite string
+	Seed  uint64
+
+	// --- Instruction stream ---
+	// Fetches walk cachelines sequentially within a basic-block run; a
+	// run ends with a jump into the hot loop body (HotJumpFrac), back
+	// to a recent target (RejumpFrac — call/return reuse, the source of
+	// instruction late hits), or to a random line of the full binary.
+	CodeBytes    int
+	HotCodeBytes int
+	HotJumpFrac  float64
+	RejumpFrac   float64
+	JumpProb     float64
+	SharedCode   bool
+
+	// --- Data stream ---
+	// Each fetch is followed by a data access with probability DataFrac.
+	DataFrac  float64
+	WriteFrac float64
+
+	// RepeatFrac: probability the next data access reuses the previous
+	// data line (spatial/temporal bursts; the source of data late hits).
+	RepeatFrac float64
+
+	// Private data tiers: hot (fits the L1), warm (fits the LLC), cold
+	// (the full working set, reaching memory).
+	HotDataBytes int
+	HotDataFrac  float64
+	WarmBytes    int
+	WarmFrac     float64 // of the non-hot private accesses
+	// WarmStrideLines spaces consecutive warm lines apart (default 1 =
+	// contiguous). A large power of two recreates the conflict-miss
+	// pathology of power-of-two leading dimensions (LU, §IV-D): the
+	// whole reused pool aliases onto a handful of cache sets unless the
+	// indexing is scrambled.
+	WarmStrideLines int
+	PrivateWS       int
+
+	// Shared data: hot subset plus a cold pool.
+	SharedFrac      float64 // of all data accesses
+	SharedHotBytes  int
+	SharedHotFrac   float64 // of shared accesses
+	SharedWS        int
+	SharedWriteFrac float64
+
+	// Streaming: sequential walks, StreamReuse accesses per line, with
+	// a line stride (power-of-two strides recreate §IV-D's conflict
+	// pathology).
+	StreamFrac  float64
+	StreamBytes int
+	StrideLines int
+	StreamReuse int
+
+	// Migratory lines: read-modify-written by different nodes in turn.
+	MigratoryLines int
+	MigratoryFrac  float64
+}
+
+// stream generates one node's accesses for a Spec.
+type stream struct {
+	spec *Spec
+	node int
+	rng  *mem.RNG
+
+	pc        mem.LineAddr
+	runLeft   int
+	targets   [2]mem.LineAddr // recent jump targets for re-jumps
+	lastData  mem.Access
+	lastWProb float64 // write probability of the last data line's pool
+	hasLast   bool
+
+	streamPtr  mem.LineAddr
+	streamUses int
+
+	// Region cursors give the cold pools the spatial locality real
+	// programs have: several nearby lines are touched before moving to
+	// another region. This is the property the paper's region-grained
+	// metadata (and any TLB) relies on.
+	coldCur, shColdCur regionCursor
+
+	// The warm pool is a cyclic line walk (a loop over a medium-sized
+	// structure): its reuse distance equals the pool size, which is
+	// chosen between the L1 and L2 capacities — every revisit misses
+	// the L1 and hits the next level (L2, NS slice, or LLC).
+	warmPtr  mem.LineAddr
+	warmUses int
+
+	pending *mem.Access
+}
+
+// regionCursor walks a pool region-by-region: it stays within the
+// current 1KB region for a geometrically distributed number of draws,
+// and half of its region switches revisit one of the 64 most recently
+// used regions. The 64kB revisit window sits between the L1 and L2
+// capacities, producing the L2-scale temporal locality (loops over
+// medium-sized structures) behind the paper's Base-3L L2 hit ratios.
+type regionCursor struct {
+	region  mem.RegionAddr
+	valid   bool
+	history [64]mem.RegionAddr
+	hist    int
+	histPos int
+}
+
+// regionSwitchProb makes a cursor touch ~16 draws per region visit.
+const regionSwitchProb = 1.0 / 16
+
+// regionRevisitProb is the chance a region switch returns to a recently
+// visited region instead of a fresh one.
+const regionRevisitProb = 0.5
+
+func (c *regionCursor) pick(r *mem.RNG, base mem.Addr, bytes int) mem.Addr {
+	if !c.valid || r.Bool(regionSwitchProb) {
+		regions := bytes / mem.RegionBytes
+		if regions < 1 {
+			// Pools smaller than a region degrade to line picks.
+			span := bytes / mem.LineBytes
+			if span < 1 {
+				span = 1
+			}
+			return base + mem.Addr(r.Intn(span))*mem.LineBytes
+		}
+		if c.hist > 0 && r.Bool(regionRevisitProb) {
+			c.region = c.history[r.Intn(c.hist)]
+		} else {
+			c.region = (base + mem.Addr(r.Intn(regions))*mem.RegionBytes).Region()
+			c.history[c.histPos] = c.region
+			c.histPos = (c.histPos + 1) % len(c.history)
+			if c.hist < len(c.history) {
+				c.hist++
+			}
+		}
+		c.valid = true
+	}
+	return c.region.Line(r.Intn(mem.LinesPerRegion)).Addr()
+}
+
+// Streams builds the per-node streams for a machine with the given node
+// count.
+func (sp *Spec) Streams(nodes int) []trace.Stream {
+	base := mem.NewRNG(sp.Seed ^ hashName(sp.Name))
+	out := make([]trace.Stream, nodes)
+	for i := 0; i < nodes; i++ {
+		st := &stream{
+			spec: sp,
+			node: i,
+			rng:  base.Fork(uint64(i) + 1),
+		}
+		st.pc = st.jumpTarget(true)
+		st.targets = [2]mem.LineAddr{st.pc, st.pc}
+		st.streamPtr = st.streamStart()
+		out[i] = st
+	}
+	return out
+}
+
+func hashName(name string) uint64 {
+	h := uint64(1469598103934665603)
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+func (st *stream) codeWindow() mem.Addr {
+	if st.spec.SharedCode {
+		return codeBase
+	}
+	return codeBase + mem.Addr(st.node)*codeNodeSpan
+}
+
+// jumpTarget picks the next jump destination.
+func (st *stream) jumpTarget(forceHot bool) mem.LineAddr {
+	sp := st.spec
+	if !forceHot && st.rng.Bool(sp.RejumpFrac) {
+		return st.targets[st.rng.Intn(2)]
+	}
+	span := sp.CodeBytes
+	if forceHot || st.rng.Bool(sp.HotJumpFrac) {
+		span = sp.HotCodeBytes
+	}
+	if span < mem.LineBytes {
+		span = mem.LineBytes
+	}
+	return (st.codeWindow() + mem.Addr(st.rng.Intn(span/mem.LineBytes)*mem.LineBytes)).Line()
+}
+
+func (st *stream) streamStart() mem.LineAddr {
+	return (mem.Addr(streamBase) + mem.Addr(st.node)*streamSpan).Line()
+}
+
+// Next emits the node's next access.
+func (st *stream) Next() mem.Access {
+	if st.pending != nil {
+		a := *st.pending
+		st.pending = nil
+		return a
+	}
+	sp := st.spec
+	if st.runLeft <= 0 || st.rng.Bool(sp.JumpProb) {
+		t := st.jumpTarget(false)
+		st.targets[st.rng.Intn(2)] = t
+		st.pc = t
+		st.runLeft = 2 + st.rng.Intn(11)
+	}
+	fetch := mem.Access{Node: st.node, Addr: st.pc.Addr(), Kind: mem.IFetch}
+	st.pc++
+	st.runLeft--
+
+	if st.rng.Bool(sp.DataFrac) {
+		d := st.dataAccess()
+		st.pending = &d
+	}
+	return fetch
+}
+
+// dataAccess draws one data reference from the Spec's mixture.
+func (st *stream) dataAccess() mem.Access {
+	sp := st.spec
+	r := st.rng
+
+	if st.hasLast && r.Bool(sp.RepeatFrac) {
+		// Reuse burst on the previous data line, drawing the write
+		// probability of the pool the line belongs to (a read-only
+		// pool must not see stores on repeats).
+		a := st.lastData
+		if r.Bool(st.lastWProb) {
+			a.Kind = mem.Store
+		} else {
+			a.Kind = mem.Load
+		}
+		return a
+	}
+
+	a := st.freshData()
+	st.lastData = a
+	st.hasLast = true
+	return a
+}
+
+func (st *stream) freshData() mem.Access {
+	sp := st.spec
+	r := st.rng
+	kind := mem.Load
+
+	pick := func(base mem.Addr, bytes int) mem.Addr {
+		span := bytes / mem.LineBytes
+		if span < 1 {
+			span = 1
+		}
+		return base + mem.Addr(r.Intn(span))*mem.LineBytes
+	}
+
+	switch {
+	case sp.MigratoryFrac > 0 && r.Bool(sp.MigratoryFrac):
+		if r.Bool(0.5) {
+			kind = mem.Store
+		}
+		st.lastWProb = 0.5
+		return mem.Access{Node: st.node, Addr: pick(migratoryBase, sp.MigratoryLines*mem.LineBytes), Kind: kind}
+
+	case sp.SharedFrac > 0 && r.Bool(sp.SharedFrac):
+		var addr mem.Addr
+		if r.Bool(sp.SharedHotFrac) {
+			addr = pick(sharedBase, sp.SharedHotBytes)
+		} else {
+			addr = st.shColdCur.pick(r, sharedBase+0x0100_0000, sp.SharedWS)
+		}
+		if r.Bool(sp.SharedWriteFrac) {
+			kind = mem.Store
+		}
+		st.lastWProb = sp.SharedWriteFrac
+		return mem.Access{Node: st.node, Addr: addr, Kind: kind}
+
+	case sp.StreamFrac > 0 && r.Bool(sp.StreamFrac):
+		reuse := sp.StreamReuse
+		if reuse < 1 {
+			reuse = 1
+		}
+		st.streamUses++
+		if st.streamUses >= reuse {
+			st.streamUses = 0
+			stride := sp.StrideLines
+			if stride < 1 {
+				stride = 1
+			}
+			st.streamPtr += mem.LineAddr(stride)
+			limit := st.streamStart() + mem.LineAddr(maxInt(sp.StreamBytes/mem.LineBytes, 1))
+			if st.streamPtr >= limit {
+				st.streamPtr = st.streamStart() + mem.LineAddr(r.Intn(stride))
+			}
+		}
+		if r.Bool(sp.WriteFrac) {
+			kind = mem.Store
+		}
+		st.lastWProb = sp.WriteFrac
+		return mem.Access{Node: st.node, Addr: st.streamPtr.Addr(), Kind: kind}
+
+	default:
+		base := mem.Addr(privateBase) + mem.Addr(st.node)*privateSpan
+		var addr mem.Addr
+		switch {
+		case st.rng.Bool(sp.HotDataFrac):
+			addr = pick(base, sp.HotDataBytes)
+		case st.rng.Bool(sp.WarmFrac):
+			off := mem.Addr(0x0100_0000)
+			if sp.WarmStrideLines > 1 {
+				off = 0x0800_0000 // strided pools span far more address space
+			}
+			addr = st.warmWalk(base + off)
+		default:
+			addr = st.coldCur.pick(r, base+0x0200_0000, sp.PrivateWS)
+		}
+		if r.Bool(sp.WriteFrac) {
+			kind = mem.Store
+		}
+		st.lastWProb = sp.WriteFrac
+		return mem.Access{Node: st.node, Addr: addr, Kind: kind}
+	}
+}
+
+// warmWalk advances the cyclic warm-pool walk: warmReuse accesses per
+// line, wrapping at the pool size, with an optional line stride.
+func (st *stream) warmWalk(base mem.Addr) mem.Addr {
+	lines := st.spec.WarmBytes / mem.LineBytes
+	if lines < 1 {
+		lines = 1
+	}
+	st.warmUses++
+	if st.warmUses >= warmReuse {
+		st.warmUses = 0
+		st.warmPtr++
+		if st.warmPtr >= mem.LineAddr(lines) {
+			st.warmPtr = 0
+		}
+	}
+	stride := mem.Addr(st.spec.WarmStrideLines)
+	if stride < 1 {
+		stride = 1
+	}
+	return base + mem.Addr(st.warmPtr)*stride*mem.LineBytes
+}
+
+// warmReuse is the number of consecutive accesses to each warm line
+// (line-level reuse is supplied by the RepeatFrac burst mechanism).
+const warmReuse = 1
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,641 @@
+package d2m
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+
+	"d2m/internal/baseline"
+	"d2m/internal/core"
+	"d2m/internal/energy"
+	"d2m/internal/noc"
+	"d2m/internal/sim"
+	"d2m/internal/trace"
+	"d2m/internal/workloads"
+)
+
+// Kind identifies one of the five evaluated system configurations
+// (Figure 4 plus the D2M variants of §V-A).
+type Kind int
+
+const (
+	// Base2L is the two-level baseline: L1s + shared inclusive LLC +
+	// full-map directory (ARM A57-like, perfect L1 way prediction).
+	Base2L Kind = iota
+	// Base3L adds a 256kB private L2 per core.
+	Base3L
+	// D2MFS is the split hierarchy with a far-side LLC.
+	D2MFS
+	// D2MNS moves the LLC slices to the near side of the interconnect
+	// with the simple pressure-based allocation policy (§IV-B).
+	D2MNS
+	// D2MNSR adds the replication heuristics and dynamic indexing
+	// (§IV-C, §IV-D).
+	D2MNSR
+	// D2MHybrid is the §III-A interoperability variant: D2M-NS-R's
+	// backend behind unmodified cores with conventional TLBs and tagged
+	// L1 caches ("achieving most of the reported D2M advantages").
+	D2MHybrid
+)
+
+// Kinds returns all five configurations in the paper's presentation
+// order.
+func Kinds() []Kind { return []Kind{Base2L, Base3L, D2MFS, D2MNS, D2MNSR} }
+
+func (k Kind) String() string {
+	switch k {
+	case Base2L:
+		return "Base-2L"
+	case Base3L:
+		return "Base-3L"
+	case D2MFS:
+		return "D2M-FS"
+	case D2MNS:
+		return "D2M-NS"
+	case D2MNSR:
+		return "D2M-NS-R"
+	case D2MHybrid:
+		return "D2M-Hybrid"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// IsD2M reports whether the kind is a split-hierarchy configuration.
+func (k Kind) IsD2M() bool {
+	return k == D2MFS || k == D2MNS || k == D2MNSR || k == D2MHybrid
+}
+
+// MarshalText renders the kind by name, so JSON output (d2msim -json,
+// experiments -json) says "D2M-NS-R" rather than 4 — including when the
+// kind is a map key.
+func (k Kind) MarshalText() ([]byte, error) { return []byte(k.String()), nil }
+
+// UnmarshalText parses a kind name (case-insensitive, dashes optional).
+func (k *Kind) UnmarshalText(text []byte) error {
+	want := strings.ToLower(strings.ReplaceAll(string(text), "-", ""))
+	for _, c := range append(Kinds(), D2MHybrid) {
+		if strings.ToLower(strings.ReplaceAll(c.String(), "-", "")) == want {
+			*k = c
+			return nil
+		}
+	}
+	return fmt.Errorf("d2m: unknown kind %q", text)
+}
+
+// Options control a simulation run. The zero value selects the paper's
+// setup: 8 nodes, a 100k-access warmup and a 400k-access measurement
+// window, MD structures at 1x scale.
+type Options struct {
+	// Nodes is the core count (1..8).
+	Nodes int
+	// Warmup is the number of untimed cache-warming accesses.
+	Warmup int
+	// Measure is the number of measured accesses.
+	Measure int
+	// Seed offsets the workload seeds, for replicated experiments.
+	Seed uint64
+	// MDScale scales the MD1/MD2/MD3 entry counts (1, 2 or 4; the
+	// scaling study of §V-D footnote 5). Zero means 1.
+	MDScale int
+	// Bypass enables the cache-bypass optimization on the D2M kinds
+	// (the §I optimization list; see core.Config.CacheBypass).
+	Bypass bool
+	// Prefetch enables the metadata-guided next-line prefetcher on the
+	// D2M kinds (a §IV-D extension; see core.Config.Prefetch).
+	Prefetch bool
+	// Topology selects the interconnect: "crossbar" (default), "ring",
+	// "mesh" or "torus". The crossbar is what the calibrated results
+	// use; the others make hop distance placement-dependent, growing
+	// the near-side locality advantage.
+	Topology string
+	// Placement selects the NS-LLC victim-slice policy on the near-side
+	// D2M kinds: "pressure" (default, the paper's §IV-B heuristic),
+	// "local" (always the own slice), or "spread" (uniform across
+	// slices, approximating address interleaving). The endpoints bound
+	// the §IV-B design space for ablations.
+	Placement string
+	// LinkBandwidth models a bandwidth-constrained interconnect: each
+	// of the machine's links moves this many flits per cycle, and a run
+	// whose flit-hop volume exceeds the link capacity over its runtime
+	// is stretched to fit. Zero keeps the paper's infinite-bandwidth
+	// evaluation ("To avoid mixing the performance effects of traffic
+	// reduction and latency reduction, we have simulated a system with
+	// infinite bandwidth", §V-D — the constrained mode reproduces the
+	// remark that the traffic cut alone "could potentially result in a
+	// 2x speedup").
+	LinkBandwidth float64
+}
+
+// placement resolves the Options.Placement string.
+func (o Options) placement() (core.PlacementPolicy, error) {
+	switch o.Placement {
+	case "", "pressure":
+		return core.PlacePressure, nil
+	case "local":
+		return core.PlaceLocal, nil
+	case "spread":
+		return core.PlaceSpread, nil
+	default:
+		return 0, fmt.Errorf("d2m: unknown placement %q (want pressure, local or spread)", o.Placement)
+	}
+}
+
+// gridDims picks the mesh/torus shape for a node count.
+func gridDims(nodes int) (w, h int) {
+	if nodes >= 4 && nodes%2 == 0 {
+		return nodes / 2, 2
+	}
+	return nodes, 1
+}
+
+// topology resolves the Options.Topology string.
+func (o Options) topology() (noc.Topology, error) {
+	switch o.Topology {
+	case "", "crossbar":
+		return noc.Crossbar{}, nil
+	case "ring":
+		return noc.Ring{Nodes: o.Nodes}, nil
+	case "mesh":
+		w, h := gridDims(o.Nodes)
+		return noc.Mesh{W: w, H: h}, nil
+	case "torus":
+		w, h := gridDims(o.Nodes)
+		return noc.Torus{W: w, H: h}, nil
+	default:
+		return nil, fmt.Errorf("d2m: unknown topology %q (want crossbar, ring, mesh or torus)", o.Topology)
+	}
+}
+
+func (o Options) withDefaults() Options {
+	if o.Nodes == 0 {
+		o.Nodes = 8
+	}
+	if o.Warmup == 0 {
+		o.Warmup = 100_000
+	}
+	if o.Measure == 0 {
+		o.Measure = 400_000
+	}
+	if o.MDScale == 0 {
+		o.MDScale = 1
+	}
+	return o
+}
+
+// PKMO holds the appendix's protocol event frequencies, in events per
+// kilo memory operation.
+type PKMO struct {
+	ALLC, AMem, ANode float64 // case A by master location
+	B                 float64
+	C                 float64
+	D1, D2, D3, D4    float64
+	E, F              float64
+}
+
+// A returns the total read-miss-with-metadata-hit rate.
+func (p PKMO) A() float64 { return p.ALLC + p.AMem + p.ANode }
+
+// D returns the total metadata-miss rate.
+func (p PKMO) D() float64 { return p.D1 + p.D2 + p.D3 + p.D4 }
+
+// Result is the outcome of running one benchmark on one configuration.
+type Result struct {
+	Kind      Kind
+	Benchmark string
+	Suite     string
+
+	// Timing.
+	Cycles uint64
+	// NodeCycles are the per-node clocks behind Cycles (their max);
+	// RunMix uses them to attribute time to co-scheduled programs.
+	NodeCycles     []uint64
+	Instructions   uint64
+	Accesses       uint64
+	AvgMissLatency float64
+	// Miss-latency distribution (cycles at the 50th/95th/99th
+	// percentile): the tail the averages hide — D2M's deterministic
+	// location lookup cuts the tail harder than the mean.
+	MissLatP50, MissLatP95, MissLatP99 uint64
+
+	// Traffic (Figure 5).
+	Messages     uint64
+	D2MMessages  uint64
+	Bytes        uint64
+	DataBytes    uint64
+	MsgsPerKI    float64
+	D2MMsgsPerKI float64
+	// Hops is the hop-weighted traffic (link crossings); on ring/mesh
+	// topologies it separates near from far messages, the "fewer
+	// network hops" effect the paper attributes to D2M.
+	Hops uint64
+
+	// Energy (Figure 6).
+	EnergyPJ float64
+	EDP      float64
+
+	// Cache behaviour (Table IV).
+	MissRatioI, MissRatioD float64
+	LateHitI, LateHitD     float64
+	// NearHitI/NearHitD: for D2M-NS kinds, the fraction of LLC hits
+	// served by the local slice; for Base-3L, the L2 hit ratio (the
+	// "(L2 hits)" cell of Table IV); zero for Base-2L and D2M-FS.
+	NearHitI, NearHitD float64
+
+	// Coherence (Table V).
+	InvRecv         uint64
+	PrivateMissFrac float64
+	DirectMissFrac  float64
+
+	// Metadata/directory pressure (§V-B) and protocol events.
+	MD3Lookups uint64
+	DirLookups uint64
+	// MD1HitFrac is the fraction of accesses whose active metadata was
+	// found in the first-level MD (§II-A reports 98.8% combined
+	// coverage for D2D).
+	MD1HitFrac float64
+	// MD2Accesses and L2TagAccesses support the §V-B structure-pressure
+	// comparison ("MD2 is accessed 58% as often as the L2-tags in
+	// Base-3L").
+	MD2Accesses   uint64
+	L2TagAccesses uint64
+	// BypassedReads counts reads served without L1 allocation when
+	// Options.Bypass is set.
+	BypassedReads uint64
+	// PrefetchIssued and PrefetchUseful report the metadata-guided
+	// prefetcher when Options.Prefetch is set. Note: prefetch fetches
+	// are accounted in the LLC/DRAM/event counters like demand fetches.
+	PrefetchIssued, PrefetchUseful uint64
+	// EnergyByOp is the dynamic-energy breakdown in pJ, keyed by
+	// operation class (l1-tag, l1-data, md1, dram, noc-flit, ...).
+	EnergyByOp map[string]float64
+	// LockCollisionRate is the fraction of blocking region transactions
+	// that would have stalled on a hashed lock bit held by an unrelated
+	// region (appendix: negligible with 1K bits).
+	LockCollisionRate float64
+	// BandwidthBound reports that Options.LinkBandwidth stretched the
+	// runtime (the interconnect, not latency, limited the run).
+	BandwidthBound bool
+	Events         PKMO
+
+	DRAMReads, DRAMWrites uint64
+}
+
+// baselineConfig builds the baseline configuration for a kind.
+func baselineConfig(kind Kind, opt Options) baseline.Config {
+	cfg := baseline.Base2L()
+	if kind == Base3L {
+		cfg = baseline.Base3L()
+	}
+	cfg.Nodes = opt.Nodes
+	cfg.Topology, _ = opt.topology()
+	return cfg
+}
+
+func newBaseline(cfg baseline.Config) *baseline.System { return baseline.NewSystem(cfg, false) }
+func newCore(cfg core.Config) *core.System             { return core.NewSystem(cfg) }
+
+// coreConfig builds the D2M configuration for a kind.
+func coreConfig(kind Kind, opt Options) core.Config {
+	cfg := core.DefaultConfig()
+	cfg.Nodes = opt.Nodes
+	cfg.Seed = opt.Seed + 1
+	cfg.MD2Pruning = true
+	switch kind {
+	case D2MFS:
+	case D2MNS:
+		cfg.NearSide = true
+	case D2MNSR:
+		cfg.NearSide = true
+		cfg.Replication = true
+		cfg.DynamicIndexing = true
+	case D2MHybrid:
+		cfg.NearSide = true
+		cfg.Replication = true
+		cfg.DynamicIndexing = true
+		cfg.TraditionalL1 = true
+	default:
+		panic(fmt.Sprintf("d2m: coreConfig on %v", kind))
+	}
+	cfg.CacheBypass = opt.Bypass
+	cfg.Prefetch = opt.Prefetch
+	cfg.Placement, _ = opt.placement()
+	cfg.Topology, _ = opt.topology()
+	cfg.MD1Sets *= opt.MDScale
+	cfg.MD2Sets *= opt.MDScale
+	cfg.MD3Sets *= opt.MDScale
+	return cfg
+}
+
+// Run simulates one benchmark on one configuration and returns the
+// extracted metrics.
+func Run(kind Kind, bench string, opt Options) (Result, error) {
+	opt = opt.withDefaults()
+	sp, ok := workloads.ByName(bench)
+	if !ok {
+		return Result{}, fmt.Errorf("d2m: unknown benchmark %q (see Benchmarks())", bench)
+	}
+	if opt.Nodes < 1 || opt.Nodes > 8 {
+		return Result{}, fmt.Errorf("d2m: Nodes = %d out of range 1..8", opt.Nodes)
+	}
+	if opt.MDScale != 1 && opt.MDScale != 2 && opt.MDScale != 4 {
+		return Result{}, fmt.Errorf("d2m: MDScale = %d, want 1, 2 or 4", opt.MDScale)
+	}
+	if _, err := opt.placement(); err != nil {
+		return Result{}, err
+	}
+	if _, err := opt.topology(); err != nil {
+		return Result{}, err
+	}
+
+	streams := specStreams(sp, opt)
+	iv := trace.NewInterleaver(streams)
+
+	res := Result{Kind: kind, Benchmark: sp.Name, Suite: sp.Suite}
+	res.measure(kind, opt, iv)
+	return res, nil
+}
+
+// measure runs the stream on the kind's machine and fills the result.
+func (r *Result) measure(kind Kind, opt Options, src trace.Stream) {
+	var flitHops uint64
+	switch kind {
+	case Base2L, Base3L:
+		s := newBaseline(baselineConfig(kind, opt))
+		engine := sim.NewEngine(sim.WrapBaseline(s), opt.Nodes)
+		rep := engine.Run(src, opt.Warmup, opt.Measure)
+		r.fillCommon(rep)
+		r.fillBaseline(s, rep)
+		flitHops = s.Meter().Count(energy.OpNoCFlit)
+	default:
+		s := newCore(coreConfig(kind, opt))
+		engine := sim.NewEngine(sim.WrapCore(s), opt.Nodes)
+		rep := engine.Run(src, opt.Warmup, opt.Measure)
+		r.fillCommon(rep)
+		r.fillCore(s, rep, kind)
+		flitHops = s.Meter().Count(energy.OpNoCFlit)
+	}
+	r.applyBandwidth(opt, flitHops)
+}
+
+// applyBandwidth stretches the runtime when the interconnect cannot
+// carry the run's flit-hop volume in the computed cycles: the aggregate
+// fabric capacity is one link per node plus the hub link, each moving
+// LinkBandwidth flits per cycle.
+func (r *Result) applyBandwidth(opt Options, flitHops uint64) {
+	if opt.LinkBandwidth <= 0 || r.Cycles == 0 {
+		return
+	}
+	links := float64(opt.Nodes + 1)
+	bwCycles := float64(flitHops) / (links * opt.LinkBandwidth)
+	if bwCycles > float64(r.Cycles) {
+		r.BandwidthBound = true
+		// The whole machine is held back together: every node's clock
+		// stretches by the same factor (the fabric is shared).
+		scale := bwCycles / float64(r.Cycles)
+		for i, c := range r.NodeCycles {
+			r.NodeCycles[i] = uint64(float64(c) * scale)
+		}
+		r.Cycles = uint64(bwCycles)
+	}
+}
+
+// specStreams builds the workload streams, applying the run seed.
+func specStreams(sp *workloads.Spec, opt Options) []trace.Stream {
+	if opt.Seed == 0 {
+		return sp.Streams(opt.Nodes)
+	}
+	copySpec := *sp
+	copySpec.Seed ^= opt.Seed * 0x9e3779b97f4a7c15
+	return copySpec.Streams(opt.Nodes)
+}
+
+func (r *Result) fillCommon(rep sim.Report) {
+	r.Cycles = rep.Cycles
+	r.NodeCycles = rep.NodeCycles
+	r.Instructions = rep.Instructions
+	r.Accesses = rep.Accesses
+	r.MissLatP50 = rep.MissLatencyPercentile(0.50)
+	r.MissLatP95 = rep.MissLatencyPercentile(0.95)
+	r.MissLatP99 = rep.MissLatencyPercentile(0.99)
+	r.LateHitI = rep.LateHitRatioI()
+	r.LateHitD = rep.LateHitRatioD()
+}
+
+func perKI(count, instructions uint64) float64 {
+	if instructions == 0 {
+		return 0
+	}
+	return float64(count) / float64(instructions) * 1000
+}
+
+func (r *Result) fillBaseline(s *baseline.System, rep sim.Report) {
+	st := s.Stats()
+	fab := s.Fabric()
+	r.Messages = fab.Messages()
+	r.Bytes = fab.Bytes()
+	r.DataBytes = fab.DataBytes()
+	r.MsgsPerKI = perKI(fab.Messages(), rep.Instructions)
+	r.Hops = fab.Hops()
+	r.EnergyPJ = s.Meter().TotalPJ(rep.Cycles)
+	r.EDP = s.Meter().EDP(rep.Cycles)
+	r.EnergyByOp = s.Meter().BreakdownPJ()
+	r.MissRatioI = st.MissRatioI()
+	r.MissRatioD = st.MissRatioD()
+	if s.Config().L2Sets > 0 {
+		l2 := st.L2HitRatio()
+		r.NearHitI, r.NearHitD = l2, l2
+	}
+	r.AvgMissLatency = st.AvgMissLatency()
+	r.InvRecv = st.InvRecv + st.BackInv
+	r.DirLookups = st.DirLookups
+	r.L2TagAccesses = s.Meter().Count(energy.OpL2Tag)
+	r.DRAMReads = st.DRAMReads
+	r.DRAMWrites = st.DRAMWrites
+}
+
+func (r *Result) fillCore(s *core.System, rep sim.Report, kind Kind) {
+	st := s.Stats()
+	fab := s.Fabric()
+	r.Messages = fab.Messages()
+	r.D2MMessages = fab.D2MMessages()
+	r.Bytes = fab.Bytes()
+	r.DataBytes = fab.DataBytes()
+	r.MsgsPerKI = perKI(fab.Messages(), rep.Instructions)
+	r.D2MMsgsPerKI = perKI(fab.D2MMessages(), rep.Instructions)
+	r.Hops = fab.Hops()
+	r.EnergyPJ = s.Meter().TotalPJ(rep.Cycles)
+	r.EDP = s.Meter().EDP(rep.Cycles)
+	r.EnergyByOp = s.Meter().BreakdownPJ()
+	r.MissRatioI = st.MissRatioI()
+	r.MissRatioD = st.MissRatioD()
+	if kind == D2MNS || kind == D2MNSR {
+		r.NearHitI = st.NearSideHitRatioI()
+		r.NearHitD = st.NearSideHitRatioD()
+	}
+	r.AvgMissLatency = st.AvgMissLatency()
+	r.InvRecv = st.InvRecv
+	r.PrivateMissFrac = st.PrivateMissFraction()
+	r.DirectMissFrac = st.DirectMissFraction()
+	r.MD3Lookups = st.MD3Lookups
+	r.BypassedReads = st.BypassedReads
+	r.PrefetchIssued = st.PrefetchIssued
+	r.PrefetchUseful = st.PrefetchUseful
+	r.LockCollisionRate = st.LockCollisionRate()
+	r.MD2Accesses = s.Meter().Count(energy.OpMD2)
+	if st.Accesses > 0 {
+		r.MD1HitFrac = float64(st.MD1Hits) / float64(st.Accesses)
+	}
+	r.DRAMReads = st.DRAMReads
+	r.DRAMWrites = st.DRAMWrites
+	pk := func(c uint64) float64 { return st.PKMO(c) }
+	r.Events = PKMO{
+		ALLC: pk(st.EvALLC), AMem: pk(st.EvAMem), ANode: pk(st.EvANode),
+		B: pk(st.EvB), C: pk(st.EvC),
+		D1: pk(st.EvD1), D2: pk(st.EvD2), D3: pk(st.EvD3), D4: pk(st.EvD4),
+		E: pk(st.EvE), F: pk(st.EvF),
+	}
+}
+
+// Benchmarks returns every available benchmark name.
+func Benchmarks() []string { return workloads.Names() }
+
+// Suites returns the five suite names.
+func Suites() []string { return workloads.Suites() }
+
+// SuiteOf returns the suite of a benchmark.
+func SuiteOf(bench string) (string, bool) {
+	sp, ok := workloads.ByName(bench)
+	if !ok {
+		return "", false
+	}
+	return sp.Suite, true
+}
+
+// BenchmarksOf returns the benchmarks of one suite, in catalog order.
+func BenchmarksOf(suite string) []string {
+	var out []string
+	for _, sp := range workloads.BySuite(suite) {
+		out = append(out, sp.Name)
+	}
+	return out
+}
+
+// RecordTrace generates a benchmark's access stream (interleaved across
+// nodes) and writes it as a binary trace file, usable with RunTrace or
+// external tools.
+func RecordTrace(bench string, nodes, accesses int, w io.Writer) (int, error) {
+	sp, ok := workloads.ByName(bench)
+	if !ok {
+		return 0, fmt.Errorf("d2m: unknown benchmark %q", bench)
+	}
+	if nodes < 1 || nodes > 8 {
+		return 0, fmt.Errorf("d2m: nodes = %d out of range 1..8", nodes)
+	}
+	if accesses < 1 {
+		return 0, fmt.Errorf("d2m: accesses = %d", accesses)
+	}
+	tw, err := trace.NewWriter(w)
+	if err != nil {
+		return 0, err
+	}
+	iv := trace.NewInterleaver(sp.Streams(nodes))
+	for i := 0; i < accesses; i++ {
+		if err := tw.Append(iv.Next()); err != nil {
+			return i, err
+		}
+	}
+	return accesses, tw.Flush()
+}
+
+// RunTrace replays a recorded trace against a configuration. The trace
+// loops if shorter than warmup+measure. Suite-level metrics that depend
+// on the catalog (Suite) are blank.
+func RunTrace(kind Kind, r io.Reader, opt Options) (Result, error) {
+	opt = opt.withDefaults()
+	rd, err := trace.ReadTrace(r)
+	if err != nil {
+		return Result{}, err
+	}
+	rd.Loop = true
+	if max := rd.MaxNode(); max >= opt.Nodes {
+		return Result{}, fmt.Errorf("d2m: trace uses node %d but Nodes = %d", max, opt.Nodes)
+	}
+	if opt.MDScale != 1 && opt.MDScale != 2 && opt.MDScale != 4 {
+		return Result{}, fmt.Errorf("d2m: MDScale = %d, want 1, 2 or 4", opt.MDScale)
+	}
+	res := Result{Kind: kind, Benchmark: "trace"}
+	res.measure(kind, opt, rd)
+	return res, nil
+}
+
+// Replicated runs one benchmark on one configuration n times with
+// decorrelated workload seeds and returns the per-metric mean and
+// standard deviation, for experiments that want error bars on top of
+// the deterministic single-seed runs.
+type Replicated struct {
+	Kind      Kind
+	Benchmark string
+	N         int
+	// Mean and Std hold, in order: cycles, msgs/KI, EDP, L1-D miss
+	// ratio, average miss latency.
+	CyclesMean, CyclesStd   float64
+	MsgsPerKIMean, MsgsStd  float64
+	EDPMean, EDPStd         float64
+	MissDMean, MissDStd     float64
+	MissLatMean, MissLatStd float64
+	PrivateMean, PrivateStd float64
+}
+
+// Replicate runs n seeds of (kind, bench) and aggregates.
+func Replicate(kind Kind, bench string, opt Options, n int) (Replicated, error) {
+	if n < 1 {
+		return Replicated{}, fmt.Errorf("d2m: Replicate with n = %d", n)
+	}
+	type sample struct{ cyc, msg, edp, missd, lat, priv float64 }
+	samples := make([]sample, 0, n)
+	for i := 0; i < n; i++ {
+		o := opt
+		o.Seed = opt.Seed + uint64(i) + 1
+		r, err := Run(kind, bench, o)
+		if err != nil {
+			return Replicated{}, err
+		}
+		samples = append(samples, sample{
+			float64(r.Cycles), r.MsgsPerKI, r.EDP, r.MissRatioD, r.AvgMissLatency, r.PrivateMissFrac,
+		})
+	}
+	mean := func(get func(sample) float64) float64 {
+		sum := 0.0
+		for _, s := range samples {
+			sum += get(s)
+		}
+		return sum / float64(n)
+	}
+	std := func(get func(sample) float64, m float64) float64 {
+		if n < 2 {
+			return 0
+		}
+		sum := 0.0
+		for _, s := range samples {
+			d := get(s) - m
+			sum += d * d
+		}
+		return math.Sqrt(sum / float64(n-1))
+	}
+	out := Replicated{Kind: kind, Benchmark: bench, N: n}
+	out.CyclesMean = mean(func(s sample) float64 { return s.cyc })
+	out.CyclesStd = std(func(s sample) float64 { return s.cyc }, out.CyclesMean)
+	out.MsgsPerKIMean = mean(func(s sample) float64 { return s.msg })
+	out.MsgsStd = std(func(s sample) float64 { return s.msg }, out.MsgsPerKIMean)
+	out.EDPMean = mean(func(s sample) float64 { return s.edp })
+	out.EDPStd = std(func(s sample) float64 { return s.edp }, out.EDPMean)
+	out.MissDMean = mean(func(s sample) float64 { return s.missd })
+	out.MissDStd = std(func(s sample) float64 { return s.missd }, out.MissDMean)
+	out.MissLatMean = mean(func(s sample) float64 { return s.lat })
+	out.MissLatStd = std(func(s sample) float64 { return s.lat }, out.MissLatMean)
+	out.PrivateMean = mean(func(s sample) float64 { return s.priv })
+	out.PrivateStd = std(func(s sample) float64 { return s.priv }, out.PrivateMean)
+	return out, nil
+}

@@ -1,0 +1,136 @@
+package d2m
+
+import (
+	"strings"
+	"testing"
+)
+
+// Table III capacities: 8 nodes × 2 × 32kB L1 + 8MB LLC = 8704kB of
+// payload in every no-L2 configuration, +2MB for Base-3L.
+func TestStorageDataCapacities(t *testing.T) {
+	kB := func(bits uint64) float64 { return float64(bits) / 8192 }
+	for _, k := range []Kind{Base2L, D2MFS, D2MNS, D2MNSR, D2MHybrid} {
+		r, err := Storage(k, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := kB(r.DataBits()); got != 8704 {
+			t.Errorf("%v: data = %.0f kB, want 8704", k, got)
+		}
+	}
+	r, err := Storage(Base3L, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := kB(r.DataBits()); got != 8704+2048 {
+		t.Errorf("Base-3L: data = %.0f kB, want 10752", got)
+	}
+}
+
+// The §V-B claim: the metadata hierarchy costs about what the tag
+// arrays + TLBs + directory it replaces cost — and since D2M matches
+// Base-3L's performance without the private L2, its total SRAM is
+// strictly smaller than Base-3L's.
+func TestStorageParity(t *testing.T) {
+	get := func(k Kind) StorageReport {
+		r, err := Storage(k, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	b2, b3, ns := get(Base2L), get(Base3L), get(D2MNS)
+	if f := ns.OverheadFrac(); f > 0.15 {
+		t.Errorf("D2M-NS overhead %.1f%% of data; §V-B expects modest (<15%%)", f*100)
+	}
+	// Metadata within 1.3x of the conventional structures it replaces.
+	if ratio := float64(ns.OverheadBits()) / float64(b2.OverheadBits()); ratio > 1.3 {
+		t.Errorf("D2M-NS overhead %.2fx Base-2L's tags+TLB+directory; want ≈ parity", ratio)
+	}
+	if ns.TotalBits() >= b3.TotalBits() {
+		t.Errorf("D2M-NS total %d bits >= Base-3L %d; the no-L2 argument fails", ns.TotalBits(), b3.TotalBits())
+	}
+}
+
+// Structural expectations: no directory or L1 tags in the pure D2M
+// budgets; the hybrid retains the conventional front-end; MD stores
+// appear only in D2M budgets.
+func TestStorageStructures(t *testing.T) {
+	has := func(r StorageReport, name string) bool {
+		for _, it := range r.Items {
+			if strings.Contains(it.Structure, name) {
+				return true
+			}
+		}
+		return false
+	}
+	get := func(k Kind) StorageReport {
+		r, err := Storage(k, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	b2, nsr, hy := get(Base2L), get(D2MNSR), get(D2MHybrid)
+	if !has(b2, "directory") || has(b2, "MD2") {
+		t.Error("Base-2L budget malformed")
+	}
+	if has(nsr, "directory") || has(nsr, "L1 tags") || !has(nsr, "MD1") || !has(nsr, "MD3") {
+		t.Error("D2M-NS-R budget malformed")
+	}
+	if !has(hy, "L1 tags") || !has(hy, "L1 TLBs") || has(hy, "MD1") || !has(hy, "MD2") {
+		t.Error("hybrid budget must keep the conventional front-end and drop MD1")
+	}
+}
+
+// MDScale must grow only the metadata stores.
+func TestStorageMDScale(t *testing.T) {
+	r1, err := Storage(D2MFS, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r4, err := Storage(D2MFS, Options{MDScale: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.DataBits() != r4.DataBits() {
+		t.Error("MDScale changed data capacity")
+	}
+	bitsOf := func(r StorageReport, name string) uint64 {
+		for _, it := range r.Items {
+			if strings.Contains(it.Structure, name) {
+				return it.TotalBits
+			}
+		}
+		return 0
+	}
+	for _, md := range []string{"MD1", "MD2", "MD3"} {
+		// Scaled stores have more sets so slightly narrower tags: the
+		// total must land between 3.5x and 4x.
+		lo, hi := 7*bitsOf(r1, md)/2, 4*bitsOf(r1, md)
+		if got := bitsOf(r4, md); got < lo || got > hi {
+			t.Errorf("%s at MDScale=4: %d bits, want in [%d, %d]", md, got, lo, hi)
+		}
+	}
+	if bitsOf(r1, "slot state") != bitsOf(r4, "slot state") {
+		t.Error("MDScale changed slot-state bits")
+	}
+}
+
+func TestStorageErrors(t *testing.T) {
+	if _, err := Storage(D2MFS, Options{Nodes: 12}); err == nil {
+		t.Error("bad node count accepted")
+	}
+	if _, err := Storage(D2MFS, Options{MDScale: 3}); err == nil {
+		t.Error("bad MDScale accepted")
+	}
+}
+
+func TestRenderStorage(t *testing.T) {
+	out := RenderStorage(StorageComparison(Options{}))
+	for _, want := range []string{"Base-2L", "D2M-NS-R", "D2M-Hybrid", "directory", "MD3", "ovh/data"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("RenderStorage missing %q", want)
+		}
+	}
+}
