@@ -1,0 +1,96 @@
+// Command d2mserver serves d2m simulations over HTTP/JSON: a bounded
+// worker pool with an explicit job queue (429 + Retry-After under
+// backpressure), a content-addressed result cache that coalesces
+// duplicate requests into one simulation, per-job deadlines with
+// client-disconnect cancellation, and Prometheus-style metrics.
+//
+// Usage:
+//
+//	d2mserver -addr :8080
+//	curl -s localhost:8080/v1/benchmarks | jq .kinds
+//	curl -s -X POST localhost:8080/v1/run \
+//	    -d '{"kind":"d2m-ns-r","benchmark":"tpc-c","nodes":8}' | jq .result.Cycles
+//	curl -s localhost:8080/metrics | grep d2m_cache
+//
+// Endpoints:
+//
+//	POST /v1/run        run (or fetch from cache) one simulation; "async":true returns a job id
+//	GET  /v1/jobs/{id}  job status and, once done, the result
+//	GET  /v1/benchmarks catalogue of benchmarks, kinds, topologies, placements
+//	GET  /healthz       liveness (503 while draining)
+//	GET  /metrics       Prometheus text metrics (also on expvar as "d2mserver")
+//
+// SIGINT/SIGTERM starts a graceful drain: admission stops, queued and
+// running jobs finish (up to -drain-timeout), then the process exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"expvar"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"d2m/internal/service"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", ":8080", "listen address")
+		workers      = flag.Int("workers", 0, "worker pool size (0 = all CPUs)")
+		queueDepth   = flag.Int("queue", 64, "job queue depth before 429s")
+		cacheEntries = flag.Int("cache", 1024, "result cache capacity (entries)")
+		timeout      = flag.Duration("timeout", 2*time.Minute, "default per-job deadline (0 = none)")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown budget")
+	)
+	flag.Parse()
+
+	svc := service.New(service.Config{
+		Workers:        *workers,
+		QueueDepth:     *queueDepth,
+		CacheEntries:   *cacheEntries,
+		DefaultTimeout: *timeout,
+	})
+	expvar.Publish("d2mserver", expvar.Func(func() interface{} {
+		return svc.Metrics().Snapshot()
+	}))
+
+	mux := http.NewServeMux()
+	mux.Handle("/", svc.Handler())
+	mux.Handle("/debug/vars", expvar.Handler())
+	httpSrv := &http.Server{Addr: *addr, Handler: mux}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	log.Printf("d2mserver listening on %s", *addr)
+
+	select {
+	case <-ctx.Done():
+		log.Printf("signal received, draining (budget %s)", *drainTimeout)
+	case err := <-errc:
+		log.Fatalf("serve: %v", err)
+	}
+
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := httpSrv.Shutdown(drainCtx); err != nil {
+		log.Printf("http shutdown: %v", err)
+	}
+	if err := svc.Shutdown(drainCtx); err != nil {
+		if errors.Is(err, context.DeadlineExceeded) {
+			log.Printf("drain budget exceeded; outstanding jobs were cancelled")
+		} else {
+			log.Printf("service shutdown: %v", err)
+		}
+	}
+	fmt.Println("d2mserver: drained cleanly")
+}

@@ -53,7 +53,7 @@ func main() {
 		return
 	}
 
-	kind, err := parseKind(*kindStr)
+	kind, err := d2m.ParseKind(*kindStr)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
@@ -146,14 +146,6 @@ func main() {
 		return
 	}
 	printResult(res)
-}
-
-func parseKind(s string) (d2m.Kind, error) {
-	var k d2m.Kind
-	if err := k.UnmarshalText([]byte(s)); err != nil {
-		return 0, fmt.Errorf("d2msim: unknown kind %q (want base-2l, base-3l, d2m-fs, d2m-ns, d2m-ns-r, d2m-hybrid)", s)
-	}
-	return k, nil
 }
 
 func printResult(r d2m.Result) {

@@ -112,9 +112,11 @@ func main() {
 		measure = flag.Int("measure", 600_000, "measured accesses")
 		out     = flag.String("out", "", "write output to this file instead of stdout")
 		asJSON  = flag.Bool("json", false, "emit structured rows as JSON instead of rendered text")
+		workers = flag.Int("workers", 0, "parallel simulations per experiment (0 = all CPUs)")
 	)
 	flag.Parse()
 
+	d2m.ExperimentWorkers = *workers
 	opt := d2m.Options{Nodes: *nodes, Warmup: *warmup, Measure: *measure}
 
 	var b strings.Builder

@@ -21,6 +21,12 @@ import (
 // each experiment id to these functions, and EXPERIMENTS.md records the
 // measured outcomes against the published ones.
 
+// ExperimentWorkers caps the parallelism of the experiment drivers'
+// benchmark fan-out (runAll). Zero or negative selects
+// runtime.GOMAXPROCS(0), the historical behaviour; cmd/experiments
+// exposes it as -workers.
+var ExperimentWorkers int
+
 // runAll runs every benchmark on every kind. Runs are independent
 // simulations with their own seeded generators, so they execute in
 // parallel across the machine's cores; results are deterministic and
@@ -33,7 +39,10 @@ func runAll(kinds []Kind, opt Options, benches []string) map[Kind][]Result {
 		out[k] = make([]Result, len(benches))
 	}
 	var wg sync.WaitGroup
-	workers := runtime.GOMAXPROCS(0)
+	workers := ExperimentWorkers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 	if workers > len(kinds)*len(benches) {
 		workers = len(kinds) * len(benches)
 	}

@@ -1,0 +1,91 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// benchNumbers collects the jobs/sec measured by
+// BenchmarkServiceThroughput; TestMain writes them to the file named
+// by D2M_BENCH_OUT (the repo's BENCH_service.json) so later PRs can
+// track service-throughput regressions:
+//
+//	D2M_BENCH_OUT=BENCH_service.json go test -run '^$' -bench BenchmarkServiceThroughput ./internal/service
+var benchNumbers = struct {
+	sync.Mutex
+	m map[string]float64
+}{m: map[string]float64{}}
+
+func TestMain(m *testing.M) {
+	code := m.Run()
+	if out := os.Getenv("D2M_BENCH_OUT"); out != "" && len(benchNumbers.m) > 0 {
+		payload := map[string]interface{}{
+			"benchmark":    "BenchmarkServiceThroughput",
+			"workload":     benchWorkload,
+			"jobs_per_sec": benchNumbers.m,
+		}
+		data, _ := json.MarshalIndent(payload, "", "  ")
+		if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			code = 1
+		}
+	}
+	os.Exit(code)
+}
+
+// benchWorkload is the small simulation the throughput benchmark
+// serves: real engine, real benchmark, sized so a cold job is tens of
+// milliseconds.
+const benchWorkload = `{"kind":"d2m-ns-r","benchmark":"tpc-c","nodes":2,"warmup":2000,"measure":8000}`
+
+// BenchmarkServiceThroughput measures end-to-end jobs/sec through the
+// HTTP stack on a small real simulation, cold (every job a distinct
+// seed, so every job simulates) and cached (one hot request repeated).
+func BenchmarkServiceThroughput(b *testing.B) {
+	for _, mode := range []string{"cold", "cached"} {
+		b.Run(mode, func(b *testing.B) {
+			s := New(Config{})
+			ts := httptest.NewServer(s.Handler())
+			defer func() {
+				ts.Close()
+				ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+				defer cancel()
+				s.Shutdown(ctx)
+			}()
+			post := func(i int) {
+				body := benchWorkload
+				if mode == "cold" {
+					body = strings.TrimSuffix(body, "}") + fmt.Sprintf(`,"seed":%d}`, i+1)
+				}
+				resp, err := http.Post(ts.URL+"/v1/run", "application/json", strings.NewReader(body))
+				if err != nil {
+					b.Fatal(err)
+				}
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					b.Fatalf("POST = %d", resp.StatusCode)
+				}
+			}
+			post(-1) // warm the pool (and, for cached mode, the cache; seed 0)
+			b.ResetTimer()
+			start := time.Now()
+			for i := 0; i < b.N; i++ {
+				post(i)
+			}
+			elapsed := time.Since(start)
+			jobsPerSec := float64(b.N) / elapsed.Seconds()
+			b.ReportMetric(jobsPerSec, "jobs/s")
+			benchNumbers.Lock()
+			benchNumbers.m[mode] = jobsPerSec
+			benchNumbers.Unlock()
+		})
+	}
+}

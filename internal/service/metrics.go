@@ -1,0 +1,140 @@
+package service
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sync"
+	"sync/atomic"
+)
+
+// Metrics holds the service's observable state: monotonically growing
+// counters, point-in-time gauges, and fixed-bucket latency histograms.
+// Everything is safe for concurrent use, and rendered in Prometheus
+// text exposition format on GET /metrics (cmd/d2mserver additionally
+// publishes the Snapshot through expvar).
+type Metrics struct {
+	JobsAccepted atomic.Uint64 // admitted to the queue
+	JobsDone     atomic.Uint64 // finished successfully
+	JobsFailed   atomic.Uint64 // finished with a non-cancellation error
+	JobsCanceled atomic.Uint64 // deadline, client disconnect, or drain abort
+	JobsRejected atomic.Uint64 // 429: queue full
+	CacheHits    atomic.Uint64 // served straight from the result cache
+	CacheMisses  atomic.Uint64 // had to queue a simulation
+	Coalesced    atomic.Uint64 // attached to an identical in-flight job
+
+	Queued  atomic.Int64 // gauge: jobs waiting in the queue
+	Running atomic.Int64 // gauge: jobs occupying a worker
+
+	QueueWait  Histogram // seconds from admission to worker pickup
+	RunLatency Histogram // seconds of simulation time per job
+}
+
+// histBuckets are the upper bounds (seconds) of the latency histograms:
+// sub-millisecond queue pickups through multi-minute simulations.
+var histBuckets = []float64{
+	0.001, 0.005, 0.01, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60, 120, 300,
+}
+
+// Histogram is a fixed-bucket cumulative histogram in the Prometheus
+// style: counts[i] covers observations <= histBuckets[i], with an
+// implicit +Inf bucket equal to Count.
+type Histogram struct {
+	mu     sync.Mutex
+	counts []uint64 // lazily sized to len(histBuckets)
+	sum    float64
+	count  uint64
+}
+
+// Observe records one value in seconds.
+func (h *Histogram) Observe(seconds float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.counts == nil {
+		h.counts = make([]uint64, len(histBuckets))
+	}
+	h.sum += seconds
+	h.count++
+	for i, ub := range histBuckets {
+		if seconds <= ub {
+			h.counts[i]++
+		}
+	}
+}
+
+// snapshot returns (cumulative bucket counts, sum, count).
+func (h *Histogram) snapshot() ([]uint64, float64, uint64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]uint64, len(histBuckets))
+	copy(out, h.counts)
+	return out, h.sum, h.count
+}
+
+// Quantile returns an upper bound on the q-quantile (0 < q <= 1) of the
+// observed values: the smallest bucket boundary covering that fraction,
+// or +Inf when the tail escaped the last bucket.
+func (h *Histogram) Quantile(q float64) float64 {
+	counts, _, count := h.snapshot()
+	if count == 0 {
+		return 0
+	}
+	want := uint64(math.Ceil(q * float64(count)))
+	for i, c := range counts {
+		if c >= want {
+			return histBuckets[i]
+		}
+	}
+	return math.Inf(1)
+}
+
+// WritePrometheus renders every metric in text exposition format.
+func (m *Metrics) WritePrometheus(w io.Writer) {
+	counter := func(name, help string, v uint64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+	}
+	counter("d2m_jobs_accepted_total", "Jobs admitted to the queue.", m.JobsAccepted.Load())
+	counter("d2m_jobs_done_total", "Jobs finished successfully.", m.JobsDone.Load())
+	counter("d2m_jobs_failed_total", "Jobs finished with an error.", m.JobsFailed.Load())
+	counter("d2m_jobs_canceled_total", "Jobs canceled by deadline, disconnect, or drain.", m.JobsCanceled.Load())
+	counter("d2m_jobs_rejected_total", "Jobs rejected with 429 because the queue was full.", m.JobsRejected.Load())
+	counter("d2m_cache_hits_total", "Requests served from the result cache.", m.CacheHits.Load())
+	counter("d2m_cache_misses_total", "Requests that queued a simulation.", m.CacheMisses.Load())
+	counter("d2m_coalesced_total", "Requests coalesced onto an identical in-flight job.", m.Coalesced.Load())
+	gauge("d2m_jobs_queued", "Jobs waiting in the queue.", m.Queued.Load())
+	gauge("d2m_jobs_running", "Jobs occupying a worker.", m.Running.Load())
+	m.writeHistogram(w, "d2m_queue_wait_seconds", "Seconds from admission to worker pickup.", &m.QueueWait)
+	m.writeHistogram(w, "d2m_run_seconds", "Seconds of simulation per job.", &m.RunLatency)
+}
+
+func (m *Metrics) writeHistogram(w io.Writer, name, help string, h *Histogram) {
+	counts, sum, count := h.snapshot()
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
+	for i, ub := range histBuckets {
+		fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, trimFloat(ub), counts[i])
+	}
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, count)
+	fmt.Fprintf(w, "%s_sum %g\n", name, sum)
+	fmt.Fprintf(w, "%s_count %d\n", name, count)
+}
+
+func trimFloat(f float64) string { return fmt.Sprintf("%g", f) }
+
+// Snapshot returns the scalar metrics as a map, for expvar publication.
+func (m *Metrics) Snapshot() map[string]interface{} {
+	return map[string]interface{}{
+		"jobs_accepted": m.JobsAccepted.Load(),
+		"jobs_done":     m.JobsDone.Load(),
+		"jobs_failed":   m.JobsFailed.Load(),
+		"jobs_canceled": m.JobsCanceled.Load(),
+		"jobs_rejected": m.JobsRejected.Load(),
+		"cache_hits":    m.CacheHits.Load(),
+		"cache_misses":  m.CacheMisses.Load(),
+		"coalesced":     m.Coalesced.Load(),
+		"jobs_queued":   m.Queued.Load(),
+		"jobs_running":  m.Running.Load(),
+	}
+}

@@ -1,0 +1,85 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"time"
+
+	"d2m"
+)
+
+// This file is the worker-pool half of the server: a fixed number of
+// worker goroutines drain the bounded job queue, run each job under its
+// own context, and settle it exactly once. Admission (and therefore
+// backpressure) lives in server.go; the pool only consumes.
+
+// worker drains the queue until it is closed by Shutdown.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for j := range s.queue {
+		s.runJob(j)
+	}
+}
+
+// runJob executes one dequeued job. A job whose deadline already
+// passed while queued (or whose waiters all disconnected) is settled
+// as canceled without starting the simulation, so a dead job never
+// occupies a worker.
+func (s *Server) runJob(j *job) {
+	s.metrics.Queued.Add(-1)
+	s.metrics.QueueWait.Observe(time.Since(j.created).Seconds())
+	if err := j.ctx.Err(); err != nil {
+		s.finish(j, d2m.Result{}, err)
+		return
+	}
+	s.mu.Lock()
+	j.state = JobRunning
+	j.started = time.Now()
+	s.mu.Unlock()
+
+	s.metrics.Running.Add(1)
+	start := time.Now()
+	res, err := s.runner(j.ctx, j.kind, j.bench, j.opt)
+	s.metrics.Running.Add(-1)
+	s.metrics.RunLatency.Observe(time.Since(start).Seconds())
+	s.finish(j, res, err)
+}
+
+// finish settles a job: records the outcome, publishes a successful
+// result to the cache, releases the in-flight slot so the next
+// identical request starts fresh, and wakes every waiter.
+func (s *Server) finish(j *job, res d2m.Result, err error) {
+	s.mu.Lock()
+	delete(s.inflight, j.key)
+	j.finished = time.Now()
+	switch {
+	case err == nil:
+		j.state = JobDone
+		j.result = res
+		s.cache.put(j.key, res)
+		s.metrics.JobsDone.Add(1)
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		j.state = JobCanceled
+		j.err = err
+		s.metrics.JobsCanceled.Add(1)
+	default:
+		j.state = JobFailed
+		j.err = err
+		s.metrics.JobsFailed.Add(1)
+	}
+	s.retireLocked(j)
+	s.mu.Unlock()
+	j.cancel() // release the deadline timer
+	close(j.done)
+}
+
+// retireLocked bounds the finished-job history: beyond cfg.MaxJobs
+// settled jobs, the oldest records vanish from GET /v1/jobs/{id}.
+// Callers hold s.mu.
+func (s *Server) retireLocked(j *job) {
+	s.retired = append(s.retired, j.id)
+	for len(s.retired) > s.cfg.MaxJobs {
+		delete(s.jobs, s.retired[0])
+		s.retired = s.retired[1:]
+	}
+}

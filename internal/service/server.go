@@ -1,0 +1,392 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"d2m"
+)
+
+// Config sizes the service. The zero value is usable: every field has
+// a production-sane default.
+type Config struct {
+	// Workers is the worker-pool size (concurrent simulations).
+	// Zero means runtime.GOMAXPROCS(0).
+	Workers int
+	// QueueDepth bounds the explicit job queue. A POST that finds the
+	// queue full is rejected with 429 + Retry-After rather than
+	// accepted into an unbounded backlog. Zero means 64.
+	QueueDepth int
+	// CacheEntries is the result-cache LRU capacity. Zero means 1024.
+	CacheEntries int
+	// DefaultTimeout is the per-job deadline (queue wait + run) applied
+	// when a request does not set timeout_ms. Zero means no deadline.
+	DefaultTimeout time.Duration
+	// MaxJobs bounds the settled-job history kept for
+	// GET /v1/jobs/{id}. Zero means 4096.
+	MaxJobs int
+	// Runner executes one simulation. Nil means d2m.RunContext; tests
+	// substitute stubs to control timing and observe cancellation.
+	Runner func(ctx context.Context, kind d2m.Kind, bench string, opt d2m.Options) (d2m.Result, error)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.CacheEntries <= 0 {
+		c.CacheEntries = 1024
+	}
+	if c.MaxJobs <= 0 {
+		c.MaxJobs = 4096
+	}
+	if c.Runner == nil {
+		c.Runner = d2m.RunContext
+	}
+	return c
+}
+
+// Server is the simulation service: HTTP handlers over a bounded
+// worker pool, a content-addressed result cache, and single-flight
+// coalescing of identical in-flight requests.
+type Server struct {
+	cfg     Config
+	runner  func(context.Context, d2m.Kind, string, d2m.Options) (d2m.Result, error)
+	metrics *Metrics
+	cache   *resultCache
+	queue   chan *job
+	wg      sync.WaitGroup
+	mux     *http.ServeMux
+	nextID  atomic.Uint64
+
+	baseCtx    context.Context // parent of every job context
+	baseCancel context.CancelFunc
+
+	mu       sync.Mutex
+	draining bool
+	jobs     map[string]*job // by id, settled history bounded by MaxJobs
+	inflight map[string]*job // by cache key: queued or running
+	retired  []string        // settled job ids, oldest first
+}
+
+// New starts a server's worker pool and returns it. Callers serve
+// s.Handler() and, on termination, call Shutdown.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:      cfg,
+		runner:   cfg.Runner,
+		metrics:  &Metrics{},
+		cache:    newResultCache(cfg.CacheEntries),
+		queue:    make(chan *job, cfg.QueueDepth),
+		jobs:     make(map[string]*job),
+		inflight: make(map[string]*job),
+	}
+	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /v1/run", s.handleRun)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	s.mux.HandleFunc("GET /v1/benchmarks", s.handleBenchmarks)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	for i := 0; i < cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// Handler returns the service's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Metrics exposes the service counters (tests and expvar publication).
+func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// Shutdown drains the service: admission stops (new POSTs get 503),
+// queued and running jobs are allowed to finish, and the worker pool
+// exits. If ctx expires first, every outstanding job context is
+// cancelled — simulations abort at their next engine checkpoint — and
+// Shutdown waits for the workers before returning ctx.Err().
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	already := s.draining
+	s.draining = true
+	s.mu.Unlock()
+	if !already {
+		close(s.queue)
+	}
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.baseCancel()
+		<-done
+		return ctx.Err()
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Admission: cache lookup, coalescing, enqueue, backpressure.
+
+// admit resolves a validated request to a job, coalescing onto an
+// identical in-flight job when one exists. The bool reports whether
+// the job was newly created; err is set on backpressure or drain.
+func (s *Server) admit(req RunRequest, kind d2m.Kind, bench string, opt d2m.Options, key string) (*job, bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return nil, false, errDraining
+	}
+	if j, ok := s.inflight[key]; ok {
+		s.metrics.Coalesced.Add(1)
+		j.waiters++
+		if req.Async {
+			j.detached = true
+		}
+		return j, false, nil
+	}
+
+	j := &job{
+		id:      fmt.Sprintf("j%08d", s.nextID.Add(1)),
+		key:     key,
+		kind:    kind,
+		bench:   bench,
+		opt:     opt,
+		done:    make(chan struct{}),
+		state:   JobQueued,
+		created: time.Now(),
+		waiters: 1,
+	}
+	timeout := s.cfg.DefaultTimeout
+	if req.TimeoutMS > 0 {
+		timeout = time.Duration(req.TimeoutMS) * time.Millisecond
+	}
+	if timeout > 0 {
+		j.ctx, j.cancel = context.WithTimeout(s.baseCtx, timeout)
+	} else {
+		j.ctx, j.cancel = context.WithCancel(s.baseCtx)
+	}
+	j.detached = req.Async
+
+	select {
+	case s.queue <- j:
+	default:
+		j.cancel()
+		s.metrics.JobsRejected.Add(1)
+		return nil, false, errQueueFull
+	}
+	s.jobs[j.id] = j
+	s.inflight[key] = j
+	s.metrics.JobsAccepted.Add(1)
+	s.metrics.Queued.Add(1)
+	return j, true, nil
+}
+
+var (
+	errDraining  = fmt.Errorf("server is draining")
+	errQueueFull = fmt.Errorf("job queue is full")
+)
+
+// dropWaiter detaches one waiting client from a job. When the last
+// waiter of a non-async job disconnects before the job settles, the
+// job's context is cancelled so the simulation stops burning CPU.
+func (s *Server) dropWaiter(j *job) {
+	s.mu.Lock()
+	j.waiters--
+	abandon := j.waiters <= 0 && !j.detached &&
+		(j.state == JobQueued || j.state == JobRunning)
+	s.mu.Unlock()
+	if abandon {
+		j.cancel()
+	}
+}
+
+// status snapshots a job's JSON view.
+func (s *Server) status(j *job, cached bool) JobStatus {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := JobStatus{
+		ID:        j.id,
+		State:     j.state,
+		Kind:      j.kind.String(),
+		Benchmark: j.bench,
+		Cached:    cached,
+	}
+	if !j.started.IsZero() {
+		st.QueueWaitMS = float64(j.started.Sub(j.created)) / float64(time.Millisecond)
+		if !j.finished.IsZero() {
+			st.RunMS = float64(j.finished.Sub(j.started)) / float64(time.Millisecond)
+		}
+	}
+	if j.err != nil {
+		st.Error = j.err.Error()
+	}
+	if j.state == JobDone {
+		res := j.result
+		st.Result = &res
+	}
+	return st
+}
+
+// ---------------------------------------------------------------------------
+// HTTP handlers.
+
+const maxBodyBytes = 1 << 20
+
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	var req RunRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad request body: " + err.Error()})
+		return
+	}
+	kind, bench, opt, err := req.normalize()
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+		return
+	}
+	key := cacheKey(kind, bench, opt)
+
+	if res, ok := s.cache.get(key); ok {
+		s.metrics.CacheHits.Add(1)
+		writeJSON(w, http.StatusOK, JobStatus{
+			State: JobDone, Kind: kind.String(), Benchmark: bench,
+			Cached: true, Result: &res,
+		})
+		return
+	}
+	s.metrics.CacheMisses.Add(1)
+
+	j, _, err := s.admit(req, kind, bench, opt, key)
+	switch err {
+	case nil:
+	case errQueueFull:
+		w.Header().Set("Retry-After", fmt.Sprintf("%d", s.retryAfterSeconds()))
+		writeJSON(w, http.StatusTooManyRequests, errorBody{Error: err.Error()})
+		return
+	case errDraining:
+		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: err.Error()})
+		return
+	default:
+		writeJSON(w, http.StatusInternalServerError, errorBody{Error: err.Error()})
+		return
+	}
+
+	if req.Async {
+		writeJSON(w, http.StatusAccepted, s.status(j, false))
+		return
+	}
+
+	select {
+	case <-j.done:
+		st := s.status(j, false)
+		writeJSON(w, statusCode(st.State), st)
+	case <-r.Context().Done():
+		// The client went away; free our hold on the job (cancelling
+		// it if we were the last interested party). Nobody is left to
+		// read the response.
+		s.dropWaiter(j)
+	}
+}
+
+// statusCode maps a settled job state to its HTTP status.
+func statusCode(st JobState) int {
+	switch st {
+	case JobDone:
+		return http.StatusOK
+	case JobCanceled:
+		return http.StatusGatewayTimeout
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// retryAfterSeconds estimates how long a rejected client should back
+// off: the queue backlog divided by the pool width, at least a second.
+func (s *Server) retryAfterSeconds() int {
+	backlog := int(s.metrics.Queued.Load())
+	secs := 1 + backlog/s.cfg.Workers
+	if secs < 1 {
+		secs = 1
+	}
+	return secs
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	j, ok := s.jobs[r.PathValue("id")]
+	s.mu.Unlock()
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorBody{Error: "unknown job id"})
+		return
+	}
+	writeJSON(w, http.StatusOK, s.status(j, false))
+}
+
+// benchmarksBody is the GET /v1/benchmarks response: everything a
+// client needs to compose a valid RunRequest.
+type benchmarksBody struct {
+	Suites     map[string][]string `json:"suites"`
+	Kinds      []string            `json:"kinds"`
+	Topologies []string            `json:"topologies"`
+	Placements []string            `json:"placements"`
+}
+
+func (s *Server) handleBenchmarks(w http.ResponseWriter, r *http.Request) {
+	body := benchmarksBody{
+		Suites:     make(map[string][]string),
+		Kinds:      d2m.KindNames(),
+		Topologies: d2m.Topologies(),
+		Placements: d2m.Placements(),
+	}
+	for _, suite := range d2m.Suites() {
+		body.Suites[suite] = d2m.BenchmarksOf(suite)
+	}
+	writeJSON(w, http.StatusOK, body)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	body := map[string]interface{}{
+		"status":  "ok",
+		"queued":  s.metrics.Queued.Load(),
+		"running": s.metrics.Running.Load(),
+		"cached":  s.cache.len(),
+	}
+	code := http.StatusOK
+	if draining {
+		body["status"] = "draining"
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, body)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.metrics.WritePrometheus(w)
+}
+
+func writeJSON(w http.ResponseWriter, code int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}

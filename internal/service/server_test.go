@@ -1,0 +1,513 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"d2m"
+)
+
+// newTestServer builds a service with the given config and an HTTP
+// front end; both are torn down with the test.
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	s := New(cfg)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		s.Shutdown(ctx)
+	})
+	return s, ts
+}
+
+// postRun posts a request body to /v1/run and decodes the response.
+func postRun(t *testing.T, ts *httptest.Server, body string) (int, JobStatus, http.Header) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/v1/run", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST /v1/run: %v", err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	var st JobStatus
+	if err := json.Unmarshal(raw, &st); err != nil {
+		t.Fatalf("decode %q: %v", raw, err)
+	}
+	return resp.StatusCode, st, resp.Header
+}
+
+// stubResult is what stub runners return: distinguishable per request.
+func stubResult(kind d2m.Kind, bench string, opt d2m.Options) d2m.Result {
+	return d2m.Result{Kind: kind, Benchmark: bench, Cycles: 1000 + opt.Seed}
+}
+
+// TestEndToEndMatchesRun posts a real simulation and checks the JSON
+// result is byte-identical to what the library (and therefore
+// d2msim -json) produces for the same parameters.
+func TestEndToEndMatchesRun(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2})
+	body := `{"kind":"d2m-ns-r","benchmark":"tpc-c","nodes":2,"warmup":2000,"measure":8000,"seed":7}`
+	code, st, _ := postRun(t, ts, body)
+	if code != http.StatusOK {
+		t.Fatalf("POST = %d, want 200 (%+v)", code, st)
+	}
+	if st.State != JobDone || st.Result == nil {
+		t.Fatalf("state = %s, result nil = %v", st.State, st.Result == nil)
+	}
+
+	want, err := d2m.Run(d2m.D2MNSR, "tpc-c", d2m.Options{Nodes: 2, Warmup: 2000, Measure: 8000, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := json.Marshal(st.Result)
+	wantJSON, _ := json.Marshal(want)
+	if !bytes.Equal(got, wantJSON) {
+		t.Errorf("server result differs from d2m.Run:\n got %s\nwant %s", got, wantJSON)
+	}
+}
+
+// TestCacheHit checks a repeated identical request is served from the
+// cache without a second simulation, and that spelling differences
+// (kind case/dashes, explicit defaults) do not defeat the content
+// address.
+func TestCacheHit(t *testing.T) {
+	var runs atomic.Int64
+	s, ts := newTestServer(t, Config{
+		Workers: 1,
+		Runner: func(ctx context.Context, kind d2m.Kind, bench string, opt d2m.Options) (d2m.Result, error) {
+			runs.Add(1)
+			return stubResult(kind, bench, opt), nil
+		},
+	})
+	first := `{"kind":"d2m-fs","benchmark":"canneal","nodes":4}`
+	code, st, _ := postRun(t, ts, first)
+	if code != http.StatusOK || st.Cached {
+		t.Fatalf("first post: code %d cached %v", code, st.Cached)
+	}
+	// Same simulation, different spelling: kind case, explicit default.
+	second := `{"kind":"D2MFS","benchmark":"canneal","nodes":4,"mdscale":1}`
+	code, st, _ = postRun(t, ts, second)
+	if code != http.StatusOK {
+		t.Fatalf("second post: code %d", code)
+	}
+	if !st.Cached {
+		t.Error("second identical request was not served from cache")
+	}
+	if got := runs.Load(); got != 1 {
+		t.Errorf("runner invoked %d times, want 1", got)
+	}
+	if got := s.Metrics().CacheHits.Load(); got != 1 {
+		t.Errorf("cache hits = %d, want 1", got)
+	}
+}
+
+// TestCoalescing fires many concurrent identical requests while the
+// simulation is held, then checks exactly one simulation ran and every
+// client got the result.
+func TestCoalescing(t *testing.T) {
+	const clients = 8
+	var runs atomic.Int64
+	release := make(chan struct{})
+	s, ts := newTestServer(t, Config{
+		Workers: 2,
+		Runner: func(ctx context.Context, kind d2m.Kind, bench string, opt d2m.Options) (d2m.Result, error) {
+			runs.Add(1)
+			<-release
+			return stubResult(kind, bench, opt), nil
+		},
+	})
+	body := `{"kind":"d2m-ns","benchmark":"tpc-c","nodes":2}`
+	var wg sync.WaitGroup
+	codes := make([]int, clients)
+	results := make([]JobStatus, clients)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			codes[i], results[i], _ = postRun(t, ts, body)
+		}(i)
+	}
+	// Every request has passed the cache check once CacheMisses hits
+	// the client count; only then is the single simulation released.
+	deadline := time.Now().Add(5 * time.Second)
+	for s.Metrics().CacheMisses.Load() < clients {
+		if time.Now().After(deadline) {
+			t.Fatal("timed out waiting for requests to reach admission")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	wg.Wait()
+
+	for i := 0; i < clients; i++ {
+		if codes[i] != http.StatusOK {
+			t.Fatalf("client %d: code %d (%+v)", i, codes[i], results[i])
+		}
+		if results[i].Result == nil || results[i].Result.Cycles != 1000 {
+			t.Fatalf("client %d: bad result %+v", i, results[i].Result)
+		}
+	}
+	if got := runs.Load(); got != 1 {
+		t.Errorf("runner invoked %d times for %d identical requests, want 1", got, clients)
+	}
+	if got := s.Metrics().Coalesced.Load(); got != clients-1 {
+		t.Errorf("coalesced = %d, want %d", got, clients-1)
+	}
+}
+
+// TestBackpressure checks the bounded queue rejects overflow with 429
+// and a Retry-After hint.
+func TestBackpressure(t *testing.T) {
+	started := make(chan struct{}, 8)
+	release := make(chan struct{})
+	s, ts := newTestServer(t, Config{
+		Workers:    1,
+		QueueDepth: 1,
+		Runner: func(ctx context.Context, kind d2m.Kind, bench string, opt d2m.Options) (d2m.Result, error) {
+			started <- struct{}{}
+			<-release
+			return stubResult(kind, bench, opt), nil
+		},
+	})
+	defer close(release)
+
+	// Distinct seeds keep the three requests from coalescing.
+	post := func(seed int) (int, http.Header) {
+		code, _, hdr := postRun(t, ts, fmt.Sprintf(
+			`{"kind":"base-2l","benchmark":"tpc-c","seed":%d,"async":true}`, seed))
+		return code, hdr
+	}
+	if code, _ := post(1); code != http.StatusAccepted {
+		t.Fatalf("job 1: code %d, want 202", code)
+	}
+	<-started // job 1 occupies the only worker
+	if code, _ := post(2); code != http.StatusAccepted {
+		t.Fatalf("job 2: code %d, want 202", code)
+	}
+	code, hdr := post(3) // queue slot taken by job 2
+	if code != http.StatusTooManyRequests {
+		t.Fatalf("job 3: code %d, want 429", code)
+	}
+	if hdr.Get("Retry-After") == "" {
+		t.Error("429 response missing Retry-After header")
+	}
+	if got := s.Metrics().JobsRejected.Load(); got != 1 {
+		t.Errorf("rejected = %d, want 1", got)
+	}
+}
+
+// TestDeadlineCancelFreesWorker posts a job with a 1ms deadline whose
+// runner only ends on cancellation, then checks the job reports
+// canceled and the (single) worker is free to run the next job.
+func TestDeadlineCancelFreesWorker(t *testing.T) {
+	s, ts := newTestServer(t, Config{
+		Workers: 1,
+		Runner: func(ctx context.Context, kind d2m.Kind, bench string, opt d2m.Options) (d2m.Result, error) {
+			if opt.Seed == 1 { // the doomed job: runs until its deadline fires
+				<-ctx.Done()
+				return d2m.Result{}, ctx.Err()
+			}
+			return stubResult(kind, bench, opt), nil
+		},
+	})
+	code, st, _ := postRun(t, ts, `{"kind":"base-3l","benchmark":"tpc-c","seed":1,"timeout_ms":1}`)
+	if code != http.StatusGatewayTimeout || st.State != JobCanceled {
+		t.Fatalf("doomed job: code %d state %s, want 504/canceled", code, st.State)
+	}
+	if got := s.Metrics().JobsCanceled.Load(); got != 1 {
+		t.Errorf("canceled = %d, want 1", got)
+	}
+	// The worker must be free again: a normal job completes.
+	code, st, _ = postRun(t, ts, `{"kind":"base-3l","benchmark":"tpc-c","seed":2}`)
+	if code != http.StatusOK || st.State != JobDone {
+		t.Fatalf("follow-up job: code %d state %s, want 200/done", code, st.State)
+	}
+}
+
+// TestClientDisconnectCancels checks that when the only waiting client
+// goes away, the job's context is cancelled and the simulation stops.
+func TestClientDisconnectCancels(t *testing.T) {
+	started := make(chan struct{})
+	s, ts := newTestServer(t, Config{
+		Workers: 1,
+		Runner: func(ctx context.Context, kind d2m.Kind, bench string, opt d2m.Options) (d2m.Result, error) {
+			close(started)
+			<-ctx.Done()
+			return d2m.Result{}, ctx.Err()
+		},
+	})
+	reqCtx, cancelReq := context.WithCancel(context.Background())
+	req, _ := http.NewRequestWithContext(reqCtx, "POST", ts.URL+"/v1/run",
+		strings.NewReader(`{"kind":"d2m-ns-r","benchmark":"tpc-c"}`))
+	errc := make(chan error, 1)
+	go func() {
+		_, err := ts.Client().Do(req)
+		errc <- err
+	}()
+	<-started   // the simulation is running
+	cancelReq() // the client hangs up
+	if err := <-errc; err == nil {
+		t.Error("expected the aborted request to error")
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for s.Metrics().JobsCanceled.Load() != 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("job was not cancelled after its only client disconnected")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestGracefulShutdown drains a busy server and checks every admitted
+// job finished and post-drain requests are refused.
+func TestGracefulShutdown(t *testing.T) {
+	const jobs = 4
+	s, ts := newTestServer(t, Config{
+		Workers: 2,
+		Runner: func(ctx context.Context, kind d2m.Kind, bench string, opt d2m.Options) (d2m.Result, error) {
+			time.Sleep(20 * time.Millisecond)
+			return stubResult(kind, bench, opt), nil
+		},
+	})
+	for i := 0; i < jobs; i++ {
+		code, _, _ := postRun(t, ts, fmt.Sprintf(
+			`{"kind":"d2m-fs","benchmark":"tpc-c","seed":%d,"async":true}`, i+1))
+		if code != http.StatusAccepted {
+			t.Fatalf("job %d: code %d", i, code)
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	if got := s.Metrics().JobsDone.Load(); got != jobs {
+		t.Errorf("after drain, done = %d, want %d", got, jobs)
+	}
+	code, _, _ := postRun(t, ts, `{"kind":"d2m-fs","benchmark":"tpc-c","seed":99}`)
+	if code != http.StatusServiceUnavailable {
+		t.Errorf("post-drain POST = %d, want 503", code)
+	}
+}
+
+// TestShutdownDeadline checks an expired drain budget cancels the
+// outstanding jobs rather than hanging.
+func TestShutdownDeadline(t *testing.T) {
+	started := make(chan struct{})
+	s, ts := newTestServer(t, Config{
+		Workers: 1,
+		Runner: func(ctx context.Context, kind d2m.Kind, bench string, opt d2m.Options) (d2m.Result, error) {
+			close(started)
+			<-ctx.Done()
+			return d2m.Result{}, ctx.Err()
+		},
+	})
+	code, _, _ := postRun(t, ts, `{"kind":"d2m-ns","benchmark":"tpc-c","async":true}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("post: code %d", code)
+	}
+	<-started
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != context.DeadlineExceeded {
+		t.Fatalf("Shutdown = %v, want DeadlineExceeded", err)
+	}
+	if got := s.Metrics().JobsCanceled.Load(); got != 1 {
+		t.Errorf("canceled = %d, want 1", got)
+	}
+}
+
+// TestAsyncJobLifecycle submits async and polls GET /v1/jobs/{id}.
+func TestAsyncJobLifecycle(t *testing.T) {
+	_, ts := newTestServer(t, Config{
+		Workers: 1,
+		Runner: func(ctx context.Context, kind d2m.Kind, bench string, opt d2m.Options) (d2m.Result, error) {
+			return stubResult(kind, bench, opt), nil
+		},
+	})
+	code, st, _ := postRun(t, ts, `{"kind":"d2m-hybrid","benchmark":"tpc-c","async":true}`)
+	if code != http.StatusAccepted || st.ID == "" {
+		t.Fatalf("async post: code %d id %q", code, st.ID)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resp, err := http.Get(ts.URL + "/v1/jobs/" + st.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var cur JobStatus
+		json.NewDecoder(resp.Body).Decode(&cur)
+		resp.Body.Close()
+		if cur.State == JobDone {
+			if cur.Result == nil {
+				t.Fatal("done job has no result")
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck in state %s", cur.State)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if resp, _ := http.Get(ts.URL + "/v1/jobs/nonesuch"); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown job id: code %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestRequestValidation checks malformed requests are rejected with
+// 400 through the shared d2m parse helpers.
+func TestRequestValidation(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1,
+		Runner: func(ctx context.Context, kind d2m.Kind, bench string, opt d2m.Options) (d2m.Result, error) {
+			t.Error("runner invoked for an invalid request")
+			return d2m.Result{}, nil
+		},
+	})
+	cases := []struct {
+		name, body string
+	}{
+		{"malformed json", `{"kind":`},
+		{"unknown field", `{"kind":"d2m-fs","benchmark":"tpc-c","bogus":1}`},
+		{"unknown kind", `{"kind":"d2m-xl","benchmark":"tpc-c"}`},
+		{"unknown benchmark", `{"kind":"d2m-fs","benchmark":"nonesuch"}`},
+		{"unknown topology", `{"kind":"d2m-fs","benchmark":"tpc-c","topology":"hypercube"}`},
+		{"unknown placement", `{"kind":"d2m-ns","benchmark":"tpc-c","placement":"random"}`},
+		{"nodes out of range", `{"kind":"d2m-fs","benchmark":"tpc-c","nodes":9}`},
+		{"bad mdscale", `{"kind":"d2m-fs","benchmark":"tpc-c","mdscale":3}`},
+		{"negative measure", `{"kind":"d2m-fs","benchmark":"tpc-c","measure":-5}`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, err := http.Post(ts.URL+"/v1/run", "application/json", strings.NewReader(tc.body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusBadRequest {
+				t.Errorf("code %d, want 400", resp.StatusCode)
+			}
+			var eb errorBody
+			if json.NewDecoder(resp.Body).Decode(&eb); eb.Error == "" {
+				t.Error("400 response has no error message")
+			}
+		})
+	}
+}
+
+// TestBenchmarksEndpoint checks the catalogue response.
+func TestBenchmarksEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	resp, err := http.Get(ts.URL + "/v1/benchmarks")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var body benchmarksBody
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if len(body.Suites) != len(d2m.Suites()) {
+		t.Errorf("suites = %d, want %d", len(body.Suites), len(d2m.Suites()))
+	}
+	found := false
+	for _, k := range body.Kinds {
+		if k == "D2M-NS-R" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("kinds %v missing D2M-NS-R", body.Kinds)
+	}
+	if len(body.Topologies) == 0 || len(body.Placements) == 0 {
+		t.Error("empty topology/placement lists")
+	}
+}
+
+// TestMetricsAndHealthz exercises the observability endpoints.
+func TestMetricsAndHealthz(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1,
+		Runner: func(ctx context.Context, kind d2m.Kind, bench string, opt d2m.Options) (d2m.Result, error) {
+			return stubResult(kind, bench, opt), nil
+		},
+	})
+	if code, _, _ := postRun(t, ts, `{"kind":"base-2l","benchmark":"tpc-c"}`); code != http.StatusOK {
+		t.Fatalf("post: %d", code)
+	}
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	text := string(raw)
+	for _, want := range []string{
+		"d2m_jobs_done_total 1",
+		"d2m_cache_misses_total 1",
+		"d2m_run_seconds_bucket{le=\"+Inf\"} 1",
+		"d2m_queue_wait_seconds_count 1",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+
+	resp, err = http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("healthz = %d, want 200", resp.StatusCode)
+	}
+}
+
+// TestResultCacheLRU checks the bound and eviction order of the cache.
+func TestResultCacheLRU(t *testing.T) {
+	c := newResultCache(2)
+	c.put("a", d2m.Result{Cycles: 1})
+	c.put("b", d2m.Result{Cycles: 2})
+	if _, ok := c.get("a"); !ok { // refresh a; b is now LRU
+		t.Fatal("a missing")
+	}
+	c.put("c", d2m.Result{Cycles: 3})
+	if _, ok := c.get("b"); ok {
+		t.Error("b should have been evicted")
+	}
+	if _, ok := c.get("a"); !ok {
+		t.Error("a should have survived (recently used)")
+	}
+	if c.len() != 2 {
+		t.Errorf("len = %d, want 2", c.len())
+	}
+}
+
+// TestCacheKeyCanonical checks the content address ignores spelling
+// and handling knobs but distinguishes simulation parameters.
+func TestCacheKeyCanonical(t *testing.T) {
+	base := d2m.Options{Nodes: 4}.WithDefaults()
+	k1 := cacheKey(d2m.D2MNSR, "tpc-c", d2m.Options{Nodes: 4})
+	k2 := cacheKey(d2m.D2MNSR, "tpc-c", base)
+	if k1 != k2 {
+		t.Error("defaulted and explicit options hash differently")
+	}
+	if cacheKey(d2m.D2MNSR, "tpc-c", base) == cacheKey(d2m.D2MNS, "tpc-c", base) {
+		t.Error("different kinds share a key")
+	}
+	seeded := base
+	seeded.Seed = 1
+	if cacheKey(d2m.D2MNSR, "tpc-c", base) == cacheKey(d2m.D2MNSR, "tpc-c", seeded) {
+		t.Error("different seeds share a key")
+	}
+}

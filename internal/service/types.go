@@ -1,0 +1,140 @@
+// Package service implements the d2mserver simulation service: an
+// HTTP/JSON API over the root d2m package with a bounded worker pool,
+// an explicit job queue with backpressure, a content-addressed result
+// cache with single-flight coalescing of duplicate requests, per-job
+// deadlines with client-disconnect cancellation, and Prometheus-style
+// metrics. cmd/d2mserver is the thin binary around it.
+package service
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"d2m"
+)
+
+// RunRequest is the body of POST /v1/run. The simulation fields mirror
+// d2m.Options; zero values take the paper's defaults. TimeoutMS and
+// Async control job handling and do not affect the cache identity.
+type RunRequest struct {
+	Kind      string `json:"kind"`
+	Benchmark string `json:"benchmark"`
+	Nodes     int    `json:"nodes,omitempty"`
+	Warmup    int    `json:"warmup,omitempty"`
+	Measure   int    `json:"measure,omitempty"`
+	Seed      uint64 `json:"seed,omitempty"`
+	MDScale   int    `json:"mdscale,omitempty"`
+	Bypass    bool   `json:"bypass,omitempty"`
+	Prefetch  bool   `json:"prefetch,omitempty"`
+	Topology  string `json:"topology,omitempty"`
+	Placement string `json:"placement,omitempty"`
+
+	// TimeoutMS caps this job's total lifetime (queue wait + run) in
+	// milliseconds. Zero takes the server's default deadline.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// Async makes POST /v1/run return 202 with the job id immediately;
+	// the result is collected via GET /v1/jobs/{id}.
+	Async bool `json:"async,omitempty"`
+}
+
+// normalize validates the request through the root package's shared
+// parse helpers and returns the canonical simulation identity.
+func (r RunRequest) normalize() (d2m.Kind, string, d2m.Options, error) {
+	kind, err := d2m.ParseKind(r.Kind)
+	if err != nil {
+		return 0, "", d2m.Options{}, err
+	}
+	if _, ok := d2m.SuiteOf(r.Benchmark); !ok {
+		return 0, "", d2m.Options{}, fmt.Errorf("d2m: unknown benchmark %q (see GET /v1/benchmarks)", r.Benchmark)
+	}
+	opt := d2m.Options{
+		Nodes:     r.Nodes,
+		Warmup:    r.Warmup,
+		Measure:   r.Measure,
+		Seed:      r.Seed,
+		MDScale:   r.MDScale,
+		Bypass:    r.Bypass,
+		Prefetch:  r.Prefetch,
+		Topology:  r.Topology,
+		Placement: r.Placement,
+	}.WithDefaults()
+	if err := opt.Validate(); err != nil {
+		return 0, "", d2m.Options{}, err
+	}
+	return kind, r.Benchmark, opt, nil
+}
+
+// cacheKey is the content address of a simulation: the hash of the
+// canonical (kind, benchmark, defaulted Options) tuple. Requests that
+// differ only in presentation (kind spelling, explicit-vs-defaulted
+// fields) or in handling knobs (timeout, async) share a key and
+// therefore share one simulation.
+func cacheKey(kind d2m.Kind, bench string, opt d2m.Options) string {
+	h := sha256.New()
+	json.NewEncoder(h).Encode(struct {
+		Kind  string
+		Bench string
+		Opt   d2m.Options
+	}{kind.String(), bench, opt.WithDefaults()})
+	return hex.EncodeToString(h.Sum(nil)[:16])
+}
+
+// JobState is a job's position in its lifecycle.
+type JobState string
+
+const (
+	JobQueued   JobState = "queued"
+	JobRunning  JobState = "running"
+	JobDone     JobState = "done"
+	JobFailed   JobState = "failed"
+	JobCanceled JobState = "canceled"
+)
+
+// job is the server's internal record of one admitted simulation.
+// Fields below the marker are guarded by Server.mu until done is
+// closed, after which they are immutable.
+type job struct {
+	id     string
+	key    string
+	kind   d2m.Kind
+	bench  string
+	opt    d2m.Options
+	ctx    context.Context
+	cancel context.CancelFunc
+	done   chan struct{}
+
+	// guarded by Server.mu until done closes.
+	state    JobState
+	result   d2m.Result
+	err      error
+	waiters  int
+	detached bool // async jobs outlive their submitting request
+	created  time.Time
+	started  time.Time
+	finished time.Time
+}
+
+// JobStatus is the JSON view of a job (GET /v1/jobs/{id} and the
+// synchronous POST /v1/run response).
+type JobStatus struct {
+	ID        string   `json:"id"`
+	State     JobState `json:"state"`
+	Kind      string   `json:"kind"`
+	Benchmark string   `json:"benchmark"`
+	// Cached is set on POST responses served from the result cache
+	// without touching the queue.
+	Cached      bool        `json:"cached,omitempty"`
+	QueueWaitMS float64     `json:"queue_wait_ms,omitempty"`
+	RunMS       float64     `json:"run_ms,omitempty"`
+	Error       string      `json:"error,omitempty"`
+	Result      *d2m.Result `json:"result,omitempty"`
+}
+
+// errorBody is the JSON error envelope.
+type errorBody struct {
+	Error string `json:"error"`
+}

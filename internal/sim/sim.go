@@ -5,6 +5,8 @@
 package sim
 
 import (
+	"context"
+
 	"d2m/internal/baseline"
 	"d2m/internal/core"
 	"d2m/internal/mem"
@@ -164,7 +166,26 @@ func NewEngine(m Machine, nodes int) *Engine {
 // is any access stream — typically a trace.Interleaver over workload
 // generators, or a trace.Reader replaying a recorded run.
 func (e *Engine) Run(iv trace.Stream, warmup, measure int) Report {
+	rep, _ := e.RunContext(context.Background(), iv, warmup, measure)
+	return rep
+}
+
+// cancelCheckInterval is how many accesses pass between ctx.Err() polls
+// in RunContext. A poll is two atomic loads; at this stride the cost is
+// unmeasurable while a cancelled run stops within a few microseconds of
+// simulated work.
+const cancelCheckInterval = 4096
+
+// RunContext is Run with cooperative cancellation: the run loop polls
+// ctx every cancelCheckInterval accesses (in warmup and measurement
+// alike) and abandons the simulation with ctx.Err() once the context is
+// done, so a killed job stops burning CPU mid-run. The partial report is
+// discarded — a cancelled run returns a zero Report.
+func (e *Engine) RunContext(ctx context.Context, iv trace.Stream, warmup, measure int) (Report, error) {
 	for i := 0; i < warmup; i++ {
+		if i%cancelCheckInterval == 0 && ctx.Err() != nil {
+			return Report{}, ctx.Err()
+		}
 		a := iv.Next()
 		e.m.Access(a)
 	}
@@ -177,6 +198,9 @@ func (e *Engine) Run(iv trace.Stream, warmup, measure int) Report {
 	e.report = Report{NodeCycles: make([]uint64, e.nodes), missLat: make([]uint64, missLatBuckets)}
 
 	for i := 0; i < measure; i++ {
+		if i%cancelCheckInterval == 0 && ctx.Err() != nil {
+			return Report{}, ctx.Err()
+		}
 		e.step(iv.Next())
 	}
 
@@ -187,7 +211,7 @@ func (e *Engine) Run(iv trace.Stream, warmup, measure int) Report {
 		}
 	}
 	e.report.Instructions = e.report.FetchAccesses * InstructionsPerFetch
-	return e.report
+	return e.report, nil
 }
 
 // step processes one access through the timing model.

@@ -1,6 +1,7 @@
 package d2m
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
@@ -331,21 +332,20 @@ func coreConfig(kind Kind, opt Options) core.Config {
 // Run simulates one benchmark on one configuration and returns the
 // extracted metrics.
 func Run(kind Kind, bench string, opt Options) (Result, error) {
+	return RunContext(context.Background(), kind, bench, opt)
+}
+
+// RunContext is Run with cooperative cancellation: when ctx is
+// cancelled or its deadline passes, the simulation stops at the next
+// engine checkpoint and ctx.Err() is returned. Long-running services
+// (cmd/d2mserver) use it to free a worker the moment a job is killed.
+func RunContext(ctx context.Context, kind Kind, bench string, opt Options) (Result, error) {
 	opt = opt.withDefaults()
 	sp, ok := workloads.ByName(bench)
 	if !ok {
 		return Result{}, fmt.Errorf("d2m: unknown benchmark %q (see Benchmarks())", bench)
 	}
-	if opt.Nodes < 1 || opt.Nodes > 8 {
-		return Result{}, fmt.Errorf("d2m: Nodes = %d out of range 1..8", opt.Nodes)
-	}
-	if opt.MDScale != 1 && opt.MDScale != 2 && opt.MDScale != 4 {
-		return Result{}, fmt.Errorf("d2m: MDScale = %d, want 1, 2 or 4", opt.MDScale)
-	}
-	if _, err := opt.placement(); err != nil {
-		return Result{}, err
-	}
-	if _, err := opt.topology(); err != nil {
+	if err := opt.Validate(); err != nil {
 		return Result{}, err
 	}
 
@@ -353,30 +353,45 @@ func Run(kind Kind, bench string, opt Options) (Result, error) {
 	iv := trace.NewInterleaver(streams)
 
 	res := Result{Kind: kind, Benchmark: sp.Name, Suite: sp.Suite}
-	res.measure(kind, opt, iv)
+	if err := res.measureContext(ctx, kind, opt, iv); err != nil {
+		return Result{}, err
+	}
 	return res, nil
 }
 
 // measure runs the stream on the kind's machine and fills the result.
 func (r *Result) measure(kind Kind, opt Options, src trace.Stream) {
+	r.measureContext(context.Background(), kind, opt, src)
+}
+
+// measureContext runs the stream on the kind's machine and fills the
+// result, abandoning the run when ctx is done.
+func (r *Result) measureContext(ctx context.Context, kind Kind, opt Options, src trace.Stream) error {
 	var flitHops uint64
 	switch kind {
 	case Base2L, Base3L:
 		s := newBaseline(baselineConfig(kind, opt))
 		engine := sim.NewEngine(sim.WrapBaseline(s), opt.Nodes)
-		rep := engine.Run(src, opt.Warmup, opt.Measure)
+		rep, err := engine.RunContext(ctx, src, opt.Warmup, opt.Measure)
+		if err != nil {
+			return err
+		}
 		r.fillCommon(rep)
 		r.fillBaseline(s, rep)
 		flitHops = s.Meter().Count(energy.OpNoCFlit)
 	default:
 		s := newCore(coreConfig(kind, opt))
 		engine := sim.NewEngine(sim.WrapCore(s), opt.Nodes)
-		rep := engine.Run(src, opt.Warmup, opt.Measure)
+		rep, err := engine.RunContext(ctx, src, opt.Warmup, opt.Measure)
+		if err != nil {
+			return err
+		}
 		r.fillCommon(rep)
 		r.fillCore(s, rep, kind)
 		flitHops = s.Meter().Count(energy.OpNoCFlit)
 	}
 	r.applyBandwidth(opt, flitHops)
+	return nil
 }
 
 // applyBandwidth stretches the runtime when the interconnect cannot
@@ -562,8 +577,8 @@ func RunTrace(kind Kind, r io.Reader, opt Options) (Result, error) {
 	if max := rd.MaxNode(); max >= opt.Nodes {
 		return Result{}, fmt.Errorf("d2m: trace uses node %d but Nodes = %d", max, opt.Nodes)
 	}
-	if opt.MDScale != 1 && opt.MDScale != 2 && opt.MDScale != 4 {
-		return Result{}, fmt.Errorf("d2m: MDScale = %d, want 1, 2 or 4", opt.MDScale)
+	if err := opt.Validate(); err != nil {
+		return Result{}, err
 	}
 	res := Result{Kind: kind, Benchmark: "trace"}
 	res.measure(kind, opt, rd)
