@@ -12,13 +12,21 @@
 //	    -d '{"kind":"d2m-ns-r","benchmark":"tpc-c","nodes":8}' | jq .result.Cycles
 //	curl -s localhost:8080/metrics | grep d2m_cache
 //
-// Endpoints:
+// Endpoints (docs/api.md has the full schemas and error codes):
 //
-//	POST /v1/run        run (or fetch from cache) one simulation; "async":true returns a job id
-//	GET  /v1/jobs/{id}  job status and, once done, the result
-//	GET  /v1/benchmarks catalogue of benchmarks, kinds, topologies, placements
-//	GET  /healthz       liveness (503 while draining)
-//	GET  /metrics       Prometheus text metrics (also on expvar as "d2mserver")
+//	POST   /v1/run         run (or fetch from cache) one simulation; "async":true returns a job id
+//	GET    /v1/jobs        list jobs newest first (?state=, ?limit=, ?cursor=)
+//	GET    /v1/jobs/{id}   job status and, once done, the result
+//	POST   /v1/sweeps      run a parameter grid server-side; returns a sweep id
+//	GET    /v1/sweeps/{id} sweep progress (done/failed/total, ETA) and, once done, the aggregate
+//	DELETE /v1/sweeps/{id} cancel a sweep's outstanding cells
+//	GET    /v1/benchmarks  catalogue of benchmarks, kinds, topologies, placements
+//	GET    /healthz        liveness (503 while draining)
+//	GET    /metrics        Prometheus text metrics (also on expvar as "d2mserver")
+//
+// With -store, completed simulations are journaled to an append-only
+// JSONL file and replayed into the result cache at startup, so a
+// restarted server resumes sweeps instead of recomputing them.
 //
 // SIGINT/SIGTERM starts a graceful drain: admission stops, queued and
 // running jobs finish (up to -drain-timeout), then the process exits.
@@ -48,15 +56,20 @@ func main() {
 		cacheEntries = flag.Int("cache", 1024, "result cache capacity (entries)")
 		timeout      = flag.Duration("timeout", 2*time.Minute, "default per-job deadline (0 = none)")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown budget")
+		storePath    = flag.String("store", "", "persistent result store (append-only JSONL journal; empty = in-memory only)")
 	)
 	flag.Parse()
 
-	svc := service.New(service.Config{
+	svc, err := service.New(service.Config{
 		Workers:        *workers,
 		QueueDepth:     *queueDepth,
 		CacheEntries:   *cacheEntries,
 		DefaultTimeout: *timeout,
+		StorePath:      *storePath,
 	})
+	if err != nil {
+		log.Fatalf("service: %v", err)
+	}
 	expvar.Publish("d2mserver", expvar.Func(func() interface{} {
 		return svc.Metrics().Snapshot()
 	}))

@@ -1,0 +1,265 @@
+package main
+
+// This file is the experiments command's client side of d2mserver:
+// -server points the experiment drivers' simulations at a running
+// service (sharing its content-addressed result cache across
+// invocations), and -sweep runs a parameter grid — remotely through
+// POST /v1/sweeps when -server is set, locally through the same
+// d2m.SweepSpec machinery otherwise.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"d2m"
+	"d2m/internal/report"
+	"d2m/internal/service"
+)
+
+// remoteError decodes the service's error envelope for messages.
+type remoteError struct {
+	Error service.ErrorInfo `json:"error"`
+}
+
+func remoteMessage(status string, raw []byte) string {
+	var re remoteError
+	if json.Unmarshal(raw, &re) == nil && re.Error.Message != "" {
+		return fmt.Sprintf("server: %s (%s)", re.Error.Message, re.Error.Code)
+	}
+	return fmt.Sprintf("server: %s", status)
+}
+
+// runRequestFor translates a driver simulation into the wire request.
+func runRequestFor(kind d2m.Kind, bench string, opt d2m.Options) service.RunRequest {
+	return service.RunRequest{
+		Kind: kind.String(), Benchmark: bench,
+		Nodes: opt.Nodes, Warmup: opt.Warmup, Measure: opt.Measure,
+		Seed: opt.Seed, MDScale: opt.MDScale,
+		Bypass: opt.Bypass, Prefetch: opt.Prefetch,
+		Topology: opt.Topology, Placement: opt.Placement,
+		LinkBandwidth: opt.LinkBandwidth,
+	}
+}
+
+// serverRunner returns a d2m.ExperimentRunner that posts each
+// simulation to the service, honouring 429 backpressure by backing off
+// for the advertised Retry-After.
+func serverRunner(base string) func(d2m.Kind, string, d2m.Options) (d2m.Result, error) {
+	return func(kind d2m.Kind, bench string, opt d2m.Options) (d2m.Result, error) {
+		body, err := json.Marshal(runRequestFor(kind, bench, opt))
+		if err != nil {
+			return d2m.Result{}, err
+		}
+		for {
+			resp, err := http.Post(base+"/v1/run", "application/json", bytes.NewReader(body))
+			if err != nil {
+				return d2m.Result{}, err
+			}
+			raw, err := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if err != nil {
+				return d2m.Result{}, err
+			}
+			if resp.StatusCode == http.StatusTooManyRequests {
+				delay := time.Second
+				if s, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && s > 0 {
+					delay = time.Duration(s) * time.Second
+				}
+				if delay > 5*time.Second {
+					delay = 5 * time.Second
+				}
+				time.Sleep(delay)
+				continue
+			}
+			if resp.StatusCode != http.StatusOK {
+				return d2m.Result{}, fmt.Errorf("%s/%s: %s", kind, bench, remoteMessage(resp.Status, raw))
+			}
+			var st service.JobStatus
+			if err := json.Unmarshal(raw, &st); err != nil {
+				return d2m.Result{}, err
+			}
+			if st.Result == nil {
+				return d2m.Result{}, fmt.Errorf("%s/%s: server returned no result", kind, bench)
+			}
+			return *st.Result, nil
+		}
+	}
+}
+
+// parseSweepSpec reads the -sweep argument: inline JSON, or @file.
+func parseSweepSpec(arg string) (d2m.SweepSpec, error) {
+	data := []byte(arg)
+	if strings.HasPrefix(arg, "@") {
+		var err error
+		if data, err = os.ReadFile(arg[1:]); err != nil {
+			return d2m.SweepSpec{}, err
+		}
+	}
+	var spec d2m.SweepSpec
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		return d2m.SweepSpec{}, fmt.Errorf("sweep spec: %v", err)
+	}
+	return spec, nil
+}
+
+// resolveSweepBaseline mirrors the service's default: Base-2L when it
+// is among the sweep's kinds, else the first kind.
+func resolveSweepBaseline(spec d2m.SweepSpec, name string) (d2m.Kind, error) {
+	if name == "" {
+		if len(spec.Kinds) == 0 {
+			return 0, fmt.Errorf("sweep spec has no kinds")
+		}
+		name = spec.Kinds[0]
+		for _, k := range spec.Kinds {
+			if parsed, err := d2m.ParseKind(k); err == nil && parsed == d2m.Base2L {
+				name = k
+				break
+			}
+		}
+	}
+	return d2m.ParseKind(name)
+}
+
+// runSweep executes the grid and returns its output: rendered text, or
+// JSON rows. With a server it submits the grid to POST /v1/sweeps and
+// polls; locally it expands and simulates the cells itself.
+func runSweep(server, specArg, baseline string, asJSON bool) (string, error) {
+	spec, err := parseSweepSpec(specArg)
+	if err != nil {
+		return "", err
+	}
+	var summary service.SweepSummary
+	if server != "" {
+		summary, err = runSweepRemote(server, spec, baseline)
+	} else {
+		summary, err = runSweepLocal(spec, baseline)
+	}
+	if err != nil {
+		return "", err
+	}
+	if asJSON {
+		var b strings.Builder
+		enc := json.NewEncoder(&b)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(summary); err != nil {
+			return "", err
+		}
+		return b.String(), nil
+	}
+	t := report.NewTable(fmt.Sprintf("Sweep: %d kinds x %d benchmarks (baseline %s)",
+		len(spec.Kinds), len(spec.Benchmarks), summary.Baseline),
+		"kind", "cells", "speedup(%)", "msgs/KI", "EDP")
+	for _, row := range summary.Kinds {
+		t.AddRowf(row.Kind, row.Cells, row.SpeedupPct, row.MsgsPerKI, row.EDP)
+	}
+	return t.Render(), nil
+}
+
+// runSweepRemote submits the grid to the service and polls for the
+// aggregate, reporting progress on stderr.
+func runSweepRemote(base string, spec d2m.SweepSpec, baseline string) (service.SweepSummary, error) {
+	body, err := json.Marshal(service.SweepRequest{SweepSpec: spec, Baseline: baseline})
+	if err != nil {
+		return service.SweepSummary{}, err
+	}
+	resp, err := http.Post(base+"/v1/sweeps", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return service.SweepSummary{}, err
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		return service.SweepSummary{}, fmt.Errorf("%s", remoteMessage(resp.Status, raw))
+	}
+	var st service.SweepStatus
+	if err := json.Unmarshal(raw, &st); err != nil {
+		return service.SweepSummary{}, err
+	}
+	fmt.Fprintf(os.Stderr, "sweep %s accepted: %d cells\n", st.ID, st.Total)
+	for st.State == service.SweepRunning {
+		time.Sleep(200 * time.Millisecond)
+		resp, err := http.Get(base + "/v1/sweeps/" + st.ID)
+		if err != nil {
+			return service.SweepSummary{}, err
+		}
+		raw, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return service.SweepSummary{}, fmt.Errorf("%s", remoteMessage(resp.Status, raw))
+		}
+		if err := json.Unmarshal(raw, &st); err != nil {
+			return service.SweepSummary{}, err
+		}
+		fmt.Fprintf(os.Stderr, "sweep %s: %d/%d done (%d cached, %d failed, eta %.0fms)\n",
+			st.ID, st.Done, st.Total, st.Cached, st.Failed, st.ETAMS)
+	}
+	if st.State != service.SweepDone || st.Summary == nil {
+		return service.SweepSummary{}, fmt.Errorf("sweep %s settled %s (%d failed, %d canceled)",
+			st.ID, st.State, st.Failed, st.Canceled)
+	}
+	return *st.Summary, nil
+}
+
+// runSweepLocal expands and simulates the grid in-process with the
+// experiment drivers' worker fan-out.
+func runSweepLocal(spec d2m.SweepSpec, baseline string) (service.SweepSummary, error) {
+	base, err := resolveSweepBaseline(spec, baseline)
+	if err != nil {
+		return service.SweepSummary{}, err
+	}
+	cells, err := spec.Expand()
+	if err != nil {
+		return service.SweepSummary{}, err
+	}
+	workers := d2m.ExperimentWorkers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(cells) {
+		workers = len(cells)
+	}
+	results := make([]*d2m.Result, len(cells))
+	errs := make([]error, len(cells))
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				r, err := d2m.Run(cells[i].Kind, cells[i].Benchmark, cells[i].Options)
+				if err != nil {
+					errs[i] = err
+					continue
+				}
+				results[i] = &r
+			}
+		}()
+	}
+	for i := range cells {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return service.SweepSummary{}, fmt.Errorf("cell %d (%s/%s): %v",
+				i, cells[i].Kind, cells[i].Benchmark, err)
+		}
+	}
+	return service.SweepSummary{
+		Baseline: base.String(),
+		Kinds:    d2m.SummarizeSweep(base, cells, results),
+	}, nil
+}

@@ -8,6 +8,17 @@
 //	experiments -exp fig5 -measure 1000000
 //	experiments -exp tab4 -out table4.txt
 //	experiments -exp fig6 -json | jq '.[].EDP'
+//
+// With -server, every simulation is delegated to a running d2mserver,
+// so repeated invocations share its content-addressed result cache
+// (and, with -store on the server, survive restarts). With -sweep, the
+// command runs a parameter grid instead of a named experiment — on the
+// server via POST /v1/sweeps when -server is set, in-process
+// otherwise:
+//
+//	experiments -exp fig7 -server http://localhost:8080
+//	experiments -sweep '{"kinds":["base-2l","d2m-ns-r"],"benchmarks":["tpc-c","fft"]}'
+//	experiments -sweep @grid.json -server http://localhost:8080 -json
 package main
 
 import (
@@ -106,18 +117,35 @@ func main() {
 		return strings.Join(out, ", ")
 	}()
 	var (
-		exp     = flag.String("exp", "all", "experiment: "+ids+", or all")
-		nodes   = flag.Int("nodes", 8, "number of cores")
-		warmup  = flag.Int("warmup", 200_000, "warmup accesses")
-		measure = flag.Int("measure", 600_000, "measured accesses")
-		out     = flag.String("out", "", "write output to this file instead of stdout")
-		asJSON  = flag.Bool("json", false, "emit structured rows as JSON instead of rendered text")
-		workers = flag.Int("workers", 0, "parallel simulations per experiment (0 = all CPUs)")
+		exp      = flag.String("exp", "all", "experiment: "+ids+", or all")
+		nodes    = flag.Int("nodes", 8, "number of cores")
+		warmup   = flag.Int("warmup", 200_000, "warmup accesses")
+		measure  = flag.Int("measure", 600_000, "measured accesses")
+		out      = flag.String("out", "", "write output to this file instead of stdout")
+		asJSON   = flag.Bool("json", false, "emit structured rows as JSON instead of rendered text")
+		workers  = flag.Int("workers", 0, "parallel simulations per experiment (0 = all CPUs)")
+		server   = flag.String("server", "", "base URL of a running d2mserver; simulations are delegated to it")
+		sweep    = flag.String("sweep", "", "run a parameter-grid sweep: JSON SweepSpec, or @file")
+		baseline = flag.String("baseline", "", "sweep baseline kind (default: Base-2L when present, else the first kind)")
 	)
 	flag.Parse()
 
 	d2m.ExperimentWorkers = *workers
+	srv := strings.TrimRight(*server, "/")
+	if srv != "" {
+		d2m.ExperimentRunner = serverRunner(srv)
+	}
 	opt := d2m.Options{Nodes: *nodes, Warmup: *warmup, Measure: *measure}
+
+	if *sweep != "" {
+		text, err := runSweep(srv, *sweep, *baseline, *asJSON)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: sweep: %v\n", err)
+			os.Exit(1)
+		}
+		emit(text, *out)
+		return
+	}
 
 	var b strings.Builder
 	ran := false
@@ -161,13 +189,18 @@ func main() {
 		os.Exit(2)
 	}
 
-	if *out == "" {
-		fmt.Print(b.String())
+	emit(b.String(), *out)
+}
+
+// emit writes the run's output to stdout or -out.
+func emit(text, out string) {
+	if out == "" {
+		fmt.Print(text)
 		return
 	}
-	if err := os.WriteFile(*out, []byte(b.String()), 0o644); err != nil {
+	if err := os.WriteFile(out, []byte(text), 0o644); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	fmt.Fprintf(os.Stderr, "wrote %s\n", *out)
+	fmt.Fprintf(os.Stderr, "wrote %s\n", out)
 }

@@ -27,6 +27,20 @@ import (
 // exposes it as -workers.
 var ExperimentWorkers int
 
+// ExperimentRunner, when non-nil, replaces Run for every simulation
+// the experiment drivers issue. cmd/experiments points it at a running
+// d2mserver (-server) so repeated sweeps share the service's
+// content-addressed result cache instead of recomputing.
+var ExperimentRunner func(kind Kind, bench string, opt Options) (Result, error)
+
+// experimentRun dispatches one driver simulation through the hook.
+func experimentRun(kind Kind, bench string, opt Options) (Result, error) {
+	if ExperimentRunner != nil {
+		return ExperimentRunner(kind, bench, opt)
+	}
+	return Run(kind, bench, opt)
+}
+
 // runAll runs every benchmark on every kind. Runs are independent
 // simulations with their own seeded generators, so they execute in
 // parallel across the machine's cores; results are deterministic and
@@ -51,7 +65,7 @@ func runAll(kinds []Kind, opt Options, benches []string) map[Kind][]Result {
 		go func() {
 			defer wg.Done()
 			for j := range jobs {
-				r, err := Run(kinds[j.ki], benches[j.bi], opt)
+				r, err := experimentRun(kinds[j.ki], benches[j.bi], opt)
 				if err != nil {
 					panic(err) // benches come from the catalog; this is a bug
 				}

@@ -52,7 +52,10 @@ const benchWorkload = `{"kind":"d2m-ns-r","benchmark":"tpc-c","nodes":2,"warmup"
 func BenchmarkServiceThroughput(b *testing.B) {
 	for _, mode := range []string{"cold", "cached"} {
 		b.Run(mode, func(b *testing.B) {
-			s := New(Config{})
+			s, err := New(Config{})
+			if err != nil {
+				b.Fatal(err)
+			}
 			ts := httptest.NewServer(s.Handler())
 			defer func() {
 				ts.Close()

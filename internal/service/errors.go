@@ -1,0 +1,83 @@
+package service
+
+import (
+	"fmt"
+	"net/http"
+)
+
+// This file is the v1 error surface: every handler reports failures
+// through the same envelope
+//
+//	{"error": {"code": "...", "message": "..."}, "message": "..."}
+//
+// where the top-level "message" mirrors error.message for clients of
+// the pre-envelope API (it carried the flat string under "error") and
+// is kept for one release. Codes map one-to-one to HTTP statuses so
+// clients can switch on either.
+
+// ErrCode is a machine-readable error category.
+type ErrCode string
+
+const (
+	ErrInvalidRequest   ErrCode = "invalid_request"   // 400: malformed body or parameters
+	ErrUnknownBenchmark ErrCode = "unknown_benchmark" // 400: benchmark not in the catalog
+	ErrNotFound         ErrCode = "not_found"         // 404: unknown job or sweep id
+	ErrOverloaded       ErrCode = "overloaded"        // 429: job queue full, retry later
+	ErrDraining         ErrCode = "draining"          // 503: server shutting down
+	ErrInternal         ErrCode = "internal"          // 500: unexpected failure
+)
+
+// httpStatus maps a code to its status line.
+func (c ErrCode) httpStatus() int {
+	switch c {
+	case ErrInvalidRequest, ErrUnknownBenchmark:
+		return http.StatusBadRequest
+	case ErrNotFound:
+		return http.StatusNotFound
+	case ErrOverloaded:
+		return http.StatusTooManyRequests
+	case ErrDraining:
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// apiError is an error with a wire code; handlers surface any other
+// error type as ErrInternal.
+type apiError struct {
+	Code    ErrCode
+	Message string
+}
+
+func (e *apiError) Error() string { return e.Message }
+
+func apiErrorf(code ErrCode, format string, args ...interface{}) *apiError {
+	return &apiError{Code: code, Message: fmt.Sprintf(format, args...)}
+}
+
+// ErrorInfo is the structured half of the envelope.
+type ErrorInfo struct {
+	Code    ErrCode `json:"code"`
+	Message string  `json:"message"`
+}
+
+// errorBody is the JSON error envelope. Message duplicates
+// Error.Message at top level for pre-envelope clients; it will be
+// removed one release after the envelope ships.
+type errorBody struct {
+	Error   ErrorInfo `json:"error"`
+	Message string    `json:"message"`
+}
+
+// writeError renders err through the envelope at its mapped status.
+func writeError(w http.ResponseWriter, err error) {
+	ae, ok := err.(*apiError)
+	if !ok {
+		ae = &apiError{Code: ErrInternal, Message: err.Error()}
+	}
+	writeJSON(w, ae.Code.httpStatus(), errorBody{
+		Error:   ErrorInfo{Code: ae.Code, Message: ae.Message},
+		Message: ae.Message,
+	})
+}

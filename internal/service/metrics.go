@@ -23,8 +23,21 @@ type Metrics struct {
 	CacheMisses  atomic.Uint64 // had to queue a simulation
 	Coalesced    atomic.Uint64 // attached to an identical in-flight job
 
-	Queued  atomic.Int64 // gauge: jobs waiting in the queue
-	Running atomic.Int64 // gauge: jobs occupying a worker
+	SweepsAccepted     atomic.Uint64 // sweeps admitted via POST /v1/sweeps
+	SweepsDone         atomic.Uint64 // sweeps that ran to completion
+	SweepsCanceled     atomic.Uint64 // sweeps canceled (DELETE or drain)
+	SweepCellsDone     atomic.Uint64 // cells completed, cached or run
+	SweepCellsCached   atomic.Uint64 // cells served from the result cache
+	SweepCellsFailed   atomic.Uint64 // cells whose simulation failed
+	SweepCellsCanceled atomic.Uint64 // cells abandoned by cancellation
+
+	StoreLoaded   atomic.Uint64 // journal records replayed at startup
+	StoreAppended atomic.Uint64 // results journaled since startup
+	StoreErrors   atomic.Uint64 // failed journal appends
+
+	Queued       atomic.Int64 // gauge: jobs waiting in the queue
+	Running      atomic.Int64 // gauge: jobs occupying a worker
+	SweepsActive atomic.Int64 // gauge: sweeps not yet settled
 
 	QueueWait  Histogram // seconds from admission to worker pickup
 	RunLatency Histogram // seconds of simulation time per job
@@ -104,8 +117,19 @@ func (m *Metrics) WritePrometheus(w io.Writer) {
 	counter("d2m_cache_hits_total", "Requests served from the result cache.", m.CacheHits.Load())
 	counter("d2m_cache_misses_total", "Requests that queued a simulation.", m.CacheMisses.Load())
 	counter("d2m_coalesced_total", "Requests coalesced onto an identical in-flight job.", m.Coalesced.Load())
+	counter("d2m_sweeps_accepted_total", "Sweeps admitted via POST /v1/sweeps.", m.SweepsAccepted.Load())
+	counter("d2m_sweeps_done_total", "Sweeps that ran to completion.", m.SweepsDone.Load())
+	counter("d2m_sweeps_canceled_total", "Sweeps canceled by DELETE or drain.", m.SweepsCanceled.Load())
+	counter("d2m_sweep_cells_done_total", "Sweep cells completed, cached or run.", m.SweepCellsDone.Load())
+	counter("d2m_sweep_cells_cached_total", "Sweep cells served from the result cache.", m.SweepCellsCached.Load())
+	counter("d2m_sweep_cells_failed_total", "Sweep cells whose simulation failed.", m.SweepCellsFailed.Load())
+	counter("d2m_sweep_cells_canceled_total", "Sweep cells abandoned by cancellation.", m.SweepCellsCanceled.Load())
+	counter("d2m_store_loaded_total", "Result-store records replayed at startup.", m.StoreLoaded.Load())
+	counter("d2m_store_appended_total", "Results journaled to the store since startup.", m.StoreAppended.Load())
+	counter("d2m_store_errors_total", "Failed result-store appends.", m.StoreErrors.Load())
 	gauge("d2m_jobs_queued", "Jobs waiting in the queue.", m.Queued.Load())
 	gauge("d2m_jobs_running", "Jobs occupying a worker.", m.Running.Load())
+	gauge("d2m_sweeps_active", "Sweeps not yet settled.", m.SweepsActive.Load())
 	m.writeHistogram(w, "d2m_queue_wait_seconds", "Seconds from admission to worker pickup.", &m.QueueWait)
 	m.writeHistogram(w, "d2m_run_seconds", "Seconds of simulation per job.", &m.RunLatency)
 }
@@ -136,5 +160,17 @@ func (m *Metrics) Snapshot() map[string]interface{} {
 		"coalesced":     m.Coalesced.Load(),
 		"jobs_queued":   m.Queued.Load(),
 		"jobs_running":  m.Running.Load(),
+
+		"sweeps_accepted":      m.SweepsAccepted.Load(),
+		"sweeps_done":          m.SweepsDone.Load(),
+		"sweeps_canceled":      m.SweepsCanceled.Load(),
+		"sweeps_active":        m.SweepsActive.Load(),
+		"sweep_cells_done":     m.SweepCellsDone.Load(),
+		"sweep_cells_cached":   m.SweepCellsCached.Load(),
+		"sweep_cells_failed":   m.SweepCellsFailed.Load(),
+		"sweep_cells_canceled": m.SweepCellsCanceled.Load(),
+		"store_loaded":         m.StoreLoaded.Load(),
+		"store_appended":       m.StoreAppended.Load(),
+		"store_errors":         m.StoreErrors.Load(),
 	}
 }

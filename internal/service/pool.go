@@ -27,6 +27,12 @@ func (s *Server) worker() {
 // occupies a worker.
 func (s *Server) runJob(j *job) {
 	s.metrics.Queued.Add(-1)
+	// A queue slot just freed: wake one sweep feeder parked on a full
+	// queue (best-effort; feeders also poll).
+	select {
+	case s.slotFree <- struct{}{}:
+	default:
+	}
 	s.metrics.QueueWait.Observe(time.Since(j.created).Seconds())
 	if err := j.ctx.Err(); err != nil {
 		s.finish(j, d2m.Result{}, err)
@@ -69,6 +75,17 @@ func (s *Server) finish(j *job, res d2m.Result, err error) {
 	}
 	s.retireLocked(j)
 	s.mu.Unlock()
+	// Journal successful results before waking waiters, so a restart
+	// straight after a response never loses the result it served.
+	if j.state == JobDone && s.store != nil {
+		if aerr := s.store.append(storeRecord{
+			Key: j.key, Kind: j.kind.String(), Benchmark: j.bench, Result: res,
+		}); aerr != nil {
+			s.metrics.StoreErrors.Add(1)
+		} else {
+			s.metrics.StoreAppended.Add(1)
+		}
+	}
 	j.cancel() // release the deadline timer
 	close(j.done)
 }

@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"net/http"
 	"runtime"
+	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -31,6 +33,14 @@ type Config struct {
 	// MaxJobs bounds the settled-job history kept for
 	// GET /v1/jobs/{id}. Zero means 4096.
 	MaxJobs int
+	// MaxSweeps bounds the sweep history kept for
+	// GET /v1/sweeps/{id}. Zero means 256.
+	MaxSweeps int
+	// StorePath, when non-empty, names the append-only JSONL result
+	// journal: completed simulations are appended as they finish and
+	// replayed into the result cache at startup, so results survive
+	// restarts and resubmitted sweeps resume instead of recomputing.
+	StorePath string
 	// Runner executes one simulation. Nil means d2m.RunContext; tests
 	// substitute stubs to control timing and observe cancellation.
 	Runner func(ctx context.Context, kind d2m.Kind, bench string, opt d2m.Options) (d2m.Result, error)
@@ -49,6 +59,9 @@ func (c Config) withDefaults() Config {
 	if c.MaxJobs <= 0 {
 		c.MaxJobs = 4096
 	}
+	if c.MaxSweeps <= 0 {
+		c.MaxSweeps = 256
+	}
 	if c.Runner == nil {
 		c.Runner = d2m.RunContext
 	}
@@ -59,28 +72,36 @@ func (c Config) withDefaults() Config {
 // worker pool, a content-addressed result cache, and single-flight
 // coalescing of identical in-flight requests.
 type Server struct {
-	cfg     Config
-	runner  func(context.Context, d2m.Kind, string, d2m.Options) (d2m.Result, error)
-	metrics *Metrics
-	cache   *resultCache
-	queue   chan *job
-	wg      sync.WaitGroup
-	mux     *http.ServeMux
-	nextID  atomic.Uint64
+	cfg         Config
+	runner      func(context.Context, d2m.Kind, string, d2m.Options) (d2m.Result, error)
+	metrics     *Metrics
+	cache       *resultCache
+	store       *resultStore // nil without Config.StorePath
+	queue       chan *job
+	wg          sync.WaitGroup
+	mux         *http.ServeMux
+	nextID      atomic.Uint64
+	nextSweepID atomic.Uint64
+	// slotFree pulses when a worker dequeues a job, waking sweep
+	// feeders parked on a full queue.
+	slotFree chan struct{}
 
 	baseCtx    context.Context // parent of every job context
 	baseCancel context.CancelFunc
 
-	mu       sync.Mutex
-	draining bool
-	jobs     map[string]*job // by id, settled history bounded by MaxJobs
-	inflight map[string]*job // by cache key: queued or running
-	retired  []string        // settled job ids, oldest first
+	mu           sync.Mutex
+	draining     bool
+	jobs         map[string]*job // by id, settled history bounded by MaxJobs
+	inflight     map[string]*job // by cache key: queued or running
+	retired      []string        // settled job ids, oldest first
+	sweeps       map[string]*sweep
+	sweepRetired []string // settled sweep ids, oldest first
 }
 
-// New starts a server's worker pool and returns it. Callers serve
-// s.Handler() and, on termination, call Shutdown.
-func New(cfg Config) *Server {
+// New opens the result store (when configured), starts the server's
+// worker pool, and returns it. Callers serve s.Handler() and, on
+// termination, call Shutdown.
+func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	s := &Server{
 		cfg:      cfg,
@@ -88,13 +109,30 @@ func New(cfg Config) *Server {
 		metrics:  &Metrics{},
 		cache:    newResultCache(cfg.CacheEntries),
 		queue:    make(chan *job, cfg.QueueDepth),
+		slotFree: make(chan struct{}, 1),
 		jobs:     make(map[string]*job),
 		inflight: make(map[string]*job),
+		sweeps:   make(map[string]*sweep),
+	}
+	if cfg.StorePath != "" {
+		store, recs, err := openResultStore(cfg.StorePath)
+		if err != nil {
+			return nil, err
+		}
+		s.store = store
+		for _, rec := range recs {
+			s.cache.put(rec.Key, rec.Result)
+		}
+		s.metrics.StoreLoaded.Add(uint64(len(recs)))
 	}
 	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/run", s.handleRun)
+	s.mux.HandleFunc("GET /v1/jobs", s.handleJobs)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	s.mux.HandleFunc("POST /v1/sweeps", s.handleSweepCreate)
+	s.mux.HandleFunc("GET /v1/sweeps/{id}", s.handleSweepGet)
+	s.mux.HandleFunc("DELETE /v1/sweeps/{id}", s.handleSweepDelete)
 	s.mux.HandleFunc("GET /v1/benchmarks", s.handleBenchmarks)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -102,7 +140,7 @@ func New(cfg Config) *Server {
 		s.wg.Add(1)
 		go s.worker()
 	}
-	return s
+	return s, nil
 }
 
 // Handler returns the service's HTTP handler.
@@ -129,14 +167,19 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		s.wg.Wait()
 		close(done)
 	}()
+	var err error
 	select {
 	case <-done:
-		return nil
 	case <-ctx.Done():
 		s.baseCancel()
 		<-done
-		return ctx.Err()
+		err = ctx.Err()
 	}
+	// Workers have exited, so nothing appends to the store anymore.
+	if s.store != nil {
+		s.store.close()
+	}
+	return err
 }
 
 // ---------------------------------------------------------------------------
@@ -182,11 +225,12 @@ func (s *Server) admit(req RunRequest, kind d2m.Kind, bench string, opt d2m.Opti
 	}
 	j.detached = req.Async
 
+	// Rejection is not counted here: a sweep feeder parks and retries
+	// on a full queue, while handleRun turns it into a counted 429.
 	select {
 	case s.queue <- j:
 	default:
 		j.cancel()
-		s.metrics.JobsRejected.Add(1)
 		return nil, false, errQueueFull
 	}
 	s.jobs[j.id] = j
@@ -197,8 +241,8 @@ func (s *Server) admit(req RunRequest, kind d2m.Kind, bench string, opt d2m.Opti
 }
 
 var (
-	errDraining  = fmt.Errorf("server is draining")
-	errQueueFull = fmt.Errorf("job queue is full")
+	errDraining  = &apiError{Code: ErrDraining, Message: "server is draining"}
+	errQueueFull = &apiError{Code: ErrOverloaded, Message: "job queue is full"}
 )
 
 // dropWaiter detaches one waiting client from a job. When the last
@@ -219,6 +263,11 @@ func (s *Server) dropWaiter(j *job) {
 func (s *Server) status(j *job, cached bool) JobStatus {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	return s.statusLocked(j, cached)
+}
+
+// statusLocked is status for callers already holding s.mu.
+func (s *Server) statusLocked(j *job, cached bool) JobStatus {
 	st := JobStatus{
 		ID:        j.id,
 		State:     j.state,
@@ -252,12 +301,12 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
-		writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad request body: " + err.Error()})
+		writeError(w, apiErrorf(ErrInvalidRequest, "bad request body: %v", err))
 		return
 	}
 	kind, bench, opt, err := req.normalize()
 	if err != nil {
-		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+		writeError(w, err)
 		return
 	}
 	key := cacheKey(kind, bench, opt)
@@ -273,17 +322,12 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	s.metrics.CacheMisses.Add(1)
 
 	j, _, err := s.admit(req, kind, bench, opt, key)
-	switch err {
-	case nil:
-	case errQueueFull:
-		w.Header().Set("Retry-After", fmt.Sprintf("%d", s.retryAfterSeconds()))
-		writeJSON(w, http.StatusTooManyRequests, errorBody{Error: err.Error()})
-		return
-	case errDraining:
-		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: err.Error()})
-		return
-	default:
-		writeJSON(w, http.StatusInternalServerError, errorBody{Error: err.Error()})
+	if err != nil {
+		if err == errQueueFull {
+			s.metrics.JobsRejected.Add(1)
+			w.Header().Set("Retry-After", fmt.Sprintf("%d", s.retryAfterSeconds()))
+		}
+		writeError(w, err)
 		return
 	}
 
@@ -332,10 +376,73 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 	j, ok := s.jobs[r.PathValue("id")]
 	s.mu.Unlock()
 	if !ok {
-		writeJSON(w, http.StatusNotFound, errorBody{Error: "unknown job id"})
+		writeError(w, apiErrorf(ErrNotFound, "unknown job id %q", r.PathValue("id")))
 		return
 	}
 	writeJSON(w, http.StatusOK, s.status(j, false))
+}
+
+// jobListBody is the GET /v1/jobs response page.
+type jobListBody struct {
+	Jobs []JobStatus `json:"jobs"`
+	// NextCursor, when set, fetches the next (older) page via
+	// ?cursor=.
+	NextCursor string `json:"next_cursor,omitempty"`
+}
+
+// handleJobs lists known jobs (live and settled history) newest first,
+// with an optional state filter and limit/cursor pagination. Results
+// are omitted from list entries; fetch a job by id for its payload.
+func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	limit := 50
+	if v := q.Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 {
+			writeError(w, apiErrorf(ErrInvalidRequest, "bad limit %q", v))
+			return
+		}
+		if n > 500 {
+			n = 500
+		}
+		limit = n
+	}
+	filter := JobState(q.Get("state"))
+	switch filter {
+	case "", JobQueued, JobRunning, JobDone, JobFailed, JobCanceled:
+	default:
+		writeError(w, apiErrorf(ErrInvalidRequest,
+			"bad state %q (want queued, running, done, failed or canceled)", filter))
+		return
+	}
+	cursor := q.Get("cursor")
+
+	s.mu.Lock()
+	ids := make([]string, 0, len(s.jobs))
+	for id := range s.jobs {
+		// Job ids are zero-padded and monotonic, so lexical order is
+		// creation order; the cursor is the last id of the prior page.
+		if cursor == "" || id < cursor {
+			ids = append(ids, id)
+		}
+	}
+	sort.Sort(sort.Reverse(sort.StringSlice(ids)))
+	body := jobListBody{Jobs: []JobStatus{}}
+	for _, id := range ids {
+		j := s.jobs[id]
+		if filter != "" && j.state != filter {
+			continue
+		}
+		if len(body.Jobs) == limit {
+			body.NextCursor = body.Jobs[limit-1].ID
+			break
+		}
+		st := s.statusLocked(j, false)
+		st.Result = nil // listings stay small; GET /v1/jobs/{id} has the payload
+		body.Jobs = append(body.Jobs, st)
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, body)
 }
 
 // benchmarksBody is the GET /v1/benchmarks response: everything a

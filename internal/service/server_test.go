@@ -21,7 +21,10 @@ import (
 // front end; both are torn down with the test.
 func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
 	t.Helper()
-	s := New(cfg)
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
 	ts := httptest.NewServer(s.Handler())
 	t.Cleanup(func() {
 		ts.Close()
@@ -42,8 +45,13 @@ func postRun(t *testing.T, ts *httptest.Server, body string) (int, JobStatus, ht
 	defer resp.Body.Close()
 	raw, _ := io.ReadAll(resp.Body)
 	var st JobStatus
-	if err := json.Unmarshal(raw, &st); err != nil {
-		t.Fatalf("decode %q: %v", raw, err)
+	// Error responses carry the error envelope, not a JobStatus; tests
+	// that care about the envelope decode it themselves.
+	if resp.StatusCode < 400 || resp.StatusCode == http.StatusGatewayTimeout ||
+		resp.StatusCode == http.StatusInternalServerError {
+		if err := json.Unmarshal(raw, &st); err != nil {
+			t.Fatalf("decode %q: %v", raw, err)
+		}
 	}
 	return resp.StatusCode, st, resp.Header
 }
@@ -377,16 +385,19 @@ func TestRequestValidation(t *testing.T) {
 	})
 	cases := []struct {
 		name, body string
+		code       ErrCode
 	}{
-		{"malformed json", `{"kind":`},
-		{"unknown field", `{"kind":"d2m-fs","benchmark":"tpc-c","bogus":1}`},
-		{"unknown kind", `{"kind":"d2m-xl","benchmark":"tpc-c"}`},
-		{"unknown benchmark", `{"kind":"d2m-fs","benchmark":"nonesuch"}`},
-		{"unknown topology", `{"kind":"d2m-fs","benchmark":"tpc-c","topology":"hypercube"}`},
-		{"unknown placement", `{"kind":"d2m-ns","benchmark":"tpc-c","placement":"random"}`},
-		{"nodes out of range", `{"kind":"d2m-fs","benchmark":"tpc-c","nodes":9}`},
-		{"bad mdscale", `{"kind":"d2m-fs","benchmark":"tpc-c","mdscale":3}`},
-		{"negative measure", `{"kind":"d2m-fs","benchmark":"tpc-c","measure":-5}`},
+		{"malformed json", `{"kind":`, ErrInvalidRequest},
+		{"unknown field", `{"kind":"d2m-fs","benchmark":"tpc-c","bogus":1}`, ErrInvalidRequest},
+		{"unknown kind", `{"kind":"d2m-xl","benchmark":"tpc-c"}`, ErrInvalidRequest},
+		{"unknown benchmark", `{"kind":"d2m-fs","benchmark":"nonesuch"}`, ErrUnknownBenchmark},
+		{"unknown topology", `{"kind":"d2m-fs","benchmark":"tpc-c","topology":"hypercube"}`, ErrInvalidRequest},
+		{"unknown placement", `{"kind":"d2m-ns","benchmark":"tpc-c","placement":"random"}`, ErrInvalidRequest},
+		{"nodes out of range", `{"kind":"d2m-fs","benchmark":"tpc-c","nodes":9}`, ErrInvalidRequest},
+		{"bad mdscale", `{"kind":"d2m-fs","benchmark":"tpc-c","mdscale":3}`, ErrInvalidRequest},
+		{"bad md_scale", `{"kind":"d2m-fs","benchmark":"tpc-c","md_scale":3}`, ErrInvalidRequest},
+		{"conflicting md_scale spellings", `{"kind":"d2m-fs","benchmark":"tpc-c","md_scale":2,"mdscale":4}`, ErrInvalidRequest},
+		{"negative measure", `{"kind":"d2m-fs","benchmark":"tpc-c","measure":-5}`, ErrInvalidRequest},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -399,10 +410,153 @@ func TestRequestValidation(t *testing.T) {
 				t.Errorf("code %d, want 400", resp.StatusCode)
 			}
 			var eb errorBody
-			if json.NewDecoder(resp.Body).Decode(&eb); eb.Error == "" {
+			if err := json.NewDecoder(resp.Body).Decode(&eb); err != nil {
+				t.Fatal(err)
+			}
+			if eb.Error.Code != tc.code {
+				t.Errorf("error code %q, want %q", eb.Error.Code, tc.code)
+			}
+			if eb.Error.Message == "" {
 				t.Error("400 response has no error message")
 			}
+			if eb.Message != eb.Error.Message {
+				t.Errorf("legacy top-level message %q != error.message %q", eb.Message, eb.Error.Message)
+			}
 		})
+	}
+}
+
+// TestErrorEnvelopeStatuses checks the non-400 error codes map to
+// their statuses through the shared envelope.
+func TestErrorEnvelopeStatuses(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	resp, err := http.Get(ts.URL + "/v1/jobs/nonesuch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("code %d, want 404", resp.StatusCode)
+	}
+	var eb errorBody
+	if err := json.NewDecoder(resp.Body).Decode(&eb); err != nil {
+		t.Fatal(err)
+	}
+	if eb.Error.Code != ErrNotFound {
+		t.Errorf("error code %q, want %q", eb.Error.Code, ErrNotFound)
+	}
+}
+
+// TestRunRequestNewFields checks link_bandwidth reaches the simulation
+// options and md_scale is accepted as the canonical MDScale spelling.
+func TestRunRequestNewFields(t *testing.T) {
+	var got d2m.Options
+	_, ts := newTestServer(t, Config{Workers: 1,
+		Runner: func(ctx context.Context, kind d2m.Kind, bench string, opt d2m.Options) (d2m.Result, error) {
+			got = opt
+			return stubResult(kind, bench, opt), nil
+		},
+	})
+	code, _, _ := postRun(t, ts,
+		`{"kind":"d2m-ns-r","benchmark":"tpc-c","md_scale":2,"link_bandwidth":0.5}`)
+	if code != http.StatusOK {
+		t.Fatalf("POST = %d, want 200", code)
+	}
+	if got.MDScale != 2 {
+		t.Errorf("MDScale = %d, want 2", got.MDScale)
+	}
+	if got.LinkBandwidth != 0.5 {
+		t.Errorf("LinkBandwidth = %v, want 0.5", got.LinkBandwidth)
+	}
+	// The two spellings address the same simulation: the second
+	// request is a cache hit, not a second run.
+	code, st, _ := postRun(t, ts,
+		`{"kind":"d2m-ns-r","benchmark":"tpc-c","mdscale":2,"link_bandwidth":0.5}`)
+	if code != http.StatusOK || !st.Cached {
+		t.Errorf("legacy-spelling request: code %d cached %v, want 200/cached", code, st.Cached)
+	}
+}
+
+// TestJobsList exercises GET /v1/jobs: newest first, state filter,
+// limit/cursor pagination, and result omission.
+func TestJobsList(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1,
+		Runner: func(ctx context.Context, kind d2m.Kind, bench string, opt d2m.Options) (d2m.Result, error) {
+			if opt.Seed == 3 {
+				return d2m.Result{}, fmt.Errorf("boom")
+			}
+			return stubResult(kind, bench, opt), nil
+		},
+	})
+	for seed := 1; seed <= 3; seed++ {
+		code, _, _ := postRun(t, ts, fmt.Sprintf(
+			`{"kind":"base-2l","benchmark":"tpc-c","seed":%d}`, seed))
+		want := http.StatusOK
+		if seed == 3 {
+			want = http.StatusInternalServerError
+		}
+		if code != want {
+			t.Fatalf("seed %d: code %d, want %d", seed, code, want)
+		}
+	}
+	getList := func(query string) jobListBody {
+		t.Helper()
+		resp, err := http.Get(ts.URL + "/v1/jobs" + query)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET /v1/jobs%s = %d", query, resp.StatusCode)
+		}
+		var body jobListBody
+		if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+			t.Fatal(err)
+		}
+		return body
+	}
+
+	all := getList("")
+	if len(all.Jobs) != 3 || all.NextCursor != "" {
+		t.Fatalf("full list: %d jobs, cursor %q", len(all.Jobs), all.NextCursor)
+	}
+	for i := 1; i < len(all.Jobs); i++ {
+		if all.Jobs[i-1].ID <= all.Jobs[i].ID {
+			t.Errorf("list not newest first: %q before %q", all.Jobs[i-1].ID, all.Jobs[i].ID)
+		}
+	}
+	for _, j := range all.Jobs {
+		if j.Result != nil {
+			t.Errorf("list entry %s carries a result payload", j.ID)
+		}
+	}
+
+	page1 := getList("?limit=2")
+	if len(page1.Jobs) != 2 || page1.NextCursor == "" {
+		t.Fatalf("page 1: %d jobs, cursor %q", len(page1.Jobs), page1.NextCursor)
+	}
+	page2 := getList("?limit=2&cursor=" + page1.NextCursor)
+	if len(page2.Jobs) != 1 || page2.NextCursor != "" {
+		t.Fatalf("page 2: %d jobs, cursor %q", len(page2.Jobs), page2.NextCursor)
+	}
+	if page2.Jobs[0].ID >= page1.Jobs[1].ID {
+		t.Errorf("page 2 job %q not older than page 1 tail %q", page2.Jobs[0].ID, page1.Jobs[1].ID)
+	}
+
+	failed := getList("?state=failed")
+	if len(failed.Jobs) != 1 || failed.Jobs[0].State != JobFailed {
+		t.Fatalf("failed filter: %+v", failed.Jobs)
+	}
+
+	for _, bad := range []string{"?state=bogus", "?limit=0", "?limit=x"} {
+		resp, err := http.Get(ts.URL + "/v1/jobs" + bad)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("GET /v1/jobs%s = %d, want 400", bad, resp.StatusCode)
+		}
 	}
 }
 

@@ -1,0 +1,104 @@
+package service
+
+import (
+	"bufio"
+	"encoding/json"
+	"os"
+	"sync"
+
+	"d2m"
+)
+
+// resultStore is the persistence layer under the result cache: an
+// append-only JSONL journal of completed simulations, one record per
+// line, keyed by the canonical cache key. The server appends each
+// successful result as it settles and replays the whole journal into
+// the LRU at startup, so completed cells of a sweep survive a restart
+// and a resubmitted sweep resumes instead of recomputing. Duplicate
+// keys are harmless (the last line wins on replay), and a torn final
+// line — a crash mid-append — stops the replay at the last intact
+// record rather than failing it.
+type resultStore struct {
+	mu   sync.Mutex
+	path string
+	f    *os.File
+}
+
+// storeRecord is one journal line.
+type storeRecord struct {
+	Key       string     `json:"key"`
+	Kind      string     `json:"kind"`
+	Benchmark string     `json:"benchmark"`
+	Result    d2m.Result `json:"result"`
+}
+
+// openResultStore opens (creating if absent) the journal at path and
+// returns the store plus the replayed records, oldest first.
+func openResultStore(path string) (*resultStore, []storeRecord, error) {
+	recs, err := replayStore(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, nil, err
+	}
+	return &resultStore{path: path, f: f}, recs, nil
+}
+
+// replayStore reads every intact record; a missing file is an empty
+// journal, and the first malformed line ends the replay (it can only
+// be the torn tail of a crashed append).
+func replayStore(path string) ([]storeRecord, error) {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var recs []storeRecord
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var rec storeRecord
+		if err := json.Unmarshal(line, &rec); err != nil || rec.Key == "" {
+			break
+		}
+		recs = append(recs, rec)
+	}
+	return recs, sc.Err()
+}
+
+// append journals one completed simulation.
+func (st *resultStore) append(rec storeRecord) error {
+	b, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.f == nil {
+		return os.ErrClosed
+	}
+	_, err = st.f.Write(b)
+	return err
+}
+
+// close flushes and closes the journal; later appends fail cleanly.
+func (st *resultStore) close() error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.f == nil {
+		return nil
+	}
+	err := st.f.Close()
+	st.f = nil
+	return err
+}

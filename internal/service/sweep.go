@@ -1,0 +1,397 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"d2m"
+)
+
+// This file is the sweep orchestrator: POST /v1/sweeps expands a
+// parameter grid (d2m.SweepSpec) into cells and pushes them through
+// the same admission path as POST /v1/run — result-cache lookup,
+// single-flight coalescing, bounded queue — so overlapping sweeps and
+// repeat runs share simulations. A full queue parks the feeder until a
+// worker frees a slot (sweeps degrade by waiting, never by erroring),
+// DELETE cancels every outstanding cell through the job-context
+// plumbing, and with a configured result store a resubmitted sweep
+// resumes from persisted cells instead of recomputing them.
+
+// SweepRequest is the body of POST /v1/sweeps: the grid axes of
+// d2m.SweepSpec (flattened) plus service-level handling knobs.
+type SweepRequest struct {
+	d2m.SweepSpec
+	// Baseline names the kind speedups are computed against. Empty
+	// picks Base-2L when it is one of the sweep's kinds, else the
+	// first kind.
+	Baseline string `json:"baseline,omitempty"`
+	// TimeoutMS caps each cell's lifetime (queue wait + run) in
+	// milliseconds. Zero takes the server's default deadline.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// SweepState is a sweep's position in its lifecycle.
+type SweepState string
+
+const (
+	SweepRunning  SweepState = "running"
+	SweepDone     SweepState = "done"
+	SweepCanceled SweepState = "canceled"
+)
+
+// SweepSummary is the completed sweep's aggregate: per-kind speedup vs
+// the baseline, msgs/KI and EDP — the shape of the paper's
+// Figures 4-6.
+type SweepSummary struct {
+	Baseline string                 `json:"baseline"`
+	Kinds    []d2m.SweepKindSummary `json:"kinds"`
+}
+
+// SweepStatus is the JSON view of a sweep (POST and GET /v1/sweeps
+// responses).
+type SweepStatus struct {
+	ID    string     `json:"id"`
+	State SweepState `json:"state"`
+	Total int        `json:"total"`
+	// Done counts completed cells; Cached is the subset served from
+	// the result cache (or the persistent store) without simulating.
+	Done      int     `json:"done"`
+	Cached    int     `json:"cached"`
+	Failed    int     `json:"failed"`
+	Canceled  int     `json:"canceled,omitempty"`
+	ElapsedMS float64 `json:"elapsed_ms"`
+	// ETAMS estimates the remaining wall time from the mean observed
+	// cell latency and the worker-pool width; zero until the first
+	// non-cached cell completes.
+	ETAMS   float64       `json:"eta_ms,omitempty"`
+	Summary *SweepSummary `json:"summary,omitempty"`
+}
+
+// cellOutcome is one grid point's settled state.
+type cellOutcome struct {
+	state  JobState
+	cached bool
+	result *d2m.Result
+	err    error
+	runSec float64 // simulation seconds (non-cached cells)
+}
+
+// sweep is the server's internal record of one accepted sweep.
+type sweep struct {
+	id       string
+	baseline d2m.Kind
+	timeout  int64
+	cells    []d2m.SweepCell
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+	doneCh chan struct{}
+
+	mu       sync.Mutex
+	state    SweepState
+	outcome  []cellOutcome
+	done     int
+	cached   int
+	failed   int
+	canceled int
+	runSecs  float64
+	runCells int
+	created  time.Time
+	finished time.Time
+	summary  *SweepSummary
+}
+
+// settleCell records one cell's outcome exactly once.
+func (sw *sweep) settleCell(i int, out cellOutcome, m *Metrics) {
+	sw.mu.Lock()
+	sw.outcome[i] = out
+	switch out.state {
+	case JobDone:
+		sw.done++
+		m.SweepCellsDone.Add(1)
+		if out.cached {
+			sw.cached++
+			m.SweepCellsCached.Add(1)
+		} else {
+			sw.runSecs += out.runSec
+			sw.runCells++
+		}
+	case JobCanceled:
+		sw.canceled++
+		m.SweepCellsCanceled.Add(1)
+	default:
+		sw.failed++
+		m.SweepCellsFailed.Add(1)
+	}
+	sw.mu.Unlock()
+}
+
+// status snapshots the sweep's JSON view.
+func (sw *sweep) status(workers int) SweepStatus {
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
+	st := SweepStatus{
+		ID: sw.id, State: sw.state, Total: len(sw.cells),
+		Done: sw.done, Cached: sw.cached, Failed: sw.failed, Canceled: sw.canceled,
+		Summary: sw.summary,
+	}
+	end := time.Now()
+	if !sw.finished.IsZero() {
+		end = sw.finished
+	}
+	st.ElapsedMS = float64(end.Sub(sw.created)) / float64(time.Millisecond)
+	if sw.state == SweepRunning && sw.runCells > 0 {
+		remaining := len(sw.cells) - sw.done - sw.failed - sw.canceled
+		if workers < 1 {
+			workers = 1
+		}
+		avg := sw.runSecs / float64(sw.runCells)
+		st.ETAMS = avg * float64(remaining) / float64(workers) * 1000
+	}
+	return st
+}
+
+// ---------------------------------------------------------------------------
+// HTTP handlers.
+
+func (s *Server) handleSweepCreate(w http.ResponseWriter, r *http.Request) {
+	var req SweepRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, apiErrorf(ErrInvalidRequest, "bad request body: %v", err))
+		return
+	}
+	// Unknown benchmarks carry their own code, matching POST /v1/run.
+	for _, b := range req.Benchmarks {
+		if _, ok := d2m.SuiteOf(b); !ok {
+			writeError(w, apiErrorf(ErrUnknownBenchmark,
+				"d2m: unknown benchmark %q (see GET /v1/benchmarks)", b))
+			return
+		}
+	}
+	cells, err := req.SweepSpec.Expand()
+	if err != nil {
+		writeError(w, apiErrorf(ErrInvalidRequest, "%v", err))
+		return
+	}
+	baseline, err := resolveBaseline(req)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+
+	sw := &sweep{
+		id:       fmt.Sprintf("s%08d", s.nextSweepID.Add(1)),
+		baseline: baseline,
+		timeout:  req.TimeoutMS,
+		cells:    cells,
+		outcome:  make([]cellOutcome, len(cells)),
+		doneCh:   make(chan struct{}),
+		state:    SweepRunning,
+		created:  time.Now(),
+	}
+	sw.ctx, sw.cancel = context.WithCancel(s.baseCtx)
+
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		sw.cancel()
+		writeError(w, errDraining)
+		return
+	}
+	s.sweeps[sw.id] = sw
+	s.mu.Unlock()
+	s.metrics.SweepsAccepted.Add(1)
+	s.metrics.SweepsActive.Add(1)
+	go s.runSweep(sw)
+	writeJSON(w, http.StatusAccepted, sw.status(s.cfg.Workers))
+}
+
+// resolveBaseline picks and validates the speedup baseline: it must be
+// one of the sweep's own kinds, so every summary row has a comparison
+// population.
+func resolveBaseline(req SweepRequest) (d2m.Kind, error) {
+	name := req.Baseline
+	if name == "" {
+		name = req.Kinds[0]
+		for _, k := range req.Kinds {
+			if parsed, err := d2m.ParseKind(k); err == nil && parsed == d2m.Base2L {
+				name = k
+				break
+			}
+		}
+	}
+	base, err := d2m.ParseKind(name)
+	if err != nil {
+		return 0, apiErrorf(ErrInvalidRequest, "%v", err)
+	}
+	for _, k := range req.Kinds {
+		if parsed, err := d2m.ParseKind(k); err == nil && parsed == base {
+			return base, nil
+		}
+	}
+	return 0, apiErrorf(ErrInvalidRequest,
+		"baseline %q is not one of the sweep's kinds", req.Baseline)
+}
+
+func (s *Server) lookupSweep(w http.ResponseWriter, r *http.Request) *sweep {
+	s.mu.Lock()
+	sw, ok := s.sweeps[r.PathValue("id")]
+	s.mu.Unlock()
+	if !ok {
+		writeError(w, apiErrorf(ErrNotFound, "unknown sweep id %q", r.PathValue("id")))
+		return nil
+	}
+	return sw
+}
+
+func (s *Server) handleSweepGet(w http.ResponseWriter, r *http.Request) {
+	if sw := s.lookupSweep(w, r); sw != nil {
+		writeJSON(w, http.StatusOK, sw.status(s.cfg.Workers))
+	}
+}
+
+// handleSweepDelete cancels a sweep: the feeder stops, every
+// outstanding cell's job context is released (cancelling simulations
+// whose only waiter was this sweep), and the sweep settles as
+// canceled. Deleting a settled sweep is a no-op returning its status.
+func (s *Server) handleSweepDelete(w http.ResponseWriter, r *http.Request) {
+	sw := s.lookupSweep(w, r)
+	if sw == nil {
+		return
+	}
+	sw.cancel()
+	writeJSON(w, http.StatusOK, sw.status(s.cfg.Workers))
+}
+
+// ---------------------------------------------------------------------------
+// Execution.
+
+// runSweep feeds every cell through the shared admission path and, once
+// all have settled, aggregates the summary.
+func (s *Server) runSweep(sw *sweep) {
+	for i := range sw.cells {
+		cell := sw.cells[i]
+		if sw.ctx.Err() != nil {
+			sw.settleCell(i, cellOutcome{state: JobCanceled, err: sw.ctx.Err()}, s.metrics)
+			continue
+		}
+		key := cacheKey(cell.Kind, cell.Benchmark, cell.Options)
+		if res, ok := s.cache.get(key); ok {
+			s.metrics.CacheHits.Add(1)
+			r := res
+			sw.settleCell(i, cellOutcome{state: JobDone, cached: true, result: &r}, s.metrics)
+			continue
+		}
+		s.metrics.CacheMisses.Add(1)
+		j, err := s.admitCell(sw, cell, key)
+		if err != nil {
+			// Draining (or canceled mid-wait): abandon the remainder.
+			sw.cancel()
+			sw.settleCell(i, cellOutcome{state: JobCanceled, err: err}, s.metrics)
+			continue
+		}
+		sw.wg.Add(1)
+		go s.collectCell(sw, i, j)
+	}
+	sw.wg.Wait()
+	s.finalizeSweep(sw)
+}
+
+// admitCell admits one cell, parking on a full queue until a worker
+// frees a slot — a sweep larger than the queue degrades by waiting,
+// never by failing.
+func (s *Server) admitCell(sw *sweep, cell d2m.SweepCell, key string) (*job, error) {
+	req := RunRequest{TimeoutMS: sw.timeout}
+	for {
+		j, _, err := s.admit(req, cell.Kind, cell.Benchmark, cell.Options, key)
+		switch err {
+		case nil:
+			return j, nil
+		case errQueueFull:
+			select {
+			case <-s.slotFree:
+			case <-time.After(10 * time.Millisecond):
+			case <-sw.ctx.Done():
+				return nil, sw.ctx.Err()
+			}
+		default:
+			return nil, err
+		}
+	}
+}
+
+// collectCell waits for one admitted cell to settle (or for the sweep
+// to be canceled, in which case it releases its hold on the job).
+func (s *Server) collectCell(sw *sweep, i int, j *job) {
+	defer sw.wg.Done()
+	select {
+	case <-j.done:
+		out := cellOutcome{state: j.state}
+		switch j.state {
+		case JobDone:
+			res := j.result
+			out.result = &res
+			out.runSec = j.finished.Sub(j.started).Seconds()
+		default:
+			out.err = j.err
+		}
+		sw.settleCell(i, out, s.metrics)
+	case <-sw.ctx.Done():
+		s.dropWaiter(j)
+		sw.settleCell(i, cellOutcome{state: JobCanceled, err: sw.ctx.Err()}, s.metrics)
+	}
+}
+
+// finalizeSweep aggregates the completed cells and settles the sweep.
+func (s *Server) finalizeSweep(sw *sweep) {
+	results := make([]*d2m.Result, len(sw.cells))
+	sw.mu.Lock()
+	for i := range sw.outcome {
+		results[i] = sw.outcome[i].result
+	}
+	sw.mu.Unlock()
+	summary := &SweepSummary{
+		Baseline: sw.baseline.String(),
+		Kinds:    d2m.SummarizeSweep(sw.baseline, sw.cells, results),
+	}
+
+	sw.mu.Lock()
+	sw.summary = summary
+	sw.finished = time.Now()
+	if sw.ctx.Err() != nil {
+		sw.state = SweepCanceled
+	} else {
+		sw.state = SweepDone
+	}
+	settled := sw.state
+	sw.mu.Unlock()
+	sw.cancel()
+	close(sw.doneCh)
+
+	if settled == SweepCanceled {
+		s.metrics.SweepsCanceled.Add(1)
+	} else {
+		s.metrics.SweepsDone.Add(1)
+	}
+	s.metrics.SweepsActive.Add(-1)
+	s.retireSweep(sw)
+}
+
+// retireSweep bounds the sweep history: beyond cfg.MaxSweeps settled
+// sweeps, the oldest vanish from GET /v1/sweeps/{id}.
+func (s *Server) retireSweep(sw *sweep) {
+	s.mu.Lock()
+	s.sweepRetired = append(s.sweepRetired, sw.id)
+	for len(s.sweepRetired) > s.cfg.MaxSweeps {
+		delete(s.sweeps, s.sweepRetired[0])
+		s.sweepRetired = s.sweepRetired[1:]
+	}
+	s.mu.Unlock()
+}

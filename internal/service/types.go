@@ -11,7 +11,6 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
-	"fmt"
 	"time"
 
 	"d2m"
@@ -27,11 +26,16 @@ type RunRequest struct {
 	Warmup    int    `json:"warmup,omitempty"`
 	Measure   int    `json:"measure,omitempty"`
 	Seed      uint64 `json:"seed,omitempty"`
-	MDScale   int    `json:"mdscale,omitempty"`
-	Bypass    bool   `json:"bypass,omitempty"`
-	Prefetch  bool   `json:"prefetch,omitempty"`
-	Topology  string `json:"topology,omitempty"`
-	Placement string `json:"placement,omitempty"`
+	// MDScale is the canonical "md_scale" field; LegacyMDScale accepts
+	// the original "mdscale" spelling for one release. Setting both to
+	// different values is rejected.
+	MDScale       int     `json:"md_scale,omitempty"`
+	LegacyMDScale int     `json:"mdscale,omitempty"`
+	Bypass        bool    `json:"bypass,omitempty"`
+	Prefetch      bool    `json:"prefetch,omitempty"`
+	Topology      string  `json:"topology,omitempty"`
+	Placement     string  `json:"placement,omitempty"`
+	LinkBandwidth float64 `json:"link_bandwidth,omitempty"`
 
 	// TimeoutMS caps this job's total lifetime (queue wait + run) in
 	// milliseconds. Zero takes the server's default deadline.
@@ -42,28 +46,39 @@ type RunRequest struct {
 }
 
 // normalize validates the request through the root package's shared
-// parse helpers and returns the canonical simulation identity.
+// parse helpers and returns the canonical simulation identity. Errors
+// are apiErrors, so handlers map them straight onto the envelope.
 func (r RunRequest) normalize() (d2m.Kind, string, d2m.Options, error) {
 	kind, err := d2m.ParseKind(r.Kind)
 	if err != nil {
-		return 0, "", d2m.Options{}, err
+		return 0, "", d2m.Options{}, apiErrorf(ErrInvalidRequest, "%v", err)
 	}
 	if _, ok := d2m.SuiteOf(r.Benchmark); !ok {
-		return 0, "", d2m.Options{}, fmt.Errorf("d2m: unknown benchmark %q (see GET /v1/benchmarks)", r.Benchmark)
+		return 0, "", d2m.Options{}, apiErrorf(ErrUnknownBenchmark,
+			"d2m: unknown benchmark %q (see GET /v1/benchmarks)", r.Benchmark)
+	}
+	scale := r.MDScale
+	if r.LegacyMDScale != 0 {
+		if scale != 0 && scale != r.LegacyMDScale {
+			return 0, "", d2m.Options{}, apiErrorf(ErrInvalidRequest,
+				"md_scale = %d conflicts with legacy mdscale = %d", scale, r.LegacyMDScale)
+		}
+		scale = r.LegacyMDScale
 	}
 	opt := d2m.Options{
-		Nodes:     r.Nodes,
-		Warmup:    r.Warmup,
-		Measure:   r.Measure,
-		Seed:      r.Seed,
-		MDScale:   r.MDScale,
-		Bypass:    r.Bypass,
-		Prefetch:  r.Prefetch,
-		Topology:  r.Topology,
-		Placement: r.Placement,
+		Nodes:         r.Nodes,
+		Warmup:        r.Warmup,
+		Measure:       r.Measure,
+		Seed:          r.Seed,
+		MDScale:       scale,
+		Bypass:        r.Bypass,
+		Prefetch:      r.Prefetch,
+		Topology:      r.Topology,
+		Placement:     r.Placement,
+		LinkBandwidth: r.LinkBandwidth,
 	}.WithDefaults()
 	if err := opt.Validate(); err != nil {
-		return 0, "", d2m.Options{}, err
+		return 0, "", d2m.Options{}, apiErrorf(ErrInvalidRequest, "%v", err)
 	}
 	return kind, r.Benchmark, opt, nil
 }
@@ -132,9 +147,4 @@ type JobStatus struct {
 	RunMS       float64     `json:"run_ms,omitempty"`
 	Error       string      `json:"error,omitempty"`
 	Result      *d2m.Result `json:"result,omitempty"`
-}
-
-// errorBody is the JSON error envelope.
-type errorBody struct {
-	Error string `json:"error"`
 }
