@@ -7,7 +7,7 @@
 // Usage:
 //
 //	d2mserver -addr :8080
-//	curl -s localhost:8080/v1/benchmarks | jq .kinds
+//	curl -s localhost:8080/v1/capabilities | jq .kinds
 //	curl -s -X POST localhost:8080/v1/run \
 //	    -d '{"kind":"d2m-ns-r","benchmark":"tpc-c","nodes":8}' | jq .result.Cycles
 //	curl -s localhost:8080/metrics | grep d2m_cache
@@ -20,13 +20,21 @@
 //	POST   /v1/sweeps      run a parameter grid server-side; returns a sweep id
 //	GET    /v1/sweeps/{id} sweep progress (done/failed/total, ETA) and, once done, the aggregate
 //	DELETE /v1/sweeps/{id} cancel a sweep's outstanding cells
-//	GET    /v1/benchmarks  catalogue of benchmarks, kinds, topologies, placements
+//	GET    /v1/capabilities catalogue of benchmarks, kinds, topologies, placements, kernels
+//	GET    /v1/benchmarks  alias for /v1/capabilities (scheduled for removal)
 //	GET    /healthz        liveness (503 while draining)
 //	GET    /metrics        Prometheus text metrics (also on expvar as "d2mserver")
 //
 // With -store, completed simulations are journaled to an append-only
 // JSONL file and replayed into the result cache at startup, so a
 // restarted server resumes sweeps instead of recomputing them.
+//
+// With -debug-addr, a second listener serves net/http/pprof and expvar
+// on a separate (typically loopback-only) address, so profiling a
+// production server never exposes /debug on the public port:
+//
+//	d2mserver -addr :8080 -debug-addr 127.0.0.1:6060
+//	go tool pprof http://127.0.0.1:6060/debug/pprof/profile?seconds=10
 //
 // SIGINT/SIGTERM starts a graceful drain: admission stops, queued and
 // running jobs finish (up to -drain-timeout), then the process exits.
@@ -40,6 +48,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -57,6 +66,7 @@ func main() {
 		timeout      = flag.Duration("timeout", 2*time.Minute, "default per-job deadline (0 = none)")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown budget")
 		storePath    = flag.String("store", "", "persistent result store (append-only JSONL journal; empty = in-memory only)")
+		debugAddr    = flag.String("debug-addr", "", "serve net/http/pprof and expvar on this address (empty = disabled)")
 	)
 	flag.Parse()
 
@@ -78,6 +88,24 @@ func main() {
 	mux.Handle("/", svc.Handler())
 	mux.Handle("/debug/vars", expvar.Handler())
 	httpSrv := &http.Server{Addr: *addr, Handler: mux}
+
+	if *debugAddr != "" {
+		// A dedicated mux: the pprof handlers self-register only on
+		// http.DefaultServeMux, which we deliberately do not serve.
+		dbg := http.NewServeMux()
+		dbg.HandleFunc("/debug/pprof/", pprof.Index)
+		dbg.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dbg.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dbg.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dbg.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		dbg.Handle("/debug/vars", expvar.Handler())
+		go func() {
+			log.Printf("debug listener (pprof, expvar) on %s", *debugAddr)
+			if err := http.ListenAndServe(*debugAddr, dbg); err != nil {
+				log.Printf("debug listener: %v", err)
+			}
+		}()
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

@@ -26,6 +26,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"d2m"
@@ -127,8 +129,38 @@ func main() {
 		server   = flag.String("server", "", "base URL of a running d2mserver; simulations are delegated to it")
 		sweep    = flag.String("sweep", "", "run a parameter-grid sweep: JSON SweepSpec, or @file")
 		baseline = flag.String("baseline", "", "sweep baseline kind (default: Base-2L when present, else the first kind)")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile shows live data
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: memprofile: %v\n", err)
+			}
+		}()
+	}
 
 	d2m.ExperimentWorkers = *workers
 	srv := strings.TrimRight(*server, "/")

@@ -702,6 +702,7 @@ func D2DCoverage(opt Options, bench string) (CoverageReport, error) {
 	cfg.L2Sets, cfg.L2Ways = 512, 8 // D2D has a private L2 (Figure 1)
 	cfg.Seed = opt.Seed + 1
 	s := core.NewSystem(cfg)
+	defer s.Release()
 	engine := sim.NewEngine(sim.WrapCore(s), 1)
 	engine.Run(trace.NewInterleaver(sp.Streams(1)), opt.Warmup, opt.Measure)
 	st := s.Stats()

@@ -44,10 +44,19 @@ func newNodeCache(name string, sets, ways int) *nodeCache {
 	n := sets * ways
 	return &nodeCache{
 		name:  name,
-		tbl:   cache.NewTable(sets, ways),
-		state: make([]state, n),
-		dirty: make([]bool, n),
+		tbl:   cache.GetTable(sets, ways),
+		state: stateArrays.Get(n),
+		dirty: boolArrays.Get(n),
 	}
+}
+
+// release returns the cache's backing arrays to the pools for reuse by
+// a later newNodeCache. The cache must not be used afterwards.
+func (c *nodeCache) release() {
+	cache.PutTable(c.tbl)
+	stateArrays.Put(c.state)
+	boolArrays.Put(c.dirty)
+	c.tbl, c.state, c.dirty = nil, nil, nil
 }
 
 func (c *nodeCache) lookup(line mem.LineAddr) (set, way int, ok bool) {
@@ -116,14 +125,14 @@ func NewSystem(cfg Config, coherenceDebug bool) *System {
 		debug: coherenceDebug,
 	}
 	s.fab = noc.NewFabricTopology(s.meter, cfg.Topology)
-	s.llc = cache.NewTable(cfg.LLCSets, cfg.LLCWays)
-	s.dir = make([]dirEntry, cfg.LLCSets*cfg.LLCWays)
+	s.llc = cache.GetTable(cfg.LLCSets, cfg.LLCWays)
+	s.dir = dirArrays.Get(cfg.LLCSets * cfg.LLCWays)
 	s.meter.AddLeakage(energy.LeakLLCSlice*8 + energy.LeakDir)
 	for i := 0; i < cfg.Nodes; i++ {
 		n := &node{
 			id:   i,
-			tlb:  cache.NewTable(cfg.TLBSets, cfg.TLBWays),
-			tlb2: cache.NewTable(cfg.TLB2Sets, cfg.TLB2Ways),
+			tlb:  cache.GetTable(cfg.TLBSets, cfg.TLBWays),
+			tlb2: cache.GetTable(cfg.TLB2Sets, cfg.TLB2Ways),
 			l1i:  newNodeCache(fmt.Sprintf("l1i[%d]", i), cfg.L1Sets, cfg.L1Ways),
 			l1d:  newNodeCache(fmt.Sprintf("l1d[%d]", i), cfg.L1Sets, cfg.L1Ways),
 		}

@@ -135,7 +135,8 @@ func (s *System) caseF(n *node, r mem.RegionAddr, idx int, newLoc Location, t *t
 	}
 	d.li[idx] = newLoc
 	old := InNode(n.id)
-	for _, m := range d.pbNodes() {
+	for pb := d.pbSnapshot(); pb != 0; pb = pb.drop() {
+		m := pb.node()
 		if m == n.id {
 			continue
 		}
@@ -267,7 +268,8 @@ func (s *System) llcEvictSlot(st *dataStore, slice int, set, way int, t *txn) {
 	}
 	// The slice tells MD3 (free when co-located, i.e. far-side).
 	s.fab.SendEP(s.sliceEP(slice), noc.Hub, noc.Ctrl, noc.D2MOnly)
-	for _, mid := range d.pbNodes() {
+	for pb := d.pbSnapshot(); pb != 0; pb = pb.drop() {
+		mid := pb.node()
 		m := s.nodes[mid]
 		ent := m.entry(r)
 		if ent == nil {
@@ -516,7 +518,7 @@ func (s *System) md3EvictEntry(set, way int, t *txn) {
 		way  int
 		line mem.LineAddr
 	}
-	var refs []llcRef
+	refs := make([]llcRef, 0, 64)
 	note := func(li Location, line mem.LineAddr, scramble uint64) {
 		if li.Kind != LocLLC || li.Way == WayUnresolved {
 			return
@@ -525,7 +527,8 @@ func (s *System) md3EvictEntry(set, way int, t *txn) {
 		refs = append(refs, llcRef{st, st.setFor(line, scramble), li.Way, line})
 	}
 
-	for _, mid := range d.pbNodes() {
+	for pb := d.pbSnapshot(); pb != 0; pb = pb.drop() {
+		mid := pb.node()
 		m := s.nodes[mid]
 		ent := m.entry(r)
 		if ent == nil {

@@ -1,0 +1,49 @@
+package core
+
+import "d2m/internal/cache"
+
+// Array pools behind NewSystem/Release: a cold simulation builds and
+// discards a whole hierarchy, and these arrays (data-store slots,
+// metadata entry pointers, recency stamps) are nearly all of its
+// allocated bytes. Recycling them keeps the service's cold-job GC load
+// flat. Reuse is exact: pooled arrays come back zeroed, identical to
+// fresh make()s.
+var (
+	slotArrays    cache.ArrayPool[slot]
+	stampArrays   cache.ArrayPool[uint64]
+	nodeRegArrays cache.ArrayPool[*nodeRegion]
+	dirRegArrays  cache.ArrayPool[*dirRegion]
+)
+
+// Release returns the system's large backing arrays (every data store,
+// metadata table and entry array) to internal pools for reuse by a
+// later NewSystem. The system must not be used afterwards; callers that
+// own the system's whole lifecycle (run-and-extract paths) call this to
+// take system construction off the cold-path allocation bill.
+func (s *System) Release() {
+	for _, n := range s.nodes {
+		cache.PutTable(n.md1i)
+		cache.PutTable(n.md1d)
+		cache.PutTable(n.md2)
+		nodeRegArrays.Put(n.md1iEnt)
+		nodeRegArrays.Put(n.md1dEnt)
+		nodeRegArrays.Put(n.md2Ent)
+		n.l1i.release()
+		n.l1d.release()
+		if n.l2 != nil {
+			n.l2.release()
+		}
+		n.md1i, n.md1d, n.md2 = nil, nil, nil
+		n.md1iEnt, n.md1dEnt, n.md2Ent = nil, nil, nil
+	}
+	for _, sl := range s.slices {
+		sl.release()
+	}
+	if s.far != nil {
+		s.far.release()
+		s.far = nil
+	}
+	cache.PutTable(s.md3)
+	dirRegArrays.Put(s.md3Ent)
+	s.nodes, s.slices, s.md3, s.md3Ent = nil, nil, nil, nil
+}

@@ -821,7 +821,8 @@ func (s *System) reclaimLLCCopies(d *dirRegion, r mem.RegionAddr, idx int, line 
 		drop(loc)
 	}
 	drop(d.li[idx])
-	for _, mid := range d.pbNodes() {
+	for pb := d.pbSnapshot(); pb != 0; pb = pb.drop() {
+		mid := pb.node()
 		m := s.nodes[mid]
 		ent := m.entry(r)
 		if ent == nil {
@@ -873,9 +874,10 @@ func (s *System) caseC(n *node, ent *nodeRegion, idx int, line mem.LineAddr, t *
 
 	// 3. Invalidate the other PB nodes; they repoint to the writer.
 	loc := InNode(n.id)
-	pb := d.pbNodes()
-	var pruned []*node
-	for _, mid := range pb {
+	var prunedBuf [16]*node
+	pruned := prunedBuf[:0]
+	for pb := d.pbSnapshot(); pb != 0; pb = pb.drop() {
+		mid := pb.node()
 		if mid == n.id {
 			continue
 		}

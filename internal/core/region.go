@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math/bits"
 
 	"d2m/internal/mem"
 )
@@ -181,7 +182,8 @@ func (d *dirRegion) clearPB(node int) { d.pb &^= 1 << uint(node) }
 // hasPB reports whether node is present.
 func (d *dirRegion) hasPB(node int) bool { return d.pb&(1<<uint(node)) != 0 }
 
-// pbNodes returns the indices of the set presence bits.
+// pbNodes returns the indices of the set presence bits. It allocates;
+// protocol hot paths iterate a pbSnapshot instead.
 func (d *dirRegion) pbNodes() []int {
 	var out []int
 	for n := 0; n < 16; n++ {
@@ -192,12 +194,30 @@ func (d *dirRegion) pbNodes() []int {
 	return out
 }
 
+// pbSnapshot captures the presence bits for allocation-free iteration:
+//
+//	for pb := d.pbSnapshot(); pb != 0; pb = pb.drop() {
+//		mid := pb.node()
+//	}
+//
+// Like pbNodes, the snapshot is taken once — transactions that clear
+// presence bits mid-loop (eviction cascades) still see the membership
+// as of the snapshot, in ascending node order.
+type pbSnapshot uint16
+
+func (d *dirRegion) pbSnapshot() pbSnapshot { return pbSnapshot(d.pb) }
+
+// node returns the lowest node id in the snapshot.
+func (p pbSnapshot) node() int { return bits.TrailingZeros16(uint16(p)) }
+
+// drop removes the lowest node id from the snapshot.
+func (p pbSnapshot) drop() pbSnapshot { return p & (p - 1) }
+
 // solePBNode returns the only node with a set presence bit; it panics if
 // the region is not private.
 func (d *dirRegion) solePBNode() int {
-	nodes := d.pbNodes()
-	if len(nodes) != 1 {
-		panic(fmt.Sprintf("core: solePBNode on region with %d PB nodes", len(nodes)))
+	if popcount16(d.pb) != 1 {
+		panic(fmt.Sprintf("core: solePBNode on region with %d PB nodes", popcount16(d.pb)))
 	}
-	return nodes[0]
+	return bits.TrailingZeros16(d.pb)
 }

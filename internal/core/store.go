@@ -58,12 +58,21 @@ func newDataStore(name string, sets, ways int, op energy.Op, lat uint64) *dataSt
 	n := sets * ways
 	return &dataStore{
 		name:    name,
-		tbl:     cache.NewTable(sets, ways),
-		slots:   make([]slot, n),
-		recency: make([]uint64, n),
+		tbl:     cache.GetTable(sets, ways),
+		slots:   slotArrays.Get(n),
+		recency: stampArrays.Get(n),
 		op:      op,
 		lat:     lat,
 	}
+}
+
+// release returns the store's backing arrays to the pools for reuse by
+// a later newDataStore. The store must not be used afterwards.
+func (s *dataStore) release() {
+	cache.PutTable(s.tbl)
+	slotArrays.Put(s.slots)
+	stampArrays.Put(s.recency)
+	s.tbl, s.slots, s.recency = nil, nil, nil
 }
 
 func (s *dataStore) ways() int { return s.tbl.Ways() }

@@ -117,8 +117,8 @@ func NewSystem(cfg Config) *System {
 		s.verLatest = make(map[mem.LineAddr]uint64)
 	}
 
-	s.md3 = cache.NewTable(cfg.MD3Sets, cfg.MD3Ways)
-	s.md3Ent = make([]*dirRegion, cfg.MD3Sets*cfg.MD3Ways)
+	s.md3 = cache.GetTable(cfg.MD3Sets, cfg.MD3Ways)
+	s.md3Ent = dirRegArrays.Get(cfg.MD3Sets * cfg.MD3Ways)
 	s.meter.AddLeakage(energy.LeakMD3)
 
 	if cfg.NearSide {
@@ -141,12 +141,12 @@ func NewSystem(cfg Config) *System {
 		n := &node{
 			id:      i,
 			sys:     s,
-			md1i:    cache.NewTable(cfg.MD1Sets, cfg.MD1Ways),
-			md1d:    cache.NewTable(cfg.MD1Sets, cfg.MD1Ways),
-			md2:     cache.NewTable(cfg.MD2Sets, cfg.MD2Ways),
-			md1iEnt: make([]*nodeRegion, cfg.MD1Sets*cfg.MD1Ways),
-			md1dEnt: make([]*nodeRegion, cfg.MD1Sets*cfg.MD1Ways),
-			md2Ent:  make([]*nodeRegion, cfg.MD2Sets*cfg.MD2Ways),
+			md1i:    cache.GetTable(cfg.MD1Sets, cfg.MD1Ways),
+			md1d:    cache.GetTable(cfg.MD1Sets, cfg.MD1Ways),
+			md2:     cache.GetTable(cfg.MD2Sets, cfg.MD2Ways),
+			md1iEnt: nodeRegArrays.Get(cfg.MD1Sets * cfg.MD1Ways),
+			md1dEnt: nodeRegArrays.Get(cfg.MD1Sets * cfg.MD1Ways),
+			md2Ent:  nodeRegArrays.Get(cfg.MD2Sets * cfg.MD2Ways),
 			l1i:     newDataStore(fmt.Sprintf("l1i[%d]", i), cfg.L1Sets, cfg.L1Ways, energy.OpL1Data, timing.L1),
 			l1d:     newDataStore(fmt.Sprintf("l1d[%d]", i), cfg.L1Sets, cfg.L1Ways, energy.OpL1Data, timing.L1),
 		}

@@ -22,6 +22,7 @@ type resultCache struct {
 type cacheEntry struct {
 	key string
 	res d2m.Result
+	rep *d2m.Replicated // non-nil for replicated jobs
 }
 
 func newResultCache(capacity int) *resultCache {
@@ -32,29 +33,32 @@ func newResultCache(capacity int) *resultCache {
 	}
 }
 
-// get returns the cached result for key and refreshes its recency.
-func (c *resultCache) get(key string) (d2m.Result, bool) {
+// get returns the cached result for key (plus the replicate aggregate
+// for replicated jobs) and refreshes its recency.
+func (c *resultCache) get(key string) (d2m.Result, *d2m.Replicated, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	el, ok := c.byKey[key]
 	if !ok {
-		return d2m.Result{}, false
+		return d2m.Result{}, nil, false
 	}
 	c.order.MoveToFront(el)
-	return el.Value.(*cacheEntry).res, true
+	ent := el.Value.(*cacheEntry)
+	return ent.res, ent.rep, true
 }
 
 // put stores a result, evicting the least recently used entry when the
-// cache is full.
-func (c *resultCache) put(key string, res d2m.Result) {
+// cache is full. rep is nil for single-run jobs.
+func (c *resultCache) put(key string, res d2m.Result, rep *d2m.Replicated) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.byKey[key]; ok {
-		el.Value.(*cacheEntry).res = res
+		ent := el.Value.(*cacheEntry)
+		ent.res, ent.rep = res, rep
 		c.order.MoveToFront(el)
 		return
 	}
-	c.byKey[key] = c.order.PushFront(&cacheEntry{key: key, res: res})
+	c.byKey[key] = c.order.PushFront(&cacheEntry{key: key, res: res, rep: rep})
 	for c.order.Len() > c.cap {
 		oldest := c.order.Back()
 		c.order.Remove(oldest)

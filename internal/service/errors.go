@@ -8,12 +8,11 @@ import (
 // This file is the v1 error surface: every handler reports failures
 // through the same envelope
 //
-//	{"error": {"code": "...", "message": "..."}, "message": "..."}
+//	{"error": {"code": "...", "message": "..."}}
 //
-// where the top-level "message" mirrors error.message for clients of
-// the pre-envelope API (it carried the flat string under "error") and
-// is kept for one release. Codes map one-to-one to HTTP statuses so
-// clients can switch on either.
+// The pre-envelope top-level "message" duplicate was carried for one
+// release and removed in API v1.1. Codes map one-to-one to HTTP
+// statuses so clients can switch on either.
 
 // ErrCode is a machine-readable error category.
 type ErrCode string
@@ -62,12 +61,9 @@ type ErrorInfo struct {
 	Message string  `json:"message"`
 }
 
-// errorBody is the JSON error envelope. Message duplicates
-// Error.Message at top level for pre-envelope clients; it will be
-// removed one release after the envelope ships.
+// errorBody is the JSON error envelope.
 type errorBody struct {
-	Error   ErrorInfo `json:"error"`
-	Message string    `json:"message"`
+	Error ErrorInfo `json:"error"`
 }
 
 // writeError renders err through the envelope at its mapped status.
@@ -77,7 +73,6 @@ func writeError(w http.ResponseWriter, err error) {
 		ae = &apiError{Code: ErrInternal, Message: err.Error()}
 	}
 	writeJSON(w, ae.Code.httpStatus(), errorBody{
-		Error:   ErrorInfo{Code: ae.Code, Message: ae.Message},
-		Message: ae.Message,
+		Error: ErrorInfo{Code: ae.Code, Message: ae.Message},
 	})
 }

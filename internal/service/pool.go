@@ -35,7 +35,7 @@ func (s *Server) runJob(j *job) {
 	}
 	s.metrics.QueueWait.Observe(time.Since(j.created).Seconds())
 	if err := j.ctx.Err(); err != nil {
-		s.finish(j, d2m.Result{}, err)
+		s.finish(j, d2m.Result{}, nil, err)
 		return
 	}
 	s.mu.Lock()
@@ -45,16 +45,49 @@ func (s *Server) runJob(j *job) {
 
 	s.metrics.Running.Add(1)
 	start := time.Now()
-	res, err := s.runner(j.ctx, j.kind, j.bench, j.opt)
+	var (
+		res d2m.Result
+		rep *d2m.Replicated
+		err error
+	)
+	if j.reps >= 2 {
+		var agg d2m.Replicated
+		agg, err = s.replicator(j.ctx, j.kind, j.bench, j.opt, j.reps)
+		if err == nil {
+			rep = &agg
+			res = meanResult(agg)
+		}
+	} else {
+		res, err = s.runner(j.ctx, j.kind, j.bench, j.opt)
+	}
 	s.metrics.Running.Add(-1)
 	s.metrics.RunLatency.Observe(time.Since(start).Seconds())
-	s.finish(j, res, err)
+	s.finish(j, res, rep, err)
+}
+
+// meanResult projects a replicate aggregate onto the single-run Result
+// shape, so replicated jobs flow through the same cache, store, and
+// sweep plumbing as single runs. Count-style fields that have no
+// meaningful mean stay zero.
+func meanResult(agg d2m.Replicated) d2m.Result {
+	suite, _ := d2m.SuiteOf(agg.Benchmark)
+	return d2m.Result{
+		Kind:            agg.Kind,
+		Benchmark:       agg.Benchmark,
+		Suite:           suite,
+		Cycles:          uint64(agg.CyclesMean),
+		MsgsPerKI:       agg.MsgsPerKIMean,
+		EDP:             agg.EDPMean,
+		MissRatioD:      agg.MissDMean,
+		AvgMissLatency:  agg.MissLatMean,
+		PrivateMissFrac: agg.PrivateMean,
+	}
 }
 
 // finish settles a job: records the outcome, publishes a successful
 // result to the cache, releases the in-flight slot so the next
 // identical request starts fresh, and wakes every waiter.
-func (s *Server) finish(j *job, res d2m.Result, err error) {
+func (s *Server) finish(j *job, res d2m.Result, rep *d2m.Replicated, err error) {
 	s.mu.Lock()
 	delete(s.inflight, j.key)
 	j.finished = time.Now()
@@ -62,7 +95,8 @@ func (s *Server) finish(j *job, res d2m.Result, err error) {
 	case err == nil:
 		j.state = JobDone
 		j.result = res
-		s.cache.put(j.key, res)
+		j.replicated = rep
+		s.cache.put(j.key, res, rep)
 		s.metrics.JobsDone.Add(1)
 	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
 		j.state = JobCanceled
@@ -79,7 +113,8 @@ func (s *Server) finish(j *job, res d2m.Result, err error) {
 	// straight after a response never loses the result it served.
 	if j.state == JobDone && s.store != nil {
 		if aerr := s.store.append(storeRecord{
-			Key: j.key, Kind: j.kind.String(), Benchmark: j.bench, Result: res,
+			Key: j.key, Kind: j.kind.String(), Benchmark: j.bench,
+			Result: res, Replicated: rep,
 		}); aerr != nil {
 			s.metrics.StoreErrors.Add(1)
 		} else {

@@ -44,6 +44,10 @@ type Config struct {
 	// Runner executes one simulation. Nil means d2m.RunContext; tests
 	// substitute stubs to control timing and observe cancellation.
 	Runner func(ctx context.Context, kind d2m.Kind, bench string, opt d2m.Options) (d2m.Result, error)
+	// Replicator executes a replicated simulation (replicates >= 2 in
+	// the request). Nil means d2m.ReplicateContext, which fans the
+	// seeds out across a bounded worker set.
+	Replicator func(ctx context.Context, kind d2m.Kind, bench string, opt d2m.Options, n int) (d2m.Replicated, error)
 }
 
 func (c Config) withDefaults() Config {
@@ -65,6 +69,9 @@ func (c Config) withDefaults() Config {
 	if c.Runner == nil {
 		c.Runner = d2m.RunContext
 	}
+	if c.Replicator == nil {
+		c.Replicator = d2m.ReplicateContext
+	}
 	return c
 }
 
@@ -74,6 +81,7 @@ func (c Config) withDefaults() Config {
 type Server struct {
 	cfg         Config
 	runner      func(context.Context, d2m.Kind, string, d2m.Options) (d2m.Result, error)
+	replicator  func(context.Context, d2m.Kind, string, d2m.Options, int) (d2m.Replicated, error)
 	metrics     *Metrics
 	cache       *resultCache
 	store       *resultStore // nil without Config.StorePath
@@ -104,15 +112,16 @@ type Server struct {
 func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg:      cfg,
-		runner:   cfg.Runner,
-		metrics:  &Metrics{},
-		cache:    newResultCache(cfg.CacheEntries),
-		queue:    make(chan *job, cfg.QueueDepth),
-		slotFree: make(chan struct{}, 1),
-		jobs:     make(map[string]*job),
-		inflight: make(map[string]*job),
-		sweeps:   make(map[string]*sweep),
+		cfg:        cfg,
+		runner:     cfg.Runner,
+		replicator: cfg.Replicator,
+		metrics:    &Metrics{},
+		cache:      newResultCache(cfg.CacheEntries),
+		queue:      make(chan *job, cfg.QueueDepth),
+		slotFree:   make(chan struct{}, 1),
+		jobs:       make(map[string]*job),
+		inflight:   make(map[string]*job),
+		sweeps:     make(map[string]*sweep),
 	}
 	if cfg.StorePath != "" {
 		store, recs, err := openResultStore(cfg.StorePath)
@@ -121,7 +130,7 @@ func New(cfg Config) (*Server, error) {
 		}
 		s.store = store
 		for _, rec := range recs {
-			s.cache.put(rec.Key, rec.Result)
+			s.cache.put(rec.Key, rec.Result, rec.Replicated)
 		}
 		s.metrics.StoreLoaded.Add(uint64(len(recs)))
 	}
@@ -133,7 +142,8 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("POST /v1/sweeps", s.handleSweepCreate)
 	s.mux.HandleFunc("GET /v1/sweeps/{id}", s.handleSweepGet)
 	s.mux.HandleFunc("DELETE /v1/sweeps/{id}", s.handleSweepDelete)
-	s.mux.HandleFunc("GET /v1/benchmarks", s.handleBenchmarks)
+	s.mux.HandleFunc("GET /v1/capabilities", s.handleCapabilities)
+	s.mux.HandleFunc("GET /v1/benchmarks", s.handleCapabilities) // documented alias, scheduled for removal
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	for i := 0; i < cfg.Workers; i++ {
@@ -188,7 +198,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 // admit resolves a validated request to a job, coalescing onto an
 // identical in-flight job when one exists. The bool reports whether
 // the job was newly created; err is set on backpressure or drain.
-func (s *Server) admit(req RunRequest, kind d2m.Kind, bench string, opt d2m.Options, key string) (*job, bool, error) {
+func (s *Server) admit(req RunRequest, kind d2m.Kind, bench string, opt d2m.Options, reps int, key string) (*job, bool, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.draining {
@@ -209,6 +219,7 @@ func (s *Server) admit(req RunRequest, kind d2m.Kind, bench string, opt d2m.Opti
 		kind:    kind,
 		bench:   bench,
 		opt:     opt,
+		reps:    reps,
 		done:    make(chan struct{}),
 		state:   JobQueued,
 		created: time.Now(),
@@ -287,6 +298,7 @@ func (s *Server) statusLocked(j *job, cached bool) JobStatus {
 	if j.state == JobDone {
 		res := j.result
 		st.Result = &res
+		st.Replicated = j.replicated
 	}
 	return st
 }
@@ -304,24 +316,24 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		writeError(w, apiErrorf(ErrInvalidRequest, "bad request body: %v", err))
 		return
 	}
-	kind, bench, opt, err := req.normalize()
+	kind, bench, opt, reps, err := req.normalize()
 	if err != nil {
 		writeError(w, err)
 		return
 	}
-	key := cacheKey(kind, bench, opt)
+	key := cacheKey(kind, bench, opt, reps)
 
-	if res, ok := s.cache.get(key); ok {
+	if res, rep, ok := s.cache.get(key); ok {
 		s.metrics.CacheHits.Add(1)
 		writeJSON(w, http.StatusOK, JobStatus{
 			State: JobDone, Kind: kind.String(), Benchmark: bench,
-			Cached: true, Result: &res,
+			Cached: true, Result: &res, Replicated: rep,
 		})
 		return
 	}
 	s.metrics.CacheMisses.Add(1)
 
-	j, _, err := s.admit(req, kind, bench, opt, key)
+	j, _, err := s.admit(req, kind, bench, opt, reps, key)
 	if err != nil {
 		if err == errQueueFull {
 			s.metrics.JobsRejected.Add(1)
@@ -445,24 +457,45 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, body)
 }
 
-// benchmarksBody is the GET /v1/benchmarks response: everything a
-// client needs to compose a valid RunRequest.
-type benchmarksBody struct {
-	Suites     map[string][]string `json:"suites"`
-	Kinds      []string            `json:"kinds"`
-	Topologies []string            `json:"topologies"`
-	Placements []string            `json:"placements"`
+// capabilitiesBody is the GET /v1/capabilities response: everything a
+// client needs to compose a valid RunRequest or SweepRequest, in one
+// payload. GET /v1/benchmarks serves the same body as a compatibility
+// alias scheduled for removal.
+type capabilitiesBody struct {
+	APIRevision   string              `json:"api_revision"`
+	Suites        map[string][]string `json:"suites"`
+	Kinds         []string            `json:"kinds"`
+	Topologies    []string            `json:"topologies"`
+	Placements    []string            `json:"placements"`
+	Kernels       []KernelCap         `json:"kernels"`
+	MaxReplicates int                 `json:"max_replicates"`
 }
 
-func (s *Server) handleBenchmarks(w http.ResponseWriter, r *http.Request) {
-	body := benchmarksBody{
-		Suites:     make(map[string][]string),
-		Kinds:      d2m.KindNames(),
-		Topologies: d2m.Topologies(),
-		Placements: d2m.Placements(),
+// KernelCap describes one synthetic kernel workload.
+type KernelCap struct {
+	Name        string `json:"name"`
+	Description string `json:"description"`
+}
+
+// apiRevision is the documented revision of the v1 surface; bumped
+// when a field or endpoint is added or retired (see docs/api.md).
+const apiRevision = "v1.1"
+
+func (s *Server) handleCapabilities(w http.ResponseWriter, r *http.Request) {
+	body := capabilitiesBody{
+		APIRevision:   apiRevision,
+		Suites:        make(map[string][]string),
+		Kinds:         d2m.KindNames(),
+		Topologies:    d2m.Topologies(),
+		Placements:    d2m.Placements(),
+		Kernels:       []KernelCap{},
+		MaxReplicates: MaxReplicates,
 	}
 	for _, suite := range d2m.Suites() {
 		body.Suites[suite] = d2m.BenchmarksOf(suite)
+	}
+	for _, k := range d2m.Kernels() {
+		body.Kernels = append(body.Kernels, KernelCap{Name: k.Name, Description: k.Description})
 	}
 	writeJSON(w, http.StatusOK, body)
 }

@@ -105,7 +105,7 @@ func TestCacheHit(t *testing.T) {
 		t.Fatalf("first post: code %d cached %v", code, st.Cached)
 	}
 	// Same simulation, different spelling: kind case, explicit default.
-	second := `{"kind":"D2MFS","benchmark":"canneal","nodes":4,"mdscale":1}`
+	second := `{"kind":"D2MFS","benchmark":"canneal","nodes":4,"md_scale":1}`
 	code, st, _ = postRun(t, ts, second)
 	if code != http.StatusOK {
 		t.Fatalf("second post: code %d", code)
@@ -118,6 +118,72 @@ func TestCacheHit(t *testing.T) {
 	}
 	if got := s.Metrics().CacheHits.Load(); got != 1 {
 		t.Errorf("cache hits = %d, want 1", got)
+	}
+}
+
+// TestReplicatedRun checks the replicates field routes a job through
+// the Replicator, attaches the aggregate next to the mean-projected
+// Result, distinguishes the cache identity from the single-run job,
+// and is served — aggregate included — from the cache on repeat.
+func TestReplicatedRun(t *testing.T) {
+	var runs, reps atomic.Int64
+	s, ts := newTestServer(t, Config{
+		Workers: 1,
+		Runner: func(ctx context.Context, kind d2m.Kind, bench string, opt d2m.Options) (d2m.Result, error) {
+			runs.Add(1)
+			return stubResult(kind, bench, opt), nil
+		},
+		Replicator: func(ctx context.Context, kind d2m.Kind, bench string, opt d2m.Options, n int) (d2m.Replicated, error) {
+			reps.Add(1)
+			return d2m.Replicated{
+				Kind: kind, Benchmark: bench, N: n,
+				CyclesMean: 1500, CyclesStd: 25,
+			}, nil
+		},
+	})
+	body := `{"kind":"d2m-ns","benchmark":"tpc-c","nodes":2,"replicates":4}`
+	code, st, _ := postRun(t, ts, body)
+	if code != http.StatusOK || st.State != JobDone {
+		t.Fatalf("POST = %d state %s", code, st.State)
+	}
+	if st.Replicated == nil || st.Replicated.N != 4 {
+		t.Fatalf("replicated aggregate missing or wrong: %+v", st.Replicated)
+	}
+	if st.Result == nil || st.Result.Cycles != 1500 {
+		t.Fatalf("mean-projected result wrong: %+v", st.Result)
+	}
+	if got := reps.Load(); got != 1 {
+		t.Errorf("replicator invoked %d times, want 1", got)
+	}
+	if got := runs.Load(); got != 0 {
+		t.Errorf("runner invoked %d times for a replicated job, want 0", got)
+	}
+
+	// Repeat: a cache hit that still carries the aggregate.
+	code, st, _ = postRun(t, ts, body)
+	if code != http.StatusOK || !st.Cached {
+		t.Fatalf("repeat: code %d cached %v", code, st.Cached)
+	}
+	if st.Replicated == nil || st.Replicated.N != 4 {
+		t.Errorf("cached response lost the aggregate: %+v", st.Replicated)
+	}
+	if got := reps.Load(); got != 1 {
+		t.Errorf("replicator invoked %d times after cache hit, want 1", got)
+	}
+
+	// replicates:1 means a single run with a distinct cache identity.
+	code, st, _ = postRun(t, ts, `{"kind":"d2m-ns","benchmark":"tpc-c","nodes":2,"replicates":1}`)
+	if code != http.StatusOK || st.Cached {
+		t.Fatalf("single-run request: code %d cached %v", code, st.Cached)
+	}
+	if st.Replicated != nil {
+		t.Errorf("single run carries an aggregate: %+v", st.Replicated)
+	}
+	if got := runs.Load(); got != 1 {
+		t.Errorf("runner invoked %d times, want 1", got)
+	}
+	if got := s.Metrics().JobsDone.Load(); got != 2 {
+		t.Errorf("jobs done = %d, want 2", got)
 	}
 }
 
@@ -394,10 +460,12 @@ func TestRequestValidation(t *testing.T) {
 		{"unknown topology", `{"kind":"d2m-fs","benchmark":"tpc-c","topology":"hypercube"}`, ErrInvalidRequest},
 		{"unknown placement", `{"kind":"d2m-ns","benchmark":"tpc-c","placement":"random"}`, ErrInvalidRequest},
 		{"nodes out of range", `{"kind":"d2m-fs","benchmark":"tpc-c","nodes":9}`, ErrInvalidRequest},
-		{"bad mdscale", `{"kind":"d2m-fs","benchmark":"tpc-c","mdscale":3}`, ErrInvalidRequest},
+		{"removed mdscale alias", `{"kind":"d2m-fs","benchmark":"tpc-c","mdscale":3}`, ErrInvalidRequest},
 		{"bad md_scale", `{"kind":"d2m-fs","benchmark":"tpc-c","md_scale":3}`, ErrInvalidRequest},
-		{"conflicting md_scale spellings", `{"kind":"d2m-fs","benchmark":"tpc-c","md_scale":2,"mdscale":4}`, ErrInvalidRequest},
+		{"mdscale next to md_scale", `{"kind":"d2m-fs","benchmark":"tpc-c","md_scale":2,"mdscale":4}`, ErrInvalidRequest},
 		{"negative measure", `{"kind":"d2m-fs","benchmark":"tpc-c","measure":-5}`, ErrInvalidRequest},
+		{"negative replicates", `{"kind":"d2m-fs","benchmark":"tpc-c","replicates":-1}`, ErrInvalidRequest},
+		{"excessive replicates", `{"kind":"d2m-fs","benchmark":"tpc-c","replicates":65}`, ErrInvalidRequest},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -418,9 +486,6 @@ func TestRequestValidation(t *testing.T) {
 			}
 			if eb.Error.Message == "" {
 				t.Error("400 response has no error message")
-			}
-			if eb.Message != eb.Error.Message {
-				t.Errorf("legacy top-level message %q != error.message %q", eb.Message, eb.Error.Message)
 			}
 		})
 	}
@@ -468,12 +533,23 @@ func TestRunRequestNewFields(t *testing.T) {
 	if got.LinkBandwidth != 0.5 {
 		t.Errorf("LinkBandwidth = %v, want 0.5", got.LinkBandwidth)
 	}
-	// The two spellings address the same simulation: the second
-	// request is a cache hit, not a second run.
-	code, st, _ := postRun(t, ts,
-		`{"kind":"d2m-ns-r","benchmark":"tpc-c","mdscale":2,"link_bandwidth":0.5}`)
-	if code != http.StatusOK || !st.Cached {
-		t.Errorf("legacy-spelling request: code %d cached %v, want 200/cached", code, st.Cached)
+	// The retired "mdscale" spelling is rejected with a pointer at the
+	// canonical field, not silently accepted or a generic decode error.
+	resp, err := http.Post(ts.URL+"/v1/run", "application/json", strings.NewReader(
+		`{"kind":"d2m-ns-r","benchmark":"tpc-c","mdscale":2,"link_bandwidth":0.5}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("legacy-spelling request = %d, want 400", resp.StatusCode)
+	}
+	var eb errorBody
+	if err := json.NewDecoder(resp.Body).Decode(&eb); err != nil {
+		t.Fatal(err)
+	}
+	if eb.Error.Code != ErrInvalidRequest || !strings.Contains(eb.Error.Message, "md_scale") {
+		t.Errorf("legacy-spelling error = %+v, want invalid_request naming md_scale", eb.Error)
 	}
 }
 
@@ -560,32 +636,45 @@ func TestJobsList(t *testing.T) {
 	}
 }
 
-// TestBenchmarksEndpoint checks the catalogue response.
-func TestBenchmarksEndpoint(t *testing.T) {
+// TestCapabilitiesEndpoint checks the catalogue response on the
+// canonical path and on the /v1/benchmarks compatibility alias.
+func TestCapabilitiesEndpoint(t *testing.T) {
 	_, ts := newTestServer(t, Config{Workers: 1})
-	resp, err := http.Get(ts.URL + "/v1/benchmarks")
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer resp.Body.Close()
-	var body benchmarksBody
-	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
-		t.Fatal(err)
-	}
-	if len(body.Suites) != len(d2m.Suites()) {
-		t.Errorf("suites = %d, want %d", len(body.Suites), len(d2m.Suites()))
-	}
-	found := false
-	for _, k := range body.Kinds {
-		if k == "D2M-NS-R" {
-			found = true
+	for _, path := range []string{"/v1/capabilities", "/v1/benchmarks"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
 		}
-	}
-	if !found {
-		t.Errorf("kinds %v missing D2M-NS-R", body.Kinds)
-	}
-	if len(body.Topologies) == 0 || len(body.Placements) == 0 {
-		t.Error("empty topology/placement lists")
+		var body capabilitiesBody
+		err = json.NewDecoder(resp.Body).Decode(&body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if body.APIRevision != apiRevision {
+			t.Errorf("%s: api_revision %q, want %q", path, body.APIRevision, apiRevision)
+		}
+		if len(body.Suites) != len(d2m.Suites()) {
+			t.Errorf("%s: suites = %d, want %d", path, len(body.Suites), len(d2m.Suites()))
+		}
+		found := false
+		for _, k := range body.Kinds {
+			if k == "D2M-NS-R" {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("%s: kinds %v missing D2M-NS-R", path, body.Kinds)
+		}
+		if len(body.Topologies) == 0 || len(body.Placements) == 0 {
+			t.Errorf("%s: empty topology/placement lists", path)
+		}
+		if len(body.Kernels) == 0 {
+			t.Errorf("%s: empty kernel list", path)
+		}
+		if body.MaxReplicates != MaxReplicates {
+			t.Errorf("%s: max_replicates = %d, want %d", path, body.MaxReplicates, MaxReplicates)
+		}
 	}
 }
 
@@ -630,16 +719,16 @@ func TestMetricsAndHealthz(t *testing.T) {
 // TestResultCacheLRU checks the bound and eviction order of the cache.
 func TestResultCacheLRU(t *testing.T) {
 	c := newResultCache(2)
-	c.put("a", d2m.Result{Cycles: 1})
-	c.put("b", d2m.Result{Cycles: 2})
-	if _, ok := c.get("a"); !ok { // refresh a; b is now LRU
+	c.put("a", d2m.Result{Cycles: 1}, nil)
+	c.put("b", d2m.Result{Cycles: 2}, nil)
+	if _, _, ok := c.get("a"); !ok { // refresh a; b is now LRU
 		t.Fatal("a missing")
 	}
-	c.put("c", d2m.Result{Cycles: 3})
-	if _, ok := c.get("b"); ok {
+	c.put("c", d2m.Result{Cycles: 3}, nil)
+	if _, _, ok := c.get("b"); ok {
 		t.Error("b should have been evicted")
 	}
-	if _, ok := c.get("a"); !ok {
+	if _, _, ok := c.get("a"); !ok {
 		t.Error("a should have survived (recently used)")
 	}
 	if c.len() != 2 {
@@ -651,17 +740,20 @@ func TestResultCacheLRU(t *testing.T) {
 // and handling knobs but distinguishes simulation parameters.
 func TestCacheKeyCanonical(t *testing.T) {
 	base := d2m.Options{Nodes: 4}.WithDefaults()
-	k1 := cacheKey(d2m.D2MNSR, "tpc-c", d2m.Options{Nodes: 4})
-	k2 := cacheKey(d2m.D2MNSR, "tpc-c", base)
+	k1 := cacheKey(d2m.D2MNSR, "tpc-c", d2m.Options{Nodes: 4}, 0)
+	k2 := cacheKey(d2m.D2MNSR, "tpc-c", base, 0)
 	if k1 != k2 {
 		t.Error("defaulted and explicit options hash differently")
 	}
-	if cacheKey(d2m.D2MNSR, "tpc-c", base) == cacheKey(d2m.D2MNS, "tpc-c", base) {
+	if cacheKey(d2m.D2MNSR, "tpc-c", base, 0) == cacheKey(d2m.D2MNS, "tpc-c", base, 0) {
 		t.Error("different kinds share a key")
 	}
 	seeded := base
 	seeded.Seed = 1
-	if cacheKey(d2m.D2MNSR, "tpc-c", base) == cacheKey(d2m.D2MNSR, "tpc-c", seeded) {
+	if cacheKey(d2m.D2MNSR, "tpc-c", base, 0) == cacheKey(d2m.D2MNSR, "tpc-c", seeded, 0) {
 		t.Error("different seeds share a key")
+	}
+	if cacheKey(d2m.D2MNSR, "tpc-c", base, 0) == cacheKey(d2m.D2MNSR, "tpc-c", base, 8) {
+		t.Error("replicated and single-run jobs share a key")
 	}
 }

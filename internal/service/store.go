@@ -24,12 +24,14 @@ type resultStore struct {
 	f    *os.File
 }
 
-// storeRecord is one journal line.
+// storeRecord is one journal line. Replicated is present only for
+// replicated jobs; older journals without the field replay cleanly.
 type storeRecord struct {
-	Key       string     `json:"key"`
-	Kind      string     `json:"kind"`
-	Benchmark string     `json:"benchmark"`
-	Result    d2m.Result `json:"result"`
+	Key        string          `json:"key"`
+	Kind       string          `json:"kind"`
+	Benchmark  string          `json:"benchmark"`
+	Result     d2m.Result      `json:"result"`
+	Replicated *d2m.Replicated `json:"replicated,omitempty"`
 }
 
 // openResultStore opens (creating if absent) the journal at path and

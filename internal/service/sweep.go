@@ -32,6 +32,10 @@ type SweepRequest struct {
 	// TimeoutMS caps each cell's lifetime (queue wait + run) in
 	// milliseconds. Zero takes the server's default deadline.
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// Replicates, when >= 2, runs every cell that many times with
+	// decorrelated seeds; each cell's Result is then the mean
+	// projection of its aggregate. Same bounds as the run endpoint.
+	Replicates int `json:"replicates,omitempty"`
 }
 
 // SweepState is a sweep's position in its lifecycle.
@@ -85,6 +89,7 @@ type sweep struct {
 	id       string
 	baseline d2m.Kind
 	timeout  int64
+	reps     int // canonical replicate count per cell; 0 = single run
 	cells    []d2m.SweepCell
 
 	ctx    context.Context
@@ -185,11 +190,17 @@ func (s *Server) handleSweepCreate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
+	reps, err := normalizeReplicates(req.Replicates)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
 
 	sw := &sweep{
 		id:       fmt.Sprintf("s%08d", s.nextSweepID.Add(1)),
 		baseline: baseline,
 		timeout:  req.TimeoutMS,
+		reps:     reps,
 		cells:    cells,
 		outcome:  make([]cellOutcome, len(cells)),
 		doneCh:   make(chan struct{}),
@@ -282,8 +293,8 @@ func (s *Server) runSweep(sw *sweep) {
 			sw.settleCell(i, cellOutcome{state: JobCanceled, err: sw.ctx.Err()}, s.metrics)
 			continue
 		}
-		key := cacheKey(cell.Kind, cell.Benchmark, cell.Options)
-		if res, ok := s.cache.get(key); ok {
+		key := cacheKey(cell.Kind, cell.Benchmark, cell.Options, sw.reps)
+		if res, _, ok := s.cache.get(key); ok {
 			s.metrics.CacheHits.Add(1)
 			r := res
 			sw.settleCell(i, cellOutcome{state: JobDone, cached: true, result: &r}, s.metrics)
@@ -310,7 +321,7 @@ func (s *Server) runSweep(sw *sweep) {
 func (s *Server) admitCell(sw *sweep, cell d2m.SweepCell, key string) (*job, error) {
 	req := RunRequest{TimeoutMS: sw.timeout}
 	for {
-		j, _, err := s.admit(req, cell.Kind, cell.Benchmark, cell.Options, key)
+		j, _, err := s.admit(req, cell.Kind, cell.Benchmark, cell.Options, sw.reps, key)
 		switch err {
 		case nil:
 			return j, nil

@@ -138,6 +138,53 @@ func TestSweepEndToEndMatchesPerRun(t *testing.T) {
 	}
 }
 
+// TestSweepReplicates checks a sweep with replicates routes every cell
+// through the Replicator, and that its cells share cache identity with
+// equivalently replicated POST /v1/run requests, not with single runs.
+func TestSweepReplicates(t *testing.T) {
+	var runs, reps atomic.Int64
+	_, ts := newTestServer(t, Config{
+		Workers: 2,
+		Runner: func(ctx context.Context, kind d2m.Kind, bench string, opt d2m.Options) (d2m.Result, error) {
+			runs.Add(1)
+			return stubResult(kind, bench, opt), nil
+		},
+		Replicator: func(ctx context.Context, kind d2m.Kind, bench string, opt d2m.Options, n int) (d2m.Replicated, error) {
+			reps.Add(1)
+			return d2m.Replicated{Kind: kind, Benchmark: bench, N: n, CyclesMean: 2000}, nil
+		},
+	})
+	body := `{"kinds":["base-2l","d2m-ns"],"benchmarks":["tpc-c"],"nodes":2,"replicates":3}`
+	code, st := postSweep(t, ts, body)
+	if code != http.StatusAccepted {
+		t.Fatalf("POST /v1/sweeps = %d", code)
+	}
+	st = waitSweep(t, ts, st.ID, 5*time.Second)
+	if st.State != SweepDone || st.Done != 2 || st.Failed != 0 {
+		t.Fatalf("sweep settled %+v", st)
+	}
+	if got := reps.Load(); got != 2 {
+		t.Errorf("replicator invoked %d times, want 2", got)
+	}
+	if got := runs.Load(); got != 0 {
+		t.Errorf("runner invoked %d times for a replicated sweep, want 0", got)
+	}
+	// The matching replicated run is a cache hit with its aggregate...
+	code, run, _ := postRun(t, ts, `{"kind":"d2m-ns","benchmark":"tpc-c","nodes":2,"replicates":3}`)
+	if code != http.StatusOK || !run.Cached || run.Replicated == nil || run.Replicated.N != 3 {
+		t.Errorf("replicated run after sweep: code %d cached %v replicated %+v",
+			code, run.Cached, run.Replicated)
+	}
+	// ...while the single-run spelling is a distinct simulation.
+	code, run, _ = postRun(t, ts, `{"kind":"d2m-ns","benchmark":"tpc-c","nodes":2}`)
+	if code != http.StatusOK || run.Cached {
+		t.Errorf("single run after sweep: code %d cached %v, want a fresh job", code, run.Cached)
+	}
+	if got := runs.Load(); got != 1 {
+		t.Errorf("runner invoked %d times, want 1", got)
+	}
+}
+
 // TestSweepCancellationFreesWorkers deletes a sweep whose cells block
 // until cancelled, then checks the pool's only worker is free again
 // and the sweep settled as canceled.

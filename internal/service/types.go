@@ -26,9 +26,11 @@ type RunRequest struct {
 	Warmup    int    `json:"warmup,omitempty"`
 	Measure   int    `json:"measure,omitempty"`
 	Seed      uint64 `json:"seed,omitempty"`
-	// MDScale is the canonical "md_scale" field; LegacyMDScale accepts
-	// the original "mdscale" spelling for one release. Setting both to
-	// different values is rejected.
+	// MDScale is the canonical "md_scale" field. LegacyMDScale catches
+	// the retired "mdscale" spelling: its compat window (one release,
+	// API v1.0) has ended, and any use is rejected with a targeted
+	// error pointing at md_scale rather than a generic unknown-field
+	// decode failure.
 	MDScale       int     `json:"md_scale,omitempty"`
 	LegacyMDScale int     `json:"mdscale,omitempty"`
 	Bypass        bool    `json:"bypass,omitempty"`
@@ -36,6 +38,11 @@ type RunRequest struct {
 	Topology      string  `json:"topology,omitempty"`
 	Placement     string  `json:"placement,omitempty"`
 	LinkBandwidth float64 `json:"link_bandwidth,omitempty"`
+	// Replicates, when >= 2, runs the simulation that many times with
+	// decorrelated seeds (seed+1 .. seed+n) and returns the mean/std
+	// aggregate next to a mean-projected Result. Capped at
+	// MaxReplicates; 0 and 1 both mean a single run.
+	Replicates int `json:"replicates,omitempty"`
 
 	// TimeoutMS caps this job's total lifetime (queue wait + run) in
 	// milliseconds. Zero takes the server's default deadline.
@@ -45,32 +52,41 @@ type RunRequest struct {
 	Async bool `json:"async,omitempty"`
 }
 
+// MaxReplicates bounds replicates per request: above this, error bars
+// have long converged and the job is a denial-of-service risk.
+const MaxReplicates = 64
+
 // normalize validates the request through the root package's shared
-// parse helpers and returns the canonical simulation identity. Errors
-// are apiErrors, so handlers map them straight onto the envelope.
-func (r RunRequest) normalize() (d2m.Kind, string, d2m.Options, error) {
+// parse helpers and returns the canonical simulation identity
+// (including the canonical replicate count: 0 for a single run, 2..
+// MaxReplicates for a replicated one). Errors are apiErrors, so
+// handlers map them straight onto the envelope.
+func (r RunRequest) normalize() (d2m.Kind, string, d2m.Options, int, error) {
+	fail := func(err error) (d2m.Kind, string, d2m.Options, int, error) {
+		return 0, "", d2m.Options{}, 0, err
+	}
 	kind, err := d2m.ParseKind(r.Kind)
 	if err != nil {
-		return 0, "", d2m.Options{}, apiErrorf(ErrInvalidRequest, "%v", err)
+		return fail(apiErrorf(ErrInvalidRequest, "%v", err))
 	}
 	if _, ok := d2m.SuiteOf(r.Benchmark); !ok {
-		return 0, "", d2m.Options{}, apiErrorf(ErrUnknownBenchmark,
-			"d2m: unknown benchmark %q (see GET /v1/benchmarks)", r.Benchmark)
+		return fail(apiErrorf(ErrUnknownBenchmark,
+			"d2m: unknown benchmark %q (see GET /v1/benchmarks)", r.Benchmark))
 	}
-	scale := r.MDScale
 	if r.LegacyMDScale != 0 {
-		if scale != 0 && scale != r.LegacyMDScale {
-			return 0, "", d2m.Options{}, apiErrorf(ErrInvalidRequest,
-				"md_scale = %d conflicts with legacy mdscale = %d", scale, r.LegacyMDScale)
-		}
-		scale = r.LegacyMDScale
+		return fail(apiErrorf(ErrInvalidRequest,
+			`the "mdscale" field was removed in API v1.1; use "md_scale"`))
+	}
+	reps, err := normalizeReplicates(r.Replicates)
+	if err != nil {
+		return fail(err)
 	}
 	opt := d2m.Options{
 		Nodes:         r.Nodes,
 		Warmup:        r.Warmup,
 		Measure:       r.Measure,
 		Seed:          r.Seed,
-		MDScale:       scale,
+		MDScale:       r.MDScale,
 		Bypass:        r.Bypass,
 		Prefetch:      r.Prefetch,
 		Topology:      r.Topology,
@@ -78,23 +94,43 @@ func (r RunRequest) normalize() (d2m.Kind, string, d2m.Options, error) {
 		LinkBandwidth: r.LinkBandwidth,
 	}.WithDefaults()
 	if err := opt.Validate(); err != nil {
-		return 0, "", d2m.Options{}, apiErrorf(ErrInvalidRequest, "%v", err)
+		return fail(apiErrorf(ErrInvalidRequest, "%v", err))
 	}
-	return kind, r.Benchmark, opt, nil
+	return kind, r.Benchmark, opt, reps, nil
+}
+
+// normalizeReplicates canonicalizes a requested replicate count: 0 and
+// 1 both mean a single run (0), anything above MaxReplicates or below
+// zero is rejected.
+func normalizeReplicates(n int) (int, error) {
+	switch {
+	case n < 0:
+		return 0, apiErrorf(ErrInvalidRequest, "replicates = %d is negative", n)
+	case n > MaxReplicates:
+		return 0, apiErrorf(ErrInvalidRequest,
+			"replicates = %d exceeds the limit of %d", n, MaxReplicates)
+	case n < 2:
+		return 0, nil
+	default:
+		return n, nil
+	}
 }
 
 // cacheKey is the content address of a simulation: the hash of the
-// canonical (kind, benchmark, defaulted Options) tuple. Requests that
-// differ only in presentation (kind spelling, explicit-vs-defaulted
-// fields) or in handling knobs (timeout, async) share a key and
-// therefore share one simulation.
-func cacheKey(kind d2m.Kind, bench string, opt d2m.Options) string {
+// canonical (kind, benchmark, defaulted Options, replicates) tuple.
+// Requests that differ only in presentation (kind spelling,
+// explicit-vs-defaulted fields) or in handling knobs (timeout, async)
+// share a key and therefore share one simulation. Reps is tagged
+// omitempty so single-run keys are byte-identical to the pre-replicate
+// revision and persisted stores stay valid.
+func cacheKey(kind d2m.Kind, bench string, opt d2m.Options, reps int) string {
 	h := sha256.New()
 	json.NewEncoder(h).Encode(struct {
 		Kind  string
 		Bench string
 		Opt   d2m.Options
-	}{kind.String(), bench, opt.WithDefaults()})
+		Reps  int `json:"reps,omitempty"`
+	}{kind.String(), bench, opt.WithDefaults(), reps})
 	return hex.EncodeToString(h.Sum(nil)[:16])
 }
 
@@ -118,19 +154,21 @@ type job struct {
 	kind   d2m.Kind
 	bench  string
 	opt    d2m.Options
+	reps   int // canonical replicate count; 0 = single run
 	ctx    context.Context
 	cancel context.CancelFunc
 	done   chan struct{}
 
 	// guarded by Server.mu until done closes.
-	state    JobState
-	result   d2m.Result
-	err      error
-	waiters  int
-	detached bool // async jobs outlive their submitting request
-	created  time.Time
-	started  time.Time
-	finished time.Time
+	state      JobState
+	result     d2m.Result
+	replicated *d2m.Replicated // aggregate of a replicated job
+	err        error
+	waiters    int
+	detached   bool // async jobs outlive their submitting request
+	created    time.Time
+	started    time.Time
+	finished   time.Time
 }
 
 // JobStatus is the JSON view of a job (GET /v1/jobs/{id} and the
@@ -147,4 +185,8 @@ type JobStatus struct {
 	RunMS       float64     `json:"run_ms,omitempty"`
 	Error       string      `json:"error,omitempty"`
 	Result      *d2m.Result `json:"result,omitempty"`
+	// Replicated carries the mean/std aggregate of a job submitted
+	// with replicates >= 2; Result then holds the mean projection of
+	// the aggregated metrics.
+	Replicated *d2m.Replicated `json:"replicated,omitempty"`
 }

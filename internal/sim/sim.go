@@ -145,18 +145,20 @@ func (r Report) LateHitRatioD() float64 {
 type Engine struct {
 	m      Machine
 	nodes  int
-	clock  []uint64                  // retire clocks
-	issue  []uint64                  // issue clocks
-	inFly  []map[mem.LineAddr]uint64 // per node: line -> issue-ready time
+	clock  []uint64   // retire clocks
+	issue  []uint64   // issue clocks
+	inFly  []inflight // per node: line -> issue-ready time (MSHR stand-in)
 	report Report
 }
 
 // NewEngine returns an engine for a machine with the given node count.
+// All hot-path state (clocks and the per-node in-flight tables) is
+// allocated here once and reused across Run calls.
 func NewEngine(m Machine, nodes int) *Engine {
 	e := &Engine{m: m, nodes: nodes, clock: make([]uint64, nodes), issue: make([]uint64, nodes)}
-	e.inFly = make([]map[mem.LineAddr]uint64, nodes)
+	e.inFly = make([]inflight, nodes)
 	for i := range e.inFly {
-		e.inFly[i] = make(map[mem.LineAddr]uint64)
+		e.inFly[i] = newInflight()
 	}
 	return e
 }
@@ -193,7 +195,7 @@ func (e *Engine) RunContext(ctx context.Context, iv trace.Stream, warmup, measur
 	for i := range e.clock {
 		e.clock[i] = 0
 		e.issue[i] = 0
-		e.inFly[i] = make(map[mem.LineAddr]uint64)
+		e.inFly[i].reset()
 	}
 	e.report = Report{NodeCycles: make([]uint64, e.nodes), missLat: make([]uint64, missLatBuckets)}
 
@@ -228,23 +230,21 @@ func (e *Engine) step(a mem.Access) {
 
 	stall := 0.0
 	if hit {
-		if ready, ok := e.inFly[n][line]; ok {
-			if ready > now {
-				// Late hit: the line is still in flight (a secondary
-				// miss on the MSHR); part of the residual wait blocks.
-				wait := float64(ready - now)
-				stall = wait * lateHitBlocking
-				if a.Kind.IsInstr() {
-					e.report.LateHitsI++
-				} else {
-					e.report.LateHitsD++
-				}
+		if ready, ok := e.inFly[n].lookup(line); ok && ready > now {
+			// Late hit: the line is still in flight (a secondary
+			// miss on the MSHR); part of the residual wait blocks.
+			// An entry whose ready time has passed is dead — the
+			// table reclaims it lazily.
+			wait := float64(ready - now)
+			stall = wait * lateHitBlocking
+			if a.Kind.IsInstr() {
+				e.report.LateHitsI++
 			} else {
-				delete(e.inFly[n], line)
+				e.report.LateHitsD++
 			}
 		}
 	} else {
-		e.inFly[n][line] = now + lat
+		e.inFly[n].insert(line, now+lat, now)
 		b := lat
 		if b >= missLatBuckets {
 			b = missLatBuckets - 1

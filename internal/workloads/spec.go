@@ -127,7 +127,12 @@ type stream struct {
 	warmPtr  mem.LineAddr
 	warmUses int
 
-	pending *mem.Access
+	// pending holds the data access emitted after the current fetch. It
+	// is a value plus flag rather than a pointer: a pointed-to access
+	// escapes to the heap, which at one data access per fetch made the
+	// generator the hot path's dominant allocation source.
+	pending    mem.Access
+	hasPending bool
 }
 
 // regionCursor walks a pool region-by-region: it stays within the
@@ -234,10 +239,9 @@ func (st *stream) streamStart() mem.LineAddr {
 
 // Next emits the node's next access.
 func (st *stream) Next() mem.Access {
-	if st.pending != nil {
-		a := *st.pending
-		st.pending = nil
-		return a
+	if st.hasPending {
+		st.hasPending = false
+		return st.pending
 	}
 	sp := st.spec
 	if st.runLeft <= 0 || st.rng.Bool(sp.JumpProb) {
@@ -251,8 +255,8 @@ func (st *stream) Next() mem.Access {
 	st.runLeft--
 
 	if st.rng.Bool(sp.DataFrac) {
-		d := st.dataAccess()
-		st.pending = &d
+		st.pending = st.dataAccess()
+		st.hasPending = true
 	}
 	return fetch
 }

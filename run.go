@@ -2,10 +2,13 @@ package d2m
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"math"
+	"runtime"
 	"strings"
+	"sync"
 
 	"d2m/internal/baseline"
 	"d2m/internal/core"
@@ -371,6 +374,7 @@ func (r *Result) measureContext(ctx context.Context, kind Kind, opt Options, src
 	switch kind {
 	case Base2L, Base3L:
 		s := newBaseline(baselineConfig(kind, opt))
+		defer s.Release() // recycle the hierarchy's arrays for the next run
 		engine := sim.NewEngine(sim.WrapBaseline(s), opt.Nodes)
 		rep, err := engine.RunContext(ctx, src, opt.Warmup, opt.Measure)
 		if err != nil {
@@ -381,6 +385,7 @@ func (r *Result) measureContext(ctx context.Context, kind Kind, opt Options, src
 		flitHops = s.Meter().Count(energy.OpNoCFlit)
 	default:
 		s := newCore(coreConfig(kind, opt))
+		defer s.Release()
 		engine := sim.NewEngine(sim.WrapCore(s), opt.Nodes)
 		rep, err := engine.RunContext(ctx, src, opt.Warmup, opt.Measure)
 		if err != nil {
@@ -605,30 +610,100 @@ type Replicated struct {
 
 // Replicate runs n seeds of (kind, bench) and aggregates.
 func Replicate(kind Kind, bench string, opt Options, n int) (Replicated, error) {
+	return ReplicateContext(context.Background(), kind, bench, opt, n)
+}
+
+// ReplicateContext is Replicate with cooperative cancellation,
+// matching Run/RunContext. The n seeded runs are independent
+// simulations, so they execute concurrently on a bounded worker set
+// (ExperimentWorkers, defaulting to GOMAXPROCS); samples are gathered
+// by seed index and aggregated in that fixed order, so the result is
+// byte-identical to running the seeds serially. When a run fails, the
+// remaining runs are cancelled and the error of the lowest-indexed
+// failed seed is returned (a context error only if no seed failed on
+// its own).
+func ReplicateContext(ctx context.Context, kind Kind, bench string, opt Options, n int) (Replicated, error) {
 	if n < 1 {
 		return Replicated{}, fmt.Errorf("d2m: Replicate with n = %d", n)
 	}
-	type sample struct{ cyc, msg, edp, missd, lat, priv float64 }
-	samples := make([]sample, 0, n)
-	for i := 0; i < n; i++ {
-		o := opt
-		o.Seed = opt.Seed + uint64(i) + 1
-		r, err := Run(kind, bench, o)
-		if err != nil {
-			return Replicated{}, err
-		}
-		samples = append(samples, sample{
-			float64(r.Cycles), r.MsgsPerKI, r.EDP, r.MissRatioD, r.AvgMissLatency, r.PrivateMissFrac,
-		})
+	workers := ExperimentWorkers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
 	}
-	mean := func(get func(sample) float64) float64 {
+	if workers > n {
+		workers = n
+	}
+
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	samples := make([]repSample, n)
+	errs := make([]error, n)
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				o := opt
+				o.Seed = opt.Seed + uint64(i) + 1
+				r, err := RunContext(runCtx, kind, bench, o)
+				if err != nil {
+					errs[i] = err
+					cancel() // a failed seed fails the aggregate; stop the rest
+					continue
+				}
+				samples[i] = repSample{
+					float64(r.Cycles), r.MsgsPerKI, r.EDP, r.MissRatioD, r.AvgMissLatency, r.PrivateMissFrac,
+				}
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+
+	// Prefer a seed's own error over the context-cancellation errors the
+	// siblings observed, lowest index first, so the reported error does
+	// not depend on scheduling.
+	var ctxErr error
+	for i, err := range errs {
+		if err == nil {
+			continue
+		}
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			if ctxErr == nil {
+				ctxErr = errs[i]
+			}
+			continue
+		}
+		return Replicated{}, err
+	}
+	if ctxErr != nil {
+		return Replicated{}, ctxErr
+	}
+	return aggregate(kind, bench, samples), nil
+}
+
+// repSample holds the metrics of one replicated run that enter the
+// aggregate: cycles, msgs/KI, EDP, L1-D miss ratio, average miss
+// latency, private-miss fraction.
+type repSample struct{ cyc, msg, edp, missd, lat, priv float64 }
+
+// aggregate folds per-seed samples (in seed order) into the mean/std
+// summary.
+func aggregate(kind Kind, bench string, samples []repSample) Replicated {
+	n := len(samples)
+	mean := func(get func(repSample) float64) float64 {
 		sum := 0.0
 		for _, s := range samples {
 			sum += get(s)
 		}
 		return sum / float64(n)
 	}
-	std := func(get func(sample) float64, m float64) float64 {
+	std := func(get func(repSample) float64, m float64) float64 {
 		if n < 2 {
 			return 0
 		}
@@ -640,17 +715,17 @@ func Replicate(kind Kind, bench string, opt Options, n int) (Replicated, error) 
 		return math.Sqrt(sum / float64(n-1))
 	}
 	out := Replicated{Kind: kind, Benchmark: bench, N: n}
-	out.CyclesMean = mean(func(s sample) float64 { return s.cyc })
-	out.CyclesStd = std(func(s sample) float64 { return s.cyc }, out.CyclesMean)
-	out.MsgsPerKIMean = mean(func(s sample) float64 { return s.msg })
-	out.MsgsStd = std(func(s sample) float64 { return s.msg }, out.MsgsPerKIMean)
-	out.EDPMean = mean(func(s sample) float64 { return s.edp })
-	out.EDPStd = std(func(s sample) float64 { return s.edp }, out.EDPMean)
-	out.MissDMean = mean(func(s sample) float64 { return s.missd })
-	out.MissDStd = std(func(s sample) float64 { return s.missd }, out.MissDMean)
-	out.MissLatMean = mean(func(s sample) float64 { return s.lat })
-	out.MissLatStd = std(func(s sample) float64 { return s.lat }, out.MissLatMean)
-	out.PrivateMean = mean(func(s sample) float64 { return s.priv })
-	out.PrivateStd = std(func(s sample) float64 { return s.priv }, out.PrivateMean)
-	return out, nil
+	out.CyclesMean = mean(func(s repSample) float64 { return s.cyc })
+	out.CyclesStd = std(func(s repSample) float64 { return s.cyc }, out.CyclesMean)
+	out.MsgsPerKIMean = mean(func(s repSample) float64 { return s.msg })
+	out.MsgsStd = std(func(s repSample) float64 { return s.msg }, out.MsgsPerKIMean)
+	out.EDPMean = mean(func(s repSample) float64 { return s.edp })
+	out.EDPStd = std(func(s repSample) float64 { return s.edp }, out.EDPMean)
+	out.MissDMean = mean(func(s repSample) float64 { return s.missd })
+	out.MissDStd = std(func(s repSample) float64 { return s.missd }, out.MissDMean)
+	out.MissLatMean = mean(func(s repSample) float64 { return s.lat })
+	out.MissLatStd = std(func(s repSample) float64 { return s.lat }, out.MissLatMean)
+	out.PrivateMean = mean(func(s repSample) float64 { return s.priv })
+	out.PrivateStd = std(func(s repSample) float64 { return s.priv }, out.PrivateMean)
+	return out
 }
