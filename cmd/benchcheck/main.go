@@ -1,0 +1,99 @@
+// Command benchcheck compares one metric between two benchmark-journal
+// JSON files (the BENCH_*.json format written by the repo's benchmark
+// harnesses) and exits non-zero when the new value regresses past a
+// threshold. CI runs it after the short-mode benchmarks to gate merges
+// on the committed baselines:
+//
+//	benchcheck -old BENCH_core.json -new BENCH_core.new.json \
+//	    -metric accesses_per_sec_cold -max-regress 10
+//
+// Metrics are higher-is-better (throughput numbers); a regression is a
+// percentage drop from old to new. The metric name is looked up at the
+// journal's top level and inside any nested object one level down, so
+// both the core journal ({"metrics": {...}}) and the service journal
+// ({"jobs_per_sec": {...}}) work unchanged.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+func main() {
+	var (
+		oldPath    = flag.String("old", "", "baseline journal (committed)")
+		newPath    = flag.String("new", "", "fresh journal (this run)")
+		metric     = flag.String("metric", "", "metric name to compare")
+		maxRegress = flag.Float64("max-regress", 10, "maximum allowed drop, percent")
+	)
+	flag.Parse()
+	if *oldPath == "" || *newPath == "" || *metric == "" {
+		fmt.Fprintln(os.Stderr, "benchcheck: -old, -new and -metric are required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	oldVal, err := readMetric(*oldPath, *metric)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchcheck: %v\n", err)
+		os.Exit(2)
+	}
+	newVal, err := readMetric(*newPath, *metric)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchcheck: %v\n", err)
+		os.Exit(2)
+	}
+
+	regress := regression(oldVal, newVal)
+	fmt.Printf("benchcheck: %s old=%.6g new=%.6g change=%+.1f%%\n",
+		*metric, oldVal, newVal, -regress)
+	if regress > *maxRegress {
+		fmt.Fprintf(os.Stderr, "benchcheck: %s regressed %.1f%% (limit %.1f%%)\n",
+			*metric, regress, *maxRegress)
+		os.Exit(1)
+	}
+}
+
+// regression returns the percentage drop from old to new; negative
+// when new improved on old.
+func regression(oldVal, newVal float64) float64 {
+	if oldVal <= 0 {
+		return 0
+	}
+	return (oldVal - newVal) / oldVal * 100
+}
+
+// readMetric loads path and finds name at the top level or inside any
+// nested object one level down.
+func readMetric(path, name string) (float64, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return 0, err
+	}
+	var doc map[string]interface{}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		return 0, fmt.Errorf("%s: %v", path, err)
+	}
+	if v, ok := lookup(doc, name); ok {
+		return v, nil
+	}
+	for _, nested := range doc {
+		if m, ok := nested.(map[string]interface{}); ok {
+			if v, ok := lookup(m, name); ok {
+				return v, nil
+			}
+		}
+	}
+	return 0, fmt.Errorf("%s: metric %q not found", path, name)
+}
+
+func lookup(m map[string]interface{}, name string) (float64, bool) {
+	v, ok := m[name]
+	if !ok {
+		return 0, false
+	}
+	f, ok := v.(float64)
+	return f, ok
+}

@@ -1,0 +1,63 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeJournal(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestReadMetricNested(t *testing.T) {
+	core := writeJournal(t, "core.json",
+		`{"benchmark":"B","metrics":{"accesses_per_sec_cold":8.0e6,"allocs_per_access":0.001}}`)
+	svc := writeJournal(t, "svc.json",
+		`{"benchmark":"B","jobs_per_sec":{"cold":450,"cached":6000}}`)
+	top := writeJournal(t, "top.json", `{"cold":450}`)
+
+	cases := []struct {
+		path, metric string
+		want         float64
+	}{
+		{core, "accesses_per_sec_cold", 8.0e6},
+		{svc, "cached", 6000},
+		{top, "cold", 450},
+	}
+	for _, tc := range cases {
+		got, err := readMetric(tc.path, tc.metric)
+		if err != nil {
+			t.Errorf("%s/%s: %v", tc.path, tc.metric, err)
+			continue
+		}
+		if got != tc.want {
+			t.Errorf("%s/%s = %g, want %g", tc.path, tc.metric, got, tc.want)
+		}
+	}
+
+	if _, err := readMetric(core, "nope"); err == nil {
+		t.Error("missing metric did not error")
+	}
+}
+
+func TestRegression(t *testing.T) {
+	cases := []struct {
+		oldVal, newVal, want float64
+	}{
+		{100, 90, 10},   // 10% drop
+		{100, 110, -10}, // improvement reads negative
+		{100, 100, 0},
+		{0, 50, 0}, // degenerate baseline never fails the gate
+	}
+	for _, tc := range cases {
+		if got := regression(tc.oldVal, tc.newVal); got != tc.want {
+			t.Errorf("regression(%g, %g) = %g, want %g", tc.oldVal, tc.newVal, got, tc.want)
+		}
+	}
+}

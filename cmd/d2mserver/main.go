@@ -15,15 +15,20 @@
 // Endpoints (docs/api.md has the full schemas and error codes):
 //
 //	POST   /v1/run         run (or fetch from cache) one simulation; "async":true returns a job id
+//	POST   /v1/batch       run up to 256 simulations as one unit; results stream back in order
 //	GET    /v1/jobs        list jobs newest first (?state=, ?limit=, ?cursor=)
 //	GET    /v1/jobs/{id}   job status and, once done, the result
 //	POST   /v1/sweeps      run a parameter grid server-side; returns a sweep id
 //	GET    /v1/sweeps/{id} sweep progress (done/failed/total, ETA) and, once done, the aggregate
 //	DELETE /v1/sweeps/{id} cancel a sweep's outstanding cells
 //	GET    /v1/capabilities catalogue of benchmarks, kinds, topologies, placements, kernels
-//	GET    /v1/benchmarks  alias for /v1/capabilities (scheduled for removal)
 //	GET    /healthz        liveness (503 while draining)
 //	GET    /metrics        Prometheus text metrics (also on expvar as "d2mserver")
+//
+// Runs that share a warm identity (kind, geometry, workload, seed,
+// warmup) reuse each other's post-warmup machine state through an
+// in-memory snapshot cache budgeted by -snapshot-mem, replacing the
+// warmup phase of later runs with a state restore.
 //
 // With -store, completed simulations are journaled to an append-only
 // JSONL file and replayed into the result cache at startup, so a
@@ -66,16 +71,22 @@ func main() {
 		timeout      = flag.Duration("timeout", 2*time.Minute, "default per-job deadline (0 = none)")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown budget")
 		storePath    = flag.String("store", "", "persistent result store (append-only JSONL journal; empty = in-memory only)")
+		snapshotMem  = flag.Int64("snapshot-mem", 256, "warm-snapshot cache budget in MiB (0 = disabled)")
 		debugAddr    = flag.String("debug-addr", "", "serve net/http/pprof and expvar on this address (empty = disabled)")
 	)
 	flag.Parse()
 
+	snapshotBytes := *snapshotMem << 20
+	if snapshotBytes <= 0 {
+		snapshotBytes = -1 // Config: negative disables, zero means the default
+	}
 	svc, err := service.New(service.Config{
-		Workers:        *workers,
-		QueueDepth:     *queueDepth,
-		CacheEntries:   *cacheEntries,
-		DefaultTimeout: *timeout,
-		StorePath:      *storePath,
+		Workers:          *workers,
+		QueueDepth:       *queueDepth,
+		CacheEntries:     *cacheEntries,
+		DefaultTimeout:   *timeout,
+		StorePath:        *storePath,
+		SnapshotMemBytes: snapshotBytes,
 	})
 	if err != nil {
 		log.Fatalf("service: %v", err)

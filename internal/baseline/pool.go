@@ -11,6 +11,12 @@ var (
 	dirArrays   cache.ArrayPool[dirEntry]
 )
 
+// PoolBalance returns outstanding pooled arrays (Gets minus Puts)
+// across the package's construction pools, for the leak tests.
+func PoolBalance() int64 {
+	return stateArrays.Balance() + boolArrays.Balance() + dirArrays.Balance()
+}
+
 // Release returns the system's large backing arrays (every cache table
 // and the directory) to internal pools for reuse by a later NewSystem.
 // The system must not be used afterwards.

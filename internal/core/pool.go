@@ -15,6 +15,15 @@ var (
 	dirRegArrays  cache.ArrayPool[*dirRegion]
 )
 
+// PoolBalance returns outstanding pooled arrays (Gets minus Puts)
+// across the package's construction pools. A process in which every
+// System was Released reads zero; the leak tests assert it stays put
+// across cancelled and failed runs.
+func PoolBalance() int64 {
+	return slotArrays.Balance() + stampArrays.Balance() +
+		nodeRegArrays.Balance() + dirRegArrays.Balance()
+}
+
 // Release returns the system's large backing arrays (every data store,
 // metadata table and entry array) to internal pools for reuse by a
 // later NewSystem. The system must not be used afterwards; callers that

@@ -1,0 +1,292 @@
+package core
+
+import (
+	"fmt"
+	"unsafe"
+
+	"d2m/internal/cache"
+	"d2m/internal/mem"
+)
+
+// Warm-state snapshots (taken at the warmup/measurement boundary) let
+// runs that share a warmed prefix skip re-simulating it. A Snapshot is
+// a deep, self-contained copy of everything that survives
+// ResetMeasurement: the metadata tables and their region entries, the
+// tag-less data stores, the RNG position, and the protocol's
+// cross-access state (placement pressure, lock window, staged transfer
+// state). Statistics, traffic and dynamic-energy counters are NOT
+// captured — both the fresh and the restored path zero them at the
+// boundary, so their pre-boundary values are unobservable.
+//
+// Exactness contract: a system restored from a snapshot must be
+// indistinguishable from the system the snapshot was taken of, so a
+// measurement run on either produces byte-identical Results. The
+// subtlety is the Tracking Pointer model: a node's MD1 and MD2 entry
+// arrays alias the same *nodeRegion objects (flipping `active` moves
+// the authoritative copy without duplicating LIs). Capture therefore
+// records each distinct region object once, via an identity map, and
+// restore rebuilds the same aliasing structure over fresh objects.
+
+// storeSnap is the frozen state of one tag-less data store.
+type storeSnap struct {
+	tbl     *cache.Table
+	slots   []slot
+	recency []uint64
+	clock   uint64
+}
+
+// nodeSnap is the frozen state of one node: the three metadata tables
+// plus their entry arrays, flattened through the identity map (idx
+// slices hold -1 for empty slots, else an index into regions), and the
+// private data stores.
+type nodeSnap struct {
+	md1i, md1d, md2          *cache.Table
+	md1iIdx, md1dIdx, md2Idx []int32
+	regions                  []nodeRegion
+	l1i, l1d, l2             *storeSnap
+}
+
+// Snapshot is a complete warm-state capture of a System. It is
+// immutable after capture and safe for concurrent RestoreInto calls;
+// its arrays are allocated outside the construction pools so a cached
+// snapshot can never be recycled out from under a restore.
+type Snapshot struct {
+	cfg Config
+
+	nodes  []nodeSnap
+	far    *storeSnap
+	slices []*storeSnap
+
+	md3        *cache.Table
+	md3Idx     []int32
+	md3Regions []dirRegion
+
+	rngState     uint64
+	pressureCur  []uint64
+	pressurePrev []uint64
+	epochMark    uint64
+	lockWindow   []mem.RegionAddr
+	lockPos      int
+	xfer         uint64
+	rpFallback   Location
+
+	bytes int64
+}
+
+const (
+	slotSize    = int64(unsafe.Sizeof(slot{}))
+	nodeRegSize = int64(unsafe.Sizeof(nodeRegion{}))
+	dirRegSize  = int64(unsafe.Sizeof(dirRegion{}))
+)
+
+func (d *dataStore) snapshot() *storeSnap {
+	ss := &storeSnap{
+		tbl:     d.tbl.Clone(),
+		slots:   make([]slot, len(d.slots)),
+		recency: make([]uint64, len(d.recency)),
+		clock:   d.clock,
+	}
+	copy(ss.slots, d.slots)
+	copy(ss.recency, d.recency)
+	return ss
+}
+
+func (d *dataStore) restore(ss *storeSnap) {
+	d.tbl.CopyFrom(ss.tbl)
+	copy(d.slots, ss.slots)
+	copy(d.recency, ss.recency)
+	d.clock = ss.clock
+}
+
+func (ss *storeSnap) sizeBytes() int64 {
+	return ss.tbl.SizeBytes() + int64(len(ss.slots))*slotSize + int64(len(ss.recency))*8
+}
+
+// snapEntries flattens one metadata entry array: every distinct region
+// object referenced from a valid table slot is appended to regions
+// once (the identity map deduplicates the MD1/MD2 aliasing), and the
+// returned index array records which object each slot pointed at.
+func snapEntries(tbl *cache.Table, ent []*nodeRegion, index map[*nodeRegion]int32, regions *[]nodeRegion) []int32 {
+	idx := make([]int32, len(ent))
+	for i := range idx {
+		idx[i] = -1
+	}
+	tbl.ForEach(func(set, way int, _ uint64) {
+		i := tbl.Index(set, way)
+		nr := ent[i]
+		if nr == nil {
+			return
+		}
+		id, ok := index[nr]
+		if !ok {
+			id = int32(len(*regions))
+			*regions = append(*regions, *nr)
+			index[nr] = id
+		}
+		idx[i] = id
+	})
+	return idx
+}
+
+// restoreEntries is snapEntries' inverse: ent slots are re-pointed at
+// the freshly copied region objects (aliasing included, because slots
+// that shared an object share an index).
+func restoreEntries(ent []*nodeRegion, idx []int32, fresh []nodeRegion) {
+	for i, id := range idx {
+		if id < 0 {
+			ent[i] = nil
+		} else {
+			ent[i] = &fresh[id]
+		}
+	}
+}
+
+// Snapshot captures the system's complete warm state. The system must
+// be quiescent (between accesses) and must not run with the coherence
+// oracle enabled — the oracle's version maps are debug-only state that
+// snapshots deliberately do not carry.
+func (s *System) Snapshot() *Snapshot {
+	if s.cfg.CoherenceDebug {
+		panic("core: Snapshot with CoherenceDebug enabled")
+	}
+	sn := &Snapshot{
+		cfg:        s.cfg,
+		rngState:   s.rng.State(),
+		epochMark:  s.epochMark,
+		lockWindow: make([]mem.RegionAddr, len(s.lockWindow)),
+		lockPos:    s.lockPos,
+		xfer:       s.xfer,
+		rpFallback: s.rpFallback,
+	}
+	copy(sn.lockWindow, s.lockWindow)
+	if s.pressureCur != nil {
+		sn.pressureCur = make([]uint64, len(s.pressureCur))
+		sn.pressurePrev = make([]uint64, len(s.pressurePrev))
+		copy(sn.pressureCur, s.pressureCur)
+		copy(sn.pressurePrev, s.pressurePrev)
+	}
+
+	sn.nodes = make([]nodeSnap, len(s.nodes))
+	for i, n := range s.nodes {
+		ns := &sn.nodes[i]
+		index := make(map[*nodeRegion]int32)
+		ns.md1i = n.md1i.Clone()
+		ns.md1d = n.md1d.Clone()
+		ns.md2 = n.md2.Clone()
+		ns.md1iIdx = snapEntries(n.md1i, n.md1iEnt, index, &ns.regions)
+		ns.md1dIdx = snapEntries(n.md1d, n.md1dEnt, index, &ns.regions)
+		ns.md2Idx = snapEntries(n.md2, n.md2Ent, index, &ns.regions)
+		ns.l1i = n.l1i.snapshot()
+		ns.l1d = n.l1d.snapshot()
+		if n.l2 != nil {
+			ns.l2 = n.l2.snapshot()
+		}
+	}
+
+	sn.md3 = s.md3.Clone()
+	sn.md3Idx = make([]int32, len(s.md3Ent))
+	for i := range sn.md3Idx {
+		sn.md3Idx[i] = -1
+	}
+	s.md3.ForEach(func(set, way int, _ uint64) {
+		i := s.md3.Index(set, way)
+		if d := s.md3Ent[i]; d != nil {
+			sn.md3Idx[i] = int32(len(sn.md3Regions))
+			sn.md3Regions = append(sn.md3Regions, *d)
+		}
+	})
+
+	if s.far != nil {
+		sn.far = s.far.snapshot()
+	}
+	if s.slices != nil {
+		sn.slices = make([]*storeSnap, len(s.slices))
+		for i, sl := range s.slices {
+			sn.slices[i] = sl.snapshot()
+		}
+	}
+
+	sn.bytes = sn.computeSize()
+	return sn
+}
+
+// RestoreInto overwrites dst (a freshly constructed System of the same
+// configuration) with the snapshot's state. Multiple goroutines may
+// restore from one snapshot concurrently.
+func (sn *Snapshot) RestoreInto(dst *System) {
+	if dst.cfg != sn.cfg {
+		panic(fmt.Sprintf("core: snapshot restore config mismatch: %+v vs %+v", dst.cfg, sn.cfg))
+	}
+	dst.rng.SetState(sn.rngState)
+	dst.epochMark = sn.epochMark
+	copy(dst.lockWindow, sn.lockWindow)
+	dst.lockPos = sn.lockPos
+	dst.xfer = sn.xfer
+	dst.rpFallback = sn.rpFallback
+	if sn.pressureCur != nil {
+		copy(dst.pressureCur, sn.pressureCur)
+		copy(dst.pressurePrev, sn.pressurePrev)
+	}
+
+	for i, n := range dst.nodes {
+		ns := &sn.nodes[i]
+		fresh := make([]nodeRegion, len(ns.regions))
+		copy(fresh, ns.regions)
+		n.md1i.CopyFrom(ns.md1i)
+		n.md1d.CopyFrom(ns.md1d)
+		n.md2.CopyFrom(ns.md2)
+		restoreEntries(n.md1iEnt, ns.md1iIdx, fresh)
+		restoreEntries(n.md1dEnt, ns.md1dIdx, fresh)
+		restoreEntries(n.md2Ent, ns.md2Idx, fresh)
+		n.l1i.restore(ns.l1i)
+		n.l1d.restore(ns.l1d)
+		if n.l2 != nil {
+			n.l2.restore(ns.l2)
+		}
+	}
+
+	dst.md3.CopyFrom(sn.md3)
+	freshDir := make([]dirRegion, len(sn.md3Regions))
+	copy(freshDir, sn.md3Regions)
+	for i, id := range sn.md3Idx {
+		if id < 0 {
+			dst.md3Ent[i] = nil
+		} else {
+			dst.md3Ent[i] = &freshDir[id]
+		}
+	}
+
+	if dst.far != nil {
+		dst.far.restore(sn.far)
+	}
+	for i, sl := range dst.slices {
+		sl.restore(sn.slices[i])
+	}
+}
+
+// SizeBytes returns the snapshot's approximate in-memory footprint,
+// the unit of the snapshot cache's byte budget.
+func (sn *Snapshot) SizeBytes() int64 { return sn.bytes }
+
+func (sn *Snapshot) computeSize() int64 {
+	var b int64
+	for i := range sn.nodes {
+		ns := &sn.nodes[i]
+		b += ns.md1i.SizeBytes() + ns.md1d.SizeBytes() + ns.md2.SizeBytes()
+		b += int64(len(ns.md1iIdx)+len(ns.md1dIdx)+len(ns.md2Idx)) * 4
+		b += int64(len(ns.regions)) * nodeRegSize
+		b += ns.l1i.sizeBytes() + ns.l1d.sizeBytes()
+		if ns.l2 != nil {
+			b += ns.l2.sizeBytes()
+		}
+	}
+	b += sn.md3.SizeBytes() + int64(len(sn.md3Idx))*4 + int64(len(sn.md3Regions))*dirRegSize
+	if sn.far != nil {
+		b += sn.far.sizeBytes()
+	}
+	for _, sl := range sn.slices {
+		b += sl.sizeBytes()
+	}
+	b += int64(len(sn.pressureCur)+len(sn.pressurePrev))*8 + int64(len(sn.lockWindow))*8
+	return b
+}

@@ -49,3 +49,16 @@ func (r *RNG) Bool(p float64) bool { return r.Float64() < p }
 func (r *RNG) Fork(label uint64) *RNG {
 	return NewRNG(r.Uint64() ^ (label * 0xbf58476d1ce4e5b9) ^ 0x94d049bb133111eb)
 }
+
+// State exports the generator's position in its sequence. Together with
+// SetState it lets warm-state snapshots capture and resume the exact
+// random sequence, which snapshot exactness depends on.
+func (r *RNG) State() uint64 { return r.state }
+
+// SetState rewinds (or fast-forwards) the generator to a position
+// previously exported by State.
+func (r *RNG) SetState(s uint64) { r.state = s }
+
+// Clone returns an independent generator that continues the identical
+// sequence from the current position.
+func (r *RNG) Clone() *RNG { return &RNG{state: r.state} }

@@ -1,0 +1,259 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"d2m"
+)
+
+// POST /v1/batch admits up to MaxBatchRuns simulations as one unit and
+// streams their results back in request order. Each run flows through
+// the same machinery as POST /v1/run — result cache, single-flight
+// coalescing, bounded queue — with two batch-only behaviors on top:
+// admission is all-or-nothing (either every uncached run gets a queue
+// slot or the batch is rejected 429 with nothing enqueued), and runs
+// sharing a warm identity (d2m.WarmKey) are chained onto one worker so
+// each follower restores the snapshot its leader just deposited.
+
+// BatchRequest is the body of POST /v1/batch. Runs are independent
+// RunRequests; the async field is rejected here, since the batch
+// response itself is the collection mechanism.
+type BatchRequest struct {
+	Runs []RunRequest `json:"runs"`
+}
+
+// MaxBatchRuns bounds the runs per batch: enough for a full
+// kind x benchmark sweep with replicates, small enough that one POST
+// cannot swallow the whole queue several times over.
+const MaxBatchRuns = 256
+
+// batchBody is the POST /v1/batch response: one JobStatus per run, in
+// request order.
+type batchBody struct {
+	Results []JobStatus `json:"results"`
+}
+
+// maxBatchBodyBytes sizes the request-body cap: MaxBatchRuns requests
+// at a few hundred bytes each fit comfortably.
+const maxBatchBodyBytes = 4 << 20
+
+// batchSlot is one run's position in the response: either settled at
+// admission (cache hit) or waiting on a job.
+type batchSlot struct {
+	st JobStatus // valid when j is nil
+	j  *job
+}
+
+// batchEncoders pools the per-result encoding buffers: a batch of 256
+// results would otherwise allocate a fresh buffer per element per
+// request.
+var batchEncoders = sync.Pool{
+	New: func() interface{} { return new(bytes.Buffer) },
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req BatchRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBatchBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, apiErrorf(ErrInvalidRequest, "bad request body: %v", err))
+		return
+	}
+	if len(req.Runs) == 0 {
+		writeError(w, apiErrorf(ErrInvalidRequest, "batch has no runs"))
+		return
+	}
+	if len(req.Runs) > MaxBatchRuns {
+		writeError(w, apiErrorf(ErrInvalidRequest,
+			"batch has %d runs, limit is %d", len(req.Runs), MaxBatchRuns))
+		return
+	}
+
+	// Validate every run before admitting any: a batch either enters
+	// the queue whole or not at all.
+	type pendingRun struct {
+		idx   int
+		req   RunRequest
+		kind  d2m.Kind
+		bench string
+		opt   d2m.Options
+		reps  int
+		key   string
+		warm  string
+	}
+	slots := make([]batchSlot, len(req.Runs))
+	var pending []pendingRun
+	for i, rr := range req.Runs {
+		if rr.Async {
+			writeError(w, apiErrorf(ErrInvalidRequest,
+				"runs[%d]: async is not supported in batches; use POST /v1/run", i))
+			return
+		}
+		kind, bench, opt, reps, err := rr.normalize()
+		if err != nil {
+			ae := err.(*apiError)
+			writeError(w, apiErrorf(ae.Code, "runs[%d]: %s", i, ae.Message))
+			return
+		}
+		key := cacheKey(kind, bench, opt, reps)
+		if res, rep, ok := s.cache.get(key); ok {
+			s.metrics.CacheHits.Add(1)
+			slots[i] = batchSlot{st: JobStatus{
+				State: JobDone, Kind: kind.String(), Benchmark: bench,
+				Cached: true, Result: &res, Replicated: rep,
+			}}
+			continue
+		}
+		s.metrics.CacheMisses.Add(1)
+		pending = append(pending, pendingRun{
+			idx: i, req: rr, kind: kind, bench: bench, opt: opt, reps: reps,
+			key: key, warm: d2m.WarmKey(kind, bench, opt),
+		})
+	}
+
+	// Admission: resolve every pending run to a job under one lock
+	// acquisition. Runs coalesce onto identical in-flight jobs (from
+	// earlier requests or earlier in this batch); the rest become new
+	// jobs, grouped by warm key — the first job of a group is enqueued
+	// and carries the others as its chain.
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		writeError(w, errDraining)
+		return
+	}
+	var (
+		created []*job              // all new jobs, enqueued or chained
+		leaders []*job              // new jobs that take a queue slot
+		byBatch = map[string]*job{} // within-batch coalescing by cache key
+		byWarm  = map[string]*job{} // chain grouping by warm key
+	)
+	for _, p := range pending {
+		if j, ok := s.inflight[p.key]; ok {
+			s.metrics.Coalesced.Add(1)
+			j.waiters++
+			slots[p.idx] = batchSlot{j: j}
+			continue
+		}
+		if j, ok := byBatch[p.key]; ok {
+			s.metrics.Coalesced.Add(1)
+			j.waiters++
+			slots[p.idx] = batchSlot{j: j}
+			continue
+		}
+		j := &job{
+			id:      fmt.Sprintf("j%08d", s.nextID.Add(1)),
+			key:     p.key,
+			kind:    p.kind,
+			bench:   p.bench,
+			opt:     p.opt,
+			reps:    p.reps,
+			done:    make(chan struct{}),
+			state:   JobQueued,
+			created: time.Now(),
+			waiters: 1,
+		}
+		timeout := s.cfg.DefaultTimeout
+		if p.req.TimeoutMS > 0 {
+			timeout = time.Duration(p.req.TimeoutMS) * time.Millisecond
+		}
+		if timeout > 0 {
+			j.ctx, j.cancel = context.WithTimeout(s.baseCtx, timeout)
+		} else {
+			j.ctx, j.cancel = context.WithCancel(s.baseCtx)
+		}
+		byBatch[p.key] = j
+		created = append(created, j)
+		if leader, ok := byWarm[p.warm]; ok {
+			leader.chain = append(leader.chain, j)
+		} else {
+			byWarm[p.warm] = j
+			leaders = append(leaders, j)
+		}
+		slots[p.idx] = batchSlot{j: j}
+	}
+
+	// All-or-nothing capacity check. Queue sends happen only under
+	// s.mu, and workers only drain, so room verified here cannot
+	// disappear before the sends below.
+	if len(s.queue)+len(leaders) > cap(s.queue) {
+		for _, j := range created {
+			j.cancel()
+		}
+		s.mu.Unlock()
+		s.metrics.JobsRejected.Add(uint64(len(created)))
+		w.Header().Set("Retry-After", fmt.Sprintf("%d", s.retryAfterSeconds()))
+		writeError(w, errQueueFull)
+		return
+	}
+	for _, j := range created {
+		s.jobs[j.id] = j
+		s.inflight[j.key] = j
+		s.metrics.JobsAccepted.Add(1)
+		s.metrics.Queued.Add(1)
+	}
+	// Chained groups are known to share a warmup: tell the snapshot
+	// cache before any leader can run, so the leader captures on its
+	// first (and only) miss.
+	if s.snapshots != nil {
+		for warm, j := range byWarm {
+			if len(j.chain) > 0 {
+				s.snapshots.noteShared(warm)
+			}
+		}
+	}
+	for _, j := range leaders {
+		s.queue <- j
+	}
+	s.mu.Unlock()
+	s.metrics.BatchesAccepted.Add(1)
+	s.metrics.BatchRuns.Add(uint64(len(req.Runs)))
+
+	// Collect in request order. On client disconnect, release the hold
+	// on every job not yet collected — the last interested waiter
+	// cancels it.
+	for i := range slots {
+		if slots[i].j == nil {
+			continue
+		}
+		select {
+		case <-slots[i].j.done:
+		case <-r.Context().Done():
+			for k := i; k < len(slots); k++ {
+				if slots[k].j != nil {
+					s.dropWaiter(slots[k].j)
+				}
+			}
+			return
+		}
+	}
+
+	// Stream the results: elements are encoded one at a time through
+	// pooled buffers, so a large batch never materializes twice.
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	io.WriteString(w, `{"results":[`)
+	for i := range slots {
+		if i > 0 {
+			io.WriteString(w, ",")
+		}
+		st := slots[i].st
+		if slots[i].j != nil {
+			st = s.status(slots[i].j, false)
+		}
+		buf := batchEncoders.Get().(*bytes.Buffer)
+		buf.Reset()
+		if err := json.NewEncoder(buf).Encode(st); err == nil {
+			w.Write(bytes.TrimRight(buf.Bytes(), "\n"))
+		}
+		batchEncoders.Put(buf)
+	}
+	io.WriteString(w, "]}\n")
+}

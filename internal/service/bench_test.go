@@ -91,4 +91,145 @@ func BenchmarkServiceThroughput(b *testing.B) {
 			benchNumbers.Unlock()
 		})
 	}
+
+	// cold_snapshot: every job is a cache miss (distinct link_bandwidth,
+	// therefore a distinct cache key) but shares one warm identity, so
+	// after the first job the server restores the post-warmup state
+	// instead of simulating the warmup-heavy prefix. This is the
+	// replicate/sweep-cell shape the snapshot cache exists for.
+	b.Run("cold_snapshot", func(b *testing.B) {
+		s, err := New(Config{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		ts := httptest.NewServer(s.Handler())
+		defer func() {
+			ts.Close()
+			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			defer cancel()
+			s.Shutdown(ctx)
+		}()
+		post := func(i int) {
+			body := fmt.Sprintf(snapshotBenchWorkload, 0.001+float64(i+2)*1e-9)
+			resp, err := http.Post(ts.URL+"/v1/run", "application/json", strings.NewReader(body))
+			if err != nil {
+				b.Fatal(err)
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				b.Fatalf("POST = %d", resp.StatusCode)
+			}
+		}
+		post(-1) // deposit the warm snapshot
+		b.ResetTimer()
+		start := time.Now()
+		for i := 0; i < b.N; i++ {
+			post(i)
+		}
+		elapsed := time.Since(start)
+		jobsPerSec := float64(b.N) / elapsed.Seconds()
+		b.ReportMetric(jobsPerSec, "jobs/s")
+		benchNumbers.Lock()
+		benchNumbers.m["cold_snapshot"] = jobsPerSec
+		benchNumbers.Unlock()
+	})
+
+	// cold_nosnapshot: the cold_snapshot workload with snapshot reuse
+	// disabled — the denominator of the snapshot speedup, kept in the
+	// journal so the gain is readable from the numbers alone.
+	b.Run("cold_nosnapshot", func(b *testing.B) {
+		s, err := New(Config{SnapshotMemBytes: -1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		ts := httptest.NewServer(s.Handler())
+		defer func() {
+			ts.Close()
+			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			defer cancel()
+			s.Shutdown(ctx)
+		}()
+		post := func(i int) {
+			body := fmt.Sprintf(snapshotBenchWorkload, 0.001+float64(i+2)*1e-9)
+			resp, err := http.Post(ts.URL+"/v1/run", "application/json", strings.NewReader(body))
+			if err != nil {
+				b.Fatal(err)
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				b.Fatalf("POST = %d", resp.StatusCode)
+			}
+		}
+		post(-1)
+		b.ResetTimer()
+		start := time.Now()
+		for i := 0; i < b.N; i++ {
+			post(i)
+		}
+		elapsed := time.Since(start)
+		jobsPerSec := float64(b.N) / elapsed.Seconds()
+		b.ReportMetric(jobsPerSec, "jobs/s")
+		benchNumbers.Lock()
+		benchNumbers.m["cold_nosnapshot"] = jobsPerSec
+		benchNumbers.Unlock()
+	})
+
+	// batch_cached: the hot request repeated through POST /v1/batch in
+	// groups of 64, against the per-request "cached" series above —
+	// what batching saves in HTTP and encoding overhead per result.
+	b.Run("batch_cached", func(b *testing.B) {
+		s, err := New(Config{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		ts := httptest.NewServer(s.Handler())
+		defer func() {
+			ts.Close()
+			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			defer cancel()
+			s.Shutdown(ctx)
+		}()
+		// Populate the cache once.
+		resp, err := http.Post(ts.URL+"/v1/run", "application/json", strings.NewReader(benchWorkload))
+		if err != nil {
+			b.Fatal(err)
+		}
+		resp.Body.Close()
+		const group = 64
+		var batch strings.Builder
+		batch.WriteString(`{"runs":[`)
+		for i := 0; i < group; i++ {
+			if i > 0 {
+				batch.WriteString(",")
+			}
+			batch.WriteString(benchWorkload)
+		}
+		batch.WriteString(`]}`)
+		body := batch.String()
+		b.ResetTimer()
+		start := time.Now()
+		for done := 0; done < b.N; done += group {
+			resp, err := http.Post(ts.URL+"/v1/batch", "application/json", strings.NewReader(body))
+			if err != nil {
+				b.Fatal(err)
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				b.Fatalf("POST /v1/batch = %d", resp.StatusCode)
+			}
+		}
+		elapsed := time.Since(start)
+		runs := ((b.N + group - 1) / group) * group
+		runsPerSec := float64(runs) / elapsed.Seconds()
+		b.ReportMetric(runsPerSec, "runs/s")
+		benchNumbers.Lock()
+		benchNumbers.m["batch_cached"] = runsPerSec
+		benchNumbers.Unlock()
+	})
 }
+
+// snapshotBenchWorkload is the warmup-heavy simulation behind the
+// cold_snapshot series: the warmup dominates the measurement window,
+// and the varying link_bandwidth (a measurement-side parameter outside
+// the warm identity) makes every job a distinct cache entry.
+const snapshotBenchWorkload = `{"kind":"d2m-ns-r","benchmark":"tpc-c","nodes":2,"warmup":20000,"measure":4000,"link_bandwidth":%.9f}`

@@ -35,9 +35,17 @@ type Metrics struct {
 	StoreAppended atomic.Uint64 // results journaled since startup
 	StoreErrors   atomic.Uint64 // failed journal appends
 
-	Queued       atomic.Int64 // gauge: jobs waiting in the queue
-	Running      atomic.Int64 // gauge: jobs occupying a worker
-	SweepsActive atomic.Int64 // gauge: sweeps not yet settled
+	SnapshotHits      atomic.Uint64 // runs that restored a warm-state snapshot
+	SnapshotMisses    atomic.Uint64 // runs that simulated their own warmup
+	SnapshotEvictions atomic.Uint64 // snapshots evicted by the byte budget
+	BatchesAccepted   atomic.Uint64 // POST /v1/batch requests admitted
+	BatchRuns         atomic.Uint64 // individual runs submitted through batches
+
+	Queued          atomic.Int64 // gauge: jobs waiting in the queue
+	Running         atomic.Int64 // gauge: jobs occupying a worker
+	SweepsActive    atomic.Int64 // gauge: sweeps not yet settled
+	SnapshotBytes   atomic.Int64 // gauge: bytes held by the snapshot cache
+	SnapshotEntries atomic.Int64 // gauge: snapshots held by the snapshot cache
 
 	QueueWait  Histogram // seconds from admission to worker pickup
 	RunLatency Histogram // seconds of simulation time per job
@@ -127,9 +135,16 @@ func (m *Metrics) WritePrometheus(w io.Writer) {
 	counter("d2m_store_loaded_total", "Result-store records replayed at startup.", m.StoreLoaded.Load())
 	counter("d2m_store_appended_total", "Results journaled to the store since startup.", m.StoreAppended.Load())
 	counter("d2m_store_errors_total", "Failed result-store appends.", m.StoreErrors.Load())
+	counter("d2m_snapshot_hits_total", "Runs that restored a warm-state snapshot.", m.SnapshotHits.Load())
+	counter("d2m_snapshot_misses_total", "Runs that simulated their own warmup.", m.SnapshotMisses.Load())
+	counter("d2m_snapshot_evictions_total", "Snapshots evicted by the byte budget.", m.SnapshotEvictions.Load())
+	counter("d2m_batches_accepted_total", "POST /v1/batch requests admitted.", m.BatchesAccepted.Load())
+	counter("d2m_batch_runs_total", "Individual runs submitted through batches.", m.BatchRuns.Load())
 	gauge("d2m_jobs_queued", "Jobs waiting in the queue.", m.Queued.Load())
 	gauge("d2m_jobs_running", "Jobs occupying a worker.", m.Running.Load())
 	gauge("d2m_sweeps_active", "Sweeps not yet settled.", m.SweepsActive.Load())
+	gauge("d2m_snapshot_bytes", "Bytes held by the warm-snapshot cache.", m.SnapshotBytes.Load())
+	gauge("d2m_snapshot_entries", "Snapshots held by the warm-snapshot cache.", m.SnapshotEntries.Load())
 	m.writeHistogram(w, "d2m_queue_wait_seconds", "Seconds from admission to worker pickup.", &m.QueueWait)
 	m.writeHistogram(w, "d2m_run_seconds", "Seconds of simulation per job.", &m.RunLatency)
 }
@@ -172,5 +187,13 @@ func (m *Metrics) Snapshot() map[string]interface{} {
 		"store_loaded":         m.StoreLoaded.Load(),
 		"store_appended":       m.StoreAppended.Load(),
 		"store_errors":         m.StoreErrors.Load(),
+
+		"snapshot_hits":      m.SnapshotHits.Load(),
+		"snapshot_misses":    m.SnapshotMisses.Load(),
+		"snapshot_evictions": m.SnapshotEvictions.Load(),
+		"snapshot_bytes":     m.SnapshotBytes.Load(),
+		"snapshot_entries":   m.SnapshotEntries.Load(),
+		"batches_accepted":   m.BatchesAccepted.Load(),
+		"batch_runs":         m.BatchRuns.Load(),
 	}
 }

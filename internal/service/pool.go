@@ -13,11 +13,17 @@ import (
 // own context, and settle it exactly once. Admission (and therefore
 // backpressure) lives in server.go; the pool only consumes.
 
-// worker drains the queue until it is closed by Shutdown.
+// worker drains the queue until it is closed by Shutdown. A dequeued
+// job may carry a chain of followers sharing its warm identity; the
+// worker runs them back-to-back so the followers restore the snapshot
+// the leader deposited while it is hottest.
 func (s *Server) worker() {
 	defer s.wg.Done()
 	for j := range s.queue {
 		s.runJob(j)
+		for _, c := range j.chain {
+			s.runJob(c)
+		}
 	}
 }
 

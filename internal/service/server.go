@@ -41,14 +41,24 @@ type Config struct {
 	// replayed into the result cache at startup, so results survive
 	// restarts and resubmitted sweeps resume instead of recomputing.
 	StorePath string
-	// Runner executes one simulation. Nil means d2m.RunContext; tests
-	// substitute stubs to control timing and observe cancellation.
+	// SnapshotMemBytes budgets the warm-state snapshot cache: runs
+	// sharing a warm identity (d2m.WarmKey) restore the post-warmup
+	// machine state instead of re-simulating the warmup. Zero means
+	// 256 MiB; negative disables snapshot reuse entirely.
+	SnapshotMemBytes int64
+	// Runner executes one simulation. Nil means d2m.RunContextWarm
+	// against the server's snapshot cache; tests substitute stubs to
+	// control timing and observe cancellation.
 	Runner func(ctx context.Context, kind d2m.Kind, bench string, opt d2m.Options) (d2m.Result, error)
 	// Replicator executes a replicated simulation (replicates >= 2 in
-	// the request). Nil means d2m.ReplicateContext, which fans the
+	// the request). Nil means d2m.ReplicateContextWarm, which fans the
 	// seeds out across a bounded worker set.
 	Replicator func(ctx context.Context, kind d2m.Kind, bench string, opt d2m.Options, n int) (d2m.Replicated, error)
 }
+
+// defaultSnapshotMemBytes is the warm-snapshot budget when
+// Config.SnapshotMemBytes is zero.
+const defaultSnapshotMemBytes = 256 << 20
 
 func (c Config) withDefaults() Config {
 	if c.Workers <= 0 {
@@ -66,12 +76,11 @@ func (c Config) withDefaults() Config {
 	if c.MaxSweeps <= 0 {
 		c.MaxSweeps = 256
 	}
-	if c.Runner == nil {
-		c.Runner = d2m.RunContext
+	if c.SnapshotMemBytes == 0 {
+		c.SnapshotMemBytes = defaultSnapshotMemBytes
 	}
-	if c.Replicator == nil {
-		c.Replicator = d2m.ReplicateContext
-	}
+	// Runner and Replicator default inside New: the defaults close over
+	// the server's snapshot cache, which does not exist yet here.
 	return c
 }
 
@@ -84,7 +93,8 @@ type Server struct {
 	replicator  func(context.Context, d2m.Kind, string, d2m.Options, int) (d2m.Replicated, error)
 	metrics     *Metrics
 	cache       *resultCache
-	store       *resultStore // nil without Config.StorePath
+	snapshots   *snapshotCache // nil when SnapshotMemBytes < 0
+	store       *resultStore   // nil without Config.StorePath
 	queue       chan *job
 	wg          sync.WaitGroup
 	mux         *http.ServeMux
@@ -123,6 +133,19 @@ func New(cfg Config) (*Server, error) {
 		inflight:   make(map[string]*job),
 		sweeps:     make(map[string]*sweep),
 	}
+	if cfg.SnapshotMemBytes > 0 {
+		s.snapshots = newSnapshotCache(cfg.SnapshotMemBytes, s.metrics)
+	}
+	if s.runner == nil {
+		s.runner = func(ctx context.Context, kind d2m.Kind, bench string, opt d2m.Options) (d2m.Result, error) {
+			return d2m.RunContextWarm(ctx, kind, bench, opt, s.warmCache())
+		}
+	}
+	if s.replicator == nil {
+		s.replicator = func(ctx context.Context, kind d2m.Kind, bench string, opt d2m.Options, n int) (d2m.Replicated, error) {
+			return d2m.ReplicateContextWarm(ctx, kind, bench, opt, n, s.warmCache())
+		}
+	}
 	if cfg.StorePath != "" {
 		store, recs, err := openResultStore(cfg.StorePath)
 		if err != nil {
@@ -137,13 +160,19 @@ func New(cfg Config) (*Server, error) {
 	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/run", s.handleRun)
+	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
 	s.mux.HandleFunc("GET /v1/jobs", s.handleJobs)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	s.mux.HandleFunc("POST /v1/sweeps", s.handleSweepCreate)
 	s.mux.HandleFunc("GET /v1/sweeps/{id}", s.handleSweepGet)
 	s.mux.HandleFunc("DELETE /v1/sweeps/{id}", s.handleSweepDelete)
 	s.mux.HandleFunc("GET /v1/capabilities", s.handleCapabilities)
-	s.mux.HandleFunc("GET /v1/benchmarks", s.handleCapabilities) // documented alias, scheduled for removal
+	// The GET /v1/benchmarks alias was carried for one release (API
+	// v1.1) and removed in v1.2; a targeted 404 beats a generic one.
+	s.mux.HandleFunc("GET /v1/benchmarks", func(w http.ResponseWriter, r *http.Request) {
+		writeError(w, apiErrorf(ErrNotFound,
+			"GET /v1/benchmarks was removed in API v1.2; use GET /v1/capabilities"))
+	})
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	for i := 0; i < cfg.Workers; i++ {
@@ -158,6 +187,16 @@ func (s *Server) Handler() http.Handler { return s.mux }
 
 // Metrics exposes the service counters (tests and expvar publication).
 func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// warmCache returns the snapshot cache as a d2m.WarmCache, or an
+// explicit nil interface when snapshot reuse is disabled — handing the
+// typed nil *snapshotCache to d2m would defeat its wc == nil check.
+func (s *Server) warmCache() d2m.WarmCache {
+	if s.snapshots == nil {
+		return nil
+	}
+	return s.snapshots
+}
 
 // Shutdown drains the service: admission stops (new POSTs get 503),
 // queued and running jobs are allowed to finish, and the worker pool
@@ -459,8 +498,8 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 
 // capabilitiesBody is the GET /v1/capabilities response: everything a
 // client needs to compose a valid RunRequest or SweepRequest, in one
-// payload. GET /v1/benchmarks serves the same body as a compatibility
-// alias scheduled for removal.
+// payload. The /v1/benchmarks compatibility alias that served the same
+// body was removed in API v1.2.
 type capabilitiesBody struct {
 	APIRevision   string              `json:"api_revision"`
 	Suites        map[string][]string `json:"suites"`
@@ -479,7 +518,7 @@ type KernelCap struct {
 
 // apiRevision is the documented revision of the v1 surface; bumped
 // when a field or endpoint is added or retired (see docs/api.md).
-const apiRevision = "v1.1"
+const apiRevision = "v1.2"
 
 func (s *Server) handleCapabilities(w http.ResponseWriter, r *http.Request) {
 	body := capabilitiesBody{

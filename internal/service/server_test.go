@@ -637,10 +637,29 @@ func TestJobsList(t *testing.T) {
 }
 
 // TestCapabilitiesEndpoint checks the catalogue response on the
-// canonical path and on the /v1/benchmarks compatibility alias.
+// canonical path, and that the retired /v1/benchmarks alias answers
+// with a targeted 404 pointing at it.
 func TestCapabilitiesEndpoint(t *testing.T) {
 	_, ts := newTestServer(t, Config{Workers: 1})
-	for _, path := range []string{"/v1/capabilities", "/v1/benchmarks"} {
+
+	resp, err := http.Get(ts.URL + "/v1/benchmarks")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var envelope errorBody
+	err = json.NewDecoder(resp.Body).Decode(&envelope)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusNotFound || envelope.Error.Code != ErrNotFound {
+		t.Errorf("GET /v1/benchmarks = %d/%q, want 404/not_found", resp.StatusCode, envelope.Error.Code)
+	}
+	if !strings.Contains(envelope.Error.Message, "/v1/capabilities") {
+		t.Errorf("removed-alias error %q does not point at /v1/capabilities", envelope.Error.Message)
+	}
+
+	for _, path := range []string{"/v1/capabilities"} {
 		resp, err := http.Get(ts.URL + path)
 		if err != nil {
 			t.Fatal(err)

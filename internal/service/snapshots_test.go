@@ -1,0 +1,148 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"sync"
+	"testing"
+
+	"d2m"
+)
+
+// TestSnapshotCacheConcurrent hammers the snapshot LRU from concurrent
+// workers under a budget small enough to force evictions: goroutines
+// race to populate, restore, and evict snapshots across four warm
+// identities, and every produced result must still byte-match a fresh
+// run. Run with -race, this is the data-race check on the cache and on
+// concurrent restores from one shared snapshot.
+func TestSnapshotCacheConcurrent(t *testing.T) {
+	ctx := context.Background()
+	const seeds = 4
+	mkOpt := func(seed uint64) d2m.Options {
+		return d2m.Options{Nodes: 2, Warmup: 1500, Measure: 1500, Seed: seed}
+	}
+
+	// Fresh reference results, and the size of one snapshot (measured
+	// through a throwaway cache) to size the real budget at two
+	// entries — four identities over two slots guarantees evictions.
+	fresh := make([]string, seeds)
+	for seed := uint64(0); seed < seeds; seed++ {
+		res, err := d2m.RunContext(ctx, d2m.D2MNSR, "tpc-c", mkOpt(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw, _ := json.Marshal(res)
+		fresh[seed] = string(raw)
+	}
+	// The gated cache captures on a key's second miss, so probe twice.
+	probe := newSnapshotCache(1<<40, &Metrics{})
+	for i := 0; i < 2; i++ {
+		if _, err := d2m.RunContextWarm(ctx, d2m.D2MNSR, "tpc-c", mkOpt(0), probe); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snapSize := probe.metrics.SnapshotBytes.Load()
+	if snapSize <= 0 {
+		t.Fatalf("probe snapshot size = %d", snapSize)
+	}
+
+	m := &Metrics{}
+	sc := newSnapshotCache(2*snapSize+snapSize/2, m)
+	var wg sync.WaitGroup
+	const workers, rounds = 8, 6
+	errs := make(chan error, workers*rounds)
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				seed := uint64((g + i) % seeds)
+				res, err := d2m.RunContextWarm(ctx, d2m.D2MNSR, "tpc-c", mkOpt(seed), sc)
+				if err != nil {
+					errs <- err
+					return
+				}
+				raw, _ := json.Marshal(res)
+				if string(raw) != fresh[seed] {
+					t.Errorf("seed %d: warm result differs from fresh run", seed)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	if got := m.SnapshotHits.Load() + m.SnapshotMisses.Load(); got != workers*rounds {
+		t.Errorf("hits+misses = %d, want %d", got, workers*rounds)
+	}
+	if m.SnapshotEvictions.Load() == 0 {
+		t.Error("no evictions under a two-entry budget with four identities")
+	}
+
+	// The cache's internal accounting must balance: tracked bytes
+	// within budget and equal to the sum over resident entries.
+	sc.mu.Lock()
+	var sum int64
+	for el := sc.order.Front(); el != nil; el = el.Next() {
+		sum += el.Value.(*d2m.WarmSnapshot).SizeBytes()
+	}
+	bytes, budget, entries := sc.bytes, sc.budget, sc.order.Len()
+	sc.mu.Unlock()
+	if bytes != sum {
+		t.Errorf("tracked bytes %d != sum of entries %d", bytes, sum)
+	}
+	if bytes > budget {
+		t.Errorf("tracked bytes %d exceed budget %d", bytes, budget)
+	}
+	if got := m.SnapshotEntries.Load(); got != int64(entries) {
+		t.Errorf("entries gauge %d != resident entries %d", got, entries)
+	}
+}
+
+// TestSnapshotCacheOversize checks a snapshot larger than the whole
+// budget is rejected without evicting anything.
+func TestSnapshotCacheOversize(t *testing.T) {
+	ctx := context.Background()
+	big := newSnapshotCache(1<<40, &Metrics{})
+	opt := d2m.Options{Nodes: 2, Warmup: 1000, Measure: 1000}
+	for i := 0; i < 2; i++ {
+		if _, err := d2m.RunContextWarm(ctx, d2m.Base2L, "tpc-c", opt, big); err != nil {
+			t.Fatal(err)
+		}
+	}
+	size := big.metrics.SnapshotBytes.Load()
+
+	m := &Metrics{}
+	sc := newSnapshotCache(size-1, m)
+	for i := 0; i < 2; i++ {
+		if _, err := d2m.RunContextWarm(ctx, d2m.Base2L, "tpc-c", opt, sc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := sc.order.Len(); got != 0 {
+		t.Errorf("oversize snapshot was stored (%d entries)", got)
+	}
+	if got := m.SnapshotEvictions.Load(); got != 0 {
+		t.Errorf("oversize snapshot evicted %d entries", got)
+	}
+}
+
+// TestServerSnapshotDisabled checks SnapshotMemBytes < 0 turns
+// snapshot reuse off without handing d2m a typed-nil WarmCache.
+func TestServerSnapshotDisabled(t *testing.T) {
+	s, err := New(Config{Workers: 1, SnapshotMemBytes: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Shutdown(context.Background())
+	if s.snapshots != nil {
+		t.Error("snapshot cache built despite negative budget")
+	}
+	if wc := s.warmCache(); wc != nil {
+		t.Errorf("warmCache() = %#v, want untyped nil", wc)
+	}
+}

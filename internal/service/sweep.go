@@ -176,7 +176,7 @@ func (s *Server) handleSweepCreate(w http.ResponseWriter, r *http.Request) {
 	for _, b := range req.Benchmarks {
 		if _, ok := d2m.SuiteOf(b); !ok {
 			writeError(w, apiErrorf(ErrUnknownBenchmark,
-				"d2m: unknown benchmark %q (see GET /v1/benchmarks)", b))
+				"d2m: unknown benchmark %q (see GET /v1/capabilities)", b))
 			return
 		}
 	}

@@ -71,7 +71,7 @@ func (r RunRequest) normalize() (d2m.Kind, string, d2m.Options, int, error) {
 	}
 	if _, ok := d2m.SuiteOf(r.Benchmark); !ok {
 		return fail(apiErrorf(ErrUnknownBenchmark,
-			"d2m: unknown benchmark %q (see GET /v1/benchmarks)", r.Benchmark))
+			"d2m: unknown benchmark %q (see GET /v1/capabilities)", r.Benchmark))
 	}
 	if r.LegacyMDScale != 0 {
 		return fail(apiErrorf(ErrInvalidRequest,
@@ -158,6 +158,12 @@ type job struct {
 	ctx    context.Context
 	cancel context.CancelFunc
 	done   chan struct{}
+	// chain holds follower jobs that share this job's warm identity
+	// (batch admission groups them): the worker that dequeues the
+	// leader runs the chain in order on the same goroutine, so every
+	// follower hits the snapshot the leader just deposited. Set at
+	// admission, before the job is enqueued; never mutated after.
+	chain []*job
 
 	// guarded by Server.mu until done closes.
 	state      JobState

@@ -184,13 +184,34 @@ const cancelCheckInterval = 4096
 // done, so a killed job stops burning CPU mid-run. The partial report is
 // discarded — a cancelled run returns a zero Report.
 func (e *Engine) RunContext(ctx context.Context, iv trace.Stream, warmup, measure int) (Report, error) {
+	if err := e.Warmup(ctx, iv, warmup); err != nil {
+		return Report{}, err
+	}
+	return e.Measure(ctx, iv, measure)
+}
+
+// Warmup drives warmup accesses through the machine untimed, updating
+// hierarchy state only. It is the first half of RunContext, split out
+// so the warm-state snapshot layer can capture the machine at the
+// warmup/measurement boundary (after Warmup, before Measure).
+func (e *Engine) Warmup(ctx context.Context, iv trace.Stream, warmup int) error {
 	for i := 0; i < warmup; i++ {
 		if i%cancelCheckInterval == 0 && ctx.Err() != nil {
-			return Report{}, ctx.Err()
+			return ctx.Err()
 		}
 		a := iv.Next()
 		e.m.Access(a)
 	}
+	return nil
+}
+
+// Measure resets statistics (ResetMeasurement, the warmup boundary) and
+// the engine's timing state, then runs the measurement window and
+// returns the report. Calling Warmup then Measure is exactly
+// RunContext; calling Measure directly on a snapshot-restored machine
+// produces byte-identical reports, because both paths perform the same
+// reset at the same boundary.
+func (e *Engine) Measure(ctx context.Context, iv trace.Stream, measure int) (Report, error) {
 	e.m.ResetMeasurement()
 	for i := range e.clock {
 		e.clock[i] = 0

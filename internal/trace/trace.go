@@ -43,3 +43,28 @@ func (iv *Interleaver) Next() mem.Access {
 
 // Nodes returns the number of merged streams.
 func (iv *Interleaver) Nodes() int { return len(iv.streams) }
+
+// Cloner is a Stream whose position can be duplicated: Clone returns
+// an independent stream that continues the identical access sequence
+// from the current position. Warm-state snapshots rely on this to
+// freeze the workload mid-stream alongside the simulator state.
+type Cloner interface {
+	Stream
+	Clone() Stream
+}
+
+// Clone returns an independent interleaver continuing the identical
+// merged sequence, or false when any underlying stream does not
+// implement Cloner (closure-driven generators cannot be duplicated;
+// callers fall back to deterministic replay).
+func (iv *Interleaver) Clone() (*Interleaver, bool) {
+	cp := &Interleaver{streams: make([]Stream, len(iv.streams)), next: iv.next}
+	for i, s := range iv.streams {
+		c, ok := s.(Cloner)
+		if !ok {
+			return nil, false
+		}
+		cp.streams[i] = c.Clone()
+	}
+	return cp, true
+}

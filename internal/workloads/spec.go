@@ -201,6 +201,16 @@ func (sp *Spec) Streams(nodes int) []trace.Stream {
 	return out
 }
 
+// Clone implements trace.Cloner: the returned stream continues the
+// identical access sequence from the current position. Every cursor is
+// a value field, so a struct copy suffices; the RNG is duplicated at
+// its current position and spec is shared (immutable after Streams).
+func (st *stream) Clone() trace.Stream {
+	cp := *st
+	cp.rng = st.rng.Clone()
+	return &cp
+}
+
 func hashName(name string) uint64 {
 	h := uint64(1469598103934665603)
 	for i := 0; i < len(name); i++ {

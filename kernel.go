@@ -1,6 +1,7 @@
 package d2m
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"runtime"
@@ -36,6 +37,22 @@ func Kernels() []KernelInfo {
 // configuration. Options are interpreted as in Run; Seed is ignored —
 // kernels are deterministic computations.
 func RunKernel(kind Kind, kernel string, opt Options) (Result, error) {
+	return RunKernelContextWarm(context.Background(), kind, kernel, opt, nil)
+}
+
+// RunKernelContext is RunKernel with cooperative cancellation,
+// matching Run/RunContext.
+func RunKernelContext(ctx context.Context, kind Kind, kernel string, opt Options) (Result, error) {
+	return RunKernelContextWarm(ctx, kind, kernel, opt, nil)
+}
+
+// RunKernelContextWarm is RunKernelContext with warm-state reuse
+// through wc (see RunContextWarm). Kernel streams are closure-driven
+// generators that cannot be cloned, so a snapshot hit restores the
+// machine state and replays (without simulating) the warmup draws to
+// reposition the stream — still a large net win, since a replayed draw
+// skips the entire protocol simulation.
+func RunKernelContextWarm(ctx context.Context, kind Kind, kernel string, opt Options, wc WarmCache) (Result, error) {
 	opt = opt.withDefaults()
 	k, ok := kernels.ByName(kernel)
 	if !ok {
@@ -50,9 +67,11 @@ func RunKernel(kind Kind, kernel string, opt Options) (Result, error) {
 	if _, err := opt.topology(); err != nil {
 		return Result{}, err
 	}
-	iv := trace.NewInterleaver(k.Streams(opt.Nodes))
 	res := Result{Kind: kind, Benchmark: k.Name(), Suite: "Kernel"}
-	res.measure(kind, opt, iv)
+	mk := func() trace.Stream { return trace.NewInterleaver(k.Streams(opt.Nodes)) }
+	if err := res.runWarm(ctx, kind, opt, warmKey(kind, "kernel:"+k.Name(), opt), mk, wc); err != nil {
+		return Result{}, err
+	}
 	return res, nil
 }
 

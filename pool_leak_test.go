@@ -1,0 +1,78 @@
+package d2m
+
+// Pooled-object release on error and cancellation paths: a run that
+// exits early (pre-cancelled context, mid-run deadline) must still
+// return every pooled table and array it acquired, or the service
+// would leak a hierarchy's worth of memory per killed job. The pools
+// count Gets minus Puts; after any number of cancelled runs that
+// balance must sit exactly where it started.
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"d2m/internal/baseline"
+	"d2m/internal/cache"
+	"d2m/internal/core"
+)
+
+func poolBalances() [3]int64 {
+	return [3]int64{cache.TableBalance(), core.PoolBalance(), baseline.PoolBalance()}
+}
+
+func TestCancelledRunsReleasePools(t *testing.T) {
+	opt := Options{Nodes: 2, Warmup: 200_000, Measure: 400_000}
+
+	// Settle: one completed run per machine family so construction
+	// pools are populated before the baseline is taken.
+	small := Options{Nodes: 2, Warmup: 500, Measure: 500}
+	for _, kind := range []Kind{D2MNSR, Base2L} {
+		if _, err := Run(kind, "tpc-c", small); err != nil {
+			t.Fatal(err)
+		}
+	}
+	base := poolBalances()
+
+	// Pre-cancelled contexts: the run dies at the first warmup
+	// checkpoint, exercising the earliest exit path.
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	for i := 0; i < 4; i++ {
+		for _, kind := range []Kind{D2MNSR, Base2L} {
+			if _, err := RunContext(cancelled, kind, "tpc-c", opt); err == nil {
+				t.Fatalf("%v: pre-cancelled run reported success", kind)
+			}
+		}
+	}
+
+	// Mid-run deadlines: the run is killed partway through warmup (a
+	// full run takes tens of milliseconds at this size).
+	for i := 0; i < 4; i++ {
+		for _, kind := range []Kind{D2MNSR, Base2L} {
+			ctx, cancel := context.WithTimeout(context.Background(), 3*time.Millisecond)
+			_, err := RunContext(ctx, kind, "tpc-c", opt)
+			cancel()
+			if err == nil {
+				t.Fatalf("%v: deadline run reported success", kind)
+			}
+		}
+	}
+
+	// Cancellation through the warm-snapshot path must release too —
+	// both on the populating (miss) run and on the restored (hit) run.
+	wc := newMapWarmCache()
+	warmOpt := Options{Nodes: 2, Warmup: 2000, Measure: 400_000}
+	if _, err := RunContextWarm(context.Background(), D2MNSR, "tpc-c", warmOpt, wc); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if _, err := RunContextWarm(cancelled, D2MNSR, "tpc-c", warmOpt, wc); err == nil {
+			t.Fatal("cancelled warm run reported success")
+		}
+	}
+
+	if got := poolBalances(); got != base {
+		t.Errorf("pool balances after cancelled runs = %v, want %v (tables, core arrays, baseline arrays)", got, base)
+	}
+}

@@ -343,23 +343,7 @@ func Run(kind Kind, bench string, opt Options) (Result, error) {
 // engine checkpoint and ctx.Err() is returned. Long-running services
 // (cmd/d2mserver) use it to free a worker the moment a job is killed.
 func RunContext(ctx context.Context, kind Kind, bench string, opt Options) (Result, error) {
-	opt = opt.withDefaults()
-	sp, ok := workloads.ByName(bench)
-	if !ok {
-		return Result{}, fmt.Errorf("d2m: unknown benchmark %q (see Benchmarks())", bench)
-	}
-	if err := opt.Validate(); err != nil {
-		return Result{}, err
-	}
-
-	streams := specStreams(sp, opt)
-	iv := trace.NewInterleaver(streams)
-
-	res := Result{Kind: kind, Benchmark: sp.Name, Suite: sp.Suite}
-	if err := res.measureContext(ctx, kind, opt, iv); err != nil {
-		return Result{}, err
-	}
-	return res, nil
+	return RunContextWarm(ctx, kind, bench, opt, nil)
 }
 
 // measure runs the stream on the kind's machine and fills the result.
@@ -623,6 +607,13 @@ func Replicate(kind Kind, bench string, opt Options, n int) (Replicated, error) 
 // failed seed is returned (a context error only if no seed failed on
 // its own).
 func ReplicateContext(ctx context.Context, kind Kind, bench string, opt Options, n int) (Replicated, error) {
+	return replicateContext(ctx, kind, bench, opt, n, nil)
+}
+
+// replicateContext is the shared engine behind ReplicateContext and
+// ReplicateContextWarm; wc, when non-nil, lets each seeded run reuse a
+// warm-state snapshot for its own (seed-specific) warm identity.
+func replicateContext(ctx context.Context, kind Kind, bench string, opt Options, n int, wc WarmCache) (Replicated, error) {
 	if n < 1 {
 		return Replicated{}, fmt.Errorf("d2m: Replicate with n = %d", n)
 	}
@@ -647,7 +638,7 @@ func ReplicateContext(ctx context.Context, kind Kind, bench string, opt Options,
 			for i := range idx {
 				o := opt
 				o.Seed = opt.Seed + uint64(i) + 1
-				r, err := RunContext(runCtx, kind, bench, o)
+				r, err := RunContextWarm(runCtx, kind, bench, o, wc)
 				if err != nil {
 					errs[i] = err
 					cancel() // a failed seed fails the aggregate; stop the rest

@@ -1,0 +1,256 @@
+package d2m
+
+import (
+	"context"
+	"fmt"
+
+	"d2m/internal/baseline"
+	"d2m/internal/core"
+	"d2m/internal/energy"
+	"d2m/internal/sim"
+	"d2m/internal/trace"
+	"d2m/internal/workloads"
+)
+
+// Warm-state snapshots amortize warmup across runs: every simulation
+// spends Options.Warmup accesses bringing the hierarchy to a steady
+// state before measurement begins, and runs that share the warm
+// identity (same kind, geometry, workload, seed and warmup length)
+// recompute the exact same prefix. A WarmSnapshot freezes the machine
+// and the workload stream at the warmup/measurement boundary; a later
+// run with the same key restores both and runs only its measurement
+// window. Exactness is a hard contract, enforced by tests: a restored
+// run's Result is byte-identical to a fresh run's, because the restore
+// reproduces the machine state, the stream position and the RNG
+// sequence exactly, and both paths perform the same statistics reset
+// at the same boundary.
+
+// WarmCache stores warm-state snapshots between runs. Implementations
+// must be safe for concurrent use; the service provides a byte-budget
+// LRU, and tests use trivial map caches. Get returns nil on a miss.
+type WarmCache interface {
+	GetWarm(key string) *WarmSnapshot
+	PutWarm(snap *WarmSnapshot)
+}
+
+// warmGater is the optional third WarmCache method: after a miss, the
+// run asks WantWarm whether capturing a snapshot is worth its cost (a
+// deep copy of every table in the hierarchy — milliseconds and
+// megabytes). Caches that don't implement it get a snapshot on every
+// miss; the service's cache says yes only for keys it has seen miss
+// before, so one-off jobs never pay for a snapshot nobody will reuse.
+type warmGater interface {
+	WantWarm(key string) bool
+}
+
+// wantWarm resolves the optional capture gate.
+func wantWarm(wc WarmCache, key string) bool {
+	if g, ok := wc.(warmGater); ok {
+		return g.WantWarm(key)
+	}
+	return true
+}
+
+// WarmSnapshot is the frozen warmup/measurement boundary of one run:
+// the machine state (exactly one of core/base is set) plus the
+// workload stream at its post-warmup position. Snapshots are immutable
+// after capture and safe for concurrent restores.
+type WarmSnapshot struct {
+	key    string
+	warmup int
+
+	core *core.Snapshot
+	base *baseline.Snapshot
+
+	// iv is the post-warmup stream, cloned at capture time while the
+	// capturing run went on consuming the original. Nil when the
+	// workload's streams cannot be cloned (closure-driven kernel
+	// emitters); restores then rebuild the stream and replay the
+	// warmup draws, which is deterministic and still far cheaper than
+	// simulating them.
+	iv *trace.Interleaver
+
+	bytes int64
+}
+
+// Key returns the snapshot's warm identity (see WarmKey).
+func (ws *WarmSnapshot) Key() string { return ws.key }
+
+// SizeBytes returns the snapshot's approximate in-memory footprint.
+func (ws *WarmSnapshot) SizeBytes() int64 { return ws.bytes }
+
+// streamOverheadBytes is the per-snapshot allowance for the cloned
+// workload streams, which are cursor structs a few hundred bytes each —
+// noise next to the megabytes of table state, but accounted for so the
+// byte budget never reads zero for a degenerate snapshot.
+const streamOverheadBytes = 4096
+
+// WarmKey returns the warm identity of a benchmark run: the string key
+// under which runs share a warmup prefix. It covers everything that
+// shapes the machine and stream state at the warmup boundary — kind,
+// node count, warmup length, seed, metadata scale, the optimization
+// toggles, topology and placement — and deliberately excludes the
+// measurement-side parameters (Measure, LinkBandwidth), which is what
+// lets sweep cells and repeated jobs that vary only those share one
+// warmup. Topology and placement are canonicalized so "" and their
+// explicit defaults share a key.
+func WarmKey(kind Kind, bench string, opt Options) string {
+	return warmKey(kind, "bench:"+bench, opt)
+}
+
+// KernelWarmKey is WarmKey for algorithmic kernel runs.
+func KernelWarmKey(kind Kind, kernel string, opt Options) string {
+	return warmKey(kind, "kernel:"+kernel, opt)
+}
+
+func warmKey(kind Kind, scope string, opt Options) string {
+	opt = opt.withDefaults()
+	topo := opt.Topology
+	if topo == "" {
+		topo = "crossbar"
+	}
+	place := opt.Placement
+	if place == "" {
+		place = "pressure"
+	}
+	return fmt.Sprintf("%s|%s|n%d|w%d|s%d|md%d|b%t|p%t|%s|%s",
+		scope, kind, opt.Nodes, opt.Warmup, opt.Seed, opt.MDScale,
+		opt.Bypass, opt.Prefetch, topo, place)
+}
+
+// RunContextWarm is RunContext with warm-state reuse: when wc holds a
+// snapshot for the run's warm identity, the warmup phase is replaced by
+// a state restore; when it does not, the run executes normally and
+// deposits a snapshot for its successors. A nil wc is RunContext.
+func RunContextWarm(ctx context.Context, kind Kind, bench string, opt Options, wc WarmCache) (Result, error) {
+	opt = opt.withDefaults()
+	sp, ok := workloads.ByName(bench)
+	if !ok {
+		return Result{}, fmt.Errorf("d2m: unknown benchmark %q (see Benchmarks())", bench)
+	}
+	if err := opt.Validate(); err != nil {
+		return Result{}, err
+	}
+	res := Result{Kind: kind, Benchmark: sp.Name, Suite: sp.Suite}
+	mk := func() trace.Stream { return trace.NewInterleaver(specStreams(sp, opt)) }
+	if err := res.runWarm(ctx, kind, opt, warmKey(kind, "bench:"+sp.Name, opt), mk, wc); err != nil {
+		return Result{}, err
+	}
+	return res, nil
+}
+
+// runWarm runs the simulation with warm-state reuse through wc;
+// mkStream rebuilds the access stream from position zero. With a nil
+// cache it is exactly measureContext on a fresh stream.
+func (r *Result) runWarm(ctx context.Context, kind Kind, opt Options, key string, mkStream func() trace.Stream, wc WarmCache) error {
+	if wc == nil {
+		return r.measureContext(ctx, kind, opt, mkStream())
+	}
+	snap := wc.GetWarm(key)
+
+	var flitHops uint64
+	switch kind {
+	case Base2L, Base3L:
+		s := newBaseline(baselineConfig(kind, opt))
+		defer s.Release()
+		engine := sim.NewEngine(sim.WrapBaseline(s), opt.Nodes)
+		src, err := warmedStream(ctx, engine, snap, mkStream, opt.Warmup)
+		if err != nil {
+			return err
+		}
+		if snap != nil {
+			snap.base.RestoreInto(s)
+		} else if wantWarm(wc, key) {
+			ws := &WarmSnapshot{key: key, warmup: opt.Warmup, base: s.Snapshot()}
+			ws.finish(src)
+			wc.PutWarm(ws)
+		}
+		rep, err := engine.Measure(ctx, src, opt.Measure)
+		if err != nil {
+			return err
+		}
+		r.fillCommon(rep)
+		r.fillBaseline(s, rep)
+		flitHops = s.Meter().Count(energy.OpNoCFlit)
+	default:
+		s := newCore(coreConfig(kind, opt))
+		defer s.Release()
+		engine := sim.NewEngine(sim.WrapCore(s), opt.Nodes)
+		src, err := warmedStream(ctx, engine, snap, mkStream, opt.Warmup)
+		if err != nil {
+			return err
+		}
+		if snap != nil {
+			snap.core.RestoreInto(s)
+		} else if wantWarm(wc, key) {
+			ws := &WarmSnapshot{key: key, warmup: opt.Warmup, core: s.Snapshot()}
+			ws.finish(src)
+			wc.PutWarm(ws)
+		}
+		rep, err := engine.Measure(ctx, src, opt.Measure)
+		if err != nil {
+			return err
+		}
+		r.fillCommon(rep)
+		r.fillCore(s, rep, kind)
+		flitHops = s.Meter().Count(energy.OpNoCFlit)
+	}
+	r.applyBandwidth(opt, flitHops)
+	return nil
+}
+
+// warmedStream produces the stream positioned at the warmup boundary.
+// On a miss (snap == nil) it builds a fresh stream and simulates the
+// warmup through the engine, mutating the machine — the normal path.
+// On a hit it does not touch the machine: it duplicates the snapshot's
+// stored stream, or, when the streams were not cloneable, rebuilds the
+// stream and replays (without simulating) the warmup draws.
+func warmedStream(ctx context.Context, engine *sim.Engine, snap *WarmSnapshot, mkStream func() trace.Stream, warmup int) (trace.Stream, error) {
+	if snap == nil {
+		src := mkStream()
+		if err := engine.Warmup(ctx, src, warmup); err != nil {
+			return nil, err
+		}
+		return src, nil
+	}
+	if snap.iv != nil {
+		cp, ok := snap.iv.Clone()
+		if !ok {
+			panic("d2m: stored warm stream lost cloneability")
+		}
+		return cp, nil
+	}
+	src := mkStream()
+	for i := 0; i < snap.warmup; i++ {
+		if i%4096 == 0 && ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		src.Next()
+	}
+	return src, nil
+}
+
+// finish records the post-warmup stream position (cloning it when the
+// streams support cloning) and totals the snapshot's byte footprint.
+func (ws *WarmSnapshot) finish(src trace.Stream) {
+	if iv, ok := src.(*trace.Interleaver); ok {
+		if cp, ok := iv.Clone(); ok {
+			ws.iv = cp
+		}
+	}
+	ws.bytes = streamOverheadBytes
+	if ws.core != nil {
+		ws.bytes += ws.core.SizeBytes()
+	}
+	if ws.base != nil {
+		ws.bytes += ws.base.SizeBytes()
+	}
+}
+
+// ReplicateContextWarm is ReplicateContext with warm-state reuse: each
+// seeded run resolves its own warm identity against wc, so replicated
+// jobs repeated across sweep cells that vary only measurement-side
+// parameters skip every warmup after the first round.
+func ReplicateContextWarm(ctx context.Context, kind Kind, bench string, opt Options, n int, wc WarmCache) (Replicated, error) {
+	return replicateContext(ctx, kind, bench, opt, n, wc)
+}
