@@ -139,11 +139,11 @@ func BenchmarkDynamicIndexing(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		var plain, scrambled float64
 		for _, name := range []string{"lu_cb", "lu_ncb"} {
-			ns, err := Run(D2MNS, name, benchOpt)
+			ns, err := runSim(D2MNS, name, benchOpt)
 			if err != nil {
 				b.Fatal(err)
 			}
-			nsr, err := Run(D2MNSR, name, benchOpt)
+			nsr, err := runSim(D2MNSR, name, benchOpt)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -165,7 +165,7 @@ func BenchmarkAccessD2M(b *testing.B) {
 			if opt.Measure < 1 {
 				opt.Measure = 1
 			}
-			if _, err := Run(D2MNSR, name, opt); err != nil {
+			if _, err := runSim(D2MNSR, name, opt); err != nil {
 				b.Fatal(err)
 			}
 		})
@@ -180,7 +180,7 @@ func BenchmarkAccessBase2L(b *testing.B) {
 			if opt.Measure < 1 {
 				opt.Measure = 1
 			}
-			if _, err := Run(Base2L, name, opt); err != nil {
+			if _, err := runSim(Base2L, name, opt); err != nil {
 				b.Fatal(err)
 			}
 		})
@@ -219,7 +219,7 @@ func BenchmarkAblations(b *testing.B) {
 	benches := []string{"tpc-c", "canneal", "fft", "mix1"}
 	sum := func(kind Kind, opt Options) (msgs, cycles float64) {
 		for _, name := range benches {
-			r, err := Run(kind, name, opt)
+			r, err := runSim(kind, name, opt)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -252,12 +252,12 @@ func BenchmarkHybridInterface(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		var baseC, fullC, hybC, baseM, fullM, hybM float64
 		for _, name := range benches {
-			r0, err := Run(Base2L, name, benchOpt)
+			r0, err := runSim(Base2L, name, benchOpt)
 			if err != nil {
 				b.Fatal(err)
 			}
-			r1, _ := Run(D2MNSR, name, benchOpt)
-			r2, _ := Run(D2MHybrid, name, benchOpt)
+			r1, _ := runSim(D2MNSR, name, benchOpt)
+			r2, _ := runSim(D2MHybrid, name, benchOpt)
 			baseC += float64(r0.Cycles)
 			fullC += float64(r1.Cycles)
 			hybC += float64(r2.Cycles)

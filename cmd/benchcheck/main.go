@@ -1,16 +1,22 @@
-// Command benchcheck compares one metric between two benchmark-journal
+// Command benchcheck compares metrics between two benchmark-journal
 // JSON files (the BENCH_*.json format written by the repo's benchmark
-// harnesses) and exits non-zero when the new value regresses past a
-// threshold. CI runs it after the short-mode benchmarks to gate merges
-// on the committed baselines:
+// harnesses) and exits non-zero when any compared value regresses past
+// a threshold. CI runs it after the short-mode benchmarks to gate
+// merges on the committed baselines:
 //
 //	benchcheck -old BENCH_core.json -new BENCH_core.new.json \
 //	    -metric accesses_per_sec_cold -max-regress 10
+//	benchcheck -old BENCH_service.json -new BENCH_service.new.json \
+//	    -metric cold,cold_snapshot,batch_cached -max-regress 25
 //
-// Metrics are higher-is-better (throughput numbers); a regression is a
-// percentage drop from old to new. The metric name is looked up at the
-// journal's top level and inside any nested object one level down, so
-// both the core journal ({"metrics": {...}}) and the service journal
+// -metric takes one name or a comma-separated list; every listed
+// metric is checked against the same threshold and all are reported
+// before the exit status is decided, so one run surfaces every
+// regression at once. Metrics are higher-is-better (throughput
+// numbers); a regression is a percentage drop from old to new. Each
+// name is looked up at the journal's top level and inside any nested
+// object one level down, so both the core journal
+// ({"metrics": {...}}) and the service journal
 // ({"jobs_per_sec": {...}}) work unchanged.
 package main
 
@@ -19,41 +25,60 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 )
 
 func main() {
 	var (
 		oldPath    = flag.String("old", "", "baseline journal (committed)")
 		newPath    = flag.String("new", "", "fresh journal (this run)")
-		metric     = flag.String("metric", "", "metric name to compare")
+		metric     = flag.String("metric", "", "metric name(s) to compare, comma-separated")
 		maxRegress = flag.Float64("max-regress", 10, "maximum allowed drop, percent")
 	)
 	flag.Parse()
-	if *oldPath == "" || *newPath == "" || *metric == "" {
+	metrics := splitMetrics(*metric)
+	if *oldPath == "" || *newPath == "" || len(metrics) == 0 {
 		fmt.Fprintln(os.Stderr, "benchcheck: -old, -new and -metric are required")
 		flag.Usage()
 		os.Exit(2)
 	}
 
-	oldVal, err := readMetric(*oldPath, *metric)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "benchcheck: %v\n", err)
-		os.Exit(2)
+	failed := false
+	for _, name := range metrics {
+		oldVal, err := readMetric(*oldPath, name)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchcheck: %v\n", err)
+			os.Exit(2)
+		}
+		newVal, err := readMetric(*newPath, name)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchcheck: %v\n", err)
+			os.Exit(2)
+		}
+		regress := regression(oldVal, newVal)
+		fmt.Printf("benchcheck: %s old=%.6g new=%.6g change=%+.1f%%\n",
+			name, oldVal, newVal, -regress)
+		if regress > *maxRegress {
+			fmt.Fprintf(os.Stderr, "benchcheck: %s regressed %.1f%% (limit %.1f%%)\n",
+				name, regress, *maxRegress)
+			failed = true
+		}
 	}
-	newVal, err := readMetric(*newPath, *metric)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "benchcheck: %v\n", err)
-		os.Exit(2)
-	}
-
-	regress := regression(oldVal, newVal)
-	fmt.Printf("benchcheck: %s old=%.6g new=%.6g change=%+.1f%%\n",
-		*metric, oldVal, newVal, -regress)
-	if regress > *maxRegress {
-		fmt.Fprintf(os.Stderr, "benchcheck: %s regressed %.1f%% (limit %.1f%%)\n",
-			*metric, regress, *maxRegress)
+	if failed {
 		os.Exit(1)
 	}
+}
+
+// splitMetrics parses the -metric flag: comma-separated names, empty
+// elements dropped.
+func splitMetrics(s string) []string {
+	var out []string
+	for _, name := range strings.Split(s, ",") {
+		if name = strings.TrimSpace(name); name != "" {
+			out = append(out, name)
+		}
+	}
+	return out
 }
 
 // regression returns the percentage drop from old to new; negative

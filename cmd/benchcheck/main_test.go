@@ -61,3 +61,29 @@ func TestRegression(t *testing.T) {
 		}
 	}
 }
+
+func TestSplitMetrics(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string
+	}{
+		{"cold", []string{"cold"}},
+		{"cold,cold_snapshot,batch_cached", []string{"cold", "cold_snapshot", "batch_cached"}},
+		{" cold , cached ", []string{"cold", "cached"}},
+		{",,", nil},
+		{"", nil},
+	}
+	for _, tc := range cases {
+		got := splitMetrics(tc.in)
+		if len(got) != len(tc.want) {
+			t.Errorf("splitMetrics(%q) = %v, want %v", tc.in, got, tc.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != tc.want[i] {
+				t.Errorf("splitMetrics(%q) = %v, want %v", tc.in, got, tc.want)
+				break
+			}
+		}
+	}
+}

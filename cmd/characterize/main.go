@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -48,11 +49,12 @@ func main() {
 			os.Exit(2)
 		}
 		for _, b := range benches {
-			r, err := d2m.Run(d2m.Base2L, b, opt)
+			out, err := d2m.Run(context.Background(), d2m.RunSpec{Kind: d2m.Base2L, Benchmark: b, Options: opt})
 			if err != nil {
 				fmt.Fprintln(os.Stderr, err)
 				os.Exit(1)
 			}
+			r := out.Result
 			ki := float64(r.Instructions) / 1000
 			row := []interface{}{
 				b, r.Suite,

@@ -1,8 +1,10 @@
 // Command d2mserver serves d2m simulations over HTTP/JSON: a bounded
-// worker pool with an explicit job queue (429 + Retry-After under
-// backpressure), a content-addressed result cache that coalesces
-// duplicate requests into one simulation, per-job deadlines with
-// client-disconnect cancellation, and Prometheus-style metrics.
+// worker pool draining two priority classes (interactive runs/batches
+// vs bulk sweep cells, weighted so sweeps never starve interactive
+// work; 429 + class-aware Retry-After under backpressure), a
+// content-addressed result cache that coalesces duplicate requests
+// into one simulation, per-job deadlines with client-disconnect and
+// explicit DELETE cancellation, and Prometheus-style metrics.
 //
 // Usage:
 //
@@ -18,6 +20,7 @@
 //	POST   /v1/batch       run up to 256 simulations as one unit; results stream back in order
 //	GET    /v1/jobs        list jobs newest first (?state=, ?limit=, ?cursor=)
 //	GET    /v1/jobs/{id}   job status and, once done, the result
+//	DELETE /v1/jobs/{id}   cancel a queued or running job
 //	POST   /v1/sweeps      run a parameter grid server-side; returns a sweep id
 //	GET    /v1/sweeps/{id} sweep progress (done/failed/total, ETA) and, once done, the aggregate
 //	DELETE /v1/sweeps/{id} cancel a sweep's outstanding cells

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -130,7 +131,9 @@ func main() {
 			os.Exit(1)
 		}
 	} else {
-		res, err = d2m.Run(kind, *bench, opt)
+		var out d2m.RunOutput
+		out, err = d2m.Run(context.Background(), d2m.RunSpec{Kind: kind, Benchmark: *bench, Options: opt})
+		res = out.Result
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)

@@ -9,6 +9,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -238,11 +239,14 @@ func runSweepLocal(spec d2m.SweepSpec, baseline string) (service.SweepSummary, e
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
-				r, err := d2m.Run(cells[i].Kind, cells[i].Benchmark, cells[i].Options)
+				out, err := d2m.Run(context.Background(), d2m.RunSpec{
+					Kind: cells[i].Kind, Benchmark: cells[i].Benchmark, Options: cells[i].Options,
+				})
 				if err != nil {
 					errs[i] = err
 					continue
 				}
+				r := out.Result
 				results[i] = &r
 			}
 		}()

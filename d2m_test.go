@@ -2,6 +2,7 @@ package d2m
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"strings"
 	"testing"
@@ -10,6 +11,14 @@ import (
 // fastOpt keeps unit-test runtime reasonable while remaining long enough
 // for the cache state to stabilize.
 var fastOpt = Options{Warmup: 100_000, Measure: 300_000}
+
+// runSim is the tests' shim over the spec-driven Run entry point: most
+// tests exercise plain single runs and want the old (kind, bench, opt)
+// shape.
+func runSim(kind Kind, bench string, opt Options) (Result, error) {
+	out, err := Run(context.Background(), RunSpec{Kind: kind, Benchmark: bench, Options: opt})
+	return out.Result, err
+}
 
 func TestKindStrings(t *testing.T) {
 	want := map[Kind]string{
@@ -33,17 +42,17 @@ func TestKindStrings(t *testing.T) {
 }
 
 func TestRunValidation(t *testing.T) {
-	if _, err := Run(Base2L, "not-a-benchmark", fastOpt); err == nil {
+	if _, err := runSim(Base2L, "not-a-benchmark", fastOpt); err == nil {
 		t.Error("unknown benchmark accepted")
 	}
 	bad := fastOpt
 	bad.Nodes = 9
-	if _, err := Run(Base2L, "fft", bad); err == nil {
+	if _, err := runSim(Base2L, "fft", bad); err == nil {
 		t.Error("9 nodes accepted")
 	}
 	bad = fastOpt
 	bad.MDScale = 3
-	if _, err := Run(D2MFS, "fft", bad); err == nil {
+	if _, err := runSim(D2MFS, "fft", bad); err == nil {
 		t.Error("MDScale 3 accepted")
 	}
 }
@@ -72,17 +81,17 @@ func TestCatalogAccessors(t *testing.T) {
 }
 
 func TestRunDeterminism(t *testing.T) {
-	a, err := Run(D2MNSR, "fft", fastOpt)
+	a, err := runSim(D2MNSR, "fft", fastOpt)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, _ := Run(D2MNSR, "fft", fastOpt)
+	b, _ := runSim(D2MNSR, "fft", fastOpt)
 	if a.Cycles != b.Cycles || a.Messages != b.Messages || a.EDP != b.EDP {
 		t.Error("identical runs diverged")
 	}
 	seeded := fastOpt
 	seeded.Seed = 7
-	c, _ := Run(D2MNSR, "fft", seeded)
+	c, _ := runSim(D2MNSR, "fft", seeded)
 	if c.Cycles == a.Cycles && c.Messages == a.Messages {
 		t.Error("different seed produced identical run")
 	}
@@ -142,7 +151,7 @@ func TestCalibrationAgainstTableIV(t *testing.T) {
 		var mi, md, li, ld float64
 		benches := BenchmarksOf(suite)
 		for _, b := range benches {
-			r, err := Run(Base2L, b, fastOpt)
+			r, err := runSim(Base2L, b, fastOpt)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -179,7 +188,7 @@ func TestHeadlineShapes(t *testing.T) {
 	res := map[Kind][]Result{}
 	for _, k := range Kinds() {
 		for _, b := range benches {
-			r, err := Run(k, b, fastOpt)
+			r, err := runSim(k, b, fastOpt)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -340,11 +349,11 @@ func TestDynamicIndexingHelpsLU(t *testing.T) {
 	// Compare D2M-NS (no scrambling) with D2M-NS-R (scrambled LLC
 	// indexing) on lu_cb: the strided stream aliases onto few LLC sets
 	// without scrambling.
-	ns, err := Run(D2MNS, "lu_cb", fastOpt)
+	ns, err := runSim(D2MNS, "lu_cb", fastOpt)
 	if err != nil {
 		t.Fatal(err)
 	}
-	nsr, err := Run(D2MNSR, "lu_cb", fastOpt)
+	nsr, err := runSim(D2MNSR, "lu_cb", fastOpt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -362,11 +371,11 @@ func TestSRAMPressureShape(t *testing.T) {
 	}
 	var md3, dir float64
 	for _, b := range []string{"fft", "tpc-c", "mix1"} {
-		d, err := Run(D2MNSR, b, fastOpt)
+		d, err := runSim(D2MNSR, b, fastOpt)
 		if err != nil {
 			t.Fatal(err)
 		}
-		base, _ := Run(Base2L, b, fastOpt)
+		base, _ := runSim(Base2L, b, fastOpt)
 		md3 += float64(d.MD3Lookups)
 		dir += float64(base.DirLookups)
 	}
@@ -388,7 +397,7 @@ func TestRecordAndReplay(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	direct, err := Run(D2MNSR, "fft", fastOpt)
+	direct, err := runSim(D2MNSR, "fft", fastOpt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -534,7 +543,7 @@ func TestBypassOption(t *testing.T) {
 // full configuration: 1K lock bits collide on well under 1% of blocking
 // transactions.
 func TestLockBitsNegligible(t *testing.T) {
-	r, err := Run(D2MFS, "tpc-c", fastOpt)
+	r, err := runSim(D2MFS, "tpc-c", fastOpt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -580,12 +589,12 @@ func TestHybridKind(t *testing.T) {
 	if D2MHybrid.String() != "D2M-Hybrid" || !D2MHybrid.IsD2M() {
 		t.Fatal("kind plumbing wrong")
 	}
-	base, err := Run(Base2L, "tpc-c", fastOpt)
+	base, err := runSim(Base2L, "tpc-c", fastOpt)
 	if err != nil {
 		t.Fatal(err)
 	}
-	full, _ := Run(D2MNSR, "tpc-c", fastOpt)
-	hyb, err := Run(D2MHybrid, "tpc-c", fastOpt)
+	full, _ := runSim(D2MNSR, "tpc-c", fastOpt)
+	hyb, err := runSim(D2MHybrid, "tpc-c", fastOpt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -634,16 +643,16 @@ func TestNodeScalingShape(t *testing.T) {
 // mesh the near-side design must save proportionally more hops than
 // messages ("fewer network hops").
 func TestTopologies(t *testing.T) {
-	if _, err := Run(D2MNSR, "fft", Options{Topology: "nonsense", Warmup: 1000, Measure: 1000}); err == nil {
+	if _, err := runSim(D2MNSR, "fft", Options{Topology: "nonsense", Warmup: 1000, Measure: 1000}); err == nil {
 		t.Error("bogus topology accepted")
 	}
-	plain, err := Run(D2MNSR, "fft", fastOpt)
+	plain, err := runSim(D2MNSR, "fft", fastOpt)
 	if err != nil {
 		t.Fatal(err)
 	}
 	xbar := fastOpt
 	xbar.Topology = "crossbar"
-	same, _ := Run(D2MNSR, "fft", xbar)
+	same, _ := runSim(D2MNSR, "fft", xbar)
 	if same.Cycles != plain.Cycles || same.Messages != plain.Messages {
 		t.Error("explicit crossbar differs from the default")
 	}
@@ -652,11 +661,11 @@ func TestTopologies(t *testing.T) {
 	for _, topo := range []string{"ring", "mesh", "torus"} {
 		o := fastOpt
 		o.Topology = topo
-		base, err := Run(Base2L, "fft", o)
+		base, err := runSim(Base2L, "fft", o)
 		if err != nil {
 			t.Fatal(err)
 		}
-		nsr, err := Run(D2MNSR, "fft", o)
+		nsr, err := runSim(D2MNSR, "fft", o)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -688,19 +697,19 @@ func TestBandwidthConstrainedMode(t *testing.T) {
 		t.Skip("slow")
 	}
 	inf := fastOpt
-	baseInf, err := Run(Base2L, "tpc-c", inf)
+	baseInf, err := runSim(Base2L, "tpc-c", inf)
 	if err != nil {
 		t.Fatal(err)
 	}
-	nsrInf, _ := Run(D2MNSR, "tpc-c", inf)
+	nsrInf, _ := runSim(D2MNSR, "tpc-c", inf)
 	infSpeed := float64(baseInf.Cycles) / float64(nsrInf.Cycles)
 
 	// Pick a link bandwidth that binds the baseline: its flit-hops per
 	// cycle exceed capacity while D2M's lighter traffic fits better.
 	bw := fastOpt
 	bw.LinkBandwidth = 0.05
-	baseBW, _ := Run(Base2L, "tpc-c", bw)
-	nsrBW, _ := Run(D2MNSR, "tpc-c", bw)
+	baseBW, _ := runSim(Base2L, "tpc-c", bw)
+	nsrBW, _ := runSim(D2MNSR, "tpc-c", bw)
 	if !baseBW.BandwidthBound {
 		t.Skip("baseline not bandwidth-bound at this setting")
 	}
@@ -742,11 +751,11 @@ func TestReplicate(t *testing.T) {
 // deterministic lookup keeps the tail at or below the baseline's on the
 // instruction-heavy database workload.
 func TestMissLatencyTail(t *testing.T) {
-	b2, err := Run(Base2L, "tpc-c", fastOpt)
+	b2, err := runSim(Base2L, "tpc-c", fastOpt)
 	if err != nil {
 		t.Fatal(err)
 	}
-	nsr, err := Run(D2MNSR, "tpc-c", fastOpt)
+	nsr, err := runSim(D2MNSR, "tpc-c", fastOpt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -828,7 +837,7 @@ func TestPlacementSweepShape(t *testing.T) {
 func TestPlacementOptionErrors(t *testing.T) {
 	bad := fastOpt
 	bad.Placement = "roundrobin"
-	if _, err := Run(D2MNS, "fft", bad); err == nil {
+	if _, err := runSim(D2MNS, "fft", bad); err == nil {
 		t.Error("bad placement accepted by Run")
 	}
 	if _, err := RunKernel(D2MNS, "bfs", bad); err == nil {
@@ -839,7 +848,7 @@ func TestPlacementOptionErrors(t *testing.T) {
 	}
 	good := fastOpt
 	good.Placement = "local"
-	if _, err := Run(D2MNS, "fft", good); err != nil {
+	if _, err := runSim(D2MNS, "fft", good); err != nil {
 		t.Errorf("local placement rejected: %v", err)
 	}
 }

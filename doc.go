@@ -12,8 +12,8 @@
 // deterministic algorithmic kernels whose traces come from real index
 // arithmetic. Run one workload on one system:
 //
-//	res, err := d2m.Run(d2m.D2MNSR, "tpc-c", d2m.Options{})
-//	res, err = d2m.RunKernel(d2m.D2MNSR, "lu-inplace", d2m.Options{})
+//	out, err := d2m.Run(ctx, d2m.RunSpec{Kind: d2m.D2MNSR, Benchmark: "tpc-c"})
+//	res, err := d2m.RunKernel(d2m.D2MNSR, "lu-inplace", d2m.Options{})
 //
 // regenerate an entire figure or table of the paper:
 //

@@ -1,6 +1,7 @@
 package d2m_test
 
 import (
+	"context"
 	"fmt"
 
 	"d2m"
@@ -8,10 +9,15 @@ import (
 
 // Running one benchmark on one configuration: the primary entry point.
 func ExampleRun() {
-	res, err := d2m.Run(d2m.D2MNSR, "fft", d2m.Options{Warmup: 50_000, Measure: 100_000})
+	out, err := d2m.Run(context.Background(), d2m.RunSpec{
+		Kind:      d2m.D2MNSR,
+		Benchmark: "fft",
+		Options:   d2m.Options{Warmup: 50_000, Measure: 100_000},
+	})
 	if err != nil {
 		panic(err)
 	}
+	res := out.Result
 	fmt.Println(res.Benchmark, res.Suite, res.Kind.String())
 	fmt.Println(res.Accesses)
 	// Output:

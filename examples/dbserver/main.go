@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -24,14 +25,18 @@ func main() {
 	fmt.Println()
 	fmt.Printf("%-11s %8s | %9s %9s | %9s %9s | %9s\n",
 		"benchmark", "missI%", "NS nearI%", "NSR nearI%", "B3L spd%", "NSR spd%", "NSR lat")
-	for _, b := range benches {
-		base, err := d2m.Run(d2m.Base2L, b, opt)
+	sim := func(kind d2m.Kind, bench string) d2m.Result {
+		out, err := d2m.Run(context.Background(), d2m.RunSpec{Kind: kind, Benchmark: bench, Options: opt})
 		if err != nil {
 			log.Fatal(err)
 		}
-		b3, _ := d2m.Run(d2m.Base3L, b, opt)
-		ns, _ := d2m.Run(d2m.D2MNS, b, opt)
-		nsr, _ := d2m.Run(d2m.D2MNSR, b, opt)
+		return out.Result
+	}
+	for _, b := range benches {
+		base := sim(d2m.Base2L, b)
+		b3 := sim(d2m.Base3L, b)
+		ns := sim(d2m.D2MNS, b)
+		nsr := sim(d2m.D2MNSR, b)
 		speed := func(r d2m.Result) float64 {
 			return (float64(base.Cycles)/float64(r.Cycles) - 1) * 100
 		}

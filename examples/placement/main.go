@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -24,13 +25,17 @@ func main() {
 	fmt.Printf("%-13s | %13s | %13s | %13s\n", "", "D2M-FS", "D2M-NS", "D2M-NS-R")
 	fmt.Printf("%-13s | %6s %6s | %6s %6s | %6s %6s\n",
 		"benchmark", "msg/KI", "", "msg/KI", "nearD%", "msg/KI", "nearD%")
-	for _, b := range benches {
-		fs, err := d2m.Run(d2m.D2MFS, b, opt)
+	sim := func(kind d2m.Kind, bench string) d2m.Result {
+		out, err := d2m.Run(context.Background(), d2m.RunSpec{Kind: kind, Benchmark: bench, Options: opt})
 		if err != nil {
 			log.Fatal(err)
 		}
-		ns, _ := d2m.Run(d2m.D2MNS, b, opt)
-		nsr, _ := d2m.Run(d2m.D2MNSR, b, opt)
+		return out.Result
+	}
+	for _, b := range benches {
+		fs := sim(d2m.D2MFS, b)
+		ns := sim(d2m.D2MNS, b)
+		nsr := sim(d2m.D2MNSR, b)
 		fmt.Printf("%-13s | %6.1f %6s | %6.1f %6.0f | %6.1f %6.0f\n",
 			b, fs.MsgsPerKI, "-", ns.MsgsPerKI, ns.NearHitD*100, nsr.MsgsPerKI, nsr.NearHitD*100)
 	}

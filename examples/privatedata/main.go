@@ -11,11 +11,21 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
 	"d2m"
 )
+
+// sim runs one (kind, benchmark) pair through the spec-driven API.
+func sim(kind d2m.Kind, bench string, opt d2m.Options) d2m.Result {
+	out, err := d2m.Run(context.Background(), d2m.RunSpec{Kind: kind, Benchmark: bench, Options: opt})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return out.Result
+}
 
 func main() {
 	opt := d2m.Options{Warmup: 150_000, Measure: 500_000}
@@ -30,11 +40,8 @@ func main() {
 		var invD, invB uint64
 		benches := d2m.BenchmarksOf(suite)
 		for _, b := range benches {
-			r, err := d2m.Run(d2m.D2MNSR, b, opt)
-			if err != nil {
-				log.Fatal(err)
-			}
-			base, _ := d2m.Run(d2m.Base2L, b, opt)
+			r := sim(d2m.D2MNSR, b, opt)
+			base := sim(d2m.Base2L, b, opt)
 			p += r.PrivateMissFrac
 			d += r.DirectMissFrac
 			invD += r.InvRecv

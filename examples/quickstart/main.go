@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -24,10 +25,11 @@ func main() {
 	kinds := append(d2m.Kinds(), d2m.D2MHybrid)
 	var base d2m.Result
 	for i, kind := range kinds {
-		res, err := d2m.Run(kind, bench, opt)
+		out, err := d2m.Run(context.Background(), d2m.RunSpec{Kind: kind, Benchmark: bench, Options: opt})
 		if err != nil {
 			log.Fatal(err)
 		}
+		res := out.Result
 		if i == 0 {
 			base = res
 		}

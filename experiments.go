@@ -1,6 +1,7 @@
 package d2m
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"strings"
@@ -38,7 +39,8 @@ func experimentRun(kind Kind, bench string, opt Options) (Result, error) {
 	if ExperimentRunner != nil {
 		return ExperimentRunner(kind, bench, opt)
 	}
-	return Run(kind, bench, opt)
+	out, err := Run(context.Background(), RunSpec{Kind: kind, Benchmark: bench, Options: opt})
+	return out.Result, err
 }
 
 // runAll runs every benchmark on every kind. Runs are independent

@@ -2,25 +2,26 @@ package service
 
 import (
 	"bytes"
-	"context"
 	"encoding/json"
-	"fmt"
+	"errors"
 	"io"
 	"net/http"
+	"strconv"
 	"sync"
-	"time"
 
 	"d2m"
+	"d2m/internal/service/sched"
 )
 
 // POST /v1/batch admits up to MaxBatchRuns simulations as one unit and
 // streams their results back in request order. Each run flows through
-// the same machinery as POST /v1/run — result cache, single-flight
-// coalescing, bounded queue — with two batch-only behaviors on top:
-// admission is all-or-nothing (either every uncached run gets a queue
-// slot or the batch is rejected 429 with nothing enqueued), and runs
-// sharing a warm identity (d2m.WarmKey) are chained onto one worker so
-// each follower restores the snapshot its leader just deposited.
+// the same admission pipeline as POST /v1/run — result cache,
+// single-flight coalescing, bounded queue — via sched.SubmitGroup,
+// which adds the two batch behaviors: admission is all-or-nothing
+// (either every uncached run gets a queue slot or the batch is
+// rejected 429 with nothing enqueued), and runs sharing a warm
+// identity (d2m.WarmKey) are chained onto one worker so each follower
+// restores the snapshot its leader just deposited.
 
 // BatchRequest is the body of POST /v1/batch. Runs are independent
 // RunRequests; the async field is rejected here, since the batch
@@ -43,13 +44,6 @@ type batchBody struct {
 // maxBatchBodyBytes sizes the request-body cap: MaxBatchRuns requests
 // at a few hundred bytes each fit comfortably.
 const maxBatchBodyBytes = 4 << 20
-
-// batchSlot is one run's position in the response: either settled at
-// admission (cache hit) or waiting on a job.
-type batchSlot struct {
-	st JobStatus // valid when j is nil
-	j  *job
-}
 
 // batchEncoders pools the per-result encoding buffers: a batch of 256
 // results would otherwise allocate a fresh buffer per element per
@@ -77,19 +71,11 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	}
 
 	// Validate every run before admitting any: a batch either enters
-	// the queue whole or not at all.
-	type pendingRun struct {
-		idx   int
-		req   RunRequest
-		kind  d2m.Kind
-		bench string
-		opt   d2m.Options
-		reps  int
-		key   string
-		warm  string
-	}
-	slots := make([]batchSlot, len(req.Runs))
-	var pending []pendingRun
+	// the queue whole or not at all. The canonical identities ride
+	// along for rendering cached slots.
+	subs := make([]sched.Submission, len(req.Runs))
+	kinds := make([]d2m.Kind, len(req.Runs))
+	benches := make([]string, len(req.Runs))
 	for i, rr := range req.Runs {
 		if rr.Async {
 			writeError(w, apiErrorf(ErrInvalidRequest,
@@ -102,133 +88,43 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			writeError(w, apiErrorf(ae.Code, "runs[%d]: %s", i, ae.Message))
 			return
 		}
-		key := cacheKey(kind, bench, opt, reps)
-		if res, rep, ok := s.cache.get(key); ok {
-			s.metrics.CacheHits.Add(1)
-			slots[i] = batchSlot{st: JobStatus{
-				State: JobDone, Kind: kind.String(), Benchmark: bench,
-				Cached: true, Result: &res, Replicated: rep,
-			}}
-			continue
-		}
-		s.metrics.CacheMisses.Add(1)
-		pending = append(pending, pendingRun{
-			idx: i, req: rr, kind: kind, bench: bench, opt: opt, reps: reps,
-			key: key, warm: d2m.WarmKey(kind, bench, opt),
-		})
+		subs[i] = submission(kind, bench, opt, reps, rr.TimeoutMS, false)
+		kinds[i], benches[i] = kind, bench
 	}
 
-	// Admission: resolve every pending run to a job under one lock
-	// acquisition. Runs coalesce onto identical in-flight jobs (from
-	// earlier requests or earlier in this batch); the rest become new
-	// jobs, grouped by warm key — the first job of a group is enqueued
-	// and carries the others as its chain.
-	s.mu.Lock()
-	if s.draining {
-		s.mu.Unlock()
-		writeError(w, errDraining)
+	adms, err := s.sched.SubmitGroup(subs)
+	if err != nil {
+		var qfe *sched.QueueFullError
+		switch {
+		case errors.As(err, &qfe):
+			s.metrics.JobsRejected.Add(uint64(qfe.Jobs))
+			w.Header().Set("Retry-After",
+				strconv.Itoa(s.retryAfterSeconds(sched.Interactive)))
+			writeError(w, errQueueFull)
+		case errors.Is(err, sched.ErrDraining):
+			writeError(w, errDraining)
+		default:
+			writeError(w, err)
+		}
 		return
 	}
-	var (
-		created []*job              // all new jobs, enqueued or chained
-		leaders []*job              // new jobs that take a queue slot
-		byBatch = map[string]*job{} // within-batch coalescing by cache key
-		byWarm  = map[string]*job{} // chain grouping by warm key
-	)
-	for _, p := range pending {
-		if j, ok := s.inflight[p.key]; ok {
-			s.metrics.Coalesced.Add(1)
-			j.waiters++
-			slots[p.idx] = batchSlot{j: j}
-			continue
-		}
-		if j, ok := byBatch[p.key]; ok {
-			s.metrics.Coalesced.Add(1)
-			j.waiters++
-			slots[p.idx] = batchSlot{j: j}
-			continue
-		}
-		j := &job{
-			id:      fmt.Sprintf("j%08d", s.nextID.Add(1)),
-			key:     p.key,
-			kind:    p.kind,
-			bench:   p.bench,
-			opt:     p.opt,
-			reps:    p.reps,
-			done:    make(chan struct{}),
-			state:   JobQueued,
-			created: time.Now(),
-			waiters: 1,
-		}
-		timeout := s.cfg.DefaultTimeout
-		if p.req.TimeoutMS > 0 {
-			timeout = time.Duration(p.req.TimeoutMS) * time.Millisecond
-		}
-		if timeout > 0 {
-			j.ctx, j.cancel = context.WithTimeout(s.baseCtx, timeout)
-		} else {
-			j.ctx, j.cancel = context.WithCancel(s.baseCtx)
-		}
-		byBatch[p.key] = j
-		created = append(created, j)
-		if leader, ok := byWarm[p.warm]; ok {
-			leader.chain = append(leader.chain, j)
-		} else {
-			byWarm[p.warm] = j
-			leaders = append(leaders, j)
-		}
-		slots[p.idx] = batchSlot{j: j}
-	}
-
-	// All-or-nothing capacity check. Queue sends happen only under
-	// s.mu, and workers only drain, so room verified here cannot
-	// disappear before the sends below.
-	if len(s.queue)+len(leaders) > cap(s.queue) {
-		for _, j := range created {
-			j.cancel()
-		}
-		s.mu.Unlock()
-		s.metrics.JobsRejected.Add(uint64(len(created)))
-		w.Header().Set("Retry-After", fmt.Sprintf("%d", s.retryAfterSeconds()))
-		writeError(w, errQueueFull)
-		return
-	}
-	for _, j := range created {
-		s.jobs[j.id] = j
-		s.inflight[j.key] = j
-		s.metrics.JobsAccepted.Add(1)
-		s.metrics.Queued.Add(1)
-	}
-	// Chained groups are known to share a warmup: tell the snapshot
-	// cache before any leader can run, so the leader captures on its
-	// first (and only) miss.
-	if s.snapshots != nil {
-		for warm, j := range byWarm {
-			if len(j.chain) > 0 {
-				s.snapshots.noteShared(warm)
-			}
-		}
-	}
-	for _, j := range leaders {
-		s.queue <- j
-	}
-	s.mu.Unlock()
 	s.metrics.BatchesAccepted.Add(1)
 	s.metrics.BatchRuns.Add(uint64(len(req.Runs)))
 
 	// Collect in request order. On client disconnect, release the hold
-	// on every job not yet collected — the last interested waiter
-	// cancels it.
-	for i := range slots {
-		if slots[i].j == nil {
+	// on every job not yet collected — each slot took its own waiter
+	// reference at admission, so releasing per slot is exact even when
+	// several slots coalesced onto one job.
+	for i := range adms {
+		if adms[i].Cached {
 			continue
 		}
 		select {
-		case <-slots[i].j.done:
+		case <-adms[i].Job.Done():
 		case <-r.Context().Done():
-			for k := i; k < len(slots); k++ {
-				if slots[k].j != nil {
-					s.dropWaiter(slots[k].j)
+			for k := i; k < len(adms); k++ {
+				if !adms[k].Cached {
+					s.sched.Release(adms[k].Job)
 				}
 			}
 			return
@@ -240,13 +136,15 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(http.StatusOK)
 	io.WriteString(w, `{"results":[`)
-	for i := range slots {
+	for i := range adms {
 		if i > 0 {
 			io.WriteString(w, ",")
 		}
-		st := slots[i].st
-		if slots[i].j != nil {
-			st = s.status(slots[i].j, false)
+		var st JobStatus
+		if adms[i].Cached {
+			st = cachedStatus(kinds[i], benches[i], adms[i])
+		} else {
+			st = jobStatus(adms[i].Job.Info())
 		}
 		buf := batchEncoders.Get().(*bytes.Buffer)
 		buf.Reset()

@@ -242,12 +242,15 @@ func TestBatchSnapshotReuse(t *testing.T) {
 
 	// The restored runs must match fresh library runs exactly.
 	for i, measure := range []int{2000, 4000, 6000} {
-		want, err := d2m.Run(d2m.D2MNSR, "tpc-c", d2m.Options{Nodes: 2, Warmup: 4000, Measure: measure})
+		want, err := d2m.Run(context.Background(), d2m.RunSpec{
+			Kind: d2m.D2MNSR, Benchmark: "tpc-c",
+			Options: d2m.Options{Nodes: 2, Warmup: 4000, Measure: measure},
+		})
 		if err != nil {
 			t.Fatal(err)
 		}
 		got, _ := json.Marshal(ok.Results[i].Result)
-		wantJSON, _ := json.Marshal(want)
+		wantJSON, _ := json.Marshal(want.Result)
 		if string(got) != string(wantJSON) {
 			t.Errorf("results[%d] differs from fresh run:\n got  %s\n want %s", i, got, wantJSON)
 		}

@@ -1,0 +1,148 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"d2m"
+)
+
+// deleteJob issues DELETE /v1/jobs/{id} and decodes whichever of the
+// two body shapes came back.
+func deleteJob(t *testing.T, ts *httptest.Server, id string) (int, JobStatus, errorBody) {
+	t.Helper()
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+id, nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("DELETE /v1/jobs/%s: %v", id, err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	var st JobStatus
+	var eb errorBody
+	if resp.StatusCode < 400 {
+		if err := json.Unmarshal(raw, &st); err != nil {
+			t.Fatalf("decode %q: %v", raw, err)
+		}
+	} else if err := json.Unmarshal(raw, &eb); err != nil {
+		t.Fatalf("decode %q: %v", raw, err)
+	}
+	return resp.StatusCode, st, eb
+}
+
+// TestJobCancelQueued cancels a job while it waits in the queue: it
+// settles canceled without ever occupying a worker, reports its class
+// and queue position while queued, and a second DELETE is a conflict.
+func TestJobCancelQueued(t *testing.T) {
+	gate := make(chan struct{})
+	defer close(gate)
+	started := make(chan struct{}, 4)
+	_, ts := newTestServer(t, Config{Workers: 1,
+		Runner: func(ctx context.Context, kind d2m.Kind, bench string, opt d2m.Options) (d2m.Result, error) {
+			started <- struct{}{}
+			select {
+			case <-gate:
+			case <-ctx.Done():
+			}
+			return stubResult(kind, bench, opt), nil
+		},
+	})
+
+	// Occupy the worker, then queue two more jobs behind it.
+	if code, _, _ := postRun(t, ts, `{"kind":"base-2l","benchmark":"tpc-c","seed":1,"async":true}`); code != http.StatusAccepted {
+		t.Fatalf("blocker = %d, want 202", code)
+	}
+	<-started
+	var queued [2]JobStatus
+	for i := range queued {
+		code, st, _ := postRun(t, ts,
+			fmt.Sprintf(`{"kind":"base-2l","benchmark":"tpc-c","seed":%d,"async":true}`, i+2))
+		if code != http.StatusAccepted {
+			t.Fatalf("queued[%d] = %d, want 202", i, code)
+		}
+		queued[i] = st
+	}
+	if queued[0].State != JobQueued || queued[0].Priority != "interactive" {
+		t.Errorf("queued job status = %+v, want queued/interactive", queued[0])
+	}
+	if queued[0].QueuePosition != 1 || queued[1].QueuePosition != 2 {
+		t.Errorf("queue positions = %d, %d, want 1, 2",
+			queued[0].QueuePosition, queued[1].QueuePosition)
+	}
+
+	code, st, _ := deleteJob(t, ts, queued[0].ID)
+	if code != http.StatusOK || st.State != JobCanceled {
+		t.Fatalf("DELETE queued = %d %+v, want 200 canceled", code, st)
+	}
+	// The job behind it moves up.
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + queued[1].ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var moved JobStatus
+	json.NewDecoder(resp.Body).Decode(&moved)
+	resp.Body.Close()
+	if moved.State != JobQueued || moved.QueuePosition != 1 {
+		t.Errorf("survivor = %+v, want queued at position 1", moved)
+	}
+
+	// Cancelling a settled job conflicts, with the terminal state named.
+	code, _, eb := deleteJob(t, ts, queued[0].ID)
+	if code != http.StatusConflict || eb.Error.Code != ErrConflict {
+		t.Errorf("second DELETE = %d %+v, want 409 conflict", code, eb)
+	}
+	// Unknown ids are 404.
+	if code, _, eb := deleteJob(t, ts, "j99999999"); code != http.StatusNotFound || eb.Error.Code != ErrNotFound {
+		t.Errorf("unknown DELETE = %d %+v, want 404 not_found", code, eb)
+	}
+}
+
+// TestJobCancelRunning cancels a job mid-simulation: its context is
+// cancelled, the simulation aborts, and the job settles canceled.
+func TestJobCancelRunning(t *testing.T) {
+	started := make(chan struct{}, 1)
+	_, ts := newTestServer(t, Config{Workers: 1,
+		Runner: func(ctx context.Context, kind d2m.Kind, bench string, opt d2m.Options) (d2m.Result, error) {
+			started <- struct{}{}
+			<-ctx.Done()
+			return d2m.Result{}, ctx.Err()
+		},
+	})
+	code, st, _ := postRun(t, ts, `{"kind":"base-2l","benchmark":"tpc-c","async":true}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit = %d, want 202", code)
+	}
+	<-started
+
+	code, got, _ := deleteJob(t, ts, st.ID)
+	if code != http.StatusOK {
+		t.Fatalf("DELETE running = %d, want 200", code)
+	}
+	if got.State != JobRunning && got.State != JobCanceled {
+		t.Fatalf("state right after cancel = %s", got.State)
+	}
+	// The job settles canceled once the simulation notices.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resp, err := http.Get(ts.URL + "/v1/jobs/" + st.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var cur JobStatus
+		json.NewDecoder(resp.Body).Decode(&cur)
+		resp.Body.Close()
+		if cur.State == JobCanceled {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck in %s after cancel", cur.State)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

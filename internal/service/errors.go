@@ -21,6 +21,7 @@ const (
 	ErrInvalidRequest   ErrCode = "invalid_request"   // 400: malformed body or parameters
 	ErrUnknownBenchmark ErrCode = "unknown_benchmark" // 400: benchmark not in the catalog
 	ErrNotFound         ErrCode = "not_found"         // 404: unknown job or sweep id
+	ErrConflict         ErrCode = "conflict"          // 409: job already settled
 	ErrOverloaded       ErrCode = "overloaded"        // 429: job queue full, retry later
 	ErrDraining         ErrCode = "draining"          // 503: server shutting down
 	ErrInternal         ErrCode = "internal"          // 500: unexpected failure
@@ -33,6 +34,8 @@ func (c ErrCode) httpStatus() int {
 		return http.StatusBadRequest
 	case ErrNotFound:
 		return http.StatusNotFound
+	case ErrConflict:
+		return http.StatusConflict
 	case ErrOverloaded:
 		return http.StatusTooManyRequests
 	case ErrDraining:

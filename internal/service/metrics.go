@@ -6,6 +6,8 @@ import (
 	"math"
 	"sync"
 	"sync/atomic"
+
+	"d2m/internal/service/sched"
 )
 
 // Metrics holds the service's observable state: monotonically growing
@@ -47,9 +49,43 @@ type Metrics struct {
 	SnapshotBytes   atomic.Int64 // gauge: bytes held by the snapshot cache
 	SnapshotEntries atomic.Int64 // gauge: snapshots held by the snapshot cache
 
-	QueueWait  Histogram // seconds from admission to worker pickup
+	// QueueWait tracks seconds from admission to worker pickup, one
+	// histogram per scheduling class (rendered with a class label), so
+	// bulk backlog cannot mask interactive latency.
+	QueueWait  [sched.NumPriorities]Histogram
 	RunLatency Histogram // seconds of simulation time per job
 }
+
+// Metrics implements sched.Observer: the scheduler reports accounting
+// events and the service maps them onto these counters, so the numbers
+// on /metrics mean exactly what they did when the server owned the
+// worker pool itself.
+var _ sched.Observer = (*Metrics)(nil)
+
+func (m *Metrics) JobAccepted()  { m.JobsAccepted.Add(1) }
+func (m *Metrics) JobCoalesced() { m.Coalesced.Add(1) }
+func (m *Metrics) CacheHit()     { m.CacheHits.Add(1) }
+func (m *Metrics) CacheMiss()    { m.CacheMisses.Add(1) }
+
+func (m *Metrics) JobSettled(st sched.State) {
+	switch st {
+	case sched.StateDone:
+		m.JobsDone.Add(1)
+	case sched.StateCanceled:
+		m.JobsCanceled.Add(1)
+	default:
+		m.JobsFailed.Add(1)
+	}
+}
+
+func (m *Metrics) QueuedDelta(d int64)  { m.Queued.Add(d) }
+func (m *Metrics) RunningDelta(d int64) { m.Running.Add(d) }
+
+func (m *Metrics) ObserveQueueWait(p sched.Priority, seconds float64) {
+	m.QueueWait[p].Observe(seconds)
+}
+
+func (m *Metrics) ObserveRun(seconds float64) { m.RunLatency.Observe(seconds) }
 
 // histBuckets are the upper bounds (seconds) of the latency histograms:
 // sub-millisecond queue pickups through multi-minute simulations.
@@ -145,19 +181,40 @@ func (m *Metrics) WritePrometheus(w io.Writer) {
 	gauge("d2m_sweeps_active", "Sweeps not yet settled.", m.SweepsActive.Load())
 	gauge("d2m_snapshot_bytes", "Bytes held by the warm-snapshot cache.", m.SnapshotBytes.Load())
 	gauge("d2m_snapshot_entries", "Snapshots held by the warm-snapshot cache.", m.SnapshotEntries.Load())
-	m.writeHistogram(w, "d2m_queue_wait_seconds", "Seconds from admission to worker pickup.", &m.QueueWait)
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n",
+		"d2m_queue_wait_seconds", "Seconds from admission to worker pickup, by scheduling class.",
+		"d2m_queue_wait_seconds")
+	for p := sched.Interactive; p < sched.NumPriorities; p++ {
+		m.writeHistogramSeries(w, "d2m_queue_wait_seconds",
+			fmt.Sprintf("class=%q", p.String()), &m.QueueWait[p])
+	}
 	m.writeHistogram(w, "d2m_run_seconds", "Seconds of simulation per job.", &m.RunLatency)
 }
 
 func (m *Metrics) writeHistogram(w io.Writer, name, help string, h *Histogram) {
-	counts, sum, count := h.snapshot()
 	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
-	for i, ub := range histBuckets {
-		fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, trimFloat(ub), counts[i])
+	m.writeHistogramSeries(w, name, "", h)
+}
+
+// writeHistogramSeries renders one histogram series, optionally labeled
+// (the label is joined with le inside the bucket braces).
+func (m *Metrics) writeHistogramSeries(w io.Writer, name, label string, h *Histogram) {
+	counts, sum, count := h.snapshot()
+	sep := ""
+	if label != "" {
+		sep = label + ","
 	}
-	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, count)
-	fmt.Fprintf(w, "%s_sum %g\n", name, sum)
-	fmt.Fprintf(w, "%s_count %d\n", name, count)
+	for i, ub := range histBuckets {
+		fmt.Fprintf(w, "%s_bucket{%sle=%q} %d\n", name, sep, trimFloat(ub), counts[i])
+	}
+	fmt.Fprintf(w, "%s_bucket{%sle=\"+Inf\"} %d\n", name, sep, count)
+	if label != "" {
+		fmt.Fprintf(w, "%s_sum{%s} %g\n", name, label, sum)
+		fmt.Fprintf(w, "%s_count{%s} %d\n", name, label, count)
+	} else {
+		fmt.Fprintf(w, "%s_sum %g\n", name, sum)
+		fmt.Fprintf(w, "%s_count %d\n", name, count)
+	}
 }
 
 func trimFloat(f float64) string { return fmt.Sprintf("%g", f) }

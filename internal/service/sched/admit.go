@@ -1,0 +1,357 @@
+package sched
+
+import (
+	"context"
+	"errors"
+	"sort"
+	"time"
+
+	"d2m"
+)
+
+// Submit runs one submission through the admission pipeline: validate,
+// result-cache lookup, in-flight coalescing, enqueue. On ErrQueueFull
+// nothing was admitted; callers that would rather wait for a slot than
+// surface the rejection use SubmitWait.
+func (s *Scheduler) Submit(sub Submission) (Admission, error) {
+	adms, err := s.SubmitGroup([]Submission{sub})
+	if err != nil {
+		if errors.Is(err, ErrQueueFull) {
+			return Admission{}, ErrQueueFull
+		}
+		return Admission{}, err
+	}
+	return adms[0], nil
+}
+
+// SubmitWait is Submit for feeders that should park rather than fail
+// when the class queue is full: on ErrQueueFull it waits for a slot
+// pulse (or a short poll tick, or ctx cancellation) and retries. Sweep
+// cells flow through here so an overloaded queue applies backpressure
+// to the sweep instead of dropping cells.
+func (s *Scheduler) SubmitWait(ctx context.Context, sub Submission) (Admission, error) {
+	for {
+		adm, err := s.Submit(sub)
+		if err == nil {
+			return adm, nil
+		}
+		if !errors.Is(err, ErrQueueFull) {
+			return Admission{}, err
+		}
+		t := time.NewTimer(10 * time.Millisecond)
+		select {
+		case <-s.slotFree:
+			t.Stop()
+		case <-t.C:
+		case <-ctx.Done():
+			t.Stop()
+			return Admission{}, ctx.Err()
+		}
+	}
+}
+
+// SubmitGroup admits a set of submissions atomically: either every
+// submission is settled from the cache, coalesced, or enqueued, or —
+// if any class queue cannot hold the new jobs — none is, and the
+// returned *QueueFullError counts the jobs that were rolled back.
+// Batches flow through here so a 429 never leaves a half-admitted
+// batch behind.
+//
+// Within one group, submissions sharing a warm identity (and class)
+// are chained: the first becomes the chain leader, the rest become
+// affinity followers that a worker runs back-to-back after the leader,
+// each restoring the snapshot the leader deposited.
+func (s *Scheduler) SubmitGroup(subs []Submission) ([]Admission, error) {
+	if len(subs) == 0 {
+		return nil, nil
+	}
+	for i := range subs {
+		if err := subs[i].validate(); err != nil {
+			return nil, err
+		}
+	}
+
+	adms := make([]Admission, len(subs))
+	keys := make([]string, len(subs))
+	pending := make([]int, 0, len(subs))
+	for i := range subs {
+		keys[i] = subs[i].key()
+		if res, rep, ok := s.sink.Lookup(keys[i]); ok {
+			s.obs.CacheHit()
+			adms[i] = Admission{Cached: true, Result: res, Replicated: rep}
+			continue
+		}
+		pending = append(pending, i)
+	}
+	if len(pending) == 0 {
+		return adms, nil
+	}
+
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return nil, ErrDraining
+	}
+
+	// First pass: coalesce or create, without touching the ledger or
+	// queues, so a capacity rejection can roll everything back.
+	type coalesce struct {
+		j            *Job
+		prevDetached bool
+		promote      bool // interactive arrival on a queued bulk leader
+	}
+	var (
+		coalesced []coalesce
+		created   []*Job
+		need      [NumPriorities]int
+		byKey     = make(map[string]*Job)
+	)
+	for _, i := range pending {
+		sub, key := subs[i], keys[i]
+		target := s.inflight[key]
+		if target != nil && target.ctx.Err() != nil {
+			// Abandoned but not yet settled: don't coalesce onto a job
+			// that is about to settle canceled.
+			target = nil
+		}
+		if target == nil {
+			target = byKey[key]
+		}
+		if target != nil {
+			coalesced = append(coalesced, coalesce{
+				j:            target,
+				prevDetached: target.detached,
+				promote: sub.Priority == Interactive &&
+					target.spec.Priority == Bulk,
+			})
+			target.waiters++
+			if sub.Detached {
+				target.detached = true
+			}
+			adms[i] = Admission{Job: target}
+			continue
+		}
+		j := s.newJobLocked(sub, key)
+		byKey[key] = j
+		created = append(created, j)
+		need[sub.Priority]++
+		adms[i] = Admission{Job: j, New: true}
+	}
+
+	for p := Interactive; p < NumPriorities; p++ {
+		if s.queuedN[p]+need[p] > s.cfg.QueueDepth {
+			for _, c := range coalesced {
+				c.j.waiters--
+				c.j.detached = c.prevDetached
+			}
+			for _, j := range created {
+				j.cancel()
+			}
+			s.mu.Unlock()
+			return nil, &QueueFullError{Jobs: len(created)}
+		}
+	}
+
+	// Commit: register the new jobs, chain same-warm-identity jobs of
+	// the same class behind one leader, and promote queued bulk leaders
+	// an interactive submission just coalesced onto.
+	byWarm := make(map[string]*Job)
+	for _, j := range created {
+		s.jobs[j.id] = j
+		s.inflight[j.key] = j
+		p := j.spec.Priority
+		s.queuedN[p]++
+		wk := d2m.WarmKey(j.spec.Kind, j.spec.Benchmark, j.spec.Options)
+		if lead := byWarm[wk]; lead != nil && lead.spec.Priority == p {
+			j.leader = lead
+			lead.chain = append(lead.chain, j)
+			if s.warm != nil {
+				s.warm.NoteShared(wk)
+			}
+		} else {
+			byWarm[wk] = j
+			s.queues[p] = append(s.queues[p], j)
+		}
+		s.obs.JobAccepted()
+		s.obs.QueuedDelta(1)
+	}
+	for _, c := range coalesced {
+		s.obs.JobCoalesced()
+		if c.promote {
+			s.promoteLocked(c.j)
+		}
+	}
+	for range pending {
+		s.obs.CacheMiss()
+	}
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	return adms, nil
+}
+
+// promoteLocked lifts a queued bulk chain leader (and its chain) into
+// the interactive class: an interactive request that coalesced onto
+// bulk work should not inherit bulk queueing delay. Best-effort — a
+// job that is running, chained, already popped, or would overflow the
+// interactive queue stays where it is. Callers hold s.mu.
+func (s *Scheduler) promoteLocked(j *Job) {
+	if j.state != StateQueued || j.spec.Priority != Bulk || j.leader != nil {
+		return
+	}
+	idx := -1
+	for i, q := range s.queues[Bulk] {
+		if q == j {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return
+	}
+	moved := 1 + len(j.chain)
+	if s.queuedN[Interactive]+moved > s.cfg.QueueDepth {
+		return
+	}
+	s.queues[Bulk] = append(s.queues[Bulk][:idx], s.queues[Bulk][idx+1:]...)
+	s.queues[Interactive] = append(s.queues[Interactive], j)
+	s.queuedN[Bulk] -= moved
+	s.queuedN[Interactive] += moved
+	j.spec.Priority = Interactive
+	for _, c := range j.chain {
+		c.spec.Priority = Interactive
+	}
+	s.pulseSlotFree()
+}
+
+// Cancel settles a queued job immediately or signals a running one to
+// abort at its next engine checkpoint. It returns ErrUnknownJob for
+// ids absent from the ledger and ErrSettled (with the job, so callers
+// can report its state) for jobs that already finished.
+func (s *Scheduler) Cancel(id string) (*Job, error) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	if !ok {
+		s.mu.Unlock()
+		return nil, ErrUnknownJob
+	}
+	switch {
+	case j.state.settled():
+		s.mu.Unlock()
+		return j, ErrSettled
+	case j.state == StateRunning:
+		s.mu.Unlock()
+		j.cancel()
+		return j, nil
+	}
+
+	// Queued: take it out of the queue structures and settle it here,
+	// so it never occupies a worker. A chain leader hands leadership to
+	// its first follower in place; a follower just settles (the worker
+	// walking the chain skips settled jobs); a leader already popped by
+	// a worker needs no queue surgery (runJob will skip it).
+	if j.leader == nil {
+		for i, q := range s.queues[j.spec.Priority] {
+			if q != j {
+				continue
+			}
+			if len(j.chain) > 0 {
+				nl := j.chain[0]
+				nl.leader = nil
+				nl.chain = append(nl.chain, j.chain[1:]...)
+				for _, c := range nl.chain {
+					c.leader = nl
+				}
+				j.chain = nil
+				s.queues[j.spec.Priority][i] = nl
+			} else {
+				s.queues[j.spec.Priority] = append(
+					s.queues[j.spec.Priority][:i],
+					s.queues[j.spec.Priority][i+1:]...)
+			}
+			break
+		}
+	}
+	j.cancel()
+	if s.inflight[j.key] == j {
+		delete(s.inflight, j.key)
+	}
+	j.state = StateCanceled
+	j.err = context.Canceled
+	j.finished = time.Now()
+	s.retireLocked(j)
+	s.queuedN[j.spec.Priority]--
+	s.pulseSlotFree()
+	s.obs.QueuedDelta(-1)
+	s.obs.JobSettled(StateCanceled)
+	s.mu.Unlock()
+	close(j.done)
+	return j, nil
+}
+
+// Release drops one waiter's interest in a job (client disconnect or
+// response written). When the last waiter of a non-detached job leaves
+// before it settles, the job is abandoned: its context is cancelled so
+// it aborts (or, if still queued, settles canceled without occupying a
+// worker).
+func (s *Scheduler) Release(j *Job) {
+	s.mu.Lock()
+	j.waiters--
+	abandon := j.waiters <= 0 && !j.detached && !j.state.settled()
+	s.mu.Unlock()
+	if abandon {
+		j.cancel()
+	}
+}
+
+// Lookup returns the ledger's job for id.
+func (s *Scheduler) Lookup(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// Jobs snapshots every job still in the ledger, ordered by id.
+func (s *Scheduler) Jobs() []Info {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Info, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		out = append(out, s.infoLocked(j))
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].ID < out[b].ID })
+	return out
+}
+
+// infoLocked snapshots one job. Callers hold s.mu.
+func (s *Scheduler) infoLocked(j *Job) Info {
+	in := Info{
+		ID:        j.id,
+		State:     j.state,
+		Priority:  j.spec.Priority,
+		Kind:      j.spec.Kind,
+		Benchmark: j.spec.Benchmark,
+		Created:   j.created,
+		Started:   j.started,
+		Finished:  j.finished,
+		Err:       j.err,
+	}
+	if j.state == StateQueued {
+		lead := j
+		if j.leader != nil {
+			lead = j.leader
+		}
+		for i, q := range s.queues[lead.spec.Priority] {
+			if q == lead {
+				in.QueuePos = i + 1
+				break
+			}
+		}
+	}
+	if j.state == StateDone {
+		r := j.result
+		in.Result = &r
+		in.Replicated = j.replicated
+	}
+	return in
+}

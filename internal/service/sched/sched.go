@@ -1,0 +1,416 @@
+package sched
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"d2m"
+)
+
+// Config sizes the scheduler. The zero value of every field but Run is
+// usable: each has a production-sane default.
+type Config struct {
+	// Workers is the worker-pool size (concurrent simulations).
+	// Zero means runtime.GOMAXPROCS(0).
+	Workers int
+	// QueueDepth bounds each priority class's queue separately, so bulk
+	// backlog can never consume the interactive class's admission
+	// capacity. Zero means 64.
+	QueueDepth int
+	// DefaultTimeout is the per-job deadline (queue wait + run) applied
+	// when a submission does not set its own. Zero means no deadline.
+	DefaultTimeout time.Duration
+	// MaxJobs bounds the settled-job history kept in the ledger.
+	// Zero means 4096.
+	MaxJobs int
+	// InteractiveWeight is the dequeue ratio when both classes have
+	// waiting jobs: this many interactive jobs are served per bulk job.
+	// Zero means 4.
+	InteractiveWeight int
+	// Run executes one simulation; it is the only required field. The
+	// scheduler passes the submission's identity through a d2m.RunSpec
+	// (Replicates included) and stores the output on the job.
+	Run func(ctx context.Context, spec d2m.RunSpec) (d2m.RunOutput, error)
+	// Results, when non-nil, is consulted at admission (Lookup) and on
+	// success (Settle): the service wires its result cache and JSONL
+	// journal here.
+	Results ResultSink
+	// Warm, when non-nil, learns which warm identities group admission
+	// chained together, so the snapshot cache captures on the chain
+	// leader's first run.
+	Warm WarmCache
+	// Observer, when non-nil, receives accounting events.
+	Observer Observer
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.MaxJobs <= 0 {
+		c.MaxJobs = 4096
+	}
+	if c.InteractiveWeight <= 0 {
+		c.InteractiveWeight = 4
+	}
+	if c.Results == nil {
+		c.Results = nopSink{}
+	}
+	if c.Observer == nil {
+		c.Observer = nopObserver{}
+	}
+	return c
+}
+
+// Scheduler owns the job ledger, the multi-level queue, and the worker
+// pool. All methods are safe for concurrent use.
+type Scheduler struct {
+	cfg    Config
+	obs    Observer
+	sink   ResultSink
+	warm   WarmCache
+	wg     sync.WaitGroup
+	nextID atomic.Uint64
+
+	baseCtx    context.Context // parent of every job context
+	baseCancel context.CancelFunc
+
+	// slotFree pulses when a queue slot frees up (a worker dequeued a
+	// leader, or a queued leader was cancelled), waking one SubmitWait
+	// feeder parked on a full queue. Best-effort; feeders also poll.
+	slotFree chan struct{}
+
+	mu       sync.Mutex
+	cond     *sync.Cond // signalled on enqueue and drain
+	draining bool
+	// queues hold chain leaders only, per class; queuedN counts every
+	// queued job including chain followers.
+	queues  [NumPriorities][]*Job
+	queuedN [NumPriorities]int
+	// rr counts interactive dequeues since the last bulk one, for the
+	// weighted pick.
+	rr       int
+	jobs     map[string]*Job // by id; settled history bounded by MaxJobs
+	inflight map[string]*Job // by cache key: queued or running
+	retired  []string        // settled job ids, oldest first
+	// runEWMA tracks recent per-job service seconds (runCount samples),
+	// feeding RetryAfter.
+	runEWMA  float64
+	runCount uint64
+}
+
+// New starts a scheduler and its worker pool. Callers must Shutdown it.
+func New(cfg Config) (*Scheduler, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Run == nil {
+		return nil, errors.New("sched: Config.Run is required")
+	}
+	s := &Scheduler{
+		cfg:      cfg,
+		obs:      cfg.Observer,
+		sink:     cfg.Results,
+		warm:     cfg.Warm,
+		slotFree: make(chan struct{}, 1),
+		jobs:     make(map[string]*Job),
+		inflight: make(map[string]*Job),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
+	for i := 0; i < cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s, nil
+}
+
+// Workers returns the worker-pool width.
+func (s *Scheduler) Workers() int { return s.cfg.Workers }
+
+// Draining reports whether Shutdown has begun.
+func (s *Scheduler) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// Shutdown drains the scheduler: admission stops (ErrDraining), queued
+// and running jobs are allowed to finish, and the worker pool exits.
+// If ctx expires first, every outstanding job context is cancelled —
+// simulations abort at their next engine checkpoint — and Shutdown
+// waits for the workers before returning ctx.Err(). Safe to call more
+// than once.
+func (s *Scheduler) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining = true
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.baseCancel()
+		<-done
+		return ctx.Err()
+	}
+}
+
+// RetryAfter estimates how long a rejected class-p client should back
+// off: the backlog the new job would sit behind (every queued job in
+// classes served at or ahead of p) times the recently observed service
+// seconds per job, spread across the pool. Before any job has run, it
+// falls back to assuming one second per backlog entry per worker.
+// Clamped to [1s, 10m].
+func (s *Scheduler) RetryAfter(p Priority) time.Duration {
+	s.mu.Lock()
+	backlog := 0
+	for q := Interactive; q <= p && q < NumPriorities; q++ {
+		backlog += s.queuedN[q]
+	}
+	ewma, samples := s.runEWMA, s.runCount
+	s.mu.Unlock()
+	workers := float64(s.cfg.Workers)
+	var secs float64
+	if samples == 0 {
+		secs = 1 + float64(backlog)/workers
+	} else {
+		secs = ewma * float64(backlog+1) / workers
+	}
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 600 {
+		secs = 600
+	}
+	return time.Duration(secs * float64(time.Second))
+}
+
+// ---------------------------------------------------------------------------
+// Worker pool.
+
+// worker drains the queues until Shutdown empties them. A dequeued
+// leader may carry a chain of affinity followers; the worker runs them
+// back-to-back so each follower restores the snapshot the leader just
+// deposited while it is hottest.
+func (s *Scheduler) worker() {
+	defer s.wg.Done()
+	for {
+		j, ok := s.dequeue()
+		if !ok {
+			return
+		}
+		s.runJob(j)
+		// The chain is read under the lock: a cancelled queued leader
+		// may have promoted a follower, and cancelled followers are
+		// skipped inside runJob.
+		s.mu.Lock()
+		chain := append([]*Job(nil), j.chain...)
+		s.mu.Unlock()
+		for _, c := range chain {
+			s.runJob(c)
+		}
+	}
+}
+
+// dequeue blocks until a leader is available (returning it) or the
+// scheduler is draining with empty queues (returning false).
+func (s *Scheduler) dequeue() (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		if j := s.pickLocked(); j != nil {
+			s.pulseSlotFree()
+			return j, true
+		}
+		if s.draining {
+			return nil, false
+		}
+		s.cond.Wait()
+	}
+}
+
+// pickLocked pops the next leader under the weighted-priority policy:
+// when both classes are waiting, InteractiveWeight interactive leaders
+// are served per bulk leader, so bulk work cannot starve interactive
+// jobs and interactive bursts cannot starve bulk work either.
+func (s *Scheduler) pickLocked() *Job {
+	hasI := len(s.queues[Interactive]) > 0
+	hasB := len(s.queues[Bulk]) > 0
+	var p Priority
+	switch {
+	case hasI && hasB:
+		if s.rr >= s.cfg.InteractiveWeight {
+			p, s.rr = Bulk, 0
+		} else {
+			p = Interactive
+			s.rr++
+		}
+	case hasI:
+		p = Interactive
+	case hasB:
+		p = Bulk
+	default:
+		return nil
+	}
+	q := s.queues[p]
+	j := q[0]
+	q[0] = nil
+	s.queues[p] = q[1:]
+	return j
+}
+
+// pulseSlotFree wakes one feeder parked on a full queue. Callers hold
+// s.mu; the send is non-blocking.
+func (s *Scheduler) pulseSlotFree() {
+	select {
+	case s.slotFree <- struct{}{}:
+	default:
+	}
+}
+
+// runJob executes one dequeued job (leader or chain follower). A job
+// settled while queued — cancelled explicitly, or its deadline passed,
+// or its waiters all disconnected — never occupies a worker.
+func (s *Scheduler) runJob(j *Job) {
+	s.mu.Lock()
+	if j.state != StateQueued {
+		// Cancel settled it while it sat in the queue (or in a chain);
+		// all accounting happened there.
+		s.mu.Unlock()
+		return
+	}
+	if err := j.ctx.Err(); err != nil {
+		s.dequeuedLocked(j)
+		s.mu.Unlock()
+		s.obs.QueuedDelta(-1)
+		s.obs.ObserveQueueWait(j.spec.Priority, time.Since(j.created).Seconds())
+		s.finish(j, d2m.RunOutput{}, err, 0)
+		return
+	}
+	s.dequeuedLocked(j)
+	j.state = StateRunning
+	j.started = time.Now()
+	s.mu.Unlock()
+	s.obs.QueuedDelta(-1)
+	s.obs.ObserveQueueWait(j.spec.Priority, j.started.Sub(j.created).Seconds())
+
+	s.obs.RunningDelta(1)
+	start := time.Now()
+	out, err := s.cfg.Run(j.ctx, d2m.RunSpec{
+		Kind:       j.spec.Kind,
+		Benchmark:  j.spec.Benchmark,
+		Options:    j.spec.Options,
+		Replicates: j.spec.Replicates,
+	})
+	dur := time.Since(start)
+	s.obs.RunningDelta(-1)
+	s.obs.ObserveRun(dur.Seconds())
+	s.finish(j, out, err, dur)
+}
+
+// dequeuedLocked maintains the per-class queued-job count as a job
+// leaves the queue for a worker.
+func (s *Scheduler) dequeuedLocked(j *Job) {
+	s.queuedN[j.spec.Priority]--
+}
+
+// finish settles a job exactly once: records the outcome, releases the
+// in-flight slot so the next identical submission starts fresh,
+// publishes a successful result to the sink, and wakes every waiter.
+// The sink is fed before done closes, so a restart straight after a
+// response never loses the result it served.
+func (s *Scheduler) finish(j *Job, out d2m.RunOutput, err error, dur time.Duration) {
+	s.mu.Lock()
+	// Guarded: an abandoned job's key slot may already belong to a newer
+	// job (admission skips coalescing onto cancelled contexts).
+	if s.inflight[j.key] == j {
+		delete(s.inflight, j.key)
+	}
+	j.finished = time.Now()
+	switch {
+	case err == nil:
+		j.state = StateDone
+		j.result = out.Result
+		j.replicated = out.Replicated
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		j.state = StateCanceled
+		j.err = err
+	default:
+		j.state = StateFailed
+		j.err = err
+	}
+	if dur > 0 {
+		s.noteRunLocked(dur)
+	}
+	s.retireLocked(j)
+	st := j.state
+	s.mu.Unlock()
+	s.obs.JobSettled(st)
+	if st == StateDone {
+		s.sink.Settle(j.key, j.result, j.replicated)
+	}
+	j.cancel() // release the deadline timer
+	close(j.done)
+}
+
+// noteRunLocked folds one observed service time into the EWMA behind
+// RetryAfter. Callers hold s.mu.
+func (s *Scheduler) noteRunLocked(dur time.Duration) {
+	sec := dur.Seconds()
+	if s.runCount == 0 {
+		s.runEWMA = sec
+	} else {
+		const alpha = 0.2
+		s.runEWMA = alpha*sec + (1-alpha)*s.runEWMA
+	}
+	s.runCount++
+}
+
+// retireLocked bounds the settled-job history: beyond cfg.MaxJobs
+// settled jobs, the oldest records vanish from the ledger. Callers
+// hold s.mu.
+func (s *Scheduler) retireLocked(j *Job) {
+	s.retired = append(s.retired, j.id)
+	for len(s.retired) > s.cfg.MaxJobs {
+		delete(s.jobs, s.retired[0])
+		s.retired = s.retired[1:]
+	}
+}
+
+// newJobLocked builds a fresh queued job for a submission. Callers
+// hold s.mu and are responsible for ledger/queue insertion.
+func (s *Scheduler) newJobLocked(sub Submission, key string) *Job {
+	j := &Job{
+		s:        s,
+		id:       fmt.Sprintf("j%08d", s.nextID.Add(1)),
+		key:      key,
+		spec:     sub,
+		done:     make(chan struct{}),
+		state:    StateQueued,
+		created:  time.Now(),
+		waiters:  1,
+		detached: sub.Detached,
+	}
+	timeout := sub.Timeout
+	if timeout == 0 {
+		timeout = s.cfg.DefaultTimeout
+	}
+	if timeout > 0 {
+		j.ctx, j.cancel = context.WithTimeout(s.baseCtx, timeout)
+	} else {
+		j.ctx, j.cancel = context.WithCancel(s.baseCtx)
+	}
+	return j
+}

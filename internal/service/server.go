@@ -3,7 +3,7 @@ package service
 import (
 	"context"
 	"encoding/json"
-	"fmt"
+	"errors"
 	"net/http"
 	"runtime"
 	"sort"
@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"d2m"
+	"d2m/internal/service/sched"
 )
 
 // Config sizes the service. The zero value is usable: every field has
@@ -21,9 +22,11 @@ type Config struct {
 	// Workers is the worker-pool size (concurrent simulations).
 	// Zero means runtime.GOMAXPROCS(0).
 	Workers int
-	// QueueDepth bounds the explicit job queue. A POST that finds the
-	// queue full is rejected with 429 + Retry-After rather than
-	// accepted into an unbounded backlog. Zero means 64.
+	// QueueDepth bounds each priority class's job queue separately (one
+	// interactive queue for /v1/run and /v1/batch, one bulk queue for
+	// sweep cells). A POST that finds its class full is rejected with
+	// 429 + Retry-After rather than accepted into an unbounded backlog.
+	// Zero means 64.
 	QueueDepth int
 	// CacheEntries is the result-cache LRU capacity. Zero means 1024.
 	CacheEntries int
@@ -46,13 +49,13 @@ type Config struct {
 	// machine state instead of re-simulating the warmup. Zero means
 	// 256 MiB; negative disables snapshot reuse entirely.
 	SnapshotMemBytes int64
-	// Runner executes one simulation. Nil means d2m.RunContextWarm
-	// against the server's snapshot cache; tests substitute stubs to
-	// control timing and observe cancellation.
+	// Runner executes one simulation. Nil means d2m.Run against the
+	// server's snapshot cache; tests substitute stubs to control timing
+	// and observe cancellation.
 	Runner func(ctx context.Context, kind d2m.Kind, bench string, opt d2m.Options) (d2m.Result, error)
 	// Replicator executes a replicated simulation (replicates >= 2 in
-	// the request). Nil means d2m.ReplicateContextWarm, which fans the
-	// seeds out across a bounded worker set.
+	// the request). Nil means d2m.Run with RunSpec.Replicates, which
+	// fans the seeds out across a bounded worker set.
 	Replicator func(ctx context.Context, kind d2m.Kind, bench string, opt d2m.Options, n int) (d2m.Replicated, error)
 }
 
@@ -84,41 +87,60 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// Server is the simulation service: HTTP handlers over a bounded
-// worker pool, a content-addressed result cache, and single-flight
-// coalescing of identical in-flight requests.
+// Server is the HTTP transport of the simulation service: handlers
+// that marshal requests into sched.Submissions and results back out.
+// The execution engine — job ledger, priority queues, worker pool,
+// admission pipeline — lives in the embedded sched.Scheduler; the
+// server contributes the result cache, the journal, the warm-snapshot
+// cache, and the sweep orchestrator on top.
 type Server struct {
 	cfg         Config
 	runner      func(context.Context, d2m.Kind, string, d2m.Options) (d2m.Result, error)
 	replicator  func(context.Context, d2m.Kind, string, d2m.Options, int) (d2m.Replicated, error)
+	sched       *sched.Scheduler
 	metrics     *Metrics
 	cache       *resultCache
 	snapshots   *snapshotCache // nil when SnapshotMemBytes < 0
 	store       *resultStore   // nil without Config.StorePath
-	queue       chan *job
-	wg          sync.WaitGroup
 	mux         *http.ServeMux
-	nextID      atomic.Uint64
 	nextSweepID atomic.Uint64
-	// slotFree pulses when a worker dequeues a job, waking sweep
-	// feeders parked on a full queue.
-	slotFree chan struct{}
 
-	baseCtx    context.Context // parent of every job context
+	baseCtx    context.Context // parent of every sweep context
 	baseCancel context.CancelFunc
 
 	mu           sync.Mutex
-	draining     bool
-	jobs         map[string]*job // by id, settled history bounded by MaxJobs
-	inflight     map[string]*job // by cache key: queued or running
-	retired      []string        // settled job ids, oldest first
 	sweeps       map[string]*sweep
 	sweepRetired []string // settled sweep ids, oldest first
 }
 
-// New opens the result store (when configured), starts the server's
-// worker pool, and returns it. Callers serve s.Handler() and, on
-// termination, call Shutdown.
+// serverSink adapts the result cache and journal to sched.ResultSink:
+// Lookup settles submissions at admission, Settle publishes each
+// successful job before its waiters wake, so a restart straight after
+// a response never loses the result it served.
+type serverSink struct{ s *Server }
+
+func (k serverSink) Lookup(key string) (d2m.Result, *d2m.Replicated, bool) {
+	return k.s.cache.get(key)
+}
+
+func (k serverSink) Settle(key string, res d2m.Result, rep *d2m.Replicated) {
+	k.s.cache.put(key, res, rep)
+	if k.s.store == nil {
+		return
+	}
+	if err := k.s.store.append(storeRecord{
+		Key: key, Kind: res.Kind.String(), Benchmark: res.Benchmark,
+		Result: res, Replicated: rep,
+	}); err != nil {
+		k.s.metrics.StoreErrors.Add(1)
+	} else {
+		k.s.metrics.StoreAppended.Add(1)
+	}
+}
+
+// New opens the result store (when configured), starts the scheduler's
+// worker pool, and returns the server. Callers serve s.Handler() and,
+// on termination, call Shutdown.
 func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	s := &Server{
@@ -127,10 +149,6 @@ func New(cfg Config) (*Server, error) {
 		replicator: cfg.Replicator,
 		metrics:    &Metrics{},
 		cache:      newResultCache(cfg.CacheEntries),
-		queue:      make(chan *job, cfg.QueueDepth),
-		slotFree:   make(chan struct{}, 1),
-		jobs:       make(map[string]*job),
-		inflight:   make(map[string]*job),
 		sweeps:     make(map[string]*sweep),
 	}
 	if cfg.SnapshotMemBytes > 0 {
@@ -138,12 +156,21 @@ func New(cfg Config) (*Server, error) {
 	}
 	if s.runner == nil {
 		s.runner = func(ctx context.Context, kind d2m.Kind, bench string, opt d2m.Options) (d2m.Result, error) {
-			return d2m.RunContextWarm(ctx, kind, bench, opt, s.warmCache())
+			out, err := d2m.Run(ctx, d2m.RunSpec{
+				Kind: kind, Benchmark: bench, Options: opt, Warm: s.warmCache(),
+			})
+			return out.Result, err
 		}
 	}
 	if s.replicator == nil {
 		s.replicator = func(ctx context.Context, kind d2m.Kind, bench string, opt d2m.Options, n int) (d2m.Replicated, error) {
-			return d2m.ReplicateContextWarm(ctx, kind, bench, opt, n, s.warmCache())
+			out, err := d2m.Run(ctx, d2m.RunSpec{
+				Kind: kind, Benchmark: bench, Options: opt, Replicates: n, Warm: s.warmCache(),
+			})
+			if err != nil {
+				return d2m.Replicated{}, err
+			}
+			return *out.Replicated, nil
 		}
 	}
 	if cfg.StorePath != "" {
@@ -157,12 +184,46 @@ func New(cfg Config) (*Server, error) {
 		}
 		s.metrics.StoreLoaded.Add(uint64(len(recs)))
 	}
+
+	// The scheduler owns execution; the server hands it the run
+	// function (through the Runner/Replicator seams), the result sink,
+	// the warm-snapshot hook, and the metrics observer.
+	var warm sched.WarmCache
+	if s.snapshots != nil {
+		warm = s.snapshots
+	}
+	sc, err := sched.New(sched.Config{
+		Workers:        cfg.Workers,
+		QueueDepth:     cfg.QueueDepth,
+		DefaultTimeout: cfg.DefaultTimeout,
+		MaxJobs:        cfg.MaxJobs,
+		Run: func(ctx context.Context, spec d2m.RunSpec) (d2m.RunOutput, error) {
+			if spec.Replicates >= 2 {
+				agg, err := s.replicator(ctx, spec.Kind, spec.Benchmark, spec.Options, spec.Replicates)
+				if err != nil {
+					return d2m.RunOutput{}, err
+				}
+				return d2m.RunOutput{Result: agg.MeanResult(), Replicated: &agg}, nil
+			}
+			res, err := s.runner(ctx, spec.Kind, spec.Benchmark, spec.Options)
+			return d2m.RunOutput{Result: res}, err
+		},
+		Results:  serverSink{s},
+		Warm:     warm,
+		Observer: s.metrics,
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.sched = sc
+
 	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/run", s.handleRun)
 	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
 	s.mux.HandleFunc("GET /v1/jobs", s.handleJobs)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
 	s.mux.HandleFunc("POST /v1/sweeps", s.handleSweepCreate)
 	s.mux.HandleFunc("GET /v1/sweeps/{id}", s.handleSweepGet)
 	s.mux.HandleFunc("DELETE /v1/sweeps/{id}", s.handleSweepDelete)
@@ -175,10 +236,6 @@ func New(cfg Config) (*Server, error) {
 	})
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
-	for i := 0; i < cfg.Workers; i++ {
-		s.wg.Add(1)
-		go s.worker()
-	}
 	return s, nil
 }
 
@@ -200,29 +257,13 @@ func (s *Server) warmCache() d2m.WarmCache {
 
 // Shutdown drains the service: admission stops (new POSTs get 503),
 // queued and running jobs are allowed to finish, and the worker pool
-// exits. If ctx expires first, every outstanding job context is
-// cancelled — simulations abort at their next engine checkpoint — and
-// Shutdown waits for the workers before returning ctx.Err().
+// exits. If ctx expires first, every outstanding job and sweep context
+// is cancelled — simulations abort at their next engine checkpoint —
+// and Shutdown waits for the workers before returning ctx.Err().
 func (s *Server) Shutdown(ctx context.Context) error {
-	s.mu.Lock()
-	already := s.draining
-	s.draining = true
-	s.mu.Unlock()
-	if !already {
-		close(s.queue)
-	}
-	done := make(chan struct{})
-	go func() {
-		s.wg.Wait()
-		close(done)
-	}()
-	var err error
-	select {
-	case <-done:
-	case <-ctx.Done():
-		s.baseCancel()
-		<-done
-		err = ctx.Err()
+	err := s.sched.Shutdown(ctx)
+	if err != nil {
+		s.baseCancel() // abort outstanding sweeps too
 	}
 	// Workers have exited, so nothing appends to the store anymore.
 	if s.store != nil {
@@ -232,114 +273,90 @@ func (s *Server) Shutdown(ctx context.Context) error {
 }
 
 // ---------------------------------------------------------------------------
-// Admission: cache lookup, coalescing, enqueue, backpressure.
-
-// admit resolves a validated request to a job, coalescing onto an
-// identical in-flight job when one exists. The bool reports whether
-// the job was newly created; err is set on backpressure or drain.
-func (s *Server) admit(req RunRequest, kind d2m.Kind, bench string, opt d2m.Options, reps int, key string) (*job, bool, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.draining {
-		return nil, false, errDraining
-	}
-	if j, ok := s.inflight[key]; ok {
-		s.metrics.Coalesced.Add(1)
-		j.waiters++
-		if req.Async {
-			j.detached = true
-		}
-		return j, false, nil
-	}
-
-	j := &job{
-		id:      fmt.Sprintf("j%08d", s.nextID.Add(1)),
-		key:     key,
-		kind:    kind,
-		bench:   bench,
-		opt:     opt,
-		reps:    reps,
-		done:    make(chan struct{}),
-		state:   JobQueued,
-		created: time.Now(),
-		waiters: 1,
-	}
-	timeout := s.cfg.DefaultTimeout
-	if req.TimeoutMS > 0 {
-		timeout = time.Duration(req.TimeoutMS) * time.Millisecond
-	}
-	if timeout > 0 {
-		j.ctx, j.cancel = context.WithTimeout(s.baseCtx, timeout)
-	} else {
-		j.ctx, j.cancel = context.WithCancel(s.baseCtx)
-	}
-	j.detached = req.Async
-
-	// Rejection is not counted here: a sweep feeder parks and retries
-	// on a full queue, while handleRun turns it into a counted 429.
-	select {
-	case s.queue <- j:
-	default:
-		j.cancel()
-		return nil, false, errQueueFull
-	}
-	s.jobs[j.id] = j
-	s.inflight[key] = j
-	s.metrics.JobsAccepted.Add(1)
-	s.metrics.Queued.Add(1)
-	return j, true, nil
-}
+// Admission plumbing shared by the handlers.
 
 var (
 	errDraining  = &apiError{Code: ErrDraining, Message: "server is draining"}
 	errQueueFull = &apiError{Code: ErrOverloaded, Message: "job queue is full"}
 )
 
-// dropWaiter detaches one waiting client from a job. When the last
-// waiter of a non-async job disconnects before the job settles, the
-// job's context is cancelled so the simulation stops burning CPU.
-func (s *Server) dropWaiter(j *job) {
-	s.mu.Lock()
-	j.waiters--
-	abandon := j.waiters <= 0 && !j.detached &&
-		(j.state == JobQueued || j.state == JobRunning)
-	s.mu.Unlock()
-	if abandon {
-		j.cancel()
+// submission maps a validated request onto the scheduler's admission
+// type. All transport-submitted runs (single and batch) are
+// interactive; sweep cells enter as bulk through the sweep feeder.
+func submission(kind d2m.Kind, bench string, opt d2m.Options, reps int, timeoutMS int64, detached bool) sched.Submission {
+	return sched.Submission{
+		Kind:       kind,
+		Benchmark:  bench,
+		Options:    opt,
+		Replicates: reps,
+		Priority:   sched.Interactive,
+		Timeout:    time.Duration(timeoutMS) * time.Millisecond,
+		Detached:   detached,
 	}
 }
 
-// status snapshots a job's JSON view.
-func (s *Server) status(j *job, cached bool) JobStatus {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.statusLocked(j, cached)
+// retryAfterSeconds renders the scheduler's backoff estimate for a
+// rejected class-p client as whole seconds for the Retry-After header.
+func (s *Server) retryAfterSeconds(p sched.Priority) int {
+	secs := int(s.sched.RetryAfter(p) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return secs
 }
 
-// statusLocked is status for callers already holding s.mu.
-func (s *Server) statusLocked(j *job, cached bool) JobStatus {
+// cachedStatus renders an admission settled from the result cache.
+func cachedStatus(kind d2m.Kind, bench string, adm sched.Admission) JobStatus {
+	res := adm.Result
+	return JobStatus{
+		State: JobDone, Kind: kind.String(), Benchmark: bench,
+		Cached: true, Result: &res, Replicated: adm.Replicated,
+	}
+}
+
+// jobStatus renders a scheduler job snapshot as the wire JobStatus.
+func jobStatus(in sched.Info) JobStatus {
 	st := JobStatus{
-		ID:        j.id,
-		State:     j.state,
-		Kind:      j.kind.String(),
-		Benchmark: j.bench,
-		Cached:    cached,
+		ID:        in.ID,
+		State:     in.State,
+		Kind:      in.Kind.String(),
+		Benchmark: in.Benchmark,
+		Priority:  in.Priority.String(),
 	}
-	if !j.started.IsZero() {
-		st.QueueWaitMS = float64(j.started.Sub(j.created)) / float64(time.Millisecond)
-		if !j.finished.IsZero() {
-			st.RunMS = float64(j.finished.Sub(j.started)) / float64(time.Millisecond)
+	if in.QueuePos > 0 {
+		st.QueuePosition = in.QueuePos
+	}
+	if !in.Started.IsZero() {
+		st.QueueWaitMS = float64(in.Started.Sub(in.Created)) / float64(time.Millisecond)
+		if !in.Finished.IsZero() {
+			st.RunMS = float64(in.Finished.Sub(in.Started)) / float64(time.Millisecond)
 		}
 	}
-	if j.err != nil {
-		st.Error = j.err.Error()
+	if in.Err != nil {
+		st.Error = in.Err.Error()
 	}
-	if j.state == JobDone {
-		res := j.result
-		st.Result = &res
-		st.Replicated = j.replicated
+	if in.State == JobDone {
+		st.Result = in.Result
+		st.Replicated = in.Replicated
 	}
 	return st
+}
+
+// writeAdmissionError maps a scheduler admission error onto the wire:
+// 503 for drain, counted 429 + Retry-After for a full class queue.
+// rejected is the number of jobs the rejection rolled back (1 for a
+// single run; the created-job count for a batch).
+func (s *Server) writeAdmissionError(w http.ResponseWriter, err error, p sched.Priority, rejected int) {
+	switch {
+	case errors.Is(err, sched.ErrDraining):
+		writeError(w, errDraining)
+	case errors.Is(err, sched.ErrQueueFull):
+		s.metrics.JobsRejected.Add(uint64(rejected))
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds(p)))
+		writeError(w, errQueueFull)
+	default:
+		writeError(w, err)
+	}
 }
 
 // ---------------------------------------------------------------------------
@@ -360,42 +377,32 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
-	key := cacheKey(kind, bench, opt, reps)
 
-	if res, rep, ok := s.cache.get(key); ok {
-		s.metrics.CacheHits.Add(1)
-		writeJSON(w, http.StatusOK, JobStatus{
-			State: JobDone, Kind: kind.String(), Benchmark: bench,
-			Cached: true, Result: &res, Replicated: rep,
-		})
-		return
-	}
-	s.metrics.CacheMisses.Add(1)
-
-	j, _, err := s.admit(req, kind, bench, opt, reps, key)
+	adm, err := s.sched.Submit(submission(kind, bench, opt, reps, req.TimeoutMS, req.Async))
 	if err != nil {
-		if err == errQueueFull {
-			s.metrics.JobsRejected.Add(1)
-			w.Header().Set("Retry-After", fmt.Sprintf("%d", s.retryAfterSeconds()))
-		}
-		writeError(w, err)
+		s.writeAdmissionError(w, err, sched.Interactive, 1)
 		return
 	}
+	if adm.Cached {
+		writeJSON(w, http.StatusOK, cachedStatus(kind, bench, adm))
+		return
+	}
+	j := adm.Job
 
 	if req.Async {
-		writeJSON(w, http.StatusAccepted, s.status(j, false))
+		writeJSON(w, http.StatusAccepted, jobStatus(j.Info()))
 		return
 	}
 
 	select {
-	case <-j.done:
-		st := s.status(j, false)
+	case <-j.Done():
+		st := jobStatus(j.Info())
 		writeJSON(w, statusCode(st.State), st)
 	case <-r.Context().Done():
 		// The client went away; free our hold on the job (cancelling
 		// it if we were the last interested party). Nobody is left to
 		// read the response.
-		s.dropWaiter(j)
+		s.sched.Release(j)
 	}
 }
 
@@ -411,26 +418,34 @@ func statusCode(st JobState) int {
 	}
 }
 
-// retryAfterSeconds estimates how long a rejected client should back
-// off: the queue backlog divided by the pool width, at least a second.
-func (s *Server) retryAfterSeconds() int {
-	backlog := int(s.metrics.Queued.Load())
-	secs := 1 + backlog/s.cfg.Workers
-	if secs < 1 {
-		secs = 1
-	}
-	return secs
-}
-
 func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
-	j, ok := s.jobs[r.PathValue("id")]
-	s.mu.Unlock()
+	j, ok := s.sched.Lookup(r.PathValue("id"))
 	if !ok {
 		writeError(w, apiErrorf(ErrNotFound, "unknown job id %q", r.PathValue("id")))
 		return
 	}
-	writeJSON(w, http.StatusOK, s.status(j, false))
+	writeJSON(w, http.StatusOK, jobStatus(j.Info()))
+}
+
+// handleJobCancel is DELETE /v1/jobs/{id}: a queued job settles
+// canceled immediately (and never occupies a worker); a running job's
+// context is cancelled so the simulation aborts at its next engine
+// checkpoint. Cancelling a settled job is a 409 conflict carrying the
+// terminal state.
+func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	j, err := s.sched.Cancel(id)
+	switch {
+	case errors.Is(err, sched.ErrUnknownJob):
+		writeError(w, apiErrorf(ErrNotFound, "unknown job id %q", id))
+	case errors.Is(err, sched.ErrSettled):
+		writeError(w, apiErrorf(ErrConflict,
+			"job %q already settled (%s)", id, j.Info().State))
+	case err != nil:
+		writeError(w, err)
+	default:
+		writeJSON(w, http.StatusOK, jobStatus(j.Info()))
+	}
 }
 
 // jobListBody is the GET /v1/jobs response page.
@@ -468,31 +483,28 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 	}
 	cursor := q.Get("cursor")
 
-	s.mu.Lock()
-	ids := make([]string, 0, len(s.jobs))
-	for id := range s.jobs {
-		// Job ids are zero-padded and monotonic, so lexical order is
-		// creation order; the cursor is the last id of the prior page.
-		if cursor == "" || id < cursor {
-			ids = append(ids, id)
-		}
-	}
-	sort.Sort(sort.Reverse(sort.StringSlice(ids)))
+	// Jobs() is ascending by id; ids are zero-padded and monotonic, so
+	// walking it backwards is newest first and the cursor is the last
+	// id of the prior page.
+	infos := s.sched.Jobs()
+	sort.Slice(infos, func(a, b int) bool { return infos[a].ID < infos[b].ID })
 	body := jobListBody{Jobs: []JobStatus{}}
-	for _, id := range ids {
-		j := s.jobs[id]
-		if filter != "" && j.state != filter {
+	for i := len(infos) - 1; i >= 0; i-- {
+		in := infos[i]
+		if cursor != "" && in.ID >= cursor {
+			continue
+		}
+		if filter != "" && in.State != filter {
 			continue
 		}
 		if len(body.Jobs) == limit {
 			body.NextCursor = body.Jobs[limit-1].ID
 			break
 		}
-		st := s.statusLocked(j, false)
+		st := jobStatus(in)
 		st.Result = nil // listings stay small; GET /v1/jobs/{id} has the payload
 		body.Jobs = append(body.Jobs, st)
 	}
-	s.mu.Unlock()
 	writeJSON(w, http.StatusOK, body)
 }
 
@@ -518,7 +530,7 @@ type KernelCap struct {
 
 // apiRevision is the documented revision of the v1 surface; bumped
 // when a field or endpoint is added or retired (see docs/api.md).
-const apiRevision = "v1.2"
+const apiRevision = "v1.3"
 
 func (s *Server) handleCapabilities(w http.ResponseWriter, r *http.Request) {
 	body := capabilitiesBody{
@@ -540,9 +552,7 @@ func (s *Server) handleCapabilities(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
-	draining := s.draining
-	s.mu.Unlock()
+	draining := s.sched.Draining()
 	body := map[string]interface{}{
 		"status":  "ok",
 		"queued":  s.metrics.Queued.Load(),

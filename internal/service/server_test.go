@@ -75,12 +75,15 @@ func TestEndToEndMatchesRun(t *testing.T) {
 		t.Fatalf("state = %s, result nil = %v", st.State, st.Result == nil)
 	}
 
-	want, err := d2m.Run(d2m.D2MNSR, "tpc-c", d2m.Options{Nodes: 2, Warmup: 2000, Measure: 8000, Seed: 7})
+	want, err := d2m.Run(context.Background(), d2m.RunSpec{
+		Kind: d2m.D2MNSR, Benchmark: "tpc-c",
+		Options: d2m.Options{Nodes: 2, Warmup: 2000, Measure: 8000, Seed: 7},
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
 	got, _ := json.Marshal(st.Result)
-	wantJSON, _ := json.Marshal(want)
+	wantJSON, _ := json.Marshal(want.Result)
 	if !bytes.Equal(got, wantJSON) {
 		t.Errorf("server result differs from d2m.Run:\n got %s\nwant %s", got, wantJSON)
 	}
@@ -718,7 +721,8 @@ func TestMetricsAndHealthz(t *testing.T) {
 		"d2m_jobs_done_total 1",
 		"d2m_cache_misses_total 1",
 		"d2m_run_seconds_bucket{le=\"+Inf\"} 1",
-		"d2m_queue_wait_seconds_count 1",
+		"d2m_queue_wait_seconds_count{class=\"interactive\"} 1",
+		"d2m_queue_wait_seconds_count{class=\"bulk\"} 0",
 	} {
 		if !strings.Contains(text, want) {
 			t.Errorf("/metrics missing %q", want)

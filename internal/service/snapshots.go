@@ -44,8 +44,8 @@ const missedKeysCap = 65536
 // capturing a snapshot costs a deep copy of the whole hierarchy, so it
 // is only worth paying when the warm key is actually shared. A key
 // qualifies once it has missed before — the second identical-warmup
-// run captures, the third restores — or immediately when batch
-// admission announced sharing through noteShared.
+// run captures, the third restores — or immediately when group
+// admission announced sharing through NoteShared.
 func (c *snapshotCache) WantWarm(key string) bool {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -59,10 +59,10 @@ func (c *snapshotCache) WantWarm(key string) bool {
 	return c.missed[key] >= 2
 }
 
-// noteShared records out-of-band knowledge that key is about to be
-// reused (a batch admitted several runs sharing it), so the first run
-// already captures.
-func (c *snapshotCache) noteShared(key string) {
+// NoteShared records out-of-band knowledge that key is about to be
+// reused (group admission chained several runs sharing it), so the
+// first run already captures. It implements sched.WarmCache.
+func (c *snapshotCache) NoteShared(key string) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if len(c.missed) >= missedKeysCap {

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"d2m"
+	"d2m/internal/service/sched"
 )
 
 // This file is the sweep orchestrator: POST /v1/sweeps expands a
@@ -209,13 +210,12 @@ func (s *Server) handleSweepCreate(w http.ResponseWriter, r *http.Request) {
 	}
 	sw.ctx, sw.cancel = context.WithCancel(s.baseCtx)
 
-	s.mu.Lock()
-	if s.draining {
-		s.mu.Unlock()
+	if s.sched.Draining() {
 		sw.cancel()
 		writeError(w, errDraining)
 		return
 	}
+	s.mu.Lock()
 	s.sweeps[sw.id] = sw
 	s.mu.Unlock()
 	s.metrics.SweepsAccepted.Add(1)
@@ -284,8 +284,12 @@ func (s *Server) handleSweepDelete(w http.ResponseWriter, r *http.Request) {
 // ---------------------------------------------------------------------------
 // Execution.
 
-// runSweep feeds every cell through the shared admission path and, once
-// all have settled, aggregates the summary.
+// runSweep feeds every cell through the shared admission pipeline in
+// the bulk class and, once all have settled, aggregates the summary.
+// SubmitWait parks on a full bulk queue until a worker frees a slot —
+// a sweep larger than the queue degrades by waiting, never by failing
+// — and the bulk class's bounded dequeue share keeps a large sweep
+// from starving interactive requests.
 func (s *Server) runSweep(sw *sweep) {
 	for i := range sw.cells {
 		cell := sw.cells[i]
@@ -293,69 +297,50 @@ func (s *Server) runSweep(sw *sweep) {
 			sw.settleCell(i, cellOutcome{state: JobCanceled, err: sw.ctx.Err()}, s.metrics)
 			continue
 		}
-		key := cacheKey(cell.Kind, cell.Benchmark, cell.Options, sw.reps)
-		if res, _, ok := s.cache.get(key); ok {
-			s.metrics.CacheHits.Add(1)
-			r := res
-			sw.settleCell(i, cellOutcome{state: JobDone, cached: true, result: &r}, s.metrics)
-			continue
-		}
-		s.metrics.CacheMisses.Add(1)
-		j, err := s.admitCell(sw, cell, key)
+		adm, err := s.sched.SubmitWait(sw.ctx, sched.Submission{
+			Kind:       cell.Kind,
+			Benchmark:  cell.Benchmark,
+			Options:    cell.Options,
+			Replicates: sw.reps,
+			Priority:   sched.Bulk,
+			Timeout:    time.Duration(sw.timeout) * time.Millisecond,
+		})
 		if err != nil {
 			// Draining (or canceled mid-wait): abandon the remainder.
 			sw.cancel()
 			sw.settleCell(i, cellOutcome{state: JobCanceled, err: err}, s.metrics)
 			continue
 		}
+		if adm.Cached {
+			r := adm.Result
+			sw.settleCell(i, cellOutcome{state: JobDone, cached: true, result: &r}, s.metrics)
+			continue
+		}
 		sw.wg.Add(1)
-		go s.collectCell(sw, i, j)
+		go s.collectCell(sw, i, adm.Job)
 	}
 	sw.wg.Wait()
 	s.finalizeSweep(sw)
 }
 
-// admitCell admits one cell, parking on a full queue until a worker
-// frees a slot — a sweep larger than the queue degrades by waiting,
-// never by failing.
-func (s *Server) admitCell(sw *sweep, cell d2m.SweepCell, key string) (*job, error) {
-	req := RunRequest{TimeoutMS: sw.timeout}
-	for {
-		j, _, err := s.admit(req, cell.Kind, cell.Benchmark, cell.Options, sw.reps, key)
-		switch err {
-		case nil:
-			return j, nil
-		case errQueueFull:
-			select {
-			case <-s.slotFree:
-			case <-time.After(10 * time.Millisecond):
-			case <-sw.ctx.Done():
-				return nil, sw.ctx.Err()
-			}
-		default:
-			return nil, err
-		}
-	}
-}
-
 // collectCell waits for one admitted cell to settle (or for the sweep
 // to be canceled, in which case it releases its hold on the job).
-func (s *Server) collectCell(sw *sweep, i int, j *job) {
+func (s *Server) collectCell(sw *sweep, i int, j *sched.Job) {
 	defer sw.wg.Done()
 	select {
-	case <-j.done:
-		out := cellOutcome{state: j.state}
-		switch j.state {
+	case <-j.Done():
+		in := j.Info()
+		out := cellOutcome{state: in.State}
+		switch in.State {
 		case JobDone:
-			res := j.result
-			out.result = &res
-			out.runSec = j.finished.Sub(j.started).Seconds()
+			out.result = in.Result
+			out.runSec = in.Finished.Sub(in.Started).Seconds()
 		default:
-			out.err = j.err
+			out.err = in.Err
 		}
 		sw.settleCell(i, out, s.metrics)
 	case <-sw.ctx.Done():
-		s.dropWaiter(j)
+		s.sched.Release(j)
 		sw.settleCell(i, cellOutcome{state: JobCanceled, err: sw.ctx.Err()}, s.metrics)
 	}
 }

@@ -1,19 +1,17 @@
-// Package service implements the d2mserver simulation service: an
-// HTTP/JSON API over the root d2m package with a bounded worker pool,
-// an explicit job queue with backpressure, a content-addressed result
-// cache with single-flight coalescing of duplicate requests, per-job
-// deadlines with client-disconnect cancellation, and Prometheus-style
-// metrics. cmd/d2mserver is the thin binary around it.
+// Package service implements the d2mserver simulation service: the
+// HTTP/JSON transport over the root d2m package. Execution — the job
+// ledger, priority-class queues with backpressure, the worker pool with
+// warm-affinity chaining, and the admission pipeline (result-cache
+// lookup, single-flight coalescing, all-or-nothing enqueue) — lives in
+// internal/service/sched; this package contributes request validation,
+// the result cache and JSONL journal, the warm-snapshot store, the
+// sweep orchestrator, and Prometheus-style metrics. cmd/d2mserver is
+// the thin binary around it.
 package service
 
 import (
-	"context"
-	"crypto/sha256"
-	"encoding/hex"
-	"encoding/json"
-	"time"
-
 	"d2m"
+	"d2m/internal/service/sched"
 )
 
 // RunRequest is the body of POST /v1/run. The simulation fields mirror
@@ -117,65 +115,24 @@ func normalizeReplicates(n int) (int, error) {
 }
 
 // cacheKey is the content address of a simulation: the hash of the
-// canonical (kind, benchmark, defaulted Options, replicates) tuple.
-// Requests that differ only in presentation (kind spelling,
-// explicit-vs-defaulted fields) or in handling knobs (timeout, async)
-// share a key and therefore share one simulation. Reps is tagged
-// omitempty so single-run keys are byte-identical to the pre-replicate
-// revision and persisted stores stay valid.
+// canonical (kind, benchmark, defaulted Options, replicates) tuple,
+// computed by the scheduler (sched.CacheKey) so the transport, the
+// sweep orchestrator, and tests all agree with the admission pipeline.
 func cacheKey(kind d2m.Kind, bench string, opt d2m.Options, reps int) string {
-	h := sha256.New()
-	json.NewEncoder(h).Encode(struct {
-		Kind  string
-		Bench string
-		Opt   d2m.Options
-		Reps  int `json:"reps,omitempty"`
-	}{kind.String(), bench, opt.WithDefaults(), reps})
-	return hex.EncodeToString(h.Sum(nil)[:16])
+	return sched.CacheKey(kind, bench, opt, reps)
 }
 
-// JobState is a job's position in its lifecycle.
-type JobState string
+// JobState is a job's position in its lifecycle; the wire spelling is
+// the scheduler's.
+type JobState = sched.State
 
 const (
-	JobQueued   JobState = "queued"
-	JobRunning  JobState = "running"
-	JobDone     JobState = "done"
-	JobFailed   JobState = "failed"
-	JobCanceled JobState = "canceled"
+	JobQueued   = sched.StateQueued
+	JobRunning  = sched.StateRunning
+	JobDone     = sched.StateDone
+	JobFailed   = sched.StateFailed
+	JobCanceled = sched.StateCanceled
 )
-
-// job is the server's internal record of one admitted simulation.
-// Fields below the marker are guarded by Server.mu until done is
-// closed, after which they are immutable.
-type job struct {
-	id     string
-	key    string
-	kind   d2m.Kind
-	bench  string
-	opt    d2m.Options
-	reps   int // canonical replicate count; 0 = single run
-	ctx    context.Context
-	cancel context.CancelFunc
-	done   chan struct{}
-	// chain holds follower jobs that share this job's warm identity
-	// (batch admission groups them): the worker that dequeues the
-	// leader runs the chain in order on the same goroutine, so every
-	// follower hits the snapshot the leader just deposited. Set at
-	// admission, before the job is enqueued; never mutated after.
-	chain []*job
-
-	// guarded by Server.mu until done closes.
-	state      JobState
-	result     d2m.Result
-	replicated *d2m.Replicated // aggregate of a replicated job
-	err        error
-	waiters    int
-	detached   bool // async jobs outlive their submitting request
-	created    time.Time
-	started    time.Time
-	finished   time.Time
-}
 
 // JobStatus is the JSON view of a job (GET /v1/jobs/{id} and the
 // synchronous POST /v1/run response).
@@ -186,11 +143,17 @@ type JobStatus struct {
 	Benchmark string   `json:"benchmark"`
 	// Cached is set on POST responses served from the result cache
 	// without touching the queue.
-	Cached      bool        `json:"cached,omitempty"`
-	QueueWaitMS float64     `json:"queue_wait_ms,omitempty"`
-	RunMS       float64     `json:"run_ms,omitempty"`
-	Error       string      `json:"error,omitempty"`
-	Result      *d2m.Result `json:"result,omitempty"`
+	Cached bool `json:"cached,omitempty"`
+	// Priority is the job's scheduling class: "interactive" for runs
+	// and batches, "bulk" for sweep cells.
+	Priority string `json:"priority,omitempty"`
+	// QueuePosition is the job's 1-based place in its class queue while
+	// it is queued; omitted once it starts.
+	QueuePosition int         `json:"queue_position,omitempty"`
+	QueueWaitMS   float64     `json:"queue_wait_ms,omitempty"`
+	RunMS         float64     `json:"run_ms,omitempty"`
+	Error         string      `json:"error,omitempty"`
+	Result        *d2m.Result `json:"result,omitempty"`
 	// Replicated carries the mean/std aggregate of a job submitted
 	// with replicates >= 2; Result then holds the mean projection of
 	// the aggregated metrics.

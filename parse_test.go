@@ -130,7 +130,7 @@ func TestRunContextCancel(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	direct, err := Run(Base2L, "tpc-c", opt)
+	direct, err := runSim(Base2L, "tpc-c", opt)
 	if err != nil {
 		t.Fatal(err)
 	}

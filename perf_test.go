@@ -65,7 +65,7 @@ func BenchmarkEngineHotPath(b *testing.B) {
 	runtime.ReadMemStats(&before)
 	b.ResetTimer()
 	start := time.Now()
-	if _, err := Run(D2MNSR, "tpc-c", opt); err != nil {
+	if _, err := runSim(D2MNSR, "tpc-c", opt); err != nil {
 		b.Fatal(err)
 	}
 	elapsed := time.Since(start)
@@ -95,7 +95,7 @@ func TestEngineAllocBudget(t *testing.T) {
 	}
 	opt := Options{Nodes: 2, Warmup: 1000, Measure: 10_000}
 	run := func() {
-		if _, err := Run(D2MNSR, "tpc-c", opt); err != nil {
+		if _, err := runSim(D2MNSR, "tpc-c", opt); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -142,11 +142,11 @@ func TestReplicateParallelDeterministic(t *testing.T) {
 func TestRunPooledReuseDeterministic(t *testing.T) {
 	opt := Options{Nodes: 2, Warmup: 1000, Measure: 5000}
 	for _, kind := range []Kind{D2MNSR, Base2L} {
-		first, err := Run(kind, "tpc-c", opt)
+		first, err := runSim(kind, "tpc-c", opt)
 		if err != nil {
 			t.Fatal(err)
 		}
-		second, err := Run(kind, "tpc-c", opt)
+		second, err := runSim(kind, "tpc-c", opt)
 		if err != nil {
 			t.Fatal(err)
 		}

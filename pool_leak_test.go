@@ -28,7 +28,7 @@ func TestCancelledRunsReleasePools(t *testing.T) {
 	// pools are populated before the baseline is taken.
 	small := Options{Nodes: 2, Warmup: 500, Measure: 500}
 	for _, kind := range []Kind{D2MNSR, Base2L} {
-		if _, err := Run(kind, "tpc-c", small); err != nil {
+		if _, err := runSim(kind, "tpc-c", small); err != nil {
 			t.Fatal(err)
 		}
 	}

@@ -332,18 +332,63 @@ func coreConfig(kind Kind, opt Options) core.Config {
 	return cfg
 }
 
-// Run simulates one benchmark on one configuration and returns the
-// extracted metrics.
-func Run(kind Kind, bench string, opt Options) (Result, error) {
-	return RunContext(context.Background(), kind, bench, opt)
+// RunSpec describes one simulation for Run: the configuration kind,
+// the workload, the run options, and the execution knobs that used to
+// be separate entry points (replication and warm-state reuse).
+type RunSpec struct {
+	Kind      Kind
+	Benchmark string
+	Options   Options
+	// Replicates, when >= 2, runs the spec that many times with
+	// decorrelated seeds (Options.Seed+1 ..) and fills
+	// RunOutput.Replicated next to the mean-projected Result. 0 and 1
+	// both mean a single run; negative is an error.
+	Replicates int
+	// Warm, when non-nil, lets runs sharing a warm identity (WarmKey)
+	// restore the post-warmup machine state instead of re-simulating
+	// the warmup. Nil always warms from scratch.
+	Warm WarmCache
 }
 
-// RunContext is Run with cooperative cancellation: when ctx is
-// cancelled or its deadline passes, the simulation stops at the next
-// engine checkpoint and ctx.Err() is returned. Long-running services
-// (cmd/d2mserver) use it to free a worker the moment a job is killed.
+// RunOutput is Run's result. Result holds the single-run metrics — or,
+// for a replicated spec, the mean projection of the aggregate (see
+// Replicated.MeanResult); Replicated is set only when spec.Replicates
+// was >= 2.
+type RunOutput struct {
+	Result     Result
+	Replicated *Replicated
+}
+
+// Run simulates one RunSpec and returns the extracted metrics. It is
+// the package's single entry point: cancellation comes from ctx (the
+// simulation stops at the next engine checkpoint when ctx is done),
+// replication and warm-state reuse from the spec. The former
+// RunContext / RunContextWarm / ReplicateContext / ReplicateContextWarm
+// variants survive as deprecated wrappers around it.
+func Run(ctx context.Context, spec RunSpec) (RunOutput, error) {
+	if spec.Replicates < 0 {
+		return RunOutput{}, fmt.Errorf("d2m: Run with Replicates = %d", spec.Replicates)
+	}
+	if spec.Replicates >= 2 {
+		agg, err := replicateContext(ctx, spec.Kind, spec.Benchmark, spec.Options, spec.Replicates, spec.Warm)
+		if err != nil {
+			return RunOutput{}, err
+		}
+		return RunOutput{Result: agg.MeanResult(), Replicated: &agg}, nil
+	}
+	res, err := runSingle(ctx, spec.Kind, spec.Benchmark, spec.Options, spec.Warm)
+	if err != nil {
+		return RunOutput{}, err
+	}
+	return RunOutput{Result: res}, nil
+}
+
+// RunContext runs one benchmark on one configuration with cooperative
+// cancellation.
+//
+// Deprecated: use Run with a RunSpec.
 func RunContext(ctx context.Context, kind Kind, bench string, opt Options) (Result, error) {
-	return RunContextWarm(ctx, kind, bench, opt, nil)
+	return runSingle(ctx, kind, bench, opt, nil)
 }
 
 // measure runs the stream on the kind's machine and fills the result.
@@ -592,20 +637,42 @@ type Replicated struct {
 	PrivateMean, PrivateStd float64
 }
 
-// Replicate runs n seeds of (kind, bench) and aggregates.
-func Replicate(kind Kind, bench string, opt Options, n int) (Replicated, error) {
-	return ReplicateContext(context.Background(), kind, bench, opt, n)
+// MeanResult projects the aggregate onto the single-run Result shape,
+// so replicated runs flow through the same caches, stores, and sweep
+// plumbing as single runs. Count-style fields that have no meaningful
+// mean stay zero.
+func (r Replicated) MeanResult() Result {
+	suite, _ := SuiteOf(r.Benchmark)
+	return Result{
+		Kind:            r.Kind,
+		Benchmark:       r.Benchmark,
+		Suite:           suite,
+		Cycles:          uint64(r.CyclesMean),
+		MsgsPerKI:       r.MsgsPerKIMean,
+		EDP:             r.EDPMean,
+		MissRatioD:      r.MissDMean,
+		AvgMissLatency:  r.MissLatMean,
+		PrivateMissFrac: r.PrivateMean,
+	}
 }
 
-// ReplicateContext is Replicate with cooperative cancellation,
-// matching Run/RunContext. The n seeded runs are independent
-// simulations, so they execute concurrently on a bounded worker set
-// (ExperimentWorkers, defaulting to GOMAXPROCS); samples are gathered
-// by seed index and aggregated in that fixed order, so the result is
-// byte-identical to running the seeds serially. When a run fails, the
-// remaining runs are cancelled and the error of the lowest-indexed
-// failed seed is returned (a context error only if no seed failed on
-// its own).
+// Replicate runs n seeds of (kind, bench) and aggregates.
+//
+// Deprecated: use Run with RunSpec.Replicates.
+func Replicate(kind Kind, bench string, opt Options, n int) (Replicated, error) {
+	return replicateContext(context.Background(), kind, bench, opt, n, nil)
+}
+
+// ReplicateContext is Replicate with cooperative cancellation. The n
+// seeded runs are independent simulations, so they execute concurrently
+// on a bounded worker set (ExperimentWorkers, defaulting to GOMAXPROCS);
+// samples are gathered by seed index and aggregated in that fixed
+// order, so the result is byte-identical to running the seeds serially.
+// When a run fails, the remaining runs are cancelled and the error of
+// the lowest-indexed failed seed is returned (a context error only if
+// no seed failed on its own).
+//
+// Deprecated: use Run with RunSpec.Replicates.
 func ReplicateContext(ctx context.Context, kind Kind, bench string, opt Options, n int) (Replicated, error) {
 	return replicateContext(ctx, kind, bench, opt, n, nil)
 }
@@ -638,7 +705,7 @@ func replicateContext(ctx context.Context, kind Kind, bench string, opt Options,
 			for i := range idx {
 				o := opt
 				o.Seed = opt.Seed + uint64(i) + 1
-				r, err := RunContextWarm(runCtx, kind, bench, o, wc)
+				r, err := runSingle(runCtx, kind, bench, o, wc)
 				if err != nil {
 					errs[i] = err
 					cancel() // a failed seed fails the aggregate; stop the rest

@@ -118,11 +118,19 @@ func warmKey(kind Kind, scope string, opt Options) string {
 		opt.Bypass, opt.Prefetch, topo, place)
 }
 
-// RunContextWarm is RunContext with warm-state reuse: when wc holds a
+// RunContextWarm is RunContext with warm-state reuse.
+//
+// Deprecated: use Run with RunSpec.Warm.
+func RunContextWarm(ctx context.Context, kind Kind, bench string, opt Options, wc WarmCache) (Result, error) {
+	return runSingle(ctx, kind, bench, opt, wc)
+}
+
+// runSingle is the single-run engine behind Run: when wc holds a
 // snapshot for the run's warm identity, the warmup phase is replaced by
 // a state restore; when it does not, the run executes normally and
-// deposits a snapshot for its successors. A nil wc is RunContext.
-func RunContextWarm(ctx context.Context, kind Kind, bench string, opt Options, wc WarmCache) (Result, error) {
+// deposits a snapshot for its successors. A nil wc always warms from
+// scratch.
+func runSingle(ctx context.Context, kind Kind, bench string, opt Options, wc WarmCache) (Result, error) {
 	opt = opt.withDefaults()
 	sp, ok := workloads.ByName(bench)
 	if !ok {
@@ -251,6 +259,8 @@ func (ws *WarmSnapshot) finish(src trace.Stream) {
 // seeded run resolves its own warm identity against wc, so replicated
 // jobs repeated across sweep cells that vary only measurement-side
 // parameters skip every warmup after the first round.
+//
+// Deprecated: use Run with RunSpec.Replicates and RunSpec.Warm.
 func ReplicateContextWarm(ctx context.Context, kind Kind, bench string, opt Options, n int, wc WarmCache) (Replicated, error) {
 	return replicateContext(ctx, kind, bench, opt, n, wc)
 }
