@@ -25,7 +25,9 @@
 //	GET    /v1/sweeps/{id} sweep progress (done/failed/total, ETA) and, once done, the aggregate
 //	DELETE /v1/sweeps/{id} cancel a sweep's outstanding cells
 //	GET    /v1/capabilities catalogue of benchmarks, kinds, topologies, placements, kernels
-//	GET    /healthz        liveness (503 while draining)
+//	GET    /healthz        liveness (always 200; reports draining)
+//	GET    /readyz         readiness (503 while draining or replaying the store)
+//	POST   /admin/drain    stop admitting new work (reversible via /admin/undrain)
 //	GET    /metrics        Prometheus text metrics (also on expvar as "d2mserver")
 //
 // Runs that share a warm identity (kind, geometry, workload, seed,
@@ -36,6 +38,26 @@
 // With -store, completed simulations are journaled to an append-only
 // JSONL file and replayed into the result cache at startup, so a
 // restarted server resumes sweeps instead of recomputing them.
+//
+// # Cluster mode
+//
+// With -gateway, d2mserver serves no simulations itself: it fronts a
+// fleet of ordinary d2mserver shards, consistent-hashing each
+// submission's warm identity onto one shard so snapshot reuse and
+// coalescing stay process-local, and probing /readyz to route around
+// draining or dead shards:
+//
+//	d2mserver -addr :8081 -shard a -store a.jsonl &
+//	d2mserver -addr :8082 -shard b -store b.jsonl &
+//	d2mserver -gateway -addr :8080 \
+//	    -peers a=http://localhost:8081,b=http://localhost:8082 \
+//	    -merge-stores a.jsonl,b.jsonl
+//
+// The gateway speaks the same v1 API; job ids come back as
+// <id>@<shard> and route transparently. -merge-stores replays every
+// shard's journal into the gateway's result cache at startup, so a
+// fleet restart resumes from the union of completed work even when
+// the hash ring has since remapped keys.
 //
 // With -debug-addr, a second listener serves net/http/pprof and expvar
 // on a separate (typically loopback-only) address, so profiling a
@@ -54,14 +76,17 @@ import (
 	"expvar"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
+	"net"
 	"net/http"
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"d2m/internal/cluster"
 	"d2m/internal/service"
 )
 
@@ -76,8 +101,38 @@ func main() {
 		storePath    = flag.String("store", "", "persistent result store (append-only JSONL journal; empty = in-memory only)")
 		snapshotMem  = flag.Int64("snapshot-mem", 256, "warm-snapshot cache budget in MiB (0 = disabled)")
 		debugAddr    = flag.String("debug-addr", "", "serve net/http/pprof and expvar on this address (empty = disabled)")
+		shardName    = flag.String("shard", "", "shard name label on metrics and logs (cluster deployments)")
+		logFormat    = flag.String("log-format", "text", "log format: text or json")
+
+		gateway       = flag.Bool("gateway", false, "run as a cluster gateway instead of a scheduler shard")
+		peersSpec     = flag.String("peers", "", "gateway: comma-separated shard peers (name=url or bare urls)")
+		mergeStores   = flag.String("merge-stores", "", "gateway: comma-separated shard journals to replay at startup")
+		probeInterval = flag.Duration("probe-interval", 2*time.Second, "gateway: peer readiness probe period")
 	)
 	flag.Parse()
+
+	logger, err := newLogger(*logFormat, *shardName, *gateway)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	// An explicit listener (rather than ListenAndServe) so the resolved
+	// address — meaningful with ":0" in tests and cluster harnesses —
+	// appears in the startup log line before any request can arrive.
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		logger.Error("listen", "err", err)
+		os.Exit(1)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if *gateway {
+		runGateway(ctx, ln, logger, *peersSpec, *mergeStores, *probeInterval, *drainTimeout)
+		return
+	}
 
 	snapshotBytes := *snapshotMem << 20
 	if snapshotBytes <= 0 {
@@ -90,9 +145,11 @@ func main() {
 		DefaultTimeout:   *timeout,
 		StorePath:        *storePath,
 		SnapshotMemBytes: snapshotBytes,
+		ShardName:        *shardName,
 	})
 	if err != nil {
-		log.Fatalf("service: %v", err)
+		logger.Error("service init", "err", err)
+		os.Exit(1)
 	}
 	expvar.Publish("d2mserver", expvar.Func(func() interface{} {
 		return svc.Metrics().Snapshot()
@@ -101,7 +158,7 @@ func main() {
 	mux := http.NewServeMux()
 	mux.Handle("/", svc.Handler())
 	mux.Handle("/debug/vars", expvar.Handler())
-	httpSrv := &http.Server{Addr: *addr, Handler: mux}
+	httpSrv := &http.Server{Handler: mux}
 
 	if *debugAddr != "" {
 		// A dedicated mux: the pprof handlers self-register only on
@@ -114,38 +171,111 @@ func main() {
 		dbg.HandleFunc("/debug/pprof/trace", pprof.Trace)
 		dbg.Handle("/debug/vars", expvar.Handler())
 		go func() {
-			log.Printf("debug listener (pprof, expvar) on %s", *debugAddr)
+			logger.Info("debug listener (pprof, expvar)", "addr", *debugAddr)
 			if err := http.ListenAndServe(*debugAddr, dbg); err != nil {
-				log.Printf("debug listener: %v", err)
+				logger.Error("debug listener", "err", err)
 			}
 		}()
 	}
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
-
 	errc := make(chan error, 1)
-	go func() { errc <- httpSrv.ListenAndServe() }()
-	log.Printf("d2mserver listening on %s", *addr)
+	go func() { errc <- httpSrv.Serve(ln) }()
+	logger.Info("listening", "addr", ln.Addr().String(), "mode", "shard")
 
 	select {
 	case <-ctx.Done():
-		log.Printf("signal received, draining (budget %s)", *drainTimeout)
+		logger.Info("signal received, draining", "budget", drainTimeout.String())
 	case err := <-errc:
-		log.Fatalf("serve: %v", err)
+		logger.Error("serve", "err", err)
+		os.Exit(1)
 	}
 
 	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
 	if err := httpSrv.Shutdown(drainCtx); err != nil {
-		log.Printf("http shutdown: %v", err)
+		logger.Error("http shutdown", "err", err)
 	}
 	if err := svc.Shutdown(drainCtx); err != nil {
 		if errors.Is(err, context.DeadlineExceeded) {
-			log.Printf("drain budget exceeded; outstanding jobs were cancelled")
+			logger.Warn("drain budget exceeded; outstanding jobs were cancelled")
 		} else {
-			log.Printf("service shutdown: %v", err)
+			logger.Error("service shutdown", "err", err)
 		}
 	}
-	fmt.Println("d2mserver: drained cleanly")
+	logger.Info("drained cleanly")
+}
+
+// runGateway serves cluster-gateway mode on the already-bound listener.
+func runGateway(ctx context.Context, ln net.Listener, logger *slog.Logger,
+	peersSpec, mergeStores string, probeInterval, drainTimeout time.Duration) {
+	peers, err := cluster.ParsePeers(peersSpec)
+	if err != nil {
+		logger.Error("gateway init", "err", err)
+		os.Exit(1)
+	}
+	var journals []string
+	for _, p := range strings.Split(mergeStores, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			journals = append(journals, p)
+		}
+	}
+	gw, err := cluster.New(cluster.Config{
+		Peers:         peers,
+		ProbeInterval: probeInterval,
+		MergeStores:   journals,
+		Logf: func(format string, args ...interface{}) {
+			logger.Info(fmt.Sprintf(format, args...))
+		},
+	})
+	if err != nil {
+		logger.Error("gateway init", "err", err)
+		os.Exit(1)
+	}
+
+	httpSrv := &http.Server{Handler: gw.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+	logger.Info("listening", "addr", ln.Addr().String(), "mode", "gateway", "peers", len(peers))
+
+	select {
+	case <-ctx.Done():
+		logger.Info("signal received, draining", "budget", drainTimeout.String())
+	case err := <-errc:
+		logger.Error("serve", "err", err)
+		os.Exit(1)
+	}
+
+	drainCtx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	if err := httpSrv.Shutdown(drainCtx); err != nil {
+		logger.Error("http shutdown", "err", err)
+	}
+	if err := gw.Shutdown(drainCtx); err != nil {
+		logger.Error("gateway shutdown", "err", err)
+	}
+	logger.Info("drained cleanly")
+}
+
+// newLogger builds the process logger: human-readable text by default,
+// one-JSON-object-per-line with -log-format json (machine-parseable
+// startup lines are what cluster harnesses scrape for the bound
+// address). Cluster deployments get a stable shard or mode field on
+// every line so merged fleet logs stay attributable.
+func newLogger(format, shardName string, gateway bool) (*slog.Logger, error) {
+	var h slog.Handler
+	switch format {
+	case "json":
+		h = slog.NewJSONHandler(os.Stdout, nil)
+	case "text", "":
+		h = slog.NewTextHandler(os.Stdout, nil)
+	default:
+		return nil, fmt.Errorf("d2mserver: unknown -log-format %q (text or json)", format)
+	}
+	logger := slog.New(h)
+	if gateway {
+		logger = logger.With("peer", "gateway")
+	} else if shardName != "" {
+		logger = logger.With("shard", shardName)
+	}
+	return logger, nil
 }

@@ -726,7 +726,7 @@ func TestBandwidthConstrainedMode(t *testing.T) {
 // TestReplicate exercises the multi-seed aggregation: distinct seeds
 // vary the metrics a little; the mean sits among the samples.
 func TestReplicate(t *testing.T) {
-	rep, err := Replicate(D2MNS, "fft", Options{Warmup: 40_000, Measure: 120_000}, 3)
+	rep, err := replicateN(context.Background(), D2MNS, "fft", Options{Warmup: 40_000, Measure: 120_000}, 3, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -739,10 +739,12 @@ func TestReplicate(t *testing.T) {
 	if rep.CyclesStd > rep.CyclesMean*0.2 {
 		t.Errorf("cycle spread %.0f exceeds 20%% of the mean %.0f; runs unstable", rep.CyclesStd, rep.CyclesMean)
 	}
-	if _, err := Replicate(D2MNS, "fft", fastOpt, 0); err == nil {
-		t.Error("n=0 accepted")
+	if _, err := Run(context.Background(), RunSpec{
+		Kind: D2MNS, Benchmark: "fft", Options: fastOpt, Replicates: -1,
+	}); err == nil {
+		t.Error("negative replicates accepted")
 	}
-	if _, err := Replicate(D2MNS, "no-such", fastOpt, 2); err == nil {
+	if _, err := replicateN(context.Background(), D2MNS, "no-such", fastOpt, 2, nil); err == nil {
 		t.Error("bad benchmark accepted")
 	}
 }

@@ -1,0 +1,219 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"sync"
+
+	"d2m"
+	"d2m/internal/service"
+	"d2m/internal/service/sched"
+)
+
+// POST /v1/batch at the gateway: the batch is validated whole (any bad
+// run rejects it, nothing is forwarded), cached slots are served from
+// the gateway's result cache, and the remaining runs are partitioned
+// by warm-identity ring owner into per-shard sub-batches that forward
+// concurrently. Each shard's admission keeps its all-or-nothing
+// guarantee; across shards the gateway composes them conservatively:
+// if ANY sub-batch is rejected 429, the whole batch answers 429 (with
+// the largest Retry-After any shard asked for) and no partial results
+// are returned. Sub-batches that were admitted run to completion on
+// their shards and land in the content-addressed caches, so the
+// client's retry re-serves those runs without recomputation and
+// converges on the full batch.
+
+// batchSlot is one run's routing state while the batch is in flight.
+type batchSlot struct {
+	raw  json.RawMessage // original wire form, forwarded verbatim
+	key  string          // canonical cache key
+	warm string          // warm-identity shard key
+	kind d2m.Kind
+	st   service.JobStatus
+	done bool
+}
+
+// rawBatch decodes the batch envelope but keeps each run's original
+// bytes, so sub-batches forward exactly what the client sent (the
+// shard re-validates; the gateway never re-encodes a request).
+type rawBatch struct {
+	Runs []json.RawMessage `json:"runs"`
+}
+
+func (g *Gateway) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var raw rawBatch
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&raw); err != nil {
+		service.WriteError(w, service.ErrInvalidRequest, "bad request body: %v", err)
+		return
+	}
+	if len(raw.Runs) == 0 {
+		service.WriteError(w, service.ErrInvalidRequest, "batch has no runs")
+		return
+	}
+	if len(raw.Runs) > service.MaxBatchRuns {
+		service.WriteError(w, service.ErrInvalidRequest,
+			"batch has %d runs, limit is %d", len(raw.Runs), service.MaxBatchRuns)
+		return
+	}
+
+	// Validate every run gateway-side before forwarding any, mirroring
+	// the shard's all-or-nothing admission check.
+	slots := make([]batchSlot, len(raw.Runs))
+	for i, rr := range raw.Runs {
+		var req service.RunRequest
+		d := json.NewDecoder(bytes.NewReader(rr))
+		d.DisallowUnknownFields()
+		if err := d.Decode(&req); err != nil {
+			service.WriteError(w, service.ErrInvalidRequest, "runs[%d]: bad run: %v", i, err)
+			return
+		}
+		if req.Async {
+			service.WriteError(w, service.ErrInvalidRequest,
+				"runs[%d]: async is not supported in batches; use POST /v1/run", i)
+			return
+		}
+		kind, bench, opt, reps, err := req.Normalize()
+		if err != nil {
+			service.WriteError(w, service.ErrorCode(err), "runs[%d]: %v", i, err)
+			return
+		}
+		slots[i] = batchSlot{
+			raw:  rr,
+			key:  sched.CacheKey(kind, bench, opt, reps),
+			warm: d2m.WarmKey(kind, bench, opt),
+			kind: kind,
+		}
+	}
+
+	// Serve what the gateway already knows.
+	for i := range slots {
+		if rec, ok := g.cache.get(slots[i].key); ok {
+			g.metrics.CacheHits.Add(1)
+			res := rec.Result
+			slots[i].st = service.JobStatus{
+				State: service.JobDone, Kind: rec.Kind, Benchmark: rec.Benchmark,
+				Cached: true, Result: &res, Replicated: rec.Replicated,
+			}
+			slots[i].done = true
+		}
+	}
+
+	// Forward the rest, re-partitioning by live ring owner each round so
+	// a shard lost mid-batch fails over instead of failing the batch.
+	type subResult struct {
+		idxs    []int
+		fr      forwardResult
+		deliver bool // fr holds a terminal response for these slots
+	}
+	for attempt := 0; attempt < g.maxAttempts; attempt++ {
+		groups := map[string][]int{}
+		for i := range slots {
+			if slots[i].done {
+				continue
+			}
+			owners := g.peers.owners(slots[i].warm, 1)
+			if len(owners) == 0 {
+				service.WriteError(w, service.ErrDraining, "no scheduler shard available")
+				return
+			}
+			groups[owners[0].Name] = append(groups[owners[0].Name], i)
+		}
+		if len(groups) == 0 {
+			break
+		}
+
+		results := make(chan subResult, len(groups))
+		var wg sync.WaitGroup
+		for name, idxs := range groups {
+			p, _ := g.peers.byName(name)
+			wg.Add(1)
+			go func(p Peer, idxs []int) {
+				defer wg.Done()
+				body := encodeSubBatch(slots, idxs)
+				fr, err := g.do(r.Context(), p, http.MethodPost, "/v1/batch", body)
+				if err != nil {
+					g.peers.setState(p.Name, PeerDown)
+					g.logf("peer %s is down (%v)", p.Name, err)
+					results <- subResult{idxs: idxs}
+					return
+				}
+				if isDrainingResponse(fr) {
+					g.peers.setState(p.Name, PeerDraining)
+					g.logf("peer %s is draining", p.Name)
+					results <- subResult{idxs: idxs}
+					return
+				}
+				results <- subResult{idxs: idxs, fr: fr, deliver: true}
+			}(p, idxs)
+		}
+		wg.Wait()
+		close(results)
+		g.metrics.BatchesForwarded.Add(uint64(len(groups)))
+
+		for sub := range results {
+			if !sub.deliver {
+				continue // shard lost; these slots retry next attempt
+			}
+			if sub.fr.status == http.StatusTooManyRequests {
+				// One overloaded shard rejects the whole batch: relay the
+				// 429 (keeping its Retry-After) so the client's view stays
+				// all-or-nothing.
+				relay(w, sub.fr)
+				return
+			}
+			if sub.fr.status != http.StatusOK {
+				relay(w, sub.fr)
+				return
+			}
+			var body struct {
+				Results []service.JobStatus `json:"results"`
+			}
+			if err := json.Unmarshal(sub.fr.body, &body); err != nil || len(body.Results) != len(sub.idxs) {
+				service.WriteError(w, service.ErrInternal,
+					"shard %s returned a malformed batch response", sub.fr.peer.Name)
+				return
+			}
+			for k, i := range sub.idxs {
+				st := body.Results[k]
+				if st.ID != "" {
+					st.ID = routedID(st.ID, sub.fr.peer)
+				}
+				if st.State == service.JobDone && st.Result != nil {
+					g.cache.learn(slots[i].key, slots[i].kind, st.Benchmark, *st.Result, st.Replicated)
+				}
+				slots[i].st = st
+				slots[i].done = true
+			}
+		}
+	}
+
+	out := struct {
+		Results []service.JobStatus `json:"results"`
+	}{Results: make([]service.JobStatus, len(slots))}
+	for i := range slots {
+		if !slots[i].done {
+			service.WriteError(w, service.ErrDraining, "no scheduler shard available")
+			return
+		}
+		out.Results[i] = slots[i].st
+	}
+	service.WriteJSON(w, http.StatusOK, out)
+}
+
+// encodeSubBatch renders a per-shard batch body from the original run
+// bytes of the chosen slots.
+func encodeSubBatch(slots []batchSlot, idxs []int) []byte {
+	var b bytes.Buffer
+	b.WriteString(`{"runs":[`)
+	for k, i := range idxs {
+		if k > 0 {
+			b.WriteByte(',')
+		}
+		b.Write(slots[i].raw)
+	}
+	b.WriteString(`]}`)
+	return b.Bytes()
+}

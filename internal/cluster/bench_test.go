@@ -1,0 +1,155 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"d2m/internal/service"
+)
+
+// benchNumbers collects the jobs/sec measured by
+// BenchmarkGatewayThroughput; TestMain merges them into the journal
+// named by D2M_BENCH_OUT (the repo's BENCH_service.json, already
+// holding the single-process series written by ./internal/service) so
+// the gateway-forwarded numbers live next to the direct ones:
+//
+//	D2M_BENCH_OUT=$PWD/BENCH_service.json go test -run '^$' -bench BenchmarkGatewayThroughput ./internal/cluster
+var benchNumbers = struct {
+	sync.Mutex
+	m map[string]float64
+}{m: map[string]float64{}}
+
+func TestMain(m *testing.M) {
+	code := m.Run()
+	if out := os.Getenv("D2M_BENCH_OUT"); out != "" && len(benchNumbers.m) > 0 {
+		if err := mergeBenchOut(out); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			code = 1
+		}
+	}
+	os.Exit(code)
+}
+
+// mergeBenchOut read-modify-writes the shared service journal: the
+// jobs_per_sec map gains (or updates) this package's series, every
+// other key survives untouched. A missing file starts a fresh journal
+// so the bench also runs standalone.
+func mergeBenchOut(path string) error {
+	doc := map[string]interface{}{}
+	if raw, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(raw, &doc); err != nil {
+			return fmt.Errorf("%s: %v", path, err)
+		}
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+	jobs, _ := doc["jobs_per_sec"].(map[string]interface{})
+	if jobs == nil {
+		jobs = map[string]interface{}{}
+	}
+	benchNumbers.Lock()
+	for k, v := range benchNumbers.m {
+		jobs[k] = v
+	}
+	benchNumbers.Unlock()
+	doc["jobs_per_sec"] = jobs
+	if _, ok := doc["benchmark"]; !ok {
+		doc["benchmark"] = "BenchmarkGatewayThroughput"
+	}
+	data, _ := json.MarshalIndent(doc, "", "  ")
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// benchShard starts one real in-process shard for benchmarking.
+func benchShard(b *testing.B, name string) (Peer, func()) {
+	b.Helper()
+	s, err := service.New(service.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	stop := func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		s.Shutdown(ctx)
+	}
+	select {
+	case <-s.Ready():
+	case <-time.After(5 * time.Second):
+		b.Fatal("shard never ready")
+	}
+	return Peer{Name: name, URL: ts.URL}, stop
+}
+
+// BenchmarkGatewayThroughput measures end-to-end jobs/sec through the
+// consistent-hash gateway over two in-process shards, on the same
+// small real simulation the single-process service benchmark uses.
+// gateway_cold (every job a distinct seed, so every job simulates and
+// the fleet's parallelism is the product) is the series the CI gate
+// tracks; gateway_cached isolates the pure forwarding + gateway-cache
+// overhead.
+func BenchmarkGatewayThroughput(b *testing.B) {
+	const workload = `{"kind":"d2m-ns-r","benchmark":"tpc-c","nodes":2,"warmup":2000,"measure":8000,"seed":%d}`
+
+	for _, mode := range []string{"gateway_cold", "gateway_cached"} {
+		b.Run(strings.TrimPrefix(mode, "gateway_"), func(b *testing.B) {
+			pa, stopA := benchShard(b, "a")
+			pb, stopB := benchShard(b, "b")
+			defer stopA()
+			defer stopB()
+			g, err := New(Config{Peers: []Peer{pa, pb}})
+			if err != nil {
+				b.Fatal(err)
+			}
+			gts := httptest.NewServer(g.Handler())
+			defer func() {
+				gts.Close()
+				ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+				defer cancel()
+				g.Shutdown(ctx)
+			}()
+
+			var seq atomic.Int64
+			seq.Store(1)
+			post := func(seed int64) {
+				body := fmt.Sprintf(workload, seed)
+				resp, err := http.Post(gts.URL+"/v1/run", "application/json", strings.NewReader(body))
+				if err != nil {
+					b.Fatal(err)
+				}
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					b.Fatalf("POST = %d", resp.StatusCode)
+				}
+			}
+			post(0) // warm the pools (and, for cached mode, the cache)
+			b.ResetTimer()
+			start := time.Now()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					if mode == "gateway_cold" {
+						post(seq.Add(1))
+					} else {
+						post(0)
+					}
+				}
+			})
+			elapsed := time.Since(start)
+			jobsPerSec := float64(b.N) / elapsed.Seconds()
+			b.ReportMetric(jobsPerSec, "jobs/s")
+			benchNumbers.Lock()
+			benchNumbers.m[mode] = jobsPerSec
+			benchNumbers.Unlock()
+		})
+	}
+}

@@ -1,0 +1,72 @@
+package cluster
+
+import (
+	"container/list"
+	"sync"
+
+	"d2m"
+	"d2m/internal/service"
+)
+
+// resultCache is the gateway's own content-addressed LRU, keyed by the
+// same canonical cache key the shards use (sched.CacheKey). It is
+// seeded from the shards' merged journals at startup and learns every
+// result that flows back through the gateway, so repeat submissions
+// are served without a forwarding hop — and, after a fleet restart,
+// without recomputation even when the hash ring assigns a key to a
+// different shard than the one that originally ran it.
+type resultCache struct {
+	mu    sync.Mutex
+	cap   int
+	order *list.List // front = most recent
+	m     map[string]*list.Element
+}
+
+type cacheEntry struct {
+	key string
+	rec service.StoreRecord
+}
+
+func newResultCache(capacity int) *resultCache {
+	return &resultCache{cap: capacity, order: list.New(), m: make(map[string]*list.Element)}
+}
+
+func (c *resultCache) get(key string) (service.StoreRecord, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.m[key]
+	if !ok {
+		return service.StoreRecord{}, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheEntry).rec, true
+}
+
+func (c *resultCache) put(key string, rec service.StoreRecord) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.m[key]; ok {
+		el.Value.(*cacheEntry).rec = rec
+		c.order.MoveToFront(el)
+		return
+	}
+	c.m[key] = c.order.PushFront(&cacheEntry{key: key, rec: rec})
+	for c.order.Len() > c.cap {
+		last := c.order.Back()
+		delete(c.m, last.Value.(*cacheEntry).key)
+		c.order.Remove(last)
+	}
+}
+
+func (c *resultCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}
+
+// learn records a settled job's result under its content address.
+func (c *resultCache) learn(key string, kind d2m.Kind, bench string, res d2m.Result, rep *d2m.Replicated) {
+	c.put(key, service.StoreRecord{
+		Key: key, Kind: kind.String(), Benchmark: bench, Result: res, Replicated: rep,
+	})
+}

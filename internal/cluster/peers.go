@@ -1,0 +1,251 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+)
+
+// PeerState is a shard's health as seen by the gateway's prober.
+type PeerState int32
+
+const (
+	// PeerUp: /readyz answered 200; the peer is in the hash ring.
+	PeerUp PeerState = iota
+	// PeerDraining: the peer answers HTTP but refuses new admissions
+	// (/readyz 503). It is out of the ring — its hash range is remapped
+	// to ring successors — but still serves status and cancel for jobs
+	// it already holds, so in-flight work finishes where it started.
+	PeerDraining
+	// PeerDown: the peer is unreachable (or has not been probed yet).
+	PeerDown
+)
+
+func (s PeerState) String() string {
+	switch s {
+	case PeerUp:
+		return "up"
+	case PeerDraining:
+		return "draining"
+	default:
+		return "down"
+	}
+}
+
+// Peer is one scheduler shard: a name (stable across restarts — it
+// keys the hash ring and labels the shard's metrics) and the base URL
+// of its v1 API.
+type Peer struct {
+	Name string
+	URL  string // http://host:port, no trailing slash
+}
+
+// ParsePeers parses the -peers flag format: comma-separated
+// "name=url" entries, or bare URLs that are assigned the names
+// shard0, shard1, ... in order.
+func ParsePeers(spec string) ([]Peer, error) {
+	var peers []Peer
+	seen := map[string]bool{}
+	for i, entry := range strings.Split(spec, ",") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		var p Peer
+		if name, url, ok := strings.Cut(entry, "="); ok && !strings.Contains(name, "/") {
+			p = Peer{Name: strings.TrimSpace(name), URL: strings.TrimSpace(url)}
+		} else {
+			p = Peer{Name: fmt.Sprintf("shard%d", i), URL: entry}
+		}
+		p.URL = strings.TrimRight(p.URL, "/")
+		if !strings.HasPrefix(p.URL, "http://") && !strings.HasPrefix(p.URL, "https://") {
+			return nil, fmt.Errorf("cluster: peer %q: URL %q must be http(s)", p.Name, p.URL)
+		}
+		if seen[p.Name] {
+			return nil, fmt.Errorf("cluster: duplicate peer name %q", p.Name)
+		}
+		seen[p.Name] = true
+		peers = append(peers, p)
+	}
+	if len(peers) == 0 {
+		return nil, fmt.Errorf("cluster: no peers in %q", spec)
+	}
+	return peers, nil
+}
+
+// peerSet tracks the fleet's membership and health and derives the
+// hash ring from the peers that are currently Up. The ring is rebuilt
+// on every state change and read through an atomic-ish snapshot under
+// the same mutex (membership changes are rare; lookups cheap).
+type peerSet struct {
+	peers []Peer // fixed at construction, ring order irrelevant
+
+	mu    sync.Mutex
+	state map[string]PeerState
+	ring  *Ring // over Up peers only
+}
+
+func newPeerSet(peers []Peer) *peerSet {
+	ps := &peerSet{peers: peers, state: make(map[string]PeerState, len(peers))}
+	for _, p := range peers {
+		ps.state[p.Name] = PeerDown // unknown until probed
+	}
+	ps.rebuildLocked()
+	return ps
+}
+
+// rebuildLocked recomputes the ring from the Up peers. Callers hold mu.
+func (ps *peerSet) rebuildLocked() {
+	var up []string
+	for _, p := range ps.peers {
+		if ps.state[p.Name] == PeerUp {
+			up = append(up, p.Name)
+		}
+	}
+	ps.ring = NewRing(up)
+}
+
+// setState records a peer's probed (or observed) state, rebuilding the
+// ring when it changed. Returns true when the state changed.
+func (ps *peerSet) setState(name string, st PeerState) bool {
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	if ps.state[name] == st {
+		return false
+	}
+	ps.state[name] = st
+	ps.rebuildLocked()
+	return true
+}
+
+// stateOf returns a peer's current state.
+func (ps *peerSet) stateOf(name string) PeerState {
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	return ps.state[name]
+}
+
+// owners resolves key to up to n live candidate peers: the ring owner
+// first, then its failover successors.
+func (ps *peerSet) owners(key string, n int) []Peer {
+	ps.mu.Lock()
+	names := ps.ring.Owners(key, n)
+	ps.mu.Unlock()
+	out := make([]Peer, 0, len(names))
+	for _, name := range names {
+		if p, ok := ps.byName(name); ok {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// byName finds a peer by name regardless of state (status and cancel
+// for already-routed jobs must reach draining peers too).
+func (ps *peerSet) byName(name string) (Peer, bool) {
+	for _, p := range ps.peers {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return Peer{}, false
+}
+
+// counts returns how many peers are in each state.
+func (ps *peerSet) counts() (up, draining, down int) {
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	for _, st := range ps.state {
+		switch st {
+		case PeerUp:
+			up++
+		case PeerDraining:
+			draining++
+		default:
+			down++
+		}
+	}
+	return
+}
+
+// snapshot lists every peer with its state, in configuration order.
+func (ps *peerSet) snapshot() []struct {
+	Peer
+	State PeerState
+} {
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	out := make([]struct {
+		Peer
+		State PeerState
+	}, len(ps.peers))
+	for i, p := range ps.peers {
+		out[i].Peer = p
+		out[i].State = ps.state[p.Name]
+	}
+	return out
+}
+
+// probe checks one peer's /readyz: 200 is Up, any other HTTP answer is
+// Draining (the shard is alive but not admitting — draining or still
+// replaying its journal), and a transport error is Down.
+func probe(ctx context.Context, client *http.Client, p Peer) PeerState {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, p.URL+"/readyz", nil)
+	if err != nil {
+		return PeerDown
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return PeerDown
+	}
+	resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		return PeerUp
+	}
+	return PeerDraining
+}
+
+// probeAll probes every peer once, concurrently, and applies the
+// results. Returns true when any state changed.
+func (g *Gateway) probeAll(ctx context.Context) bool {
+	type res struct {
+		name string
+		st   PeerState
+	}
+	ch := make(chan res, len(g.peers.peers))
+	for _, p := range g.peers.peers {
+		go func(p Peer) {
+			pctx, cancel := context.WithTimeout(ctx, g.probeTimeout)
+			defer cancel()
+			ch <- res{p.Name, probe(pctx, g.client, p)}
+		}(p)
+	}
+	changed := false
+	for range g.peers.peers {
+		r := <-ch
+		if g.peers.setState(r.name, r.st) {
+			changed = true
+			g.logf("peer %s is %s", r.name, r.st)
+		}
+	}
+	return changed
+}
+
+// prober re-probes the fleet at the configured interval until the
+// gateway shuts down.
+func (g *Gateway) prober() {
+	defer g.wg.Done()
+	t := time.NewTicker(g.probeInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-g.ctx.Done():
+			return
+		case <-t.C:
+			g.probeAll(g.ctx)
+		}
+	}
+}

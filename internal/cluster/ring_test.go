@@ -1,0 +1,105 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestClusterRingDeterminism: the same membership always yields the
+// same placement — the property that keeps warm identities pinned to
+// their snapshot state across gateway restarts.
+func TestClusterRingDeterminism(t *testing.T) {
+	a := NewRing([]string{"a", "b", "c"})
+	b := NewRing([]string{"c", "a", "b"}) // order must not matter
+	for _, key := range []string{"w1", "w2", "tpc-c|8", "graph500|4", ""} {
+		if got, want := a.Owner(key), b.Owner(key); got != want {
+			t.Errorf("Owner(%q) differs across construction order: %q vs %q", key, got, want)
+		}
+	}
+}
+
+// TestClusterRingSpread: 128 vnodes per peer should split a large key
+// population roughly evenly — no shard under half or over double its
+// fair share.
+func TestClusterRingSpread(t *testing.T) {
+	peers := []string{"a", "b", "c", "d"}
+	r := NewRing(peers)
+	counts := map[string]int{}
+	const keys = 4000
+	for i := 0; i < keys; i++ {
+		counts[r.Owner(fmt.Sprintf("d2m-ns-r|bench-%d|8|5000", i))]++
+	}
+	fair := keys / len(peers)
+	for _, p := range peers {
+		if counts[p] < fair/2 || counts[p] > fair*2 {
+			t.Errorf("peer %s owns %d keys, fair share %d", p, counts[p], fair)
+		}
+	}
+}
+
+// TestClusterRingStability: removing one peer only remaps the keys it
+// owned; everything else stays put (the consistent-hashing point).
+func TestClusterRingStability(t *testing.T) {
+	full := NewRing([]string{"a", "b", "c"})
+	without := NewRing([]string{"a", "b"})
+	moved := 0
+	const keys = 1000
+	for i := 0; i < keys; i++ {
+		key := fmt.Sprintf("warm-key-%d", i)
+		before, after := full.Owner(key), without.Owner(key)
+		if before == "c" {
+			continue // had to move
+		}
+		if before != after {
+			moved++
+		}
+	}
+	if moved != 0 {
+		t.Errorf("%d keys not owned by the removed peer moved anyway", moved)
+	}
+}
+
+// TestClusterRingOwners: the failover sequence is distinct, starts at
+// the owner, and caps at the fleet size.
+func TestClusterRingOwners(t *testing.T) {
+	r := NewRing([]string{"a", "b", "c"})
+	owners := r.Owners("some-key", 5)
+	if len(owners) != 3 {
+		t.Fatalf("Owners(...,5) over 3 peers = %v, want 3 distinct", owners)
+	}
+	seen := map[string]bool{}
+	for _, p := range owners {
+		if seen[p] {
+			t.Fatalf("duplicate peer %q in %v", p, owners)
+		}
+		seen[p] = true
+	}
+	if owners[0] != r.Owner("some-key") {
+		t.Errorf("Owners[0] = %q, Owner = %q", owners[0], r.Owner("some-key"))
+	}
+	if empty := NewRing(nil); empty.Owner("k") != "" || len(empty.Owners("k", 2)) != 0 {
+		t.Error("empty ring should own nothing")
+	}
+}
+
+func TestClusterParsePeers(t *testing.T) {
+	peers, err := ParsePeers("a=http://h1:1,b=http://h2:2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(peers) != 2 || peers[0].Name != "a" || peers[1].URL != "http://h2:2" {
+		t.Fatalf("ParsePeers = %+v", peers)
+	}
+	peers, err = ParsePeers("http://h1:1/, http://h2:2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if peers[0].Name != "shard0" || peers[0].URL != "http://h1:1" || peers[1].Name != "shard1" {
+		t.Fatalf("bare-URL ParsePeers = %+v", peers)
+	}
+	for _, bad := range []string{"", "a=ftp://x", "a=http://h,a=http://h2"} {
+		if _, err := ParsePeers(bad); err == nil {
+			t.Errorf("ParsePeers(%q) should fail", bad)
+		}
+	}
+}

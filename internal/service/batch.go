@@ -82,7 +82,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 				"runs[%d]: async is not supported in batches; use POST /v1/run", i))
 			return
 		}
-		kind, bench, opt, reps, err := rr.normalize()
+		kind, bench, opt, reps, err := rr.Normalize()
 		if err != nil {
 			ae := err.(*apiError)
 			writeError(w, apiErrorf(ae.Code, "runs[%d]: %s", i, ae.Message))

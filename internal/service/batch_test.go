@@ -16,7 +16,7 @@ import (
 
 // postBatch posts a body to /v1/batch and decodes the response (batch
 // envelope on success, error envelope otherwise).
-func postBatch(t *testing.T, ts *httptest.Server, body string) (int, batchBody, errorBody) {
+func postBatch(t *testing.T, ts *httptest.Server, body string) (int, batchBody, ErrorBody) {
 	t.Helper()
 	resp, err := http.Post(ts.URL+"/v1/batch", "application/json", strings.NewReader(body))
 	if err != nil {
@@ -24,7 +24,7 @@ func postBatch(t *testing.T, ts *httptest.Server, body string) (int, batchBody, 
 	}
 	defer resp.Body.Close()
 	var ok batchBody
-	var bad errorBody
+	var bad ErrorBody
 	if resp.StatusCode == http.StatusOK {
 		if err := json.NewDecoder(resp.Body).Decode(&ok); err != nil {
 			t.Fatalf("decode batch response: %v", err)

@@ -15,7 +15,7 @@ import (
 
 // deleteJob issues DELETE /v1/jobs/{id} and decodes whichever of the
 // two body shapes came back.
-func deleteJob(t *testing.T, ts *httptest.Server, id string) (int, JobStatus, errorBody) {
+func deleteJob(t *testing.T, ts *httptest.Server, id string) (int, JobStatus, ErrorBody) {
 	t.Helper()
 	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+id, nil)
 	resp, err := http.DefaultClient.Do(req)
@@ -25,7 +25,7 @@ func deleteJob(t *testing.T, ts *httptest.Server, id string) (int, JobStatus, er
 	defer resp.Body.Close()
 	raw, _ := io.ReadAll(resp.Body)
 	var st JobStatus
-	var eb errorBody
+	var eb ErrorBody
 	if resp.StatusCode < 400 {
 		if err := json.Unmarshal(raw, &st); err != nil {
 			t.Fatalf("decode %q: %v", raw, err)

@@ -64,8 +64,9 @@ type ErrorInfo struct {
 	Message string  `json:"message"`
 }
 
-// errorBody is the JSON error envelope.
-type errorBody struct {
+// ErrorBody is the JSON error envelope. Exported so the cluster
+// gateway can decode a shard's error responses and re-emit them.
+type ErrorBody struct {
 	Error ErrorInfo `json:"error"`
 }
 
@@ -75,7 +76,34 @@ func writeError(w http.ResponseWriter, err error) {
 	if !ok {
 		ae = &apiError{Code: ErrInternal, Message: err.Error()}
 	}
-	writeJSON(w, ae.Code.httpStatus(), errorBody{
+	writeJSON(w, ae.Code.httpStatus(), ErrorBody{
 		Error: ErrorInfo{Code: ae.Code, Message: ae.Message},
 	})
+}
+
+// WriteError renders an error envelope with the given code at its
+// mapped HTTP status. Exported for the cluster gateway, which speaks
+// the same wire format as the shards it fronts.
+func WriteError(w http.ResponseWriter, code ErrCode, format string, args ...interface{}) {
+	writeError(w, apiErrorf(code, format, args...))
+}
+
+// WriteJSON renders v as indented JSON at the given status; the
+// exported face of the internal helper, for the cluster gateway.
+func WriteJSON(w http.ResponseWriter, code int, v interface{}) {
+	writeJSON(w, code, v)
+}
+
+// HTTPStatus maps an error code to its HTTP status line.
+func (c ErrCode) HTTPStatus() int { return c.httpStatus() }
+
+// ErrorCode extracts the wire code from an error produced by this
+// package's validation helpers (Normalize, ExpandSweep); any other
+// error reads as ErrInternal. Exported for the cluster gateway, which
+// validates requests with the same helpers before forwarding.
+func ErrorCode(err error) ErrCode {
+	if ae, ok := err.(*apiError); ok {
+		return ae.Code
+	}
+	return ErrInternal
 }

@@ -16,6 +16,12 @@ import (
 // text exposition format on GET /metrics (cmd/d2mserver additionally
 // publishes the Snapshot through expvar).
 type Metrics struct {
+	// Shard, when non-empty, adds a shard="..." label to every rendered
+	// series (Config.ShardName wires it), so one Prometheus scrape
+	// config covers a whole cluster with attributable per-process
+	// series. Set before the server starts; not synchronized.
+	Shard string
+
 	JobsAccepted atomic.Uint64 // admitted to the queue
 	JobsDone     atomic.Uint64 // finished successfully
 	JobsFailed   atomic.Uint64 // finished with a non-cancellation error
@@ -145,13 +151,42 @@ func (h *Histogram) Quantile(q float64) float64 {
 	return math.Inf(1)
 }
 
+// shardLabel renders the optional shard label ("" when unset), and
+// braced wraps a label list for a scalar series.
+func (m *Metrics) shardLabel() string {
+	if m.Shard == "" {
+		return ""
+	}
+	return fmt.Sprintf("shard=%q", m.Shard)
+}
+
+func braced(label string) string {
+	if label == "" {
+		return ""
+	}
+	return "{" + label + "}"
+}
+
+// joinLabels joins two label lists, either of which may be empty.
+func joinLabels(a, b string) string {
+	switch {
+	case a == "":
+		return b
+	case b == "":
+		return a
+	default:
+		return a + "," + b
+	}
+}
+
 // WritePrometheus renders every metric in text exposition format.
 func (m *Metrics) WritePrometheus(w io.Writer) {
+	shard := braced(m.shardLabel())
 	counter := func(name, help string, v uint64) {
-		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s%s %d\n", name, help, name, name, shard, v)
 	}
 	gauge := func(name, help string, v int64) {
-		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s%s %d\n", name, help, name, name, shard, v)
 	}
 	counter("d2m_jobs_accepted_total", "Jobs admitted to the queue.", m.JobsAccepted.Load())
 	counter("d2m_jobs_done_total", "Jobs finished successfully.", m.JobsDone.Load())
@@ -186,14 +221,14 @@ func (m *Metrics) WritePrometheus(w io.Writer) {
 		"d2m_queue_wait_seconds")
 	for p := sched.Interactive; p < sched.NumPriorities; p++ {
 		m.writeHistogramSeries(w, "d2m_queue_wait_seconds",
-			fmt.Sprintf("class=%q", p.String()), &m.QueueWait[p])
+			joinLabels(m.shardLabel(), fmt.Sprintf("class=%q", p.String())), &m.QueueWait[p])
 	}
 	m.writeHistogram(w, "d2m_run_seconds", "Seconds of simulation per job.", &m.RunLatency)
 }
 
 func (m *Metrics) writeHistogram(w io.Writer, name, help string, h *Histogram) {
 	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
-	m.writeHistogramSeries(w, name, "", h)
+	m.writeHistogramSeries(w, name, m.shardLabel(), h)
 }
 
 // writeHistogramSeries renders one histogram series, optionally labeled

@@ -88,9 +88,16 @@ type Scheduler struct {
 	// feeder parked on a full queue. Best-effort; feeders also poll.
 	slotFree chan struct{}
 
-	mu       sync.Mutex
-	cond     *sync.Cond // signalled on enqueue and drain
+	mu   sync.Mutex
+	cond *sync.Cond // signalled on enqueue and drain
+	// draining gates admission only: new submissions get ErrDraining
+	// while queued and running jobs keep flowing through the workers.
+	// It is reversible (SetDraining) — the cluster gateway drains a
+	// shard out of its hash ring, lets in-flight work finish, and may
+	// bring the shard back. stopping additionally tells workers to exit
+	// once the queues empty; it is set only by Shutdown and is final.
 	draining bool
+	stopping bool
 	// queues hold chain leaders only, per class; queuedN counts every
 	// queued job including chain followers.
 	queues  [NumPriorities][]*Job
@@ -134,11 +141,27 @@ func New(cfg Config) (*Scheduler, error) {
 // Workers returns the worker-pool width.
 func (s *Scheduler) Workers() int { return s.cfg.Workers }
 
-// Draining reports whether Shutdown has begun.
+// Draining reports whether admission is closed — by SetDraining or by
+// Shutdown.
 func (s *Scheduler) Draining() bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.draining
+}
+
+// SetDraining opens or closes admission without touching the worker
+// pool: while draining, Submit and SubmitGroup return ErrDraining but
+// queued and running jobs keep executing to completion. This is the
+// cluster drain hook — a shard taken out of the gateway's hash ring
+// finishes its in-flight work and can be undrained later. SetDraining
+// (false) after Shutdown began is a no-op: shutdown drain is final.
+func (s *Scheduler) SetDraining(d bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.stopping {
+		return
+	}
+	s.draining = d
 }
 
 // Shutdown drains the scheduler: admission stops (ErrDraining), queued
@@ -150,6 +173,7 @@ func (s *Scheduler) Draining() bool {
 func (s *Scheduler) Shutdown(ctx context.Context) error {
 	s.mu.Lock()
 	s.draining = true
+	s.stopping = true
 	s.cond.Broadcast()
 	s.mu.Unlock()
 	done := make(chan struct{})
@@ -234,7 +258,7 @@ func (s *Scheduler) dequeue() (*Job, bool) {
 			s.pulseSlotFree()
 			return j, true
 		}
-		if s.draining {
+		if s.stopping {
 			return nil, false
 		}
 		s.cond.Wait()

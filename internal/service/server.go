@@ -49,6 +49,11 @@ type Config struct {
 	// machine state instead of re-simulating the warmup. Zero means
 	// 256 MiB; negative disables snapshot reuse entirely.
 	SnapshotMemBytes int64
+	// ShardName, when non-empty, labels every Prometheus series this
+	// server emits with shard="..." so a cluster's scrapes stay
+	// attributable per process. Empty (the single-process default)
+	// renders unlabeled series, unchanged from earlier revisions.
+	ShardName string
 	// Runner executes one simulation. Nil means d2m.Run against the
 	// server's snapshot cache; tests substitute stubs to control timing
 	// and observe cancellation.
@@ -104,6 +109,7 @@ type Server struct {
 	store       *resultStore   // nil without Config.StorePath
 	mux         *http.ServeMux
 	nextSweepID atomic.Uint64
+	ready       chan struct{} // closed once journal replay has landed
 
 	baseCtx    context.Context // parent of every sweep context
 	baseCancel context.CancelFunc
@@ -128,7 +134,7 @@ func (k serverSink) Settle(key string, res d2m.Result, rep *d2m.Replicated) {
 	if k.s.store == nil {
 		return
 	}
-	if err := k.s.store.append(storeRecord{
+	if err := k.s.store.append(StoreRecord{
 		Key: key, Kind: res.Kind.String(), Benchmark: res.Benchmark,
 		Result: res, Replicated: rep,
 	}); err != nil {
@@ -147,9 +153,10 @@ func New(cfg Config) (*Server, error) {
 		cfg:        cfg,
 		runner:     cfg.Runner,
 		replicator: cfg.Replicator,
-		metrics:    &Metrics{},
+		metrics:    &Metrics{Shard: cfg.ShardName},
 		cache:      newResultCache(cfg.CacheEntries),
 		sweeps:     make(map[string]*sweep),
+		ready:      make(chan struct{}),
 	}
 	if cfg.SnapshotMemBytes > 0 {
 		s.snapshots = newSnapshotCache(cfg.SnapshotMemBytes, s.metrics)
@@ -174,15 +181,28 @@ func New(cfg Config) (*Server, error) {
 		}
 	}
 	if cfg.StorePath != "" {
-		store, recs, err := openResultStore(cfg.StorePath)
+		// Open for append synchronously — an unwritable path fails New —
+		// but replay in the background so a large journal does not delay
+		// startup; /readyz reports 503 until the cache is authoritative.
+		store, err := openResultStore(cfg.StorePath)
 		if err != nil {
 			return nil, err
 		}
 		s.store = store
-		for _, rec := range recs {
-			s.cache.put(rec.Key, rec.Result, rec.Replicated)
-		}
-		s.metrics.StoreLoaded.Add(uint64(len(recs)))
+		go func() {
+			defer close(s.ready)
+			recs, err := ReplayJournal(cfg.StorePath)
+			if err != nil {
+				s.metrics.StoreErrors.Add(1)
+				return
+			}
+			for _, rec := range recs {
+				s.cache.put(rec.Key, rec.Result, rec.Replicated)
+			}
+			s.metrics.StoreLoaded.Add(uint64(len(recs)))
+		}()
+	} else {
+		close(s.ready)
 	}
 
 	// The scheduler owns execution; the server hands it the run
@@ -235,9 +255,18 @@ func New(cfg Config) (*Server, error) {
 			"GET /v1/benchmarks was removed in API v1.2; use GET /v1/capabilities"))
 	})
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
+	s.mux.HandleFunc("POST /admin/drain", s.handleDrain)
+	s.mux.HandleFunc("POST /admin/undrain", s.handleUndrain)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return s, nil
 }
+
+// Ready returns a channel closed once the server's result cache is
+// authoritative: immediately when no store is configured, otherwise
+// when the background journal replay has landed. /readyz reports 503
+// until then.
+func (s *Server) Ready() <-chan struct{} { return s.ready }
 
 // Handler returns the service's HTTP handler.
 func (s *Server) Handler() http.Handler { return s.mux }
@@ -372,7 +401,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		writeError(w, apiErrorf(ErrInvalidRequest, "bad request body: %v", err))
 		return
 	}
-	kind, bench, opt, reps, err := req.normalize()
+	kind, bench, opt, reps, err := req.Normalize()
 	if err != nil {
 		writeError(w, err)
 		return
@@ -530,7 +559,7 @@ type KernelCap struct {
 
 // apiRevision is the documented revision of the v1 surface; bumped
 // when a field or endpoint is added or retired (see docs/api.md).
-const apiRevision = "v1.3"
+const apiRevision = "v1.4"
 
 func (s *Server) handleCapabilities(w http.ResponseWriter, r *http.Request) {
 	body := capabilitiesBody{
@@ -551,20 +580,58 @@ func (s *Server) handleCapabilities(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, body)
 }
 
+// handleHealthz is pure liveness: it answers 200 as long as the
+// process serves HTTP, even while draining (the status field says so).
+// Routability — "should this process receive new work?" — moved to
+// /readyz in API v1.4; before that, /healthz answered 503 while
+// draining and conflated the two.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	draining := s.sched.Draining()
-	body := map[string]interface{}{
-		"status":  "ok",
+	status := "ok"
+	if s.sched.Draining() {
+		status = "draining"
+	}
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"status":  status,
 		"queued":  s.metrics.Queued.Load(),
 		"running": s.metrics.Running.Load(),
 		"cached":  s.cache.len(),
+	})
+}
+
+// handleReadyz is readiness: 503 while the journal replay is still
+// populating the cache or while admission is draining, 200 otherwise.
+// The cluster gateway's prober keys its hash ring on exactly this.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	select {
+	case <-s.ready:
+	default:
+		writeJSON(w, http.StatusServiceUnavailable,
+			map[string]interface{}{"status": "replaying"})
+		return
 	}
-	code := http.StatusOK
-	if draining {
-		body["status"] = "draining"
-		code = http.StatusServiceUnavailable
+	if s.sched.Draining() {
+		writeJSON(w, http.StatusServiceUnavailable,
+			map[string]interface{}{"status": "draining"})
+		return
 	}
-	writeJSON(w, code, body)
+	writeJSON(w, http.StatusOK, map[string]interface{}{"status": "ok"})
+}
+
+// handleDrain (POST /admin/drain) closes admission reversibly: new
+// submissions get 503 draining while queued and running jobs keep
+// flowing, and /readyz flips to 503 so the gateway remaps this shard's
+// hash range. POST /admin/undrain reopens admission — unless the
+// server is shutting down, which is final.
+func (s *Server) handleDrain(w http.ResponseWriter, r *http.Request) {
+	s.sched.SetDraining(true)
+	writeJSON(w, http.StatusOK, map[string]interface{}{"draining": true})
+}
+
+func (s *Server) handleUndrain(w http.ResponseWriter, r *http.Request) {
+	s.sched.SetDraining(false)
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"draining": s.sched.Draining(), // still true if shutdown won
+	})
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {

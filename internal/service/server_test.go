@@ -480,7 +480,7 @@ func TestRequestValidation(t *testing.T) {
 			if resp.StatusCode != http.StatusBadRequest {
 				t.Errorf("code %d, want 400", resp.StatusCode)
 			}
-			var eb errorBody
+			var eb ErrorBody
 			if err := json.NewDecoder(resp.Body).Decode(&eb); err != nil {
 				t.Fatal(err)
 			}
@@ -506,7 +506,7 @@ func TestErrorEnvelopeStatuses(t *testing.T) {
 	if resp.StatusCode != http.StatusNotFound {
 		t.Fatalf("code %d, want 404", resp.StatusCode)
 	}
-	var eb errorBody
+	var eb ErrorBody
 	if err := json.NewDecoder(resp.Body).Decode(&eb); err != nil {
 		t.Fatal(err)
 	}
@@ -547,7 +547,7 @@ func TestRunRequestNewFields(t *testing.T) {
 	if resp.StatusCode != http.StatusBadRequest {
 		t.Errorf("legacy-spelling request = %d, want 400", resp.StatusCode)
 	}
-	var eb errorBody
+	var eb ErrorBody
 	if err := json.NewDecoder(resp.Body).Decode(&eb); err != nil {
 		t.Fatal(err)
 	}
@@ -649,7 +649,7 @@ func TestCapabilitiesEndpoint(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	var envelope errorBody
+	var envelope ErrorBody
 	err = json.NewDecoder(resp.Body).Decode(&envelope)
 	resp.Body.Close()
 	if err != nil {

@@ -9,6 +9,13 @@ import (
 	"d2m"
 )
 
+// warmRun adapts d2m.Run to the (kind, bench, opt, cache) shape these
+// tests use; a nil cache runs without warm-state reuse.
+func warmRun(ctx context.Context, kind d2m.Kind, bench string, opt d2m.Options, wc d2m.WarmCache) (d2m.Result, error) {
+	out, err := d2m.Run(ctx, d2m.RunSpec{Kind: kind, Benchmark: bench, Options: opt, Warm: wc})
+	return out.Result, err
+}
+
 // TestSnapshotCacheConcurrent hammers the snapshot LRU from concurrent
 // workers under a budget small enough to force evictions: goroutines
 // race to populate, restore, and evict snapshots across four warm
@@ -27,7 +34,7 @@ func TestSnapshotCacheConcurrent(t *testing.T) {
 	// entries — four identities over two slots guarantees evictions.
 	fresh := make([]string, seeds)
 	for seed := uint64(0); seed < seeds; seed++ {
-		res, err := d2m.RunContext(ctx, d2m.D2MNSR, "tpc-c", mkOpt(seed))
+		res, err := warmRun(ctx, d2m.D2MNSR, "tpc-c", mkOpt(seed), nil)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -37,7 +44,7 @@ func TestSnapshotCacheConcurrent(t *testing.T) {
 	// The gated cache captures on a key's second miss, so probe twice.
 	probe := newSnapshotCache(1<<40, &Metrics{})
 	for i := 0; i < 2; i++ {
-		if _, err := d2m.RunContextWarm(ctx, d2m.D2MNSR, "tpc-c", mkOpt(0), probe); err != nil {
+		if _, err := warmRun(ctx, d2m.D2MNSR, "tpc-c", mkOpt(0), probe); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -57,7 +64,7 @@ func TestSnapshotCacheConcurrent(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < rounds; i++ {
 				seed := uint64((g + i) % seeds)
-				res, err := d2m.RunContextWarm(ctx, d2m.D2MNSR, "tpc-c", mkOpt(seed), sc)
+				res, err := warmRun(ctx, d2m.D2MNSR, "tpc-c", mkOpt(seed), sc)
 				if err != nil {
 					errs <- err
 					return
@@ -110,7 +117,7 @@ func TestSnapshotCacheOversize(t *testing.T) {
 	big := newSnapshotCache(1<<40, &Metrics{})
 	opt := d2m.Options{Nodes: 2, Warmup: 1000, Measure: 1000}
 	for i := 0; i < 2; i++ {
-		if _, err := d2m.RunContextWarm(ctx, d2m.Base2L, "tpc-c", opt, big); err != nil {
+		if _, err := warmRun(ctx, d2m.Base2L, "tpc-c", opt, big); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -119,7 +126,7 @@ func TestSnapshotCacheOversize(t *testing.T) {
 	m := &Metrics{}
 	sc := newSnapshotCache(size-1, m)
 	for i := 0; i < 2; i++ {
-		if _, err := d2m.RunContextWarm(ctx, d2m.Base2L, "tpc-c", opt, sc); err != nil {
+		if _, err := warmRun(ctx, d2m.Base2L, "tpc-c", opt, sc); err != nil {
 			t.Fatal(err)
 		}
 	}

@@ -18,15 +18,21 @@ import (
 // keys are harmless (the last line wins on replay), and a torn final
 // line — a crash mid-append — stops the replay at the last intact
 // record rather than failing it.
+//
+// In cluster mode each shard owns one journal and the gateway merges
+// every shard's journal into its own cache on replay (ReplayJournal is
+// exported for that path), so a fleet restart resumes from the union
+// of what any shard completed.
 type resultStore struct {
 	mu   sync.Mutex
 	path string
 	f    *os.File
 }
 
-// storeRecord is one journal line. Replicated is present only for
+// StoreRecord is one journal line. Replicated is present only for
 // replicated jobs; older journals without the field replay cleanly.
-type storeRecord struct {
+// Exported so the cluster gateway can merge shard journals.
+type StoreRecord struct {
 	Key        string          `json:"key"`
 	Kind       string          `json:"kind"`
 	Benchmark  string          `json:"benchmark"`
@@ -34,24 +40,23 @@ type storeRecord struct {
 	Replicated *d2m.Replicated `json:"replicated,omitempty"`
 }
 
-// openResultStore opens (creating if absent) the journal at path and
-// returns the store plus the replayed records, oldest first.
-func openResultStore(path string) (*resultStore, []storeRecord, error) {
-	recs, err := replayStore(path)
-	if err != nil {
-		return nil, nil, err
-	}
+// openResultStore opens (creating if absent) the journal at path for
+// appending. Replay is a separate step (ReplayJournal) so the server
+// can fail fast on an unwritable path while loading records in the
+// background.
+func openResultStore(path string) (*resultStore, error) {
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
-	return &resultStore{path: path, f: f}, recs, nil
+	return &resultStore{path: path, f: f}, nil
 }
 
-// replayStore reads every intact record; a missing file is an empty
-// journal, and the first malformed line ends the replay (it can only
-// be the torn tail of a crashed append).
-func replayStore(path string) ([]storeRecord, error) {
+// ReplayJournal reads every intact record of the JSONL journal at
+// path, oldest first; a missing file is an empty journal, and the
+// first malformed line ends the replay (it can only be the torn tail
+// of a crashed append).
+func ReplayJournal(path string) ([]StoreRecord, error) {
 	f, err := os.Open(path)
 	if os.IsNotExist(err) {
 		return nil, nil
@@ -60,7 +65,7 @@ func replayStore(path string) ([]storeRecord, error) {
 		return nil, err
 	}
 	defer f.Close()
-	var recs []storeRecord
+	var recs []StoreRecord
 	sc := bufio.NewScanner(f)
 	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
 	for sc.Scan() {
@@ -68,7 +73,7 @@ func replayStore(path string) ([]storeRecord, error) {
 		if len(line) == 0 {
 			continue
 		}
-		var rec storeRecord
+		var rec StoreRecord
 		if err := json.Unmarshal(line, &rec); err != nil || rec.Key == "" {
 			break
 		}
@@ -78,7 +83,7 @@ func replayStore(path string) ([]storeRecord, error) {
 }
 
 // append journals one completed simulation.
-func (st *resultStore) append(rec storeRecord) error {
+func (st *resultStore) append(rec StoreRecord) error {
 	b, err := json.Marshal(rec)
 	if err != nil {
 		return err

@@ -16,15 +16,19 @@ import (
 // reopen replays them in order.
 func TestStoreRoundTrip(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "store.jsonl")
-	st, recs, err := openResultStore(path)
+	recs, err := ReplayJournal(path)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(recs) != 0 {
 		t.Fatalf("fresh store replayed %d records", len(recs))
 	}
+	st, err := openResultStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
 	for i := 0; i < 3; i++ {
-		err := st.append(storeRecord{
+		err := st.append(StoreRecord{
 			Key: string(rune('a' + i)), Kind: "Base-2L", Benchmark: "tpc-c",
 			Result: d2m.Result{Cycles: uint64(i + 1)},
 		})
@@ -35,15 +39,14 @@ func TestStoreRoundTrip(t *testing.T) {
 	if err := st.close(); err != nil {
 		t.Fatal(err)
 	}
-	if err := st.append(storeRecord{Key: "x"}); err != os.ErrClosed {
+	if err := st.append(StoreRecord{Key: "x"}); err != os.ErrClosed {
 		t.Errorf("append after close = %v, want ErrClosed", err)
 	}
 
-	st2, recs, err := openResultStore(path)
+	recs, err = ReplayJournal(path)
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer st2.close()
 	if len(recs) != 3 {
 		t.Fatalf("replayed %d records, want 3", len(recs))
 	}
@@ -65,14 +68,19 @@ func TestStoreTornTail(t *testing.T) {
 	if err := os.WriteFile(path, []byte(torn), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	st, recs, err := openResultStore(path)
+	recs, err := ReplayJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 || recs[0].Key != "k1" || recs[1].Key != "k2" {
+		t.Fatalf("torn-tail replay = %+v, want the 2 intact records", recs)
+	}
+	// The journal stays usable for appends after the torn tail.
+	st, err := openResultStore(path)
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer st.close()
-	if len(recs) != 2 || recs[0].Key != "k1" || recs[1].Key != "k2" {
-		t.Fatalf("torn-tail replay = %+v, want the 2 intact records", recs)
-	}
 }
 
 // TestStoreBlankAndKeylessLines checks blank lines are skipped but a
@@ -86,7 +94,7 @@ func TestStoreBlankAndKeylessLines(t *testing.T) {
 	if err := os.WriteFile(path, []byte(data), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	recs, err := replayStore(path)
+	recs, err := ReplayJournal(path)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -145,6 +153,11 @@ func TestRunResultsPersistAcrossRestart(t *testing.T) {
 		defer cancel()
 		s2.Shutdown(ctx)
 	})
+	select {
+	case <-s2.Ready(): // journal replay is asynchronous since v1.4
+	case <-time.After(10 * time.Second):
+		t.Fatal("server never became ready")
+	}
 	if got := s2.Metrics().StoreLoaded.Load(); got != 1 {
 		t.Fatalf("store loaded = %d, want 1", got)
 	}

@@ -26,6 +26,13 @@ import (
 // d2m.SweepSpec (flattened) plus service-level handling knobs.
 type SweepRequest struct {
 	d2m.SweepSpec
+	// Cells, when non-empty, is an explicit cell list that replaces the
+	// grid expansion: the sweep runs exactly these cells in order, and
+	// the grid axes (kinds, benchmarks, ...) must be absent. The cluster
+	// gateway uses this to hand each shard the warm-identity-local slice
+	// of a fleet-wide sweep; cells arrive in canonical (defaulted)
+	// Options form and are re-validated here.
+	Cells []d2m.SweepCell `json:"cells,omitempty"`
 	// Baseline names the kind speedups are computed against. Empty
 	// picks Base-2L when it is one of the sweep's kinds, else the
 	// first kind.
@@ -74,6 +81,19 @@ type SweepStatus struct {
 	// non-cached cell completes.
 	ETAMS   float64       `json:"eta_ms,omitempty"`
 	Summary *SweepSummary `json:"summary,omitempty"`
+	// Cells is the per-cell view, present only with ?cells=1 on GET:
+	// one entry per grid point in expansion order. The gateway merges
+	// shard sub-sweeps from exactly this.
+	Cells []SweepCellStatus `json:"cells,omitempty"`
+}
+
+// SweepCellStatus is one grid point's settled (or pending) state in
+// the ?cells=1 view of GET /v1/sweeps/{id}.
+type SweepCellStatus struct {
+	State  JobState    `json:"state"`
+	Cached bool        `json:"cached,omitempty"`
+	Result *d2m.Result `json:"result,omitempty"`
+	Error  string      `json:"error,omitempty"`
 }
 
 // cellOutcome is one grid point's settled state.
@@ -165,6 +185,34 @@ func (sw *sweep) status(workers int) SweepStatus {
 // ---------------------------------------------------------------------------
 // HTTP handlers.
 
+// ExpandSweep resolves a sweep request to its validated cell list,
+// baseline kind, and canonical replicate count — the exact validation
+// path POST /v1/sweeps runs before accepting. Exported for the cluster
+// gateway, which expands a fleet sweep once and hands each shard its
+// warm-identity-local slice via the Cells field.
+func ExpandSweep(req SweepRequest) ([]d2m.SweepCell, d2m.Kind, int, error) {
+	// Unknown benchmarks carry their own code, matching POST /v1/run.
+	for _, b := range req.Benchmarks {
+		if _, ok := d2m.SuiteOf(b); !ok {
+			return nil, 0, 0, apiErrorf(ErrUnknownBenchmark,
+				"d2m: unknown benchmark %q (see GET /v1/capabilities)", b)
+		}
+	}
+	cells, err := sweepCells(req)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	baseline, err := resolveBaseline(req.Baseline, cells)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	reps, err := normalizeReplicates(req.Replicates)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	return cells, baseline, reps, nil
+}
+
 func (s *Server) handleSweepCreate(w http.ResponseWriter, r *http.Request) {
 	var req SweepRequest
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
@@ -173,25 +221,7 @@ func (s *Server) handleSweepCreate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, apiErrorf(ErrInvalidRequest, "bad request body: %v", err))
 		return
 	}
-	// Unknown benchmarks carry their own code, matching POST /v1/run.
-	for _, b := range req.Benchmarks {
-		if _, ok := d2m.SuiteOf(b); !ok {
-			writeError(w, apiErrorf(ErrUnknownBenchmark,
-				"d2m: unknown benchmark %q (see GET /v1/capabilities)", b))
-			return
-		}
-	}
-	cells, err := req.SweepSpec.Expand()
-	if err != nil {
-		writeError(w, apiErrorf(ErrInvalidRequest, "%v", err))
-		return
-	}
-	baseline, err := resolveBaseline(req)
-	if err != nil {
-		writeError(w, err)
-		return
-	}
-	reps, err := normalizeReplicates(req.Replicates)
+	cells, baseline, reps, err := ExpandSweep(req)
 	if err != nil {
 		writeError(w, err)
 		return
@@ -224,31 +254,68 @@ func (s *Server) handleSweepCreate(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusAccepted, sw.status(s.cfg.Workers))
 }
 
+// sweepCells resolves a request's cell list: the grid expansion in the
+// normal case, or the explicit Cells list (validated cell by cell)
+// when present — the two forms are mutually exclusive.
+func sweepCells(req SweepRequest) ([]d2m.SweepCell, error) {
+	if len(req.Cells) == 0 {
+		cells, err := req.SweepSpec.Expand()
+		if err != nil {
+			return nil, apiErrorf(ErrInvalidRequest, "%v", err)
+		}
+		return cells, nil
+	}
+	if len(req.Kinds) > 0 || len(req.Benchmarks) > 0 {
+		return nil, apiErrorf(ErrInvalidRequest,
+			"cells and grid axes (kinds, benchmarks) are mutually exclusive")
+	}
+	if len(req.Cells) > d2m.DefaultSweepCells {
+		return nil, apiErrorf(ErrInvalidRequest,
+			"sweep lists %d cells, over the cap of %d", len(req.Cells), d2m.DefaultSweepCells)
+	}
+	cells := make([]d2m.SweepCell, len(req.Cells))
+	for i, c := range req.Cells {
+		if _, err := d2m.ParseKind(c.Kind.String()); err != nil {
+			return nil, apiErrorf(ErrInvalidRequest, "cells[%d]: %v", i, err)
+		}
+		if _, ok := d2m.SuiteOf(c.Benchmark); !ok {
+			return nil, apiErrorf(ErrUnknownBenchmark,
+				"cells[%d]: d2m: unknown benchmark %q (see GET /v1/capabilities)", i, c.Benchmark)
+		}
+		c.Options = c.Options.WithDefaults()
+		if err := c.Options.Validate(); err != nil {
+			return nil, apiErrorf(ErrInvalidRequest, "cells[%d]: %v", i, err)
+		}
+		cells[i] = c
+	}
+	return cells, nil
+}
+
 // resolveBaseline picks and validates the speedup baseline: it must be
 // one of the sweep's own kinds, so every summary row has a comparison
-// population.
-func resolveBaseline(req SweepRequest) (d2m.Kind, error) {
-	name := req.Baseline
+// population. Deriving candidates from the expanded cells (rather than
+// the Kinds axis) makes the same rule cover explicit-cell sweeps.
+func resolveBaseline(name string, cells []d2m.SweepCell) (d2m.Kind, error) {
 	if name == "" {
-		name = req.Kinds[0]
-		for _, k := range req.Kinds {
-			if parsed, err := d2m.ParseKind(k); err == nil && parsed == d2m.Base2L {
-				name = k
-				break
+		base := cells[0].Kind
+		for _, c := range cells {
+			if c.Kind == d2m.Base2L {
+				return d2m.Base2L, nil
 			}
 		}
+		return base, nil
 	}
 	base, err := d2m.ParseKind(name)
 	if err != nil {
 		return 0, apiErrorf(ErrInvalidRequest, "%v", err)
 	}
-	for _, k := range req.Kinds {
-		if parsed, err := d2m.ParseKind(k); err == nil && parsed == base {
+	for _, c := range cells {
+		if c.Kind == base {
 			return base, nil
 		}
 	}
 	return 0, apiErrorf(ErrInvalidRequest,
-		"baseline %q is not one of the sweep's kinds", req.Baseline)
+		"baseline %q is not one of the sweep's kinds", name)
 }
 
 func (s *Server) lookupSweep(w http.ResponseWriter, r *http.Request) *sweep {
@@ -263,9 +330,36 @@ func (s *Server) lookupSweep(w http.ResponseWriter, r *http.Request) *sweep {
 }
 
 func (s *Server) handleSweepGet(w http.ResponseWriter, r *http.Request) {
-	if sw := s.lookupSweep(w, r); sw != nil {
-		writeJSON(w, http.StatusOK, sw.status(s.cfg.Workers))
+	sw := s.lookupSweep(w, r)
+	if sw == nil {
+		return
 	}
+	st := sw.status(s.cfg.Workers)
+	if r.URL.Query().Get("cells") == "1" {
+		st.Cells = sw.cellStatuses()
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+// cellStatuses snapshots the per-cell view in expansion order. A cell
+// not yet settled reads as queued — the sweep does not track the
+// queued/running transition per cell, and the distinction does not
+// matter to the merge consumers.
+func (sw *sweep) cellStatuses() []SweepCellStatus {
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
+	out := make([]SweepCellStatus, len(sw.outcome))
+	for i, oc := range sw.outcome {
+		cs := SweepCellStatus{State: oc.state, Cached: oc.cached, Result: oc.result}
+		if cs.State == "" {
+			cs.State = JobQueued
+		}
+		if oc.err != nil {
+			cs.Error = oc.err.Error()
+		}
+		out[i] = cs
+	}
+	return out
 }
 
 // handleSweepDelete cancels a sweep: the feeder stops, every

@@ -341,6 +341,11 @@ func TestSweepRestartResume(t *testing.T) {
 		defer cancel()
 		s2.Shutdown(ctx)
 	})
+	select {
+	case <-s2.Ready(): // journal replay is asynchronous since v1.4
+	case <-time.After(10 * time.Second):
+		t.Fatal("server never became ready")
+	}
 	if got := s2.Metrics().StoreLoaded.Load(); got != 4 {
 		t.Fatalf("store loaded = %d, want 4", got)
 	}
@@ -410,7 +415,7 @@ func TestSweepValidation(t *testing.T) {
 			if resp.StatusCode != http.StatusBadRequest {
 				t.Errorf("code %d, want 400", resp.StatusCode)
 			}
-			var eb errorBody
+			var eb ErrorBody
 			if err := json.NewDecoder(resp.Body).Decode(&eb); err != nil {
 				t.Fatal(err)
 			}
@@ -426,7 +431,7 @@ func TestSweepValidation(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		var eb errorBody
+		var eb ErrorBody
 		json.NewDecoder(resp.Body).Decode(&eb)
 		resp.Body.Close()
 		if resp.StatusCode != http.StatusNotFound || eb.Error.Code != ErrNotFound {
@@ -480,7 +485,7 @@ func TestSweepDrainingRefused(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer resp.Body.Close()
-	var eb errorBody
+	var eb ErrorBody
 	if err := json.NewDecoder(resp.Body).Decode(&eb); err != nil {
 		t.Fatal(err)
 	}

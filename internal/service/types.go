@@ -54,12 +54,14 @@ type RunRequest struct {
 // have long converged and the job is a denial-of-service risk.
 const MaxReplicates = 64
 
-// normalize validates the request through the root package's shared
+// Normalize validates the request through the root package's shared
 // parse helpers and returns the canonical simulation identity
 // (including the canonical replicate count: 0 for a single run, 2..
 // MaxReplicates for a replicated one). Errors are apiErrors, so
-// handlers map them straight onto the envelope.
-func (r RunRequest) normalize() (d2m.Kind, string, d2m.Options, int, error) {
+// handlers map them straight onto the envelope. Exported for the
+// cluster gateway, which normalizes each request to derive its
+// warm-identity shard key without re-implementing validation.
+func (r RunRequest) Normalize() (d2m.Kind, string, d2m.Options, int, error) {
 	fail := func(err error) (d2m.Kind, string, d2m.Options, int, error) {
 		return 0, "", d2m.Options{}, 0, err
 	}

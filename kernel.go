@@ -41,13 +41,13 @@ func RunKernel(kind Kind, kernel string, opt Options) (Result, error) {
 }
 
 // RunKernelContext is RunKernel with cooperative cancellation,
-// matching Run/RunContext.
+// matching Run.
 func RunKernelContext(ctx context.Context, kind Kind, kernel string, opt Options) (Result, error) {
 	return RunKernelContextWarm(ctx, kind, kernel, opt, nil)
 }
 
 // RunKernelContextWarm is RunKernelContext with warm-state reuse
-// through wc (see RunContextWarm). Kernel streams are closure-driven
+// through wc (see RunSpec.Warm). Kernel streams are closure-driven
 // generators that cannot be cloned, so a snapshot hit restores the
 // machine state and replays (without simulating) the warmup draws to
 // reposition the stream — still a large net win, since a replayed draw

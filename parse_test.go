@@ -116,9 +116,10 @@ func TestRunContextCancel(t *testing.T) {
 	defer cancel()
 	start := time.Now()
 	// 50M accesses would take tens of seconds if cancellation failed.
-	_, err := RunContext(ctx, D2MNSR, "tpc-c", Options{Nodes: 2, Warmup: 25_000_000, Measure: 25_000_000})
+	_, err := Run(ctx, RunSpec{Kind: D2MNSR, Benchmark: "tpc-c",
+		Options: Options{Nodes: 2, Warmup: 25_000_000, Measure: 25_000_000}})
 	if err != context.DeadlineExceeded {
-		t.Fatalf("RunContext = %v, want DeadlineExceeded", err)
+		t.Fatalf("Run = %v, want DeadlineExceeded", err)
 	}
 	if d := time.Since(start); d > 5*time.Second {
 		t.Errorf("cancellation took %v, want well under the full run time", d)
@@ -126,7 +127,7 @@ func TestRunContextCancel(t *testing.T) {
 
 	// An uncancelled context must not perturb results: same answer as Run.
 	opt := Options{Nodes: 2, Warmup: 1000, Measure: 4000}
-	viaCtx, err := RunContext(context.Background(), Base2L, "tpc-c", opt)
+	viaCtx, err := runOne(context.Background(), Base2L, "tpc-c", opt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -135,7 +136,7 @@ func TestRunContextCancel(t *testing.T) {
 		t.Fatal(err)
 	}
 	if viaCtx.Cycles != direct.Cycles || viaCtx.Accesses != direct.Accesses {
-		t.Errorf("RunContext and Run diverge: %d/%d cycles, %d/%d accesses",
+		t.Errorf("context and plain runs diverge: %d/%d cycles, %d/%d accesses",
 			viaCtx.Cycles, direct.Cycles, viaCtx.Accesses, direct.Accesses)
 	}
 }

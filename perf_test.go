@@ -16,6 +16,7 @@ package d2m
 // serial aggregation.
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -119,12 +120,12 @@ func TestReplicateParallelDeterministic(t *testing.T) {
 	defer func(w int) { ExperimentWorkers = w }(ExperimentWorkers)
 
 	ExperimentWorkers = 1
-	serial, err := Replicate(D2MNSR, "tpc-c", opt, n)
+	serial, err := replicateN(context.Background(), D2MNSR, "tpc-c", opt, n, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	ExperimentWorkers = 4
-	parallel, err := Replicate(D2MNSR, "tpc-c", opt, n)
+	parallel, err := replicateN(context.Background(), D2MNSR, "tpc-c", opt, n, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -40,7 +40,7 @@ func TestCancelledRunsReleasePools(t *testing.T) {
 	cancel()
 	for i := 0; i < 4; i++ {
 		for _, kind := range []Kind{D2MNSR, Base2L} {
-			if _, err := RunContext(cancelled, kind, "tpc-c", opt); err == nil {
+			if _, err := runOne(cancelled, kind, "tpc-c", opt); err == nil {
 				t.Fatalf("%v: pre-cancelled run reported success", kind)
 			}
 		}
@@ -51,7 +51,7 @@ func TestCancelledRunsReleasePools(t *testing.T) {
 	for i := 0; i < 4; i++ {
 		for _, kind := range []Kind{D2MNSR, Base2L} {
 			ctx, cancel := context.WithTimeout(context.Background(), 3*time.Millisecond)
-			_, err := RunContext(ctx, kind, "tpc-c", opt)
+			_, err := runOne(ctx, kind, "tpc-c", opt)
 			cancel()
 			if err == nil {
 				t.Fatalf("%v: deadline run reported success", kind)
@@ -63,11 +63,11 @@ func TestCancelledRunsReleasePools(t *testing.T) {
 	// both on the populating (miss) run and on the restored (hit) run.
 	wc := newMapWarmCache()
 	warmOpt := Options{Nodes: 2, Warmup: 2000, Measure: 400_000}
-	if _, err := RunContextWarm(context.Background(), D2MNSR, "tpc-c", warmOpt, wc); err != nil {
+	if _, err := runOneWarm(context.Background(), D2MNSR, "tpc-c", warmOpt, wc); err != nil {
 		t.Fatal(err)
 	}
 	for i := 0; i < 4; i++ {
-		if _, err := RunContextWarm(cancelled, D2MNSR, "tpc-c", warmOpt, wc); err == nil {
+		if _, err := runOneWarm(cancelled, D2MNSR, "tpc-c", warmOpt, wc); err == nil {
 			t.Fatal("cancelled warm run reported success")
 		}
 	}

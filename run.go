@@ -364,7 +364,7 @@ type RunOutput struct {
 // simulation stops at the next engine checkpoint when ctx is done),
 // replication and warm-state reuse from the spec. The former
 // RunContext / RunContextWarm / ReplicateContext / ReplicateContextWarm
-// variants survive as deprecated wrappers around it.
+// entry points were deprecated in v1.3 and removed in v1.4.
 func Run(ctx context.Context, spec RunSpec) (RunOutput, error) {
 	if spec.Replicates < 0 {
 		return RunOutput{}, fmt.Errorf("d2m: Run with Replicates = %d", spec.Replicates)
@@ -381,14 +381,6 @@ func Run(ctx context.Context, spec RunSpec) (RunOutput, error) {
 		return RunOutput{}, err
 	}
 	return RunOutput{Result: res}, nil
-}
-
-// RunContext runs one benchmark on one configuration with cooperative
-// cancellation.
-//
-// Deprecated: use Run with a RunSpec.
-func RunContext(ctx context.Context, kind Kind, bench string, opt Options) (Result, error) {
-	return runSingle(ctx, kind, bench, opt, nil)
 }
 
 // measure runs the stream on the kind's machine and fills the result.
@@ -656,30 +648,16 @@ func (r Replicated) MeanResult() Result {
 	}
 }
 
-// Replicate runs n seeds of (kind, bench) and aggregates.
-//
-// Deprecated: use Run with RunSpec.Replicates.
-func Replicate(kind Kind, bench string, opt Options, n int) (Replicated, error) {
-	return replicateContext(context.Background(), kind, bench, opt, n, nil)
-}
-
-// ReplicateContext is Replicate with cooperative cancellation. The n
-// seeded runs are independent simulations, so they execute concurrently
-// on a bounded worker set (ExperimentWorkers, defaulting to GOMAXPROCS);
+// replicateContext is the replication engine behind Run: the n seeded
+// runs are independent simulations, so they execute concurrently on a
+// bounded worker set (ExperimentWorkers, defaulting to GOMAXPROCS);
 // samples are gathered by seed index and aggregated in that fixed
 // order, so the result is byte-identical to running the seeds serially.
 // When a run fails, the remaining runs are cancelled and the error of
 // the lowest-indexed failed seed is returned (a context error only if
-// no seed failed on its own).
-//
-// Deprecated: use Run with RunSpec.Replicates.
-func ReplicateContext(ctx context.Context, kind Kind, bench string, opt Options, n int) (Replicated, error) {
-	return replicateContext(ctx, kind, bench, opt, n, nil)
-}
-
-// replicateContext is the shared engine behind ReplicateContext and
-// ReplicateContextWarm; wc, when non-nil, lets each seeded run reuse a
-// warm-state snapshot for its own (seed-specific) warm identity.
+// no seed failed on its own). wc, when non-nil, lets each seeded run
+// reuse a warm-state snapshot for its own (seed-specific) warm
+// identity.
 func replicateContext(ctx context.Context, kind Kind, bench string, opt Options, n int, wc WarmCache) (Replicated, error) {
 	if n < 1 {
 		return Replicated{}, fmt.Errorf("d2m: Replicate with n = %d", n)

@@ -118,13 +118,6 @@ func warmKey(kind Kind, scope string, opt Options) string {
 		opt.Bypass, opt.Prefetch, topo, place)
 }
 
-// RunContextWarm is RunContext with warm-state reuse.
-//
-// Deprecated: use Run with RunSpec.Warm.
-func RunContextWarm(ctx context.Context, kind Kind, bench string, opt Options, wc WarmCache) (Result, error) {
-	return runSingle(ctx, kind, bench, opt, wc)
-}
-
 // runSingle is the single-run engine behind Run: when wc holds a
 // snapshot for the run's warm identity, the warmup phase is replaced by
 // a state restore; when it does not, the run executes normally and
@@ -253,14 +246,4 @@ func (ws *WarmSnapshot) finish(src trace.Stream) {
 	if ws.base != nil {
 		ws.bytes += ws.base.SizeBytes()
 	}
-}
-
-// ReplicateContextWarm is ReplicateContext with warm-state reuse: each
-// seeded run resolves its own warm identity against wc, so replicated
-// jobs repeated across sweep cells that vary only measurement-side
-// parameters skip every warmup after the first round.
-//
-// Deprecated: use Run with RunSpec.Replicates and RunSpec.Warm.
-func ReplicateContextWarm(ctx context.Context, kind Kind, bench string, opt Options, n int, wc WarmCache) (Replicated, error) {
-	return replicateContext(ctx, kind, bench, opt, n, wc)
 }

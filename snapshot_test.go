@@ -47,6 +47,27 @@ func (c *mapWarmCache) PutWarm(snap *WarmSnapshot) {
 
 func allKinds() []Kind { return append(Kinds(), D2MHybrid) }
 
+// runOne / runOneWarm / replicateN adapt the Run entry point to the
+// (kind, bench, opt) shape these tests predate; the deprecated
+// RunContext-family wrappers they used were removed in v1.4.
+func runOne(ctx context.Context, kind Kind, bench string, opt Options) (Result, error) {
+	out, err := Run(ctx, RunSpec{Kind: kind, Benchmark: bench, Options: opt})
+	return out.Result, err
+}
+
+func runOneWarm(ctx context.Context, kind Kind, bench string, opt Options, wc WarmCache) (Result, error) {
+	out, err := Run(ctx, RunSpec{Kind: kind, Benchmark: bench, Options: opt, Warm: wc})
+	return out.Result, err
+}
+
+func replicateN(ctx context.Context, kind Kind, bench string, opt Options, n int, wc WarmCache) (Replicated, error) {
+	out, err := Run(ctx, RunSpec{Kind: kind, Benchmark: bench, Options: opt, Replicates: n, Warm: wc})
+	if err != nil {
+		return Replicated{}, err
+	}
+	return *out.Replicated, nil
+}
+
 // TestSnapshotExactnessMatrix runs every kind on a calibrated
 // benchmark and on an algorithmic kernel, three ways: fresh (no warm
 // cache), cold-through-cache (miss, deposits the snapshot), and
@@ -59,16 +80,16 @@ func TestSnapshotExactnessMatrix(t *testing.T) {
 		kind := kind
 		t.Run(kind.String()+"/tpc-c", func(t *testing.T) {
 			t.Parallel()
-			fresh, err := RunContext(ctx, kind, "tpc-c", opt)
+			fresh, err := runOne(ctx, kind, "tpc-c", opt)
 			if err != nil {
 				t.Fatal(err)
 			}
 			wc := newMapWarmCache()
-			first, err := RunContextWarm(ctx, kind, "tpc-c", opt, wc)
+			first, err := runOneWarm(ctx, kind, "tpc-c", opt, wc)
 			if err != nil {
 				t.Fatal(err)
 			}
-			second, err := RunContextWarm(ctx, kind, "tpc-c", opt, wc)
+			second, err := runOneWarm(ctx, kind, "tpc-c", opt, wc)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -127,11 +148,11 @@ func TestSnapshotSharedAcrossMeasureParams(t *testing.T) {
 		{Nodes: 2, Warmup: 4000, Measure: 4000, LinkBandwidth: 0.05},
 	}
 	for i, opt := range variants {
-		fresh, err := RunContext(ctx, D2MNSR, "tpc-c", opt)
+		fresh, err := runOne(ctx, D2MNSR, "tpc-c", opt)
 		if err != nil {
 			t.Fatal(err)
 		}
-		warm, err := RunContextWarm(ctx, D2MNSR, "tpc-c", opt, wc)
+		warm, err := runOneWarm(ctx, D2MNSR, "tpc-c", opt, wc)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -146,21 +167,21 @@ func TestSnapshotSharedAcrossMeasureParams(t *testing.T) {
 	}
 }
 
-// TestReplicateWarmDeterministic checks ReplicateContextWarm equals
-// ReplicateContext byte-for-byte — on a cold cache (populating) and
-// again on the warm cache (every seed restored).
+// TestReplicateWarmDeterministic checks a warm-cached replicated run
+// equals the plain one byte-for-byte — on a cold cache (populating)
+// and again on the warm cache (every seed restored).
 func TestReplicateWarmDeterministic(t *testing.T) {
 	ctx := context.Background()
 	opt := Options{Nodes: 2, Warmup: 2000, Measure: 4000}
 	const n = 4
 
-	plain, err := ReplicateContext(ctx, D2MNSR, "tpc-c", opt, n)
+	plain, err := replicateN(ctx, D2MNSR, "tpc-c", opt, n, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	wc := newMapWarmCache()
 	for round := 0; round < 2; round++ {
-		warm, err := ReplicateContextWarm(ctx, D2MNSR, "tpc-c", opt, n, wc)
+		warm, err := replicateN(ctx, D2MNSR, "tpc-c", opt, n, wc)
 		if err != nil {
 			t.Fatal(err)
 		}
