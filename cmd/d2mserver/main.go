@@ -100,6 +100,7 @@ func main() {
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown budget")
 		storePath    = flag.String("store", "", "persistent result store (append-only JSONL journal; empty = in-memory only)")
 		snapshotMem  = flag.Int64("snapshot-mem", 256, "warm-snapshot cache budget in MiB (0 = disabled)")
+		maxLanes     = flag.Int("max-lanes", 0, "vector lane-group width cap (0 = default, 1 = scalar only)")
 		debugAddr    = flag.String("debug-addr", "", "serve net/http/pprof and expvar on this address (empty = disabled)")
 		shardName    = flag.String("shard", "", "shard name label on metrics and logs (cluster deployments)")
 		logFormat    = flag.String("log-format", "text", "log format: text or json")
@@ -145,6 +146,7 @@ func main() {
 		DefaultTimeout:   *timeout,
 		StorePath:        *storePath,
 		SnapshotMemBytes: snapshotBytes,
+		MaxLanes:         *maxLanes,
 		ShardName:        *shardName,
 	})
 	if err != nil {

@@ -1,0 +1,326 @@
+// Package api holds the v1 wire contract of the d2m service: request
+// and response shapes, the structured error envelope, the capabilities
+// document, and the API revision string. It is the single definition
+// that both the scheduler shards (internal/service) and the cluster
+// gateway (internal/cluster) serve, so the two can never drift apart —
+// before this package the gateway imported the server's types, coupling
+// the transports. The package depends only on the root d2m types; it
+// knows nothing about scheduling or HTTP routing beyond status mapping.
+package api
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"d2m"
+)
+
+// Revision is the wire API revision served by shards and gateway alike,
+// reported by GET /v1/capabilities. Gateways refuse to route to shards
+// whose revision differs.
+const Revision = "v1.5"
+
+// Engine names accepted by the "engine" request hint. EngineAuto (or
+// an empty string) lets the scheduler choose; the scalar and vector
+// engines are byte-identical by contract, so the hint trades scheduling
+// behaviour, never results.
+const (
+	EngineAuto   = "auto"
+	EngineScalar = d2m.EngineScalar
+	EngineVector = d2m.EngineVector
+)
+
+// NormalizeEngine canonicalizes an engine hint: "" and "auto" become
+// "" (scheduler's choice); "scalar" and "vector" pass through; anything
+// else is an invalid_request error.
+func NormalizeEngine(s string) (string, error) {
+	switch s {
+	case "", EngineAuto:
+		return "", nil
+	case EngineScalar, EngineVector:
+		return s, nil
+	default:
+		return "", Errorf(ErrInvalidRequest,
+			"unknown engine %q (want auto, scalar or vector)", s)
+	}
+}
+
+// RunRequest is the body of POST /v1/run and each element of a batch.
+// The simulation fields mirror d2m.Options; zero values take the
+// paper's defaults. TimeoutMS, Async and Engine control job handling
+// and do not affect the cache identity.
+type RunRequest struct {
+	Kind      string `json:"kind"`
+	Benchmark string `json:"benchmark"`
+	Nodes     int    `json:"nodes,omitempty"`
+	Warmup    int    `json:"warmup,omitempty"`
+	Measure   int    `json:"measure,omitempty"`
+	Seed      uint64 `json:"seed,omitempty"`
+	// MDScale is the canonical "md_scale" field. LegacyMDScale catches
+	// the retired "mdscale" spelling: its compat window (one release,
+	// API v1.0) has ended, and any use is rejected with a targeted
+	// error pointing at md_scale rather than a generic unknown-field
+	// decode failure.
+	MDScale       int     `json:"md_scale,omitempty"`
+	LegacyMDScale int     `json:"mdscale,omitempty"`
+	Bypass        bool    `json:"bypass,omitempty"`
+	Prefetch      bool    `json:"prefetch,omitempty"`
+	Topology      string  `json:"topology,omitempty"`
+	Placement     string  `json:"placement,omitempty"`
+	LinkBandwidth float64 `json:"link_bandwidth,omitempty"`
+	// Replicates, when >= 2, runs the simulation that many times with
+	// decorrelated seeds (seed+1 .. seed+n) and returns the mean/std
+	// aggregate next to a mean-projected Result. Capped at
+	// MaxReplicates; 0 and 1 both mean a single run.
+	Replicates int `json:"replicates,omitempty"`
+
+	// TimeoutMS caps this job's total lifetime (queue wait + run) in
+	// milliseconds. Zero takes the server's default deadline.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// Async makes POST /v1/run return 202 with the job id immediately;
+	// the result is collected via GET /v1/jobs/{id}.
+	Async bool `json:"async,omitempty"`
+	// Engine hints the execution path ("auto" default, "scalar",
+	// "vector"); see GET /v1/capabilities for what the server supports.
+	// API v1.5.
+	Engine string `json:"engine,omitempty"`
+}
+
+// MaxReplicates bounds replicates per request: above this, error bars
+// have long converged and the job is a denial-of-service risk.
+const MaxReplicates = 64
+
+// Normalize validates the request through the root package's shared
+// parse helpers and returns the canonical simulation identity: kind,
+// benchmark, defaulted options, the canonical replicate count (0 for a
+// single run, 2..MaxReplicates for a replicated one), and the
+// canonical engine hint ("" for auto). Errors carry wire codes, so
+// handlers map them straight onto the envelope. The cluster gateway
+// normalizes each request the same way to derive its warm-identity
+// shard key without re-implementing validation.
+func (r RunRequest) Normalize() (d2m.Kind, string, d2m.Options, int, string, error) {
+	fail := func(err error) (d2m.Kind, string, d2m.Options, int, string, error) {
+		return 0, "", d2m.Options{}, 0, "", err
+	}
+	kind, err := d2m.ParseKind(r.Kind)
+	if err != nil {
+		return fail(Errorf(ErrInvalidRequest, "%v", err))
+	}
+	if _, ok := d2m.SuiteOf(r.Benchmark); !ok {
+		return fail(Errorf(ErrUnknownBenchmark,
+			"d2m: unknown benchmark %q (see GET /v1/capabilities)", r.Benchmark))
+	}
+	if r.LegacyMDScale != 0 {
+		return fail(Errorf(ErrInvalidRequest,
+			`the "mdscale" field was removed in API v1.1; use "md_scale"`))
+	}
+	reps, err := NormalizeReplicates(r.Replicates)
+	if err != nil {
+		return fail(err)
+	}
+	engine, err := NormalizeEngine(r.Engine)
+	if err != nil {
+		return fail(err)
+	}
+	opt := d2m.Options{
+		Nodes:         r.Nodes,
+		Warmup:        r.Warmup,
+		Measure:       r.Measure,
+		Seed:          r.Seed,
+		MDScale:       r.MDScale,
+		Bypass:        r.Bypass,
+		Prefetch:      r.Prefetch,
+		Topology:      r.Topology,
+		Placement:     r.Placement,
+		LinkBandwidth: r.LinkBandwidth,
+	}.WithDefaults()
+	if err := opt.Validate(); err != nil {
+		return fail(Errorf(ErrInvalidRequest, "%v", err))
+	}
+	return kind, r.Benchmark, opt, reps, engine, nil
+}
+
+// NormalizeReplicates canonicalizes a requested replicate count: 0 and
+// 1 both mean a single run (0), anything above MaxReplicates or below
+// zero is rejected.
+func NormalizeReplicates(n int) (int, error) {
+	switch {
+	case n < 0:
+		return 0, Errorf(ErrInvalidRequest, "replicates = %d is negative", n)
+	case n > MaxReplicates:
+		return 0, Errorf(ErrInvalidRequest,
+			"replicates = %d exceeds the limit of %d", n, MaxReplicates)
+	case n < 2:
+		return 0, nil
+	default:
+		return n, nil
+	}
+}
+
+// BatchRequest is the body of POST /v1/batch: an ordered list of runs
+// admitted all-or-nothing.
+type BatchRequest struct {
+	Runs []RunRequest `json:"runs"`
+}
+
+// JobState is a job's position in its lifecycle. The spellings match
+// the scheduler's internal states one-to-one.
+type JobState string
+
+const (
+	JobQueued   JobState = "queued"
+	JobRunning  JobState = "running"
+	JobDone     JobState = "done"
+	JobFailed   JobState = "failed"
+	JobCanceled JobState = "canceled"
+)
+
+// JobStatus is the JSON view of a job (GET /v1/jobs/{id} and the
+// synchronous POST /v1/run response).
+type JobStatus struct {
+	ID        string   `json:"id"`
+	State     JobState `json:"state"`
+	Kind      string   `json:"kind"`
+	Benchmark string   `json:"benchmark"`
+	// Cached is set on POST responses served from the result cache
+	// without touching the queue.
+	Cached bool `json:"cached,omitempty"`
+	// Priority is the job's scheduling class: "interactive" for runs
+	// and batches, "bulk" for sweep cells.
+	Priority string `json:"priority,omitempty"`
+	// Engine names the execution path that produced the result
+	// ("scalar" or "vector"); set once the job is done, omitted for
+	// cache hits (the engine that originally computed a cached result
+	// is not recorded). API v1.5.
+	Engine string `json:"engine,omitempty"`
+	// QueuePosition is the job's 1-based place in its class queue while
+	// it is queued; omitted once it starts.
+	QueuePosition int         `json:"queue_position,omitempty"`
+	QueueWaitMS   float64     `json:"queue_wait_ms,omitempty"`
+	RunMS         float64     `json:"run_ms,omitempty"`
+	Error         string      `json:"error,omitempty"`
+	Result        *d2m.Result `json:"result,omitempty"`
+	// Replicated carries the mean/std aggregate of a job submitted
+	// with replicates >= 2; Result then holds the mean projection of
+	// the aggregated metrics.
+	Replicated *d2m.Replicated `json:"replicated,omitempty"`
+}
+
+// KernelCap describes one algorithmic kernel in the capabilities
+// document.
+type KernelCap struct {
+	Name        string `json:"name"`
+	Description string `json:"description"`
+}
+
+// Capabilities is the body of GET /v1/capabilities: the server's
+// catalog and limits, keyed by the API revision.
+type Capabilities struct {
+	APIRevision string `json:"api_revision"`
+	// Engines lists the execution paths the server can use ("scalar"
+	// always; "vector" when lane grouping is enabled). API v1.5.
+	Engines []string `json:"engines"`
+	// MaxLanes is the largest lane group the vector engine will form;
+	// 1 means vector execution is disabled. API v1.5.
+	MaxLanes      int                 `json:"max_lanes"`
+	Suites        map[string][]string `json:"suites"`
+	Kinds         []string            `json:"kinds"`
+	Topologies    []string            `json:"topologies"`
+	Placements    []string            `json:"placements"`
+	Kernels       []KernelCap         `json:"kernels"`
+	MaxReplicates int                 `json:"max_replicates"`
+}
+
+// ErrCode is a machine-readable error category.
+type ErrCode string
+
+const (
+	ErrInvalidRequest   ErrCode = "invalid_request"   // 400: malformed body or parameters
+	ErrUnknownBenchmark ErrCode = "unknown_benchmark" // 400: benchmark not in the catalog
+	ErrNotFound         ErrCode = "not_found"         // 404: unknown job or sweep id
+	ErrConflict         ErrCode = "conflict"          // 409: job already settled
+	ErrOverloaded       ErrCode = "overloaded"        // 429: job queue full, retry later
+	ErrDraining         ErrCode = "draining"          // 503: server shutting down
+	ErrInternal         ErrCode = "internal"          // 500: unexpected failure
+)
+
+// HTTPStatus maps a code to its status line.
+func (c ErrCode) HTTPStatus() int {
+	switch c {
+	case ErrInvalidRequest, ErrUnknownBenchmark:
+		return http.StatusBadRequest
+	case ErrNotFound:
+		return http.StatusNotFound
+	case ErrConflict:
+		return http.StatusConflict
+	case ErrOverloaded:
+		return http.StatusTooManyRequests
+	case ErrDraining:
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// Error is an error with a wire code; handlers surface any other error
+// type as ErrInternal.
+type Error struct {
+	Code    ErrCode
+	Message string
+}
+
+func (e *Error) Error() string { return e.Message }
+
+// Errorf builds a coded error from a format string.
+func Errorf(code ErrCode, format string, args ...interface{}) *Error {
+	return &Error{Code: code, Message: fmt.Sprintf(format, args...)}
+}
+
+// ErrorInfo is the structured half of the envelope.
+type ErrorInfo struct {
+	Code    ErrCode `json:"code"`
+	Message string  `json:"message"`
+}
+
+// ErrorBody is the JSON error envelope:
+//
+//	{"error": {"code": "...", "message": "..."}}
+type ErrorBody struct {
+	Error ErrorInfo `json:"error"`
+}
+
+// ErrorCode extracts the wire code from an error produced by this
+// package's validation helpers; any other error reads as ErrInternal.
+func ErrorCode(err error) ErrCode {
+	if ae, ok := err.(*Error); ok {
+		return ae.Code
+	}
+	return ErrInternal
+}
+
+// WriteErr renders err through the envelope at its mapped status.
+func WriteErr(w http.ResponseWriter, err error) {
+	ae, ok := err.(*Error)
+	if !ok {
+		ae = &Error{Code: ErrInternal, Message: err.Error()}
+	}
+	WriteJSON(w, ae.Code.HTTPStatus(), ErrorBody{
+		Error: ErrorInfo{Code: ae.Code, Message: ae.Message},
+	})
+}
+
+// WriteError renders an error envelope with the given code at its
+// mapped HTTP status.
+func WriteError(w http.ResponseWriter, code ErrCode, format string, args ...interface{}) {
+	WriteErr(w, Errorf(code, format, args...))
+}
+
+// WriteJSON renders v as indented JSON at the given status.
+func WriteJSON(w http.ResponseWriter, code int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}

@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"d2m"
+	"d2m/internal/api"
 	"d2m/internal/service"
 	"d2m/internal/service/sched"
 )
@@ -30,7 +31,7 @@ type batchSlot struct {
 	key  string          // canonical cache key
 	warm string          // warm-identity shard key
 	kind d2m.Kind
-	st   service.JobStatus
+	st   api.JobStatus
 	done bool
 }
 
@@ -46,15 +47,15 @@ func (g *Gateway) handleBatch(w http.ResponseWriter, r *http.Request) {
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&raw); err != nil {
-		service.WriteError(w, service.ErrInvalidRequest, "bad request body: %v", err)
+		api.WriteError(w, api.ErrInvalidRequest, "bad request body: %v", err)
 		return
 	}
 	if len(raw.Runs) == 0 {
-		service.WriteError(w, service.ErrInvalidRequest, "batch has no runs")
+		api.WriteError(w, api.ErrInvalidRequest, "batch has no runs")
 		return
 	}
 	if len(raw.Runs) > service.MaxBatchRuns {
-		service.WriteError(w, service.ErrInvalidRequest,
+		api.WriteError(w, api.ErrInvalidRequest,
 			"batch has %d runs, limit is %d", len(raw.Runs), service.MaxBatchRuns)
 		return
 	}
@@ -63,21 +64,21 @@ func (g *Gateway) handleBatch(w http.ResponseWriter, r *http.Request) {
 	// the shard's all-or-nothing admission check.
 	slots := make([]batchSlot, len(raw.Runs))
 	for i, rr := range raw.Runs {
-		var req service.RunRequest
+		var req api.RunRequest
 		d := json.NewDecoder(bytes.NewReader(rr))
 		d.DisallowUnknownFields()
 		if err := d.Decode(&req); err != nil {
-			service.WriteError(w, service.ErrInvalidRequest, "runs[%d]: bad run: %v", i, err)
+			api.WriteError(w, api.ErrInvalidRequest, "runs[%d]: bad run: %v", i, err)
 			return
 		}
 		if req.Async {
-			service.WriteError(w, service.ErrInvalidRequest,
+			api.WriteError(w, api.ErrInvalidRequest,
 				"runs[%d]: async is not supported in batches; use POST /v1/run", i)
 			return
 		}
-		kind, bench, opt, reps, err := req.Normalize()
+		kind, bench, opt, reps, _, err := req.Normalize()
 		if err != nil {
-			service.WriteError(w, service.ErrorCode(err), "runs[%d]: %v", i, err)
+			api.WriteError(w, api.ErrorCode(err), "runs[%d]: %v", i, err)
 			return
 		}
 		slots[i] = batchSlot{
@@ -93,8 +94,8 @@ func (g *Gateway) handleBatch(w http.ResponseWriter, r *http.Request) {
 		if rec, ok := g.cache.get(slots[i].key); ok {
 			g.metrics.CacheHits.Add(1)
 			res := rec.Result
-			slots[i].st = service.JobStatus{
-				State: service.JobDone, Kind: rec.Kind, Benchmark: rec.Benchmark,
+			slots[i].st = api.JobStatus{
+				State: api.JobDone, Kind: rec.Kind, Benchmark: rec.Benchmark,
 				Cached: true, Result: &res, Replicated: rec.Replicated,
 			}
 			slots[i].done = true
@@ -116,7 +117,7 @@ func (g *Gateway) handleBatch(w http.ResponseWriter, r *http.Request) {
 			}
 			owners := g.peers.owners(slots[i].warm, 1)
 			if len(owners) == 0 {
-				service.WriteError(w, service.ErrDraining, "no scheduler shard available")
+				api.WriteError(w, api.ErrDraining, "no scheduler shard available")
 				return
 			}
 			groups[owners[0].Name] = append(groups[owners[0].Name], i)
@@ -169,10 +170,10 @@ func (g *Gateway) handleBatch(w http.ResponseWriter, r *http.Request) {
 				return
 			}
 			var body struct {
-				Results []service.JobStatus `json:"results"`
+				Results []api.JobStatus `json:"results"`
 			}
 			if err := json.Unmarshal(sub.fr.body, &body); err != nil || len(body.Results) != len(sub.idxs) {
-				service.WriteError(w, service.ErrInternal,
+				api.WriteError(w, api.ErrInternal,
 					"shard %s returned a malformed batch response", sub.fr.peer.Name)
 				return
 			}
@@ -181,7 +182,7 @@ func (g *Gateway) handleBatch(w http.ResponseWriter, r *http.Request) {
 				if st.ID != "" {
 					st.ID = routedID(st.ID, sub.fr.peer)
 				}
-				if st.State == service.JobDone && st.Result != nil {
+				if st.State == api.JobDone && st.Result != nil {
 					g.cache.learn(slots[i].key, slots[i].kind, st.Benchmark, *st.Result, st.Replicated)
 				}
 				slots[i].st = st
@@ -191,16 +192,16 @@ func (g *Gateway) handleBatch(w http.ResponseWriter, r *http.Request) {
 	}
 
 	out := struct {
-		Results []service.JobStatus `json:"results"`
-	}{Results: make([]service.JobStatus, len(slots))}
+		Results []api.JobStatus `json:"results"`
+	}{Results: make([]api.JobStatus, len(slots))}
 	for i := range slots {
 		if !slots[i].done {
-			service.WriteError(w, service.ErrDraining, "no scheduler shard available")
+			api.WriteError(w, api.ErrDraining, "no scheduler shard available")
 			return
 		}
 		out.Results[i] = slots[i].st
 	}
-	service.WriteJSON(w, http.StatusOK, out)
+	api.WriteJSON(w, http.StatusOK, out)
 }
 
 // encodeSubBatch renders a per-shard batch body from the original run

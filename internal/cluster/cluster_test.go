@@ -130,7 +130,7 @@ func TestClusterRunMatchesSingle(t *testing.T) {
 		if err := json.Unmarshal([]byte(body), &req); err != nil {
 			t.Fatal(err)
 		}
-		kind, bench, opt, _, err := req.Normalize()
+		kind, bench, opt, _, _, err := req.Normalize()
 		if err != nil {
 			t.Fatal(err)
 		}

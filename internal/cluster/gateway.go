@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"d2m"
+	"d2m/internal/api"
 	"d2m/internal/service"
 	"d2m/internal/service/sched"
 )
@@ -80,6 +81,11 @@ type Gateway struct {
 	mu          sync.Mutex
 	sweeps      map[string]*gatewaySweep
 	nextSweepID atomic.Uint64
+
+	// compatMu guards compatOK: the per-peer verdict of the one-time
+	// API-revision check the prober runs against /v1/capabilities.
+	compatMu sync.Mutex
+	compatOK map[string]bool
 }
 
 // gatewayMetrics are the gateway's own counters, rendered on
@@ -127,6 +133,7 @@ func New(cfg Config) (*Gateway, error) {
 		sweepPoll:     cfg.SweepPoll,
 		logf:          cfg.Logf,
 		sweeps:        make(map[string]*gatewaySweep),
+		compatOK:      make(map[string]bool),
 	}
 	if g.client == nil {
 		g.client = &http.Client{}
@@ -230,11 +237,11 @@ func isDrainingResponse(fr forwardResult) bool {
 	if fr.status != http.StatusServiceUnavailable {
 		return false
 	}
-	var eb service.ErrorBody
+	var eb api.ErrorBody
 	if json.Unmarshal(fr.body, &eb) != nil {
 		return false
 	}
-	return eb.Error.Code == service.ErrDraining
+	return eb.Error.Code == api.ErrDraining
 }
 
 // forwardKey routes one request by warm-identity key: the ring owner
@@ -315,19 +322,19 @@ const maxBodyBytes = 4 << 20
 func (g *Gateway) handleRun(w http.ResponseWriter, r *http.Request) {
 	raw, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
 	if err != nil {
-		service.WriteError(w, service.ErrInvalidRequest, "bad request body: %v", err)
+		api.WriteError(w, api.ErrInvalidRequest, "bad request body: %v", err)
 		return
 	}
-	var req service.RunRequest
+	var req api.RunRequest
 	dec := json.NewDecoder(bytes.NewReader(raw))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
-		service.WriteError(w, service.ErrInvalidRequest, "bad request body: %v", err)
+		api.WriteError(w, api.ErrInvalidRequest, "bad request body: %v", err)
 		return
 	}
-	kind, bench, opt, reps, err := req.Normalize()
+	kind, bench, opt, reps, _, err := req.Normalize()
 	if err != nil {
-		service.WriteError(w, service.ErrorCode(err), "%v", err)
+		api.WriteError(w, api.ErrorCode(err), "%v", err)
 		return
 	}
 
@@ -335,8 +342,8 @@ func (g *Gateway) handleRun(w http.ResponseWriter, r *http.Request) {
 	if rec, ok := g.cache.get(key); ok {
 		g.metrics.CacheHits.Add(1)
 		res := rec.Result
-		service.WriteJSON(w, http.StatusOK, service.JobStatus{
-			State: service.JobDone, Kind: rec.Kind, Benchmark: rec.Benchmark,
+		api.WriteJSON(w, http.StatusOK, api.JobStatus{
+			State: api.JobDone, Kind: rec.Kind, Benchmark: rec.Benchmark,
 			Cached: true, Result: &res, Replicated: rec.Replicated,
 		})
 		return
@@ -344,7 +351,7 @@ func (g *Gateway) handleRun(w http.ResponseWriter, r *http.Request) {
 
 	fr, err := g.forwardKey(r.Context(), d2m.WarmKey(kind, bench, opt), http.MethodPost, "/v1/run", raw)
 	if err != nil {
-		service.WriteError(w, service.ErrDraining, "no scheduler shard available")
+		api.WriteError(w, api.ErrDraining, "no scheduler shard available")
 		return
 	}
 	g.metrics.RunsForwarded.Add(1)
@@ -352,18 +359,18 @@ func (g *Gateway) handleRun(w http.ResponseWriter, r *http.Request) {
 		relay(w, fr)
 		return
 	}
-	var st service.JobStatus
+	var st api.JobStatus
 	if err := json.Unmarshal(fr.body, &st); err != nil {
-		service.WriteError(w, service.ErrInternal, "bad shard response: %v", err)
+		api.WriteError(w, api.ErrInternal, "bad shard response: %v", err)
 		return
 	}
 	if st.ID != "" {
 		st.ID = routedID(st.ID, fr.peer)
 	}
-	if st.State == service.JobDone && st.Result != nil {
+	if st.State == api.JobDone && st.Result != nil {
 		g.cache.learn(key, kind, bench, *st.Result, st.Replicated)
 	}
-	service.WriteJSON(w, fr.status, st)
+	api.WriteJSON(w, fr.status, st)
 }
 
 func (g *Gateway) handleJob(w http.ResponseWriter, r *http.Request) {
@@ -382,23 +389,23 @@ func (g *Gateway) routeJob(w http.ResponseWriter, r *http.Request, method string
 	id := r.PathValue("id")
 	local, peerName, ok := splitRouted(id)
 	if !ok {
-		service.WriteError(w, service.ErrNotFound, "unknown job id %q", id)
+		api.WriteError(w, api.ErrNotFound, "unknown job id %q", id)
 		return
 	}
 	p, ok := g.peers.byName(peerName)
 	if !ok {
-		service.WriteError(w, service.ErrNotFound, "unknown shard %q in job id %q", peerName, id)
+		api.WriteError(w, api.ErrNotFound, "unknown shard %q in job id %q", peerName, id)
 		return
 	}
 	fr, err := g.do(r.Context(), p, method, "/v1/jobs/"+local, nil)
 	if err != nil {
-		service.WriteError(w, service.ErrInternal, "shard %s unreachable: %v", p.Name, err)
+		api.WriteError(w, api.ErrInternal, "shard %s unreachable: %v", p.Name, err)
 		return
 	}
-	var st service.JobStatus
+	var st api.JobStatus
 	if json.Unmarshal(fr.body, &st) == nil && st.ID != "" {
 		st.ID = routedID(st.ID, p)
-		service.WriteJSON(w, fr.status, st)
+		api.WriteJSON(w, fr.status, st)
 		return
 	}
 	relay(w, fr)
@@ -406,8 +413,8 @@ func (g *Gateway) routeJob(w http.ResponseWriter, r *http.Request, method string
 
 // jobListBody mirrors the shard's GET /v1/jobs page shape.
 type jobListBody struct {
-	Jobs       []service.JobStatus `json:"jobs"`
-	NextCursor string              `json:"next_cursor,omitempty"`
+	Jobs       []api.JobStatus `json:"jobs"`
+	NextCursor string          `json:"next_cursor,omitempty"`
 }
 
 // handleJobs merges the fleet's job listings: every Up or Draining
@@ -423,7 +430,7 @@ func (g *Gateway) handleJobs(w http.ResponseWriter, r *http.Request) {
 			limit = 50
 		}
 	}
-	merged := jobListBody{Jobs: []service.JobStatus{}}
+	merged := jobListBody{Jobs: []api.JobStatus{}}
 	for _, entry := range g.peers.snapshot() {
 		if entry.State == PeerDown {
 			continue
@@ -445,7 +452,7 @@ func (g *Gateway) handleJobs(w http.ResponseWriter, r *http.Request) {
 	if len(merged.Jobs) > limit {
 		merged.Jobs = merged.Jobs[:limit]
 	}
-	service.WriteJSON(w, http.StatusOK, merged)
+	api.WriteJSON(w, http.StatusOK, merged)
 }
 
 // handleCapabilities relays the capability catalog from the first
@@ -462,12 +469,12 @@ func (g *Gateway) handleCapabilities(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	service.WriteError(w, service.ErrDraining, "no scheduler shard available")
+	api.WriteError(w, api.ErrDraining, "no scheduler shard available")
 }
 
 func (g *Gateway) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	up, draining, down := g.peers.counts()
-	service.WriteJSON(w, http.StatusOK, map[string]interface{}{
+	api.WriteJSON(w, http.StatusOK, map[string]interface{}{
 		"status": "ok",
 		"mode":   "gateway",
 		"peers":  map[string]int{"up": up, "draining": draining, "down": down},
@@ -480,11 +487,11 @@ func (g *Gateway) handleHealthz(w http.ResponseWriter, r *http.Request) {
 func (g *Gateway) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	up, _, _ := g.peers.counts()
 	if up == 0 {
-		service.WriteJSON(w, http.StatusServiceUnavailable,
+		api.WriteJSON(w, http.StatusServiceUnavailable,
 			map[string]interface{}{"status": "no shards"})
 		return
 	}
-	service.WriteJSON(w, http.StatusOK, map[string]interface{}{"status": "ok"})
+	api.WriteJSON(w, http.StatusOK, map[string]interface{}{"status": "ok"})
 }
 
 func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {

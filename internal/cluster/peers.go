@@ -2,11 +2,14 @@ package cluster
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"net/http"
 	"strings"
 	"sync"
 	"time"
+
+	"d2m/internal/api"
 )
 
 // PeerState is a shard's health as seen by the gateway's prober.
@@ -208,6 +211,44 @@ func probe(ctx context.Context, client *http.Client, p Peer) PeerState {
 	return PeerDraining
 }
 
+// verifyPeer checks an Up peer's API revision once: the gateway
+// fetches its /v1/capabilities and compares api_revision against its
+// own. A mismatched shard is kept out of the ring (Down) — routing to
+// it would relay responses in a shape the gateway does not speak —
+// and the mismatch is logged. The verdict is cached per peer, so the
+// fleet pays one capabilities fetch per shard, not one per probe
+// round; a fetch that fails outright reads as Down and is retried on
+// the next round.
+func (g *Gateway) verifyPeer(ctx context.Context, p Peer) PeerState {
+	g.compatMu.Lock()
+	ok, seen := g.compatOK[p.Name]
+	g.compatMu.Unlock()
+	if seen {
+		if ok {
+			return PeerUp
+		}
+		return PeerDown
+	}
+	fr, err := g.do(ctx, p, http.MethodGet, "/v1/capabilities", nil)
+	if err != nil || fr.status != http.StatusOK {
+		return PeerDown
+	}
+	var caps api.Capabilities
+	if err := json.Unmarshal(fr.body, &caps); err != nil {
+		return PeerDown
+	}
+	compatible := caps.APIRevision == api.Revision
+	g.compatMu.Lock()
+	g.compatOK[p.Name] = compatible
+	g.compatMu.Unlock()
+	if !compatible {
+		g.logf("peer %s is incompatible: api_revision %q != gateway %q; marking down",
+			p.Name, caps.APIRevision, api.Revision)
+		return PeerDown
+	}
+	return PeerUp
+}
+
 // probeAll probes every peer once, concurrently, and applies the
 // results. Returns true when any state changed.
 func (g *Gateway) probeAll(ctx context.Context) bool {
@@ -220,7 +261,11 @@ func (g *Gateway) probeAll(ctx context.Context) bool {
 		go func(p Peer) {
 			pctx, cancel := context.WithTimeout(ctx, g.probeTimeout)
 			defer cancel()
-			ch <- res{p.Name, probe(pctx, g.client, p)}
+			st := probe(pctx, g.client, p)
+			if st == PeerUp {
+				st = g.verifyPeer(pctx, p)
+			}
+			ch <- res{p.Name, st}
 		}(p)
 	}
 	changed := false

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"d2m"
+	"d2m/internal/api"
 	"d2m/internal/service"
 	"d2m/internal/service/sched"
 )
@@ -29,6 +30,7 @@ type gatewaySweep struct {
 	id        string
 	baseline  d2m.Kind
 	reps      int
+	engine    string // normalized engine hint, forwarded to sub-sweeps
 	timeoutMS int64
 	cells     []d2m.SweepCell
 	keys      []string // canonical cache key per cell
@@ -59,12 +61,12 @@ func (sw *gatewaySweep) settle(i int, cs service.SweepCellStatus) {
 	}
 	sw.outcome[i] = cs
 	switch cs.State {
-	case service.JobDone:
+	case api.JobDone:
 		sw.done++
 		if cs.Cached {
 			sw.cached++
 		}
-	case service.JobCanceled:
+	case api.JobCanceled:
 		sw.canceled++
 	default:
 		sw.failed++
@@ -111,7 +113,7 @@ func (sw *gatewaySweep) cellStatuses() []service.SweepCellStatus {
 	copy(out, sw.outcome)
 	for i := range out {
 		if out[i].State == "" {
-			out[i].State = service.JobQueued
+			out[i].State = api.JobQueued
 		}
 	}
 	return out
@@ -125,12 +127,12 @@ func (g *Gateway) handleSweepCreate(w http.ResponseWriter, r *http.Request) {
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
-		service.WriteError(w, service.ErrInvalidRequest, "bad request body: %v", err)
+		api.WriteError(w, api.ErrInvalidRequest, "bad request body: %v", err)
 		return
 	}
-	cells, baseline, reps, err := service.ExpandSweep(req)
+	cells, baseline, reps, engine, err := service.ExpandSweep(req)
 	if err != nil {
-		service.WriteError(w, service.ErrorCode(err), "%v", err)
+		api.WriteError(w, api.ErrorCode(err), "%v", err)
 		return
 	}
 
@@ -138,6 +140,7 @@ func (g *Gateway) handleSweepCreate(w http.ResponseWriter, r *http.Request) {
 		id:        fmt.Sprintf("gs%08d", g.nextSweepID.Add(1)),
 		baseline:  baseline,
 		reps:      reps,
+		engine:    engine,
 		timeoutMS: req.TimeoutMS,
 		cells:     cells,
 		keys:      make([]string, len(cells)),
@@ -157,7 +160,7 @@ func (g *Gateway) handleSweepCreate(w http.ResponseWriter, r *http.Request) {
 			g.metrics.CacheHits.Add(1)
 			res := rec.Result
 			sw.settle(i, service.SweepCellStatus{
-				State: service.JobDone, Cached: true, Result: &res,
+				State: api.JobDone, Cached: true, Result: &res,
 			})
 		}
 	}
@@ -168,7 +171,7 @@ func (g *Gateway) handleSweepCreate(w http.ResponseWriter, r *http.Request) {
 	g.metrics.SweepsAccepted.Add(1)
 	g.wg.Add(1)
 	go g.runSweep(sw)
-	service.WriteJSON(w, http.StatusAccepted, sw.status())
+	api.WriteJSON(w, http.StatusAccepted, sw.status())
 }
 
 func (g *Gateway) lookupSweep(w http.ResponseWriter, r *http.Request) *gatewaySweep {
@@ -176,7 +179,7 @@ func (g *Gateway) lookupSweep(w http.ResponseWriter, r *http.Request) *gatewaySw
 	sw, ok := g.sweeps[r.PathValue("id")]
 	g.mu.Unlock()
 	if !ok {
-		service.WriteError(w, service.ErrNotFound, "unknown sweep id %q", r.PathValue("id"))
+		api.WriteError(w, api.ErrNotFound, "unknown sweep id %q", r.PathValue("id"))
 		return nil
 	}
 	return sw
@@ -191,7 +194,7 @@ func (g *Gateway) handleSweepGet(w http.ResponseWriter, r *http.Request) {
 	if r.URL.Query().Get("cells") == "1" {
 		st.Cells = sw.cellStatuses()
 	}
-	service.WriteJSON(w, http.StatusOK, st)
+	api.WriteJSON(w, http.StatusOK, st)
 }
 
 // handleSweepDelete cancels a fleet sweep: the orchestrator cancels
@@ -203,7 +206,7 @@ func (g *Gateway) handleSweepDelete(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	sw.cancel()
-	service.WriteJSON(w, http.StatusOK, sw.status())
+	api.WriteJSON(w, http.StatusOK, sw.status())
 }
 
 // ---------------------------------------------------------------------------
@@ -260,6 +263,7 @@ func (g *Gateway) runSubSweep(sw *gatewaySweep, p Peer, idxs []int) {
 		Cells:      make([]d2m.SweepCell, len(idxs)),
 		TimeoutMS:  sw.timeoutMS,
 		Replicates: sw.reps,
+		Engine:     sw.engine,
 	}
 	for k, i := range idxs {
 		sub.Cells[k] = sw.cells[i]
@@ -284,13 +288,13 @@ func (g *Gateway) runSubSweep(sw *gatewaySweep, p Peer, idxs []int) {
 	if fr.status != http.StatusAccepted {
 		// A validation rejection cannot heal by remapping: settle the
 		// slice as failed so the sweep terminates with the shard's error.
-		var eb service.ErrorBody
+		var eb api.ErrorBody
 		msg := fmt.Sprintf("shard %s rejected sub-sweep (HTTP %d)", p.Name, fr.status)
 		if json.Unmarshal(fr.body, &eb) == nil && eb.Error.Message != "" {
 			msg = eb.Error.Message
 		}
 		for _, i := range idxs {
-			sw.settle(i, service.SweepCellStatus{State: service.JobFailed, Error: msg})
+			sw.settle(i, service.SweepCellStatus{State: api.JobFailed, Error: msg})
 		}
 		return
 	}
@@ -339,13 +343,13 @@ func (g *Gateway) runSubSweep(sw *gatewaySweep, p Peer, idxs []int) {
 		for k, i := range idxs {
 			cs := cur.Cells[k]
 			switch cs.State {
-			case service.JobDone:
+			case api.JobDone:
 				if cs.Result != nil {
 					c := sw.cells[i]
 					g.cache.learn(sw.keys[i], c.Kind, c.Benchmark, *cs.Result, nil)
 				}
 				sw.settle(i, cs)
-			case service.JobFailed:
+			case api.JobFailed:
 				sw.settle(i, cs)
 			}
 		}
@@ -361,14 +365,14 @@ func (g *Gateway) finalizeSweep(sw *gatewaySweep) {
 	for i := range sw.outcome {
 		if sw.outcome[i].State == "" {
 			sw.outcome[i] = service.SweepCellStatus{
-				State: service.JobCanceled, Error: "no scheduler shard available",
+				State: api.JobCanceled, Error: "no scheduler shard available",
 			}
 			sw.canceled++
 		}
 	}
 	results := make([]*d2m.Result, len(sw.cells))
 	for i := range sw.outcome {
-		if sw.outcome[i].State == service.JobDone {
+		if sw.outcome[i].State == api.JobDone {
 			results[i] = sw.outcome[i].Result
 		}
 	}

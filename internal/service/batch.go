@@ -10,6 +10,7 @@ import (
 	"sync"
 
 	"d2m"
+	"d2m/internal/api"
 	"d2m/internal/service/sched"
 )
 
@@ -23,12 +24,10 @@ import (
 // identity (d2m.WarmKey) are chained onto one worker so each follower
 // restores the snapshot its leader just deposited.
 
-// BatchRequest is the body of POST /v1/batch. Runs are independent
-// RunRequests; the async field is rejected here, since the batch
-// response itself is the collection mechanism.
-type BatchRequest struct {
-	Runs []RunRequest `json:"runs"`
-}
+// BatchRequest is the body of POST /v1/batch; see api.BatchRequest.
+// Runs are independent RunRequests; the async field is rejected here,
+// since the batch response itself is the collection mechanism.
+type BatchRequest = api.BatchRequest
 
 // MaxBatchRuns bounds the runs per batch: enough for a full
 // kind x benchmark sweep with replicates, small enough that one POST
@@ -82,13 +81,13 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 				"runs[%d]: async is not supported in batches; use POST /v1/run", i))
 			return
 		}
-		kind, bench, opt, reps, err := rr.Normalize()
+		kind, bench, opt, reps, engine, err := rr.Normalize()
 		if err != nil {
 			ae := err.(*apiError)
 			writeError(w, apiErrorf(ae.Code, "runs[%d]: %s", i, ae.Message))
 			return
 		}
-		subs[i] = submission(kind, bench, opt, reps, rr.TimeoutMS, false)
+		subs[i] = submission(kind, bench, opt, reps, engine, rr.TimeoutMS, false)
 		kinds[i], benches[i] = kind, bench
 	}
 

@@ -223,9 +223,12 @@ func TestBatchWarmAffinity(t *testing.T) {
 	}
 }
 
-// TestBatchSnapshotReuse runs a real batch through the server's
-// snapshot cache: three simulations differing only in measurement
-// length must share one warmup.
+// TestBatchSnapshotReuse runs a real batch through the server:
+// three simulations differing only in measurement length must share
+// one warmup. Since API v1.5 the worker gathers the warm chain into a
+// vector lane group, so the warmup is shared in-process — one
+// snapshot miss, zero restores — and every result reports the vector
+// engine.
 func TestBatchSnapshotReuse(t *testing.T) {
 	s, ts := newTestServer(t, Config{Workers: 2})
 	code, ok, _ := postBatch(t, ts, `{"runs":[
@@ -236,8 +239,13 @@ func TestBatchSnapshotReuse(t *testing.T) {
 	if code != http.StatusOK || len(ok.Results) != 3 {
 		t.Fatalf("batch = %d, %d results", code, len(ok.Results))
 	}
-	if hits, misses := s.Metrics().SnapshotHits.Load(), s.Metrics().SnapshotMisses.Load(); hits != 2 || misses != 1 {
-		t.Errorf("snapshot hits/misses = %d/%d, want 2/1 (one warmup shared three ways)", hits, misses)
+	if hits, misses := s.Metrics().SnapshotHits.Load(), s.Metrics().SnapshotMisses.Load(); hits != 0 || misses != 1 {
+		t.Errorf("snapshot hits/misses = %d/%d, want 0/1 (lane group shares the warmup in-process)", hits, misses)
+	}
+	for i, st := range ok.Results {
+		if st.Engine != d2m.EngineVector {
+			t.Errorf("results[%d].engine = %q, want %q", i, st.Engine, d2m.EngineVector)
+		}
 	}
 
 	// The restored runs must match fresh library runs exactly.

@@ -1,0 +1,143 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"d2m"
+)
+
+// runLibrary runs one simulation through the library and returns its
+// marshalled Result for byte comparison.
+func runLibrary(t *testing.T, spec d2m.RunSpec) []byte {
+	t.Helper()
+	out, err := d2m.Run(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := json.Marshal(out.Result)
+	return raw
+}
+
+// TestRunEngineHint: the v1.5 engine field is validated on /v1/run,
+// the scalar hint is honored, and the status reports the engine used.
+func TestRunEngineHint(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+
+	code, st, _ := postRun(t, ts,
+		`{"kind":"d2m-ns-r","benchmark":"tpc-c","nodes":2,"warmup":2000,"measure":4000,"engine":"scalar"}`)
+	if code != http.StatusOK || st.State != JobDone {
+		t.Fatalf("scalar run = %d/%s", code, st.State)
+	}
+	if st.Engine != d2m.EngineScalar {
+		t.Errorf("engine = %q, want scalar", st.Engine)
+	}
+
+	// "auto" normalizes to the default; a lone run still executes scalar.
+	code, st, _ = postRun(t, ts,
+		`{"kind":"d2m-ns-r","benchmark":"tpc-c","nodes":2,"warmup":2000,"measure":5000,"engine":"auto"}`)
+	if code != http.StatusOK || st.State != JobDone {
+		t.Fatalf("auto run = %d/%s", code, st.State)
+	}
+	if st.Engine != d2m.EngineScalar {
+		t.Errorf("auto single-run engine = %q, want scalar", st.Engine)
+	}
+}
+
+// TestEngineHintRejected: unknown engines answer invalid_request on
+// every submission surface.
+func TestEngineHintRejected(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+
+	post := func(path, body string) ErrorBody {
+		t.Helper()
+		resp, err := http.Post(ts.URL+path, "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var eb ErrorBody
+		if err := json.NewDecoder(resp.Body).Decode(&eb); err != nil {
+			t.Fatalf("%s: decode: %v", path, err)
+		}
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("%s = %d, want 400", path, resp.StatusCode)
+		}
+		return eb
+	}
+
+	eb := post("/v1/run",
+		`{"kind":"d2m-ns-r","benchmark":"tpc-c","nodes":2,"measure":4000,"engine":"warp"}`)
+	if eb.Error.Code != ErrInvalidRequest || !strings.Contains(eb.Error.Message, "warp") {
+		t.Errorf("run envelope = %+v, want invalid_request naming the engine", eb.Error)
+	}
+	eb = post("/v1/batch",
+		`{"runs":[{"kind":"d2m-ns-r","benchmark":"tpc-c","nodes":2,"measure":4000,"engine":"warp"}]}`)
+	if eb.Error.Code != ErrInvalidRequest {
+		t.Errorf("batch envelope = %+v, want invalid_request", eb.Error)
+	}
+	eb = post("/v1/sweeps",
+		`{"kinds":["d2m-ns-r"],"benchmarks":["tpc-c"],"nodes":2,"engine":"warp"}`)
+	if eb.Error.Code != ErrInvalidRequest {
+		t.Errorf("sweep envelope = %+v, want invalid_request", eb.Error)
+	}
+}
+
+// TestSweepVectorLaneGroups: a sweep over a link-bandwidth axis (one
+// warm identity, many cells) flows through the lane-group feeder — the
+// lane metrics move, and every cell's result matches a scalar run.
+func TestSweepVectorLaneGroups(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1})
+
+	body := `{"kinds":["d2m-ns-r"],"benchmarks":["tpc-c"],"nodes":2,
+		"warmup":2000,"measure":4000,
+		"link_bandwidths":[0.9,1.0,1.1,1.2]}`
+	resp, err := http.Post(ts.URL+"/v1/sweeps", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st SweepStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("POST /v1/sweeps = %d", resp.StatusCode)
+	}
+	waitSweep(t, ts, st.ID, 30*time.Second)
+
+	if groups := s.Metrics().LaneGroups.Load(); groups == 0 {
+		t.Errorf("lane_groups = 0, want > 0 (sweep cells share one warm identity)")
+	}
+	if jobs := s.Metrics().LaneJobs.Load(); jobs < 4 {
+		t.Errorf("lane_jobs = %d, want >= 4", jobs)
+	}
+
+	// Every cell must be byte-identical to its scalar library run.
+	resp, err = http.Get(ts.URL + "/v1/sweeps/" + st.ID + "?cells=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var full SweepStatus
+	if err := json.NewDecoder(resp.Body).Decode(&full); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(full.Cells) != 4 {
+		t.Fatalf("cells = %d, want 4", len(full.Cells))
+	}
+	for i, lb := range []float64{0.9, 1.0, 1.1, 1.2} {
+		want := runLibrary(t, d2m.RunSpec{
+			Kind: d2m.D2MNSR, Benchmark: "tpc-c",
+			Options: d2m.Options{Nodes: 2, Warmup: 2000, Measure: 4000, LinkBandwidth: lb},
+		})
+		got, _ := json.Marshal(full.Cells[i].Result)
+		if string(got) != string(want) {
+			t.Errorf("cell %d differs from scalar run:\n got  %s\n want %s", i, got, want)
+		}
+	}
+}

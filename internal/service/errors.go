@@ -1,109 +1,62 @@
 package service
 
 import (
-	"fmt"
 	"net/http"
+
+	"d2m/internal/api"
 )
 
-// This file is the v1 error surface: every handler reports failures
-// through the same envelope
-//
-//	{"error": {"code": "...", "message": "..."}}
-//
-// The pre-envelope top-level "message" duplicate was carried for one
-// release and removed in API v1.1. Codes map one-to-one to HTTP
-// statuses so clients can switch on either.
+// The v1 error surface — the {"error": {"code", "message"}} envelope
+// and its code-to-status mapping — is defined once in internal/api and
+// shared with the cluster gateway. These aliases keep this package's
+// exported names (and its internal shorthand) stable.
 
-// ErrCode is a machine-readable error category.
-type ErrCode string
+// ErrCode is a machine-readable error category; see api.ErrCode.
+type ErrCode = api.ErrCode
 
 const (
-	ErrInvalidRequest   ErrCode = "invalid_request"   // 400: malformed body or parameters
-	ErrUnknownBenchmark ErrCode = "unknown_benchmark" // 400: benchmark not in the catalog
-	ErrNotFound         ErrCode = "not_found"         // 404: unknown job or sweep id
-	ErrConflict         ErrCode = "conflict"          // 409: job already settled
-	ErrOverloaded       ErrCode = "overloaded"        // 429: job queue full, retry later
-	ErrDraining         ErrCode = "draining"          // 503: server shutting down
-	ErrInternal         ErrCode = "internal"          // 500: unexpected failure
+	ErrInvalidRequest   = api.ErrInvalidRequest
+	ErrUnknownBenchmark = api.ErrUnknownBenchmark
+	ErrNotFound         = api.ErrNotFound
+	ErrConflict         = api.ErrConflict
+	ErrOverloaded       = api.ErrOverloaded
+	ErrDraining         = api.ErrDraining
+	ErrInternal         = api.ErrInternal
 )
 
-// httpStatus maps a code to its status line.
-func (c ErrCode) httpStatus() int {
-	switch c {
-	case ErrInvalidRequest, ErrUnknownBenchmark:
-		return http.StatusBadRequest
-	case ErrNotFound:
-		return http.StatusNotFound
-	case ErrConflict:
-		return http.StatusConflict
-	case ErrOverloaded:
-		return http.StatusTooManyRequests
-	case ErrDraining:
-		return http.StatusServiceUnavailable
-	default:
-		return http.StatusInternalServerError
-	}
-}
+// apiError is the coded error the handlers throw; see api.Error.
+type apiError = api.Error
 
-// apiError is an error with a wire code; handlers surface any other
-// error type as ErrInternal.
-type apiError struct {
-	Code    ErrCode
-	Message string
-}
-
-func (e *apiError) Error() string { return e.Message }
-
+// apiErrorf builds a coded error from a format string.
 func apiErrorf(code ErrCode, format string, args ...interface{}) *apiError {
-	return &apiError{Code: code, Message: fmt.Sprintf(format, args...)}
+	return api.Errorf(code, format, args...)
 }
 
-// ErrorInfo is the structured half of the envelope.
-type ErrorInfo struct {
-	Code    ErrCode `json:"code"`
-	Message string  `json:"message"`
-}
+// ErrorInfo is the structured half of the envelope; see api.ErrorInfo.
+type ErrorInfo = api.ErrorInfo
 
-// ErrorBody is the JSON error envelope. Exported so the cluster
-// gateway can decode a shard's error responses and re-emit them.
-type ErrorBody struct {
-	Error ErrorInfo `json:"error"`
-}
+// ErrorBody is the JSON error envelope; see api.ErrorBody.
+type ErrorBody = api.ErrorBody
 
 // writeError renders err through the envelope at its mapped status.
 func writeError(w http.ResponseWriter, err error) {
-	ae, ok := err.(*apiError)
-	if !ok {
-		ae = &apiError{Code: ErrInternal, Message: err.Error()}
-	}
-	writeJSON(w, ae.Code.httpStatus(), ErrorBody{
-		Error: ErrorInfo{Code: ae.Code, Message: ae.Message},
-	})
+	api.WriteErr(w, err)
 }
 
 // WriteError renders an error envelope with the given code at its
-// mapped HTTP status. Exported for the cluster gateway, which speaks
-// the same wire format as the shards it fronts.
+// mapped HTTP status.
 func WriteError(w http.ResponseWriter, code ErrCode, format string, args ...interface{}) {
-	writeError(w, apiErrorf(code, format, args...))
+	api.WriteError(w, code, format, args...)
 }
 
-// WriteJSON renders v as indented JSON at the given status; the
-// exported face of the internal helper, for the cluster gateway.
+// WriteJSON renders v as indented JSON at the given status.
 func WriteJSON(w http.ResponseWriter, code int, v interface{}) {
-	writeJSON(w, code, v)
+	api.WriteJSON(w, code, v)
 }
 
-// HTTPStatus maps an error code to its HTTP status line.
-func (c ErrCode) HTTPStatus() int { return c.httpStatus() }
-
-// ErrorCode extracts the wire code from an error produced by this
-// package's validation helpers (Normalize, ExpandSweep); any other
-// error reads as ErrInternal. Exported for the cluster gateway, which
-// validates requests with the same helpers before forwarding.
+// ErrorCode extracts the wire code from an error produced by the
+// validation helpers (Normalize, ExpandSweep); any other error reads
+// as ErrInternal.
 func ErrorCode(err error) ErrCode {
-	if ae, ok := err.(*apiError); ok {
-		return ae.Code
-	}
-	return ErrInternal
+	return api.ErrorCode(err)
 }

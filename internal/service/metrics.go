@@ -49,6 +49,9 @@ type Metrics struct {
 	BatchesAccepted   atomic.Uint64 // POST /v1/batch requests admitted
 	BatchRuns         atomic.Uint64 // individual runs submitted through batches
 
+	LaneGroups atomic.Uint64 // vector lane groups executed
+	LaneJobs   atomic.Uint64 // jobs that ran as lanes of a group
+
 	Queued          atomic.Int64 // gauge: jobs waiting in the queue
 	Running         atomic.Int64 // gauge: jobs occupying a worker
 	SweepsActive    atomic.Int64 // gauge: sweeps not yet settled
@@ -92,6 +95,13 @@ func (m *Metrics) ObserveQueueWait(p sched.Priority, seconds float64) {
 }
 
 func (m *Metrics) ObserveRun(seconds float64) { m.RunLatency.Observe(seconds) }
+
+// LaneGroup implements the scheduler's optional lane-group observer
+// extension: one call per vector group of size lanes.
+func (m *Metrics) LaneGroup(size int) {
+	m.LaneGroups.Add(1)
+	m.LaneJobs.Add(uint64(size))
+}
 
 // histBuckets are the upper bounds (seconds) of the latency histograms:
 // sub-millisecond queue pickups through multi-minute simulations.
@@ -211,6 +221,8 @@ func (m *Metrics) WritePrometheus(w io.Writer) {
 	counter("d2m_snapshot_evictions_total", "Snapshots evicted by the byte budget.", m.SnapshotEvictions.Load())
 	counter("d2m_batches_accepted_total", "POST /v1/batch requests admitted.", m.BatchesAccepted.Load())
 	counter("d2m_batch_runs_total", "Individual runs submitted through batches.", m.BatchRuns.Load())
+	counter("d2m_lane_groups_total", "Vector lane groups executed.", m.LaneGroups.Load())
+	counter("d2m_lane_jobs_total", "Jobs that ran as lanes of a vector group.", m.LaneJobs.Load())
 	gauge("d2m_jobs_queued", "Jobs waiting in the queue.", m.Queued.Load())
 	gauge("d2m_jobs_running", "Jobs occupying a worker.", m.Running.Load())
 	gauge("d2m_sweeps_active", "Sweeps not yet settled.", m.SweepsActive.Load())
@@ -287,5 +299,7 @@ func (m *Metrics) Snapshot() map[string]interface{} {
 		"snapshot_entries":   m.SnapshotEntries.Load(),
 		"batches_accepted":   m.BatchesAccepted.Load(),
 		"batch_runs":         m.BatchRuns.Load(),
+		"lane_groups":        m.LaneGroups.Load(),
+		"lane_jobs":          m.LaneJobs.Load(),
 	}
 }

@@ -50,6 +50,32 @@ func (s *Scheduler) SubmitWait(ctx context.Context, sub Submission) (Admission, 
 	}
 }
 
+// SubmitGroupWait is SubmitGroup with the SubmitWait parking loop: on
+// ErrQueueFull it waits for a slot pulse (or a short poll tick, or ctx
+// cancellation) and retries the whole group. Sweep feeders submit
+// same-warm-identity cell chunks through here, so the chunk arrives as
+// one leader-plus-chain unit a worker can gather into a lane group.
+func (s *Scheduler) SubmitGroupWait(ctx context.Context, subs []Submission) ([]Admission, error) {
+	for {
+		adms, err := s.SubmitGroup(subs)
+		if err == nil {
+			return adms, nil
+		}
+		if !errors.Is(err, ErrQueueFull) {
+			return nil, err
+		}
+		t := time.NewTimer(10 * time.Millisecond)
+		select {
+		case <-s.slotFree:
+			t.Stop()
+		case <-t.C:
+		case <-ctx.Done():
+			t.Stop()
+			return nil, ctx.Err()
+		}
+	}
+}
+
 // SubmitGroup admits a set of submissions atomically: either every
 // submission is settled from the cache, coalesced, or enqueued, or —
 // if any class queue cannot hold the new jobs — none is, and the
@@ -331,6 +357,7 @@ func (s *Scheduler) infoLocked(j *Job) Info {
 		Priority:  j.spec.Priority,
 		Kind:      j.spec.Kind,
 		Benchmark: j.spec.Benchmark,
+		Engine:    j.engine,
 		Created:   j.created,
 		Started:   j.started,
 		Finished:  j.finished,

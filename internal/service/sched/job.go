@@ -86,6 +86,13 @@ type Submission struct {
 	// Detached marks a job that outlives its submitting request (async
 	// submissions): it is never cancelled by its waiters disconnecting.
 	Detached bool
+	// Engine is the execution-path hint: "" (auto — the scheduler may
+	// group the job into a vector lane group), d2m.EngineScalar (opt
+	// out of grouping), or d2m.EngineVector (grouping preferred; still
+	// runs scalar when no group forms). Scalar and vector results are
+	// byte-identical by contract, so the hint never changes the cache
+	// key.
+	Engine string
 }
 
 // validate rejects submissions the scheduler cannot represent. The
@@ -100,6 +107,11 @@ func (sub Submission) validate() error {
 	}
 	if sub.Priority < 0 || sub.Priority >= NumPriorities {
 		return fmt.Errorf("sched: unknown priority %d", sub.Priority)
+	}
+	switch sub.Engine {
+	case "", d2m.EngineScalar, d2m.EngineVector:
+	default:
+		return fmt.Errorf("sched: unknown engine %q", sub.Engine)
 	}
 	return nil
 }
@@ -145,9 +157,18 @@ type Job struct {
 	// promotion when a queued leader is cancelled).
 	leader *Job
 	chain  []*Job
+	// laneKey is the job's lane-group identity (its warm key) when it
+	// is eligible for vector execution — single run, engine hint not
+	// "scalar" — and "" otherwise. A worker that dequeues a leader
+	// gathers queued jobs with the same laneKey into one lockstep
+	// RunGroup call. Immutable after creation.
+	laneKey string
 
 	// guarded by Scheduler.mu until done closes.
-	state      State
+	state State
+	// engine records the execution path that produced the result
+	// ("scalar" or "vector"); set when the job settles done.
+	engine     string
 	result     d2m.Result
 	replicated *d2m.Replicated
 	err        error
@@ -186,10 +207,13 @@ type Info struct {
 	QueuePos  int
 	Kind      d2m.Kind
 	Benchmark string
-	Created   time.Time
-	Started   time.Time
-	Finished  time.Time
-	Err       error
+	// Engine is the execution path that produced the result ("scalar"
+	// or "vector"); set once the job is done.
+	Engine   string
+	Created  time.Time
+	Started  time.Time
+	Finished time.Time
+	Err      error
 	// Result and Replicated are set only for StateDone.
 	Result     *d2m.Result
 	Replicated *d2m.Replicated

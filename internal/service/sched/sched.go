@@ -36,6 +36,15 @@ type Config struct {
 	// scheduler passes the submission's identity through a d2m.RunSpec
 	// (Replicates included) and stores the output on the job.
 	Run func(ctx context.Context, spec d2m.RunSpec) (d2m.RunOutput, error)
+	// RunGroup, when non-nil, executes a lane group — queued jobs
+	// sharing a lane key (warm identity) — as one lockstep simulation,
+	// returning one outcome per lane in order. Nil disables vector
+	// execution: every job runs through Run.
+	RunGroup func(ctx context.Context, lanes []d2m.GroupLane) ([]d2m.LaneOutcome, error)
+	// MaxLanes caps the lane-group size workers assemble. Zero means
+	// 16; values below 2 disable grouping. Ignored when RunGroup is
+	// nil.
+	MaxLanes int
 	// Results, when non-nil, is consulted at admission (Lookup) and on
 	// success (Settle): the service wires its result cache and JSONL
 	// journal here.
@@ -60,6 +69,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.InteractiveWeight <= 0 {
 		c.InteractiveWeight = 4
+	}
+	if c.MaxLanes == 0 {
+		c.MaxLanes = 16
 	}
 	if c.Results == nil {
 		c.Results = nopSink{}
@@ -140,6 +152,16 @@ func New(cfg Config) (*Scheduler, error) {
 
 // Workers returns the worker-pool width.
 func (s *Scheduler) Workers() int { return s.cfg.Workers }
+
+// MaxLanes returns the largest lane group a worker will assemble: 1
+// when vector execution is disabled (no RunGroup hook, or MaxLanes
+// configured below 2).
+func (s *Scheduler) MaxLanes() int {
+	if s.cfg.RunGroup == nil || s.cfg.MaxLanes < 2 {
+		return 1
+	}
+	return s.cfg.MaxLanes
+}
 
 // Draining reports whether admission is closed — by SetDraining or by
 // Shutdown.
@@ -225,9 +247,12 @@ func (s *Scheduler) RetryAfter(p Priority) time.Duration {
 // Worker pool.
 
 // worker drains the queues until Shutdown empties them. A dequeued
-// leader may carry a chain of affinity followers; the worker runs them
-// back-to-back so each follower restores the snapshot the leader just
-// deposited while it is hottest.
+// leader may carry a chain of affinity followers; the worker first
+// gathers the leader, its lane-eligible chain members, and any queued
+// same-lane-key leaders into one lockstep lane group (vector
+// execution), then runs whatever did not fit — ineligible chain
+// members, overflow — back-to-back the scalar way, each follower
+// restoring the snapshot the group just deposited while it is hottest.
 func (s *Scheduler) worker() {
 	defer s.wg.Done()
 	for {
@@ -235,15 +260,139 @@ func (s *Scheduler) worker() {
 		if !ok {
 			return
 		}
-		s.runJob(j)
-		// The chain is read under the lock: a cancelled queued leader
-		// may have promoted a follower, and cancelled followers are
-		// skipped inside runJob.
-		s.mu.Lock()
-		chain := append([]*Job(nil), j.chain...)
-		s.mu.Unlock()
-		for _, c := range chain {
+		lanes, rest := s.gatherLanes(j)
+		if len(lanes) >= 2 {
+			s.runLaneGroup(lanes)
+		} else {
+			s.runJob(j)
+		}
+		for _, c := range rest {
 			s.runJob(c)
+		}
+	}
+}
+
+// gatherLanes assembles the lane group around a just-dequeued leader:
+// the leader itself, its chain members with the same lane key, and
+// queued leaders (of either class) with the same lane key and no chain
+// of their own, stolen out of the queues up to MaxLanes. It returns
+// the group (nil when grouping is off or nothing joined) and the jobs
+// the worker must still run scalar — the leader's remaining chain. A
+// stolen job stays StateQueued until the group claims it, so Cancel
+// settles it exactly as it settles a chain follower.
+func (s *Scheduler) gatherLanes(j *Job) (lanes, rest []*Job) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	// The chain is read under the lock: a cancelled queued leader may
+	// have promoted a follower, and cancelled followers are skipped
+	// inside runJob.
+	rest = append([]*Job(nil), j.chain...)
+	if s.cfg.RunGroup == nil || s.cfg.MaxLanes < 2 ||
+		j.laneKey == "" || j.state != StateQueued {
+		return nil, rest
+	}
+	lanes = append(lanes, j)
+	rest = rest[:0]
+	for _, c := range j.chain {
+		if len(lanes) < s.cfg.MaxLanes && c.laneKey == j.laneKey &&
+			c.state == StateQueued && c.ctx.Err() == nil {
+			lanes = append(lanes, c)
+		} else {
+			rest = append(rest, c)
+		}
+	}
+	stole := false
+	for p := Interactive; p < NumPriorities; p++ {
+		if len(lanes) >= s.cfg.MaxLanes {
+			break
+		}
+		q := s.queues[p]
+		kept := q[:0]
+		for _, cand := range q {
+			if len(lanes) < s.cfg.MaxLanes && cand.laneKey == j.laneKey &&
+				len(cand.chain) == 0 && cand.state == StateQueued && cand.ctx.Err() == nil {
+				lanes = append(lanes, cand)
+				stole = true
+			} else {
+				kept = append(kept, cand)
+			}
+		}
+		for i := len(kept); i < len(q); i++ {
+			q[i] = nil
+		}
+		s.queues[p] = kept
+	}
+	if stole {
+		s.pulseSlotFree()
+	}
+	if len(lanes) < 2 {
+		// Nothing joined: rest still holds the full chain.
+		return nil, rest
+	}
+	return lanes, rest
+}
+
+// runLaneGroup claims each gathered job and executes the claimed ones
+// as one lockstep RunGroup call. Jobs settled while queued (cancelled,
+// expired) drop out at claim time exactly as they would on the scalar
+// path; a group reduced to one job falls back to scalar execution. The
+// group context is the scheduler's base context — per-lane cancellation
+// flows through each job's own context, which the vector engine polls
+// to demote a lane without aborting the group.
+func (s *Scheduler) runLaneGroup(group []*Job) {
+	claimed := make([]*Job, 0, len(group))
+	for _, j := range group {
+		if s.claim(j) {
+			claimed = append(claimed, j)
+		}
+	}
+	switch len(claimed) {
+	case 0:
+		return
+	case 1:
+		s.execute(claimed[0])
+		return
+	}
+	lanes := make([]d2m.GroupLane, len(claimed))
+	for i, j := range claimed {
+		lanes[i] = d2m.GroupLane{
+			Spec: d2m.RunSpec{
+				Kind:       j.spec.Kind,
+				Benchmark:  j.spec.Benchmark,
+				Options:    j.spec.Options,
+				Replicates: j.spec.Replicates,
+			},
+			Ctx: j.ctx,
+		}
+	}
+	s.obs.RunningDelta(int64(len(claimed)))
+	if lg, ok := s.obs.(interface{ LaneGroup(size int) }); ok {
+		lg.LaneGroup(len(claimed))
+	}
+	start := time.Now()
+	outs, gerr := s.cfg.RunGroup(s.baseCtx, lanes)
+	dur := time.Since(start)
+	s.obs.RunningDelta(-int64(len(claimed)))
+	s.obs.ObserveRun(dur.Seconds())
+	if gerr == nil && len(outs) != len(claimed) {
+		gerr = fmt.Errorf("sched: lane group returned %d outcomes for %d lanes", len(outs), len(claimed))
+	}
+	// Each lane's accounted service time is its share of the group run:
+	// that is what the lane actually cost the pool, and what keeps the
+	// RetryAfter EWMA meaning "seconds per job".
+	per := dur / time.Duration(len(claimed))
+	for i, j := range claimed {
+		switch {
+		case gerr != nil:
+			s.finish(j, d2m.RunOutput{}, gerr, 0)
+		case outs[i].Err != nil:
+			s.finish(j, d2m.RunOutput{}, outs[i].Err, 0)
+		default:
+			out := outs[i].Output
+			if out.Engine == "" {
+				out.Engine = d2m.EngineVector
+			}
+			s.finish(j, out, nil, per)
 		}
 	}
 }
@@ -304,16 +453,27 @@ func (s *Scheduler) pulseSlotFree() {
 	}
 }
 
-// runJob executes one dequeued job (leader or chain follower). A job
-// settled while queued — cancelled explicitly, or its deadline passed,
-// or its waiters all disconnected — never occupies a worker.
+// runJob executes one dequeued job (leader or chain follower) the
+// scalar way. A job settled while queued — cancelled explicitly, or
+// its deadline passed, or its waiters all disconnected — never
+// occupies a worker.
 func (s *Scheduler) runJob(j *Job) {
+	if s.claim(j) {
+		s.execute(j)
+	}
+}
+
+// claim transitions a dequeued (or lane-gathered) job from queued to
+// running, performing the queue-exit accounting. It returns false when
+// the job needs no execution: already settled by Cancel, or its
+// context died in the queue (the job is then settled here).
+func (s *Scheduler) claim(j *Job) bool {
 	s.mu.Lock()
 	if j.state != StateQueued {
 		// Cancel settled it while it sat in the queue (or in a chain);
 		// all accounting happened there.
 		s.mu.Unlock()
-		return
+		return false
 	}
 	if err := j.ctx.Err(); err != nil {
 		s.dequeuedLocked(j)
@@ -321,7 +481,7 @@ func (s *Scheduler) runJob(j *Job) {
 		s.obs.QueuedDelta(-1)
 		s.obs.ObserveQueueWait(j.spec.Priority, time.Since(j.created).Seconds())
 		s.finish(j, d2m.RunOutput{}, err, 0)
-		return
+		return false
 	}
 	s.dequeuedLocked(j)
 	j.state = StateRunning
@@ -329,7 +489,12 @@ func (s *Scheduler) runJob(j *Job) {
 	s.mu.Unlock()
 	s.obs.QueuedDelta(-1)
 	s.obs.ObserveQueueWait(j.spec.Priority, j.started.Sub(j.created).Seconds())
+	return true
+}
 
+// execute runs one claimed job through the scalar Run hook and settles
+// it.
+func (s *Scheduler) execute(j *Job) {
 	s.obs.RunningDelta(1)
 	start := time.Now()
 	out, err := s.cfg.Run(j.ctx, d2m.RunSpec{
@@ -341,6 +506,9 @@ func (s *Scheduler) runJob(j *Job) {
 	dur := time.Since(start)
 	s.obs.RunningDelta(-1)
 	s.obs.ObserveRun(dur.Seconds())
+	if err == nil && out.Engine == "" {
+		out.Engine = d2m.EngineScalar
+	}
 	s.finish(j, out, err, dur)
 }
 
@@ -368,6 +536,7 @@ func (s *Scheduler) finish(j *Job, out d2m.RunOutput, err error, dur time.Durati
 		j.state = StateDone
 		j.result = out.Result
 		j.replicated = out.Replicated
+		j.engine = out.Engine
 	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
 		j.state = StateCanceled
 		j.err = err
@@ -426,6 +595,9 @@ func (s *Scheduler) newJobLocked(sub Submission, key string) *Job {
 		created:  time.Now(),
 		waiters:  1,
 		detached: sub.Detached,
+	}
+	if sub.Replicates < 2 && sub.Engine != d2m.EngineScalar {
+		j.laneKey = d2m.WarmKey(sub.Kind, sub.Benchmark, sub.Options)
 	}
 	timeout := sub.Timeout
 	if timeout == 0 {

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"d2m"
+	"d2m/internal/api"
 	"d2m/internal/service/sched"
 )
 
@@ -54,6 +55,12 @@ type Config struct {
 	// attributable per process. Empty (the single-process default)
 	// renders unlabeled series, unchanged from earlier revisions.
 	ShardName string
+	// MaxLanes caps the vector engine's lane groups: queued jobs that
+	// share a warm identity are executed as one lockstep simulation of
+	// up to this many lanes. Zero means the scheduler's default (16);
+	// 1 disables vector execution. Ignored when Runner is set (stub
+	// runners run every job scalar).
+	MaxLanes int
 	// Runner executes one simulation. Nil means d2m.Run against the
 	// server's snapshot cache; tests substitute stubs to control timing
 	// and observe cancellation.
@@ -212,11 +219,12 @@ func New(cfg Config) (*Server, error) {
 	if s.snapshots != nil {
 		warm = s.snapshots
 	}
-	sc, err := sched.New(sched.Config{
+	schedCfg := sched.Config{
 		Workers:        cfg.Workers,
 		QueueDepth:     cfg.QueueDepth,
 		DefaultTimeout: cfg.DefaultTimeout,
 		MaxJobs:        cfg.MaxJobs,
+		MaxLanes:       cfg.MaxLanes,
 		Run: func(ctx context.Context, spec d2m.RunSpec) (d2m.RunOutput, error) {
 			if spec.Replicates >= 2 {
 				agg, err := s.replicator(ctx, spec.Kind, spec.Benchmark, spec.Options, spec.Replicates)
@@ -231,7 +239,13 @@ func New(cfg Config) (*Server, error) {
 		Results:  serverSink{s},
 		Warm:     warm,
 		Observer: s.metrics,
-	})
+	}
+	if cfg.Runner == nil {
+		// The vector path only exists over the real engine: a custom
+		// Runner (test stubs controlling timing) keeps every job scalar.
+		schedCfg.RunGroup = s.runGroup
+	}
+	sc, err := sched.New(schedCfg)
 	if err != nil {
 		return nil, err
 	}
@@ -284,6 +298,26 @@ func (s *Server) warmCache() d2m.WarmCache {
 	return s.snapshots
 }
 
+// runGroup is the scheduler's vector-execution hook: it threads the
+// server's snapshot cache into every lane (the group shares one warm
+// identity, so the whole group restores or deposits one snapshot) and
+// delegates to the root lockstep engine.
+func (s *Server) runGroup(ctx context.Context, lanes []d2m.GroupLane) ([]d2m.LaneOutcome, error) {
+	wc := s.warmCache()
+	for i := range lanes {
+		lanes[i].Spec.Warm = wc
+	}
+	return d2m.RunGroup(ctx, lanes)
+}
+
+// engines lists the execution paths this server can use.
+func (s *Server) engines() []string {
+	if s.sched.MaxLanes() > 1 {
+		return []string{d2m.EngineScalar, d2m.EngineVector}
+	}
+	return []string{d2m.EngineScalar}
+}
+
 // Shutdown drains the service: admission stops (new POSTs get 503),
 // queued and running jobs are allowed to finish, and the worker pool
 // exits. If ctx expires first, every outstanding job and sweep context
@@ -312,12 +346,13 @@ var (
 // submission maps a validated request onto the scheduler's admission
 // type. All transport-submitted runs (single and batch) are
 // interactive; sweep cells enter as bulk through the sweep feeder.
-func submission(kind d2m.Kind, bench string, opt d2m.Options, reps int, timeoutMS int64, detached bool) sched.Submission {
+func submission(kind d2m.Kind, bench string, opt d2m.Options, reps int, engine string, timeoutMS int64, detached bool) sched.Submission {
 	return sched.Submission{
 		Kind:       kind,
 		Benchmark:  bench,
 		Options:    opt,
 		Replicates: reps,
+		Engine:     engine,
 		Priority:   sched.Interactive,
 		Timeout:    time.Duration(timeoutMS) * time.Millisecond,
 		Detached:   detached,
@@ -347,10 +382,11 @@ func cachedStatus(kind d2m.Kind, bench string, adm sched.Admission) JobStatus {
 func jobStatus(in sched.Info) JobStatus {
 	st := JobStatus{
 		ID:        in.ID,
-		State:     in.State,
+		State:     JobState(in.State),
 		Kind:      in.Kind.String(),
 		Benchmark: in.Benchmark,
 		Priority:  in.Priority.String(),
+		Engine:    in.Engine,
 	}
 	if in.QueuePos > 0 {
 		st.QueuePosition = in.QueuePos
@@ -364,7 +400,7 @@ func jobStatus(in sched.Info) JobStatus {
 	if in.Err != nil {
 		st.Error = in.Err.Error()
 	}
-	if in.State == JobDone {
+	if st.State == JobDone {
 		st.Result = in.Result
 		st.Replicated = in.Replicated
 	}
@@ -401,13 +437,13 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		writeError(w, apiErrorf(ErrInvalidRequest, "bad request body: %v", err))
 		return
 	}
-	kind, bench, opt, reps, err := req.Normalize()
+	kind, bench, opt, reps, engine, err := req.Normalize()
 	if err != nil {
 		writeError(w, err)
 		return
 	}
 
-	adm, err := s.sched.Submit(submission(kind, bench, opt, reps, req.TimeoutMS, req.Async))
+	adm, err := s.sched.Submit(submission(kind, bench, opt, reps, engine, req.TimeoutMS, req.Async))
 	if err != nil {
 		s.writeAdmissionError(w, err, sched.Interactive, 1)
 		return
@@ -523,7 +559,7 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 		if cursor != "" && in.ID >= cursor {
 			continue
 		}
-		if filter != "" && in.State != filter {
+		if filter != "" && JobState(in.State) != filter {
 			continue
 		}
 		if len(body.Jobs) == limit {
@@ -537,33 +573,11 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, body)
 }
 
-// capabilitiesBody is the GET /v1/capabilities response: everything a
-// client needs to compose a valid RunRequest or SweepRequest, in one
-// payload. The /v1/benchmarks compatibility alias that served the same
-// body was removed in API v1.2.
-type capabilitiesBody struct {
-	APIRevision   string              `json:"api_revision"`
-	Suites        map[string][]string `json:"suites"`
-	Kinds         []string            `json:"kinds"`
-	Topologies    []string            `json:"topologies"`
-	Placements    []string            `json:"placements"`
-	Kernels       []KernelCap         `json:"kernels"`
-	MaxReplicates int                 `json:"max_replicates"`
-}
-
-// KernelCap describes one synthetic kernel workload.
-type KernelCap struct {
-	Name        string `json:"name"`
-	Description string `json:"description"`
-}
-
-// apiRevision is the documented revision of the v1 surface; bumped
-// when a field or endpoint is added or retired (see docs/api.md).
-const apiRevision = "v1.4"
-
 func (s *Server) handleCapabilities(w http.ResponseWriter, r *http.Request) {
-	body := capabilitiesBody{
-		APIRevision:   apiRevision,
+	body := api.Capabilities{
+		APIRevision:   api.Revision,
+		Engines:       s.engines(),
+		MaxLanes:      s.sched.MaxLanes(),
 		Suites:        make(map[string][]string),
 		Kinds:         d2m.KindNames(),
 		Topologies:    d2m.Topologies(),

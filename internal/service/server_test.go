@@ -8,6 +8,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"reflect"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -15,6 +16,7 @@ import (
 	"time"
 
 	"d2m"
+	"d2m/internal/api"
 )
 
 // newTestServer builds a service with the given config and an HTTP
@@ -667,14 +669,24 @@ func TestCapabilitiesEndpoint(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		var body capabilitiesBody
+		var body api.Capabilities
 		err = json.NewDecoder(resp.Body).Decode(&body)
 		resp.Body.Close()
 		if err != nil {
 			t.Fatal(err)
 		}
-		if body.APIRevision != apiRevision {
-			t.Errorf("%s: api_revision %q, want %q", path, body.APIRevision, apiRevision)
+		if body.APIRevision != api.Revision {
+			t.Errorf("%s: api_revision %q, want %q", path, body.APIRevision, api.Revision)
+		}
+		if body.APIRevision != "v1.5" {
+			t.Errorf("%s: api_revision %q, want v1.5", path, body.APIRevision)
+		}
+		wantEngines := []string{d2m.EngineScalar, d2m.EngineVector}
+		if !reflect.DeepEqual(body.Engines, wantEngines) {
+			t.Errorf("%s: engines %v, want %v", path, body.Engines, wantEngines)
+		}
+		if body.MaxLanes < 2 {
+			t.Errorf("%s: max_lanes = %d, want >= 2", path, body.MaxLanes)
 		}
 		if len(body.Suites) != len(d2m.Suites()) {
 			t.Errorf("%s: suites = %d, want %d", path, len(body.Suites), len(d2m.Suites()))

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"d2m"
+	"d2m/internal/api"
 	"d2m/internal/service/sched"
 )
 
@@ -44,6 +45,11 @@ type SweepRequest struct {
 	// decorrelated seeds; each cell's Result is then the mean
 	// projection of its aggregate. Same bounds as the run endpoint.
 	Replicates int `json:"replicates,omitempty"`
+	// Engine is the execution-path hint applied to every cell: "" or
+	// "auto" (the feeder chunks same-warm-identity cells into vector
+	// lane groups when the engine supports them), "scalar" (every cell
+	// runs alone), or "vector". Results are byte-identical either way.
+	Engine string `json:"engine,omitempty"`
 }
 
 // SweepState is a sweep's position in its lifecycle.
@@ -110,7 +116,8 @@ type sweep struct {
 	id       string
 	baseline d2m.Kind
 	timeout  int64
-	reps     int // canonical replicate count per cell; 0 = single run
+	reps     int    // canonical replicate count per cell; 0 = single run
+	engine   string // normalized engine hint; "" = auto
 	cells    []d2m.SweepCell
 
 	ctx    context.Context
@@ -186,31 +193,36 @@ func (sw *sweep) status(workers int) SweepStatus {
 // HTTP handlers.
 
 // ExpandSweep resolves a sweep request to its validated cell list,
-// baseline kind, and canonical replicate count — the exact validation
-// path POST /v1/sweeps runs before accepting. Exported for the cluster
-// gateway, which expands a fleet sweep once and hands each shard its
-// warm-identity-local slice via the Cells field.
-func ExpandSweep(req SweepRequest) ([]d2m.SweepCell, d2m.Kind, int, error) {
+// baseline kind, canonical replicate count, and normalized engine hint
+// — the exact validation path POST /v1/sweeps runs before accepting.
+// Exported for the cluster gateway, which expands a fleet sweep once
+// and hands each shard its warm-identity-local slice via the Cells
+// field.
+func ExpandSweep(req SweepRequest) ([]d2m.SweepCell, d2m.Kind, int, string, error) {
 	// Unknown benchmarks carry their own code, matching POST /v1/run.
 	for _, b := range req.Benchmarks {
 		if _, ok := d2m.SuiteOf(b); !ok {
-			return nil, 0, 0, apiErrorf(ErrUnknownBenchmark,
+			return nil, 0, 0, "", apiErrorf(ErrUnknownBenchmark,
 				"d2m: unknown benchmark %q (see GET /v1/capabilities)", b)
 		}
 	}
 	cells, err := sweepCells(req)
 	if err != nil {
-		return nil, 0, 0, err
+		return nil, 0, 0, "", err
 	}
 	baseline, err := resolveBaseline(req.Baseline, cells)
 	if err != nil {
-		return nil, 0, 0, err
+		return nil, 0, 0, "", err
 	}
-	reps, err := normalizeReplicates(req.Replicates)
+	reps, err := api.NormalizeReplicates(req.Replicates)
 	if err != nil {
-		return nil, 0, 0, err
+		return nil, 0, 0, "", err
 	}
-	return cells, baseline, reps, nil
+	engine, err := api.NormalizeEngine(req.Engine)
+	if err != nil {
+		return nil, 0, 0, "", err
+	}
+	return cells, baseline, reps, engine, nil
 }
 
 func (s *Server) handleSweepCreate(w http.ResponseWriter, r *http.Request) {
@@ -221,7 +233,7 @@ func (s *Server) handleSweepCreate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, apiErrorf(ErrInvalidRequest, "bad request body: %v", err))
 		return
 	}
-	cells, baseline, reps, err := ExpandSweep(req)
+	cells, baseline, reps, engine, err := ExpandSweep(req)
 	if err != nil {
 		writeError(w, err)
 		return
@@ -232,6 +244,7 @@ func (s *Server) handleSweepCreate(w http.ResponseWriter, r *http.Request) {
 		baseline: baseline,
 		timeout:  req.TimeoutMS,
 		reps:     reps,
+		engine:   engine,
 		cells:    cells,
 		outcome:  make([]cellOutcome, len(cells)),
 		doneCh:   make(chan struct{}),
@@ -380,38 +393,70 @@ func (s *Server) handleSweepDelete(w http.ResponseWriter, r *http.Request) {
 
 // runSweep feeds every cell through the shared admission pipeline in
 // the bulk class and, once all have settled, aggregates the summary.
-// SubmitWait parks on a full bulk queue until a worker frees a slot —
-// a sweep larger than the queue degrades by waiting, never by failing
-// — and the bulk class's bounded dequeue share keeps a large sweep
-// from starving interactive requests.
+// Consecutive cells sharing a warm identity (typically the innermost
+// link-bandwidth axis of the grid) are submitted together through
+// SubmitGroupWait, so they arrive as one leader-plus-chain unit a
+// worker can gather into a lockstep lane group. The parking loop on a
+// full bulk queue means a sweep larger than the queue degrades by
+// waiting, never by failing, and the bulk class's bounded dequeue
+// share keeps a large sweep from starving interactive requests.
 func (s *Server) runSweep(sw *sweep) {
-	for i := range sw.cells {
-		cell := sw.cells[i]
+	maxChunk := s.sched.MaxLanes()
+	if maxChunk > s.cfg.QueueDepth {
+		maxChunk = s.cfg.QueueDepth
+	}
+	if sw.reps >= 2 || sw.engine == d2m.EngineScalar {
+		// Replicated cells are lane-ineligible; a scalar hint opts the
+		// whole sweep out of grouping.
+		maxChunk = 1
+	}
+	for i := 0; i < len(sw.cells); {
 		if sw.ctx.Err() != nil {
 			sw.settleCell(i, cellOutcome{state: JobCanceled, err: sw.ctx.Err()}, s.metrics)
+			i++
 			continue
 		}
-		adm, err := s.sched.SubmitWait(sw.ctx, sched.Submission{
-			Kind:       cell.Kind,
-			Benchmark:  cell.Benchmark,
-			Options:    cell.Options,
-			Replicates: sw.reps,
-			Priority:   sched.Bulk,
-			Timeout:    time.Duration(sw.timeout) * time.Millisecond,
-		})
+		end := i + 1
+		if maxChunk > 1 {
+			key := d2m.WarmKey(sw.cells[i].Kind, sw.cells[i].Benchmark, sw.cells[i].Options)
+			for end < len(sw.cells) && end-i < maxChunk &&
+				d2m.WarmKey(sw.cells[end].Kind, sw.cells[end].Benchmark, sw.cells[end].Options) == key {
+				end++
+			}
+		}
+		subs := make([]sched.Submission, end-i)
+		for k := range subs {
+			cell := sw.cells[i+k]
+			subs[k] = sched.Submission{
+				Kind:       cell.Kind,
+				Benchmark:  cell.Benchmark,
+				Options:    cell.Options,
+				Replicates: sw.reps,
+				Engine:     sw.engine,
+				Priority:   sched.Bulk,
+				Timeout:    time.Duration(sw.timeout) * time.Millisecond,
+			}
+		}
+		adms, err := s.sched.SubmitGroupWait(sw.ctx, subs)
 		if err != nil {
 			// Draining (or canceled mid-wait): abandon the remainder.
 			sw.cancel()
-			sw.settleCell(i, cellOutcome{state: JobCanceled, err: err}, s.metrics)
+			for k := i; k < end; k++ {
+				sw.settleCell(k, cellOutcome{state: JobCanceled, err: err}, s.metrics)
+			}
+			i = end
 			continue
 		}
-		if adm.Cached {
-			r := adm.Result
-			sw.settleCell(i, cellOutcome{state: JobDone, cached: true, result: &r}, s.metrics)
-			continue
+		for k := range adms {
+			if adms[k].Cached {
+				r := adms[k].Result
+				sw.settleCell(i+k, cellOutcome{state: JobDone, cached: true, result: &r}, s.metrics)
+				continue
+			}
+			sw.wg.Add(1)
+			go s.collectCell(sw, i+k, adms[k].Job)
 		}
-		sw.wg.Add(1)
-		go s.collectCell(sw, i, adm.Job)
+		i = end
 	}
 	sw.wg.Wait()
 	s.finalizeSweep(sw)
@@ -424,8 +469,8 @@ func (s *Server) collectCell(sw *sweep, i int, j *sched.Job) {
 	select {
 	case <-j.Done():
 		in := j.Info()
-		out := cellOutcome{state: in.State}
-		switch in.State {
+		out := cellOutcome{state: JobState(in.State)}
+		switch out.state {
 		case JobDone:
 			out.result = in.Result
 			out.runSec = in.Finished.Sub(in.Started).Seconds()

@@ -1,120 +1,27 @@
 // Package service implements the d2mserver simulation service: the
 // HTTP/JSON transport over the root d2m package. Execution — the job
 // ledger, priority-class queues with backpressure, the worker pool with
-// warm-affinity chaining, and the admission pipeline (result-cache
-// lookup, single-flight coalescing, all-or-nothing enqueue) — lives in
-// internal/service/sched; this package contributes request validation,
-// the result cache and JSONL journal, the warm-snapshot store, the
-// sweep orchestrator, and Prometheus-style metrics. cmd/d2mserver is
-// the thin binary around it.
+// warm-affinity chaining and lane grouping, and the admission pipeline
+// (result-cache lookup, single-flight coalescing, all-or-nothing
+// enqueue) — lives in internal/service/sched; this package contributes
+// request validation, the result cache and JSONL journal, the
+// warm-snapshot store, the sweep orchestrator, and Prometheus-style
+// metrics. The wire types themselves live in internal/api (shared with
+// the cluster gateway); the aliases below keep this package's exported
+// surface stable. cmd/d2mserver is the thin binary around it.
 package service
 
 import (
 	"d2m"
+	"d2m/internal/api"
 	"d2m/internal/service/sched"
 )
 
-// RunRequest is the body of POST /v1/run. The simulation fields mirror
-// d2m.Options; zero values take the paper's defaults. TimeoutMS and
-// Async control job handling and do not affect the cache identity.
-type RunRequest struct {
-	Kind      string `json:"kind"`
-	Benchmark string `json:"benchmark"`
-	Nodes     int    `json:"nodes,omitempty"`
-	Warmup    int    `json:"warmup,omitempty"`
-	Measure   int    `json:"measure,omitempty"`
-	Seed      uint64 `json:"seed,omitempty"`
-	// MDScale is the canonical "md_scale" field. LegacyMDScale catches
-	// the retired "mdscale" spelling: its compat window (one release,
-	// API v1.0) has ended, and any use is rejected with a targeted
-	// error pointing at md_scale rather than a generic unknown-field
-	// decode failure.
-	MDScale       int     `json:"md_scale,omitempty"`
-	LegacyMDScale int     `json:"mdscale,omitempty"`
-	Bypass        bool    `json:"bypass,omitempty"`
-	Prefetch      bool    `json:"prefetch,omitempty"`
-	Topology      string  `json:"topology,omitempty"`
-	Placement     string  `json:"placement,omitempty"`
-	LinkBandwidth float64 `json:"link_bandwidth,omitempty"`
-	// Replicates, when >= 2, runs the simulation that many times with
-	// decorrelated seeds (seed+1 .. seed+n) and returns the mean/std
-	// aggregate next to a mean-projected Result. Capped at
-	// MaxReplicates; 0 and 1 both mean a single run.
-	Replicates int `json:"replicates,omitempty"`
+// RunRequest is the body of POST /v1/run; see api.RunRequest.
+type RunRequest = api.RunRequest
 
-	// TimeoutMS caps this job's total lifetime (queue wait + run) in
-	// milliseconds. Zero takes the server's default deadline.
-	TimeoutMS int64 `json:"timeout_ms,omitempty"`
-	// Async makes POST /v1/run return 202 with the job id immediately;
-	// the result is collected via GET /v1/jobs/{id}.
-	Async bool `json:"async,omitempty"`
-}
-
-// MaxReplicates bounds replicates per request: above this, error bars
-// have long converged and the job is a denial-of-service risk.
-const MaxReplicates = 64
-
-// Normalize validates the request through the root package's shared
-// parse helpers and returns the canonical simulation identity
-// (including the canonical replicate count: 0 for a single run, 2..
-// MaxReplicates for a replicated one). Errors are apiErrors, so
-// handlers map them straight onto the envelope. Exported for the
-// cluster gateway, which normalizes each request to derive its
-// warm-identity shard key without re-implementing validation.
-func (r RunRequest) Normalize() (d2m.Kind, string, d2m.Options, int, error) {
-	fail := func(err error) (d2m.Kind, string, d2m.Options, int, error) {
-		return 0, "", d2m.Options{}, 0, err
-	}
-	kind, err := d2m.ParseKind(r.Kind)
-	if err != nil {
-		return fail(apiErrorf(ErrInvalidRequest, "%v", err))
-	}
-	if _, ok := d2m.SuiteOf(r.Benchmark); !ok {
-		return fail(apiErrorf(ErrUnknownBenchmark,
-			"d2m: unknown benchmark %q (see GET /v1/capabilities)", r.Benchmark))
-	}
-	if r.LegacyMDScale != 0 {
-		return fail(apiErrorf(ErrInvalidRequest,
-			`the "mdscale" field was removed in API v1.1; use "md_scale"`))
-	}
-	reps, err := normalizeReplicates(r.Replicates)
-	if err != nil {
-		return fail(err)
-	}
-	opt := d2m.Options{
-		Nodes:         r.Nodes,
-		Warmup:        r.Warmup,
-		Measure:       r.Measure,
-		Seed:          r.Seed,
-		MDScale:       r.MDScale,
-		Bypass:        r.Bypass,
-		Prefetch:      r.Prefetch,
-		Topology:      r.Topology,
-		Placement:     r.Placement,
-		LinkBandwidth: r.LinkBandwidth,
-	}.WithDefaults()
-	if err := opt.Validate(); err != nil {
-		return fail(apiErrorf(ErrInvalidRequest, "%v", err))
-	}
-	return kind, r.Benchmark, opt, reps, nil
-}
-
-// normalizeReplicates canonicalizes a requested replicate count: 0 and
-// 1 both mean a single run (0), anything above MaxReplicates or below
-// zero is rejected.
-func normalizeReplicates(n int) (int, error) {
-	switch {
-	case n < 0:
-		return 0, apiErrorf(ErrInvalidRequest, "replicates = %d is negative", n)
-	case n > MaxReplicates:
-		return 0, apiErrorf(ErrInvalidRequest,
-			"replicates = %d exceeds the limit of %d", n, MaxReplicates)
-	case n < 2:
-		return 0, nil
-	default:
-		return n, nil
-	}
-}
+// MaxReplicates bounds replicates per request; see api.MaxReplicates.
+const MaxReplicates = api.MaxReplicates
 
 // cacheKey is the content address of a simulation: the hash of the
 // canonical (kind, benchmark, defaulted Options, replicates) tuple,
@@ -124,40 +31,20 @@ func cacheKey(kind d2m.Kind, bench string, opt d2m.Options, reps int) string {
 	return sched.CacheKey(kind, bench, opt, reps)
 }
 
-// JobState is a job's position in its lifecycle; the wire spelling is
-// the scheduler's.
-type JobState = sched.State
+// JobState is a job's position in its lifecycle; see api.JobState.
+// The wire spellings match the scheduler's sched.State one-to-one.
+type JobState = api.JobState
 
 const (
-	JobQueued   = sched.StateQueued
-	JobRunning  = sched.StateRunning
-	JobDone     = sched.StateDone
-	JobFailed   = sched.StateFailed
-	JobCanceled = sched.StateCanceled
+	JobQueued   = api.JobQueued
+	JobRunning  = api.JobRunning
+	JobDone     = api.JobDone
+	JobFailed   = api.JobFailed
+	JobCanceled = api.JobCanceled
 )
 
-// JobStatus is the JSON view of a job (GET /v1/jobs/{id} and the
-// synchronous POST /v1/run response).
-type JobStatus struct {
-	ID        string   `json:"id"`
-	State     JobState `json:"state"`
-	Kind      string   `json:"kind"`
-	Benchmark string   `json:"benchmark"`
-	// Cached is set on POST responses served from the result cache
-	// without touching the queue.
-	Cached bool `json:"cached,omitempty"`
-	// Priority is the job's scheduling class: "interactive" for runs
-	// and batches, "bulk" for sweep cells.
-	Priority string `json:"priority,omitempty"`
-	// QueuePosition is the job's 1-based place in its class queue while
-	// it is queued; omitted once it starts.
-	QueuePosition int         `json:"queue_position,omitempty"`
-	QueueWaitMS   float64     `json:"queue_wait_ms,omitempty"`
-	RunMS         float64     `json:"run_ms,omitempty"`
-	Error         string      `json:"error,omitempty"`
-	Result        *d2m.Result `json:"result,omitempty"`
-	// Replicated carries the mean/std aggregate of a job submitted
-	// with replicates >= 2; Result then holds the mean projection of
-	// the aggregated metrics.
-	Replicated *d2m.Replicated `json:"replicated,omitempty"`
-}
+// JobStatus is the JSON view of a job; see api.JobStatus.
+type JobStatus = api.JobStatus
+
+// KernelCap describes one synthetic kernel workload; see api.KernelCap.
+type KernelCap = api.KernelCap

@@ -357,6 +357,11 @@ type RunSpec struct {
 type RunOutput struct {
 	Result     Result
 	Replicated *Replicated
+	// Engine names the execution path that produced Result: EngineScalar
+	// for Run, EngineVector for a RunGroup lane. The two are
+	// byte-identical by contract; the field exists so services can report
+	// which path served a job.
+	Engine string
 }
 
 // Run simulates one RunSpec and returns the extracted metrics. It is
@@ -374,13 +379,13 @@ func Run(ctx context.Context, spec RunSpec) (RunOutput, error) {
 		if err != nil {
 			return RunOutput{}, err
 		}
-		return RunOutput{Result: agg.MeanResult(), Replicated: &agg}, nil
+		return RunOutput{Result: agg.MeanResult(), Replicated: &agg, Engine: EngineScalar}, nil
 	}
 	res, err := runSingle(ctx, spec.Kind, spec.Benchmark, spec.Options, spec.Warm)
 	if err != nil {
 		return RunOutput{}, err
 	}
-	return RunOutput{Result: res}, nil
+	return RunOutput{Result: res, Engine: EngineScalar}, nil
 }
 
 // measure runs the stream on the kind's machine and fills the result.

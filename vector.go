@@ -1,0 +1,206 @@
+package d2m
+
+import (
+	"context"
+	"fmt"
+
+	"d2m/internal/energy"
+	"d2m/internal/sim"
+	"d2m/internal/trace"
+	"d2m/internal/workloads"
+)
+
+// The vector engine: RunGroup executes a lane group — K RunSpecs that
+// share a warm identity (WarmKey) — as ONE simulation instead of K.
+// Same warm identity means same kind, geometry, workload, seed and
+// warmup; the specs may differ only in the measurement-side parameters
+// (Measure, LinkBandwidth). Because the machine and the access stream
+// are deterministic, every lane's scalar run would walk the exact same
+// trajectory — each is a prefix of the longest — so the group shares
+// one machine, one stream and one warmup, and each lane's Result is
+// sampled at its own measurement boundary (sim.MeasureLanes).
+// LinkBandwidth, a pure post-processing stretch, is applied per lane
+// from the flit-hop count at that lane's boundary. The results are
+// byte-identical to the scalar path's, enforced by the lane
+// differential tests; the scalar path remains the fallback for
+// singleton and odd-shaped work.
+
+// Engine names for RunOutput.Engine and the service's engine hints.
+const (
+	// EngineScalar is the one-run-at-a-time path (Run).
+	EngineScalar = "scalar"
+	// EngineVector is the lockstep lane-group path (RunGroup).
+	EngineVector = "vector"
+)
+
+// GroupLane is one member of a RunGroup: a spec plus an optional
+// per-lane context. A lane whose Ctx is cancelled is demoted — its slot
+// reports the context's error — without aborting the group; a nil Ctx
+// means the lane only stops with the whole group.
+type GroupLane struct {
+	Spec RunSpec
+	Ctx  context.Context
+}
+
+// LaneOutcome is one lane's result: exactly one of Output or Err is
+// meaningful (Err nil means Output is valid).
+type LaneOutcome struct {
+	Output RunOutput
+	Err    error
+}
+
+// LaneKey returns the grouping key under which a spec may join a lane
+// group, and whether it is eligible at all. Specs with the same key are
+// guaranteed to produce byte-identical results whether run through Run
+// or together through RunGroup. Replicated specs are ineligible (each
+// replicate is its own simulation with its own seed).
+func LaneKey(spec RunSpec) (string, bool) {
+	if spec.Replicates >= 2 {
+		return "", false
+	}
+	return WarmKey(spec.Kind, spec.Benchmark, spec.Options), true
+}
+
+// RunGroup simulates a lane group in lockstep and returns one outcome
+// per lane, in lane order. Every lane must share the same LaneKey;
+// mixed groups are rejected outright (no partial results). A
+// single-lane group falls back to the scalar Run. ctx cancels the whole
+// group; each lane's GroupLane.Ctx cancels just that lane. Warm-state
+// reuse works as in Run: the group restores a snapshot for its shared
+// warm identity when one exists, and deposits one otherwise.
+func RunGroup(ctx context.Context, lanes []GroupLane) ([]LaneOutcome, error) {
+	if len(lanes) == 0 {
+		return nil, nil
+	}
+	key0, ok := LaneKey(lanes[0].Spec)
+	if !ok {
+		return nil, fmt.Errorf("d2m: RunGroup lane 0 is not lane-eligible (Replicates = %d)", lanes[0].Spec.Replicates)
+	}
+	for i, ln := range lanes[1:] {
+		k, ok := LaneKey(ln.Spec)
+		if !ok {
+			return nil, fmt.Errorf("d2m: RunGroup lane %d is not lane-eligible (Replicates = %d)", i+1, ln.Spec.Replicates)
+		}
+		if k != key0 {
+			return nil, fmt.Errorf("d2m: RunGroup lanes 0 and %d have different lane keys (%q vs %q)", i+1, key0, k)
+		}
+	}
+
+	laneCtx := func(i int) context.Context {
+		if lanes[i].Ctx != nil {
+			return lanes[i].Ctx
+		}
+		return ctx
+	}
+
+	if len(lanes) == 1 {
+		out, err := Run(laneCtx(0), lanes[0].Spec)
+		return []LaneOutcome{{Output: out, Err: err}}, err
+	}
+
+	spec0 := lanes[0].Spec
+	opt0 := spec0.Options.withDefaults()
+	sp, ok := workloads.ByName(spec0.Benchmark)
+	if !ok {
+		return nil, fmt.Errorf("d2m: unknown benchmark %q (see Benchmarks())", spec0.Benchmark)
+	}
+	if err := opt0.Validate(); err != nil {
+		return nil, err
+	}
+	var wc WarmCache
+	for _, ln := range lanes {
+		if ln.Spec.Warm != nil {
+			wc = ln.Spec.Warm
+			break
+		}
+	}
+
+	measures := make([]int, len(lanes))
+	for i, ln := range lanes {
+		measures[i] = ln.Spec.Options.withDefaults().Measure
+	}
+
+	outs := make([]LaneOutcome, len(lanes))
+	captured := make([]bool, len(lanes))
+	active := func(i int) bool { return laneCtx(i).Err() == nil }
+	key := warmKey(spec0.Kind, "bench:"+sp.Name, opt0)
+	mk := func() trace.Stream { return trace.NewInterleaver(specStreams(sp, opt0)) }
+
+	// Mirror runWarm's per-kind template with MeasureLanes in place of
+	// Measure: the sink extracts each lane's Result from the shared
+	// machine at that lane's boundary, reading the flit-hop meter there
+	// so the per-lane bandwidth stretch sees exactly the traffic a
+	// scalar run of that lane would have generated.
+	var groupErr error
+	switch spec0.Kind {
+	case Base2L, Base3L:
+		s := newBaseline(baselineConfig(spec0.Kind, opt0))
+		defer s.Release()
+		engine := sim.NewEngine(sim.WrapBaseline(s), opt0.Nodes)
+		var snap *WarmSnapshot
+		if wc != nil {
+			snap = wc.GetWarm(key)
+		}
+		src, err := warmedStream(ctx, engine, snap, mk, opt0.Warmup)
+		if err != nil {
+			return nil, err
+		}
+		if snap != nil {
+			snap.base.RestoreInto(s)
+		} else if wc != nil && wantWarm(wc, key) {
+			ws := &WarmSnapshot{key: key, warmup: opt0.Warmup, base: s.Snapshot()}
+			ws.finish(src)
+			wc.PutWarm(ws)
+		}
+		sink := func(lane int, rep sim.Report) {
+			r := Result{Kind: spec0.Kind, Benchmark: sp.Name, Suite: sp.Suite}
+			r.fillCommon(rep)
+			r.fillBaseline(s, rep)
+			r.applyBandwidth(lanes[lane].Spec.Options.withDefaults(), s.Meter().Count(energy.OpNoCFlit))
+			outs[lane] = LaneOutcome{Output: RunOutput{Result: r, Engine: EngineVector}}
+			captured[lane] = true
+		}
+		groupErr = engine.MeasureLanes(ctx, src, measures, active, sink)
+	default:
+		s := newCore(coreConfig(spec0.Kind, opt0))
+		defer s.Release()
+		engine := sim.NewEngine(sim.WrapCore(s), opt0.Nodes)
+		var snap *WarmSnapshot
+		if wc != nil {
+			snap = wc.GetWarm(key)
+		}
+		src, err := warmedStream(ctx, engine, snap, mk, opt0.Warmup)
+		if err != nil {
+			return nil, err
+		}
+		if snap != nil {
+			snap.core.RestoreInto(s)
+		} else if wc != nil && wantWarm(wc, key) {
+			ws := &WarmSnapshot{key: key, warmup: opt0.Warmup, core: s.Snapshot()}
+			ws.finish(src)
+			wc.PutWarm(ws)
+		}
+		sink := func(lane int, rep sim.Report) {
+			r := Result{Kind: spec0.Kind, Benchmark: sp.Name, Suite: sp.Suite}
+			r.fillCommon(rep)
+			r.fillCore(s, rep, spec0.Kind)
+			r.applyBandwidth(lanes[lane].Spec.Options.withDefaults(), s.Meter().Count(energy.OpNoCFlit))
+			outs[lane] = LaneOutcome{Output: RunOutput{Result: r, Engine: EngineVector}}
+			captured[lane] = true
+		}
+		groupErr = engine.MeasureLanes(ctx, src, measures, active, sink)
+	}
+	if groupErr != nil {
+		return nil, groupErr
+	}
+	for i := range outs {
+		if !captured[i] {
+			err := laneCtx(i).Err()
+			if err == nil {
+				err = context.Canceled
+			}
+			outs[i] = LaneOutcome{Err: err}
+		}
+	}
+	return outs, nil
+}
