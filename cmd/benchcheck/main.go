@@ -18,6 +18,13 @@
 // object one level down, so both the core journal
 // ({"metrics": {...}}) and the service journal
 // ({"jobs_per_sec": {...}}) work unchanged.
+//
+// -ceiling gates absolute lower-is-better metrics (latencies) against
+// fixed bounds instead of a baseline: name=value pairs, each failing
+// when the -new journal's value exceeds it. A ceiling-only invocation
+// needs no -old:
+//
+//	benchcheck -new BENCH_service.new.json -ceiling soak_p99_wait_ms=5000
 package main
 
 import (
@@ -34,11 +41,22 @@ func main() {
 		newPath    = flag.String("new", "", "fresh journal (this run)")
 		metric     = flag.String("metric", "", "metric name(s) to compare, comma-separated")
 		maxRegress = flag.Float64("max-regress", 10, "maximum allowed drop, percent")
+		ceiling    = flag.String("ceiling", "", "absolute bounds on -new, comma-separated name=value pairs")
 	)
 	flag.Parse()
 	metrics := splitMetrics(*metric)
-	if *oldPath == "" || *newPath == "" || len(metrics) == 0 {
-		fmt.Fprintln(os.Stderr, "benchcheck: -old, -new and -metric are required")
+	ceilings, err := splitCeilings(*ceiling)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchcheck: %v\n", err)
+		os.Exit(2)
+	}
+	if *newPath == "" || (len(metrics) == 0 && len(ceilings) == 0) {
+		fmt.Fprintln(os.Stderr, "benchcheck: -new plus -metric or -ceiling is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if len(metrics) > 0 && *oldPath == "" {
+		fmt.Fprintln(os.Stderr, "benchcheck: -metric needs an -old baseline")
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -64,9 +82,50 @@ func main() {
 			failed = true
 		}
 	}
+	for _, c := range ceilings {
+		newVal, err := readMetric(*newPath, c.name)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchcheck: %v\n", err)
+			os.Exit(2)
+		}
+		fmt.Printf("benchcheck: %s value=%.6g ceiling=%.6g\n", c.name, newVal, c.bound)
+		if newVal > c.bound {
+			fmt.Fprintf(os.Stderr, "benchcheck: %s is %.6g, over the ceiling of %.6g\n",
+				c.name, newVal, c.bound)
+			failed = true
+		}
+	}
 	if failed {
 		os.Exit(1)
 	}
+}
+
+// ceilingSpec is one parsed -ceiling entry: an absolute upper bound on
+// a lower-is-better metric.
+type ceilingSpec struct {
+	name  string
+	bound float64
+}
+
+// splitCeilings parses the -ceiling flag: comma-separated name=value
+// pairs.
+func splitCeilings(s string) ([]ceilingSpec, error) {
+	var out []ceilingSpec
+	for _, pair := range strings.Split(s, ",") {
+		if pair = strings.TrimSpace(pair); pair == "" {
+			continue
+		}
+		name, val, ok := strings.Cut(pair, "=")
+		if !ok {
+			return nil, fmt.Errorf("bad -ceiling entry %q: want name=value", pair)
+		}
+		var bound float64
+		if _, err := fmt.Sscanf(val, "%g", &bound); err != nil {
+			return nil, fmt.Errorf("bad -ceiling value %q: %v", val, err)
+		}
+		out = append(out, ceilingSpec{name: name, bound: bound})
+	}
+	return out, nil
 }
 
 // splitMetrics parses the -metric flag: comma-separated names, empty

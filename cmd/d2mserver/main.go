@@ -19,9 +19,10 @@
 //	POST   /v1/run         run (or fetch from cache) one simulation; "async":true returns a job id
 //	POST   /v1/batch       run up to 256 simulations as one unit; results stream back in order
 //	GET    /v1/jobs        list jobs newest first (?state=, ?limit=, ?cursor=)
-//	GET    /v1/jobs/{id}   job status and, once done, the result
+//	GET    /v1/jobs/{id}   job status and, once done, the result (SSE with Accept: text/event-stream)
 //	DELETE /v1/jobs/{id}   cancel a queued or running job
 //	POST   /v1/sweeps      run a parameter grid server-side; returns a sweep id
+//	GET    /v1/sweeps      list sweeps newest first (?state=, ?limit=, ?cursor=)
 //	GET    /v1/sweeps/{id} sweep progress (done/failed/total, ETA) and, once done, the aggregate
 //	DELETE /v1/sweeps/{id} cancel a sweep's outstanding cells
 //	GET    /v1/capabilities catalogue of benchmarks, kinds, topologies, placements, kernels
@@ -38,6 +39,15 @@
 // With -store, completed simulations are journaled to an append-only
 // JSONL file and replayed into the result cache at startup, so a
 // restarted server resumes sweeps instead of recomputing them.
+//
+// With -tenants, the server is multi-tenant: the flag names a JSON
+// file listing API-key tenants (name, key, rate, burst, share), every
+// job-submitting request must carry a known X-API-Key, each tenant's
+// submission rate is token-bucket limited (429 rate_limited with
+// retry_after_ms), and the scheduler's weighted fair queueing bounds
+// how much of a contended queue any one tenant's backlog may occupy.
+// GET /v1/sweeps/{id} and GET /v1/jobs/{id} stream state transitions
+// as server-sent events when asked with Accept: text/event-stream.
 //
 // # Cluster mode
 //
@@ -103,6 +113,7 @@ func main() {
 		maxLanes     = flag.Int("max-lanes", 0, "vector lane-group width cap (0 = default, 1 = scalar only)")
 		debugAddr    = flag.String("debug-addr", "", "serve net/http/pprof and expvar on this address (empty = disabled)")
 		shardName    = flag.String("shard", "", "shard name label on metrics and logs (cluster deployments)")
+		tenantsPath  = flag.String("tenants", "", "multi-tenant config: JSON file of API-key tenants (empty = single-tenant)")
 		logFormat    = flag.String("log-format", "text", "log format: text or json")
 
 		gateway       = flag.Bool("gateway", false, "run as a cluster gateway instead of a scheduler shard")
@@ -135,6 +146,15 @@ func main() {
 		return
 	}
 
+	var tenants []service.TenantSpec
+	if *tenantsPath != "" {
+		tenants, err = service.LoadTenants(*tenantsPath)
+		if err != nil {
+			logger.Error("tenants", "err", err)
+			os.Exit(1)
+		}
+	}
+
 	snapshotBytes := *snapshotMem << 20
 	if snapshotBytes <= 0 {
 		snapshotBytes = -1 // Config: negative disables, zero means the default
@@ -148,6 +168,7 @@ func main() {
 		SnapshotMemBytes: snapshotBytes,
 		MaxLanes:         *maxLanes,
 		ShardName:        *shardName,
+		Tenants:          tenants,
 	})
 	if err != nil {
 		logger.Error("service init", "err", err)

@@ -22,13 +22,14 @@ import (
 	"time"
 
 	"d2m"
+	"d2m/internal/api"
 	"d2m/internal/report"
 	"d2m/internal/service"
 )
 
 // remoteError decodes the service's error envelope for messages.
 type remoteError struct {
-	Error service.ErrorInfo `json:"error"`
+	Error api.ErrorInfo `json:"error"`
 }
 
 func remoteMessage(status string, raw []byte) string {
@@ -40,8 +41,8 @@ func remoteMessage(status string, raw []byte) string {
 }
 
 // runRequestFor translates a driver simulation into the wire request.
-func runRequestFor(kind d2m.Kind, bench string, opt d2m.Options) service.RunRequest {
-	return service.RunRequest{
+func runRequestFor(kind d2m.Kind, bench string, opt d2m.Options) api.RunRequest {
+	return api.RunRequest{
 		Kind: kind.String(), Benchmark: bench,
 		Nodes: opt.Nodes, Warmup: opt.Warmup, Measure: opt.Measure,
 		Seed: opt.Seed, MDScale: opt.MDScale,
@@ -84,7 +85,7 @@ func serverRunner(base string) func(d2m.Kind, string, d2m.Options) (d2m.Result, 
 			if resp.StatusCode != http.StatusOK {
 				return d2m.Result{}, fmt.Errorf("%s/%s: %s", kind, bench, remoteMessage(resp.Status, raw))
 			}
-			var st service.JobStatus
+			var st api.JobStatus
 			if err := json.Unmarshal(raw, &st); err != nil {
 				return d2m.Result{}, err
 			}

@@ -1,0 +1,339 @@
+// Command loadgen drives a sustained multi-tenant load against a
+// d2mserver (or gateway) and reports per-tenant admission and
+// queue-wait statistics — the oversubscription soak behind the v1.6
+// fairness numbers in BENCH_service.json. Each configured tenant runs
+// one traffic shape:
+//
+//   - "sync": paced synchronous POST /v1/run at -rps, every request a
+//     fresh seed (so every request is real simulation work), recording
+//     the server-reported queue_wait_ms of each completed job. This is
+//     the well-behaved interactive tenant whose latency the soak
+//     asserts on.
+//   - "flood": closed-loop async POST /v1/run from several goroutines
+//     plus a periodic bulk sweep, as fast as the server admits —
+//     deliberately hostile. 429s are counted and retried after a short
+//     sleep.
+//
+// The report's oversubscription is offered/served pressure: total
+// submission attempts (admitted or rejected) per synchronously
+// completed interactive result. A hostile flood pushes it far above 1
+// while — if admission and scheduling are fair — the sync tenants'
+// p99 queue wait stays bounded.
+//
+//	loadgen -url http://localhost:8080 -duration 30s \
+//	    -tenants tenants_load.json
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"d2m/internal/api"
+)
+
+// TenantLoad is one tenant's traffic shape in the soak.
+type TenantLoad struct {
+	// Name labels the tenant in the report (matches the server's
+	// TenantSpec name when tenancy is enabled).
+	Name string `json:"name"`
+	// Key is the X-API-Key sent with every request; empty for a
+	// single-tenant server.
+	Key string `json:"key,omitempty"`
+	// Mode is "sync" or "flood".
+	Mode string `json:"mode"`
+	// RPS paces sync mode; ignored (closed-loop) for flood. Zero in
+	// sync mode means 10.
+	RPS float64 `json:"rps,omitempty"`
+	// Concurrency is the closed-loop goroutine count in flood mode.
+	// Zero means 4.
+	Concurrency int `json:"concurrency,omitempty"`
+	// Hostile marks the tenant whose latency the soak does NOT assert
+	// on — the aggressor.
+	Hostile bool `json:"hostile,omitempty"`
+}
+
+// SoakConfig is one soak run.
+type SoakConfig struct {
+	URL      string
+	Duration time.Duration
+	Tenants  []TenantLoad
+	// Seed offsets the unique-seed sequence so repeated soaks against
+	// a persistent server stay cold.
+	Seed uint64
+	// Client, when nil, is a default http.Client.
+	Client *http.Client
+	// Workload overrides the default small simulation body (JSON
+	// without the seed field, which the generator appends).
+	Workload string
+}
+
+// TenantReport is one tenant's side of the soak outcome.
+type TenantReport struct {
+	Name    string `json:"name"`
+	Hostile bool   `json:"hostile,omitempty"`
+	// Requests counts every submission attempt; Completed the subset
+	// that returned a terminal result synchronously (sync mode) or was
+	// accepted for execution (flood mode's 202s).
+	Requests    int `json:"requests"`
+	Completed   int `json:"completed"`
+	RateLimited int `json:"rate_limited"` // 429 rate_limited (token bucket / zero share)
+	Rejected    int `json:"rejected"`     // 429 overloaded (queue full)
+	Errors      int `json:"errors"`
+	// Queue-wait percentiles over completed sync requests, from the
+	// server's own queue_wait_ms accounting.
+	P50WaitMS float64 `json:"p50_wait_ms"`
+	P99WaitMS float64 `json:"p99_wait_ms"`
+	MaxWaitMS float64 `json:"max_wait_ms"`
+}
+
+// Report is the soak outcome.
+type Report struct {
+	DurationS float64 `json:"duration_s"`
+	// Oversubscription is total submission attempts per synchronously
+	// completed interactive result — the offered:served pressure ratio
+	// the soak sustained.
+	Oversubscription float64        `json:"oversubscription"`
+	Tenants          []TenantReport `json:"tenants"`
+}
+
+// defaultWorkload is a small real simulation: a cold run is a few
+// milliseconds, so a soak offers hundreds of distinct jobs per second.
+const defaultWorkload = `{"kind":"d2m-ns-r","benchmark":"tpc-c","nodes":2,"warmup":500,"measure":2000`
+
+// tenantState accumulates one tenant's counters during the run.
+type tenantState struct {
+	load TenantLoad
+
+	mu          sync.Mutex
+	requests    int
+	completed   int
+	rateLimited int
+	rejected    int
+	errors      int
+	waits       []float64
+}
+
+// Soak runs the configured load until Duration elapses and reports.
+func Soak(cfg SoakConfig) (Report, error) {
+	if len(cfg.Tenants) == 0 {
+		return Report{}, fmt.Errorf("loadgen: no tenants configured")
+	}
+	client := cfg.Client
+	if client == nil {
+		client = &http.Client{}
+	}
+	workload := cfg.Workload
+	if workload == "" {
+		workload = defaultWorkload
+	}
+	var seq atomic.Uint64
+	seq.Store(cfg.Seed)
+
+	ctx, cancel := context.WithTimeout(context.Background(), cfg.Duration)
+	defer cancel()
+
+	states := make([]*tenantState, len(cfg.Tenants))
+	var wg sync.WaitGroup
+	for i, tl := range cfg.Tenants {
+		st := &tenantState{load: tl}
+		states[i] = st
+		switch tl.Mode {
+		case "sync":
+			wg.Add(1)
+			go func() { defer wg.Done(); runSync(ctx, client, cfg.URL, workload, st, &seq) }()
+		case "flood":
+			floodWorkers := tl.Concurrency
+			if floodWorkers <= 0 {
+				floodWorkers = 4
+			}
+			for w := 0; w < floodWorkers; w++ {
+				wg.Add(1)
+				go func() { defer wg.Done(); runFlood(ctx, client, cfg.URL, workload, st, &seq) }()
+			}
+			wg.Add(1)
+			go func() { defer wg.Done(); runSweepFlood(ctx, client, cfg.URL, st, &seq) }()
+		default:
+			cancel()
+			return Report{}, fmt.Errorf("loadgen: tenant %s: unknown mode %q", tl.Name, tl.Mode)
+		}
+	}
+	start := time.Now()
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	rep := Report{DurationS: elapsed.Seconds()}
+	totalRequests, syncCompleted := 0, 0
+	for _, st := range states {
+		st.mu.Lock()
+		tr := TenantReport{
+			Name: st.load.Name, Hostile: st.load.Hostile,
+			Requests: st.requests, Completed: st.completed,
+			RateLimited: st.rateLimited, Rejected: st.rejected, Errors: st.errors,
+		}
+		tr.P50WaitMS = percentile(st.waits, 50)
+		tr.P99WaitMS = percentile(st.waits, 99)
+		tr.MaxWaitMS = percentile(st.waits, 100)
+		totalRequests += st.requests
+		if st.load.Mode == "sync" {
+			syncCompleted += st.completed
+		}
+		st.mu.Unlock()
+		rep.Tenants = append(rep.Tenants, tr)
+	}
+	if syncCompleted > 0 {
+		rep.Oversubscription = float64(totalRequests) / float64(syncCompleted)
+	}
+	return rep, nil
+}
+
+// post issues one submission and classifies the response into the
+// tenant's counters; for synchronous 200s the returned status carries
+// the server's queue-wait accounting.
+func post(ctx context.Context, client *http.Client, url, path, body, key string,
+	st *tenantState) (api.JobStatus, int, bool) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url+path,
+		bytes.NewReader([]byte(body)))
+	if err != nil {
+		return api.JobStatus{}, 0, false
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if key != "" {
+		req.Header.Set("X-API-Key", key)
+	}
+	st.mu.Lock()
+	st.requests++
+	st.mu.Unlock()
+	resp, err := client.Do(req)
+	if err != nil {
+		if ctx.Err() == nil {
+			st.mu.Lock()
+			st.errors++
+			st.mu.Unlock()
+		}
+		return api.JobStatus{}, 0, false
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK, http.StatusAccepted:
+		var js api.JobStatus
+		if err := json.NewDecoder(resp.Body).Decode(&js); err != nil && resp.StatusCode == http.StatusOK {
+			st.mu.Lock()
+			st.errors++
+			st.mu.Unlock()
+			return api.JobStatus{}, resp.StatusCode, false
+		}
+		return js, resp.StatusCode, true
+	case http.StatusTooManyRequests:
+		var eb api.ErrorBody
+		json.NewDecoder(resp.Body).Decode(&eb)
+		st.mu.Lock()
+		if eb.Error.Code == api.ErrRateLimited {
+			st.rateLimited++
+		} else {
+			st.rejected++
+		}
+		st.mu.Unlock()
+	default:
+		st.mu.Lock()
+		st.errors++
+		st.mu.Unlock()
+	}
+	return api.JobStatus{}, resp.StatusCode, false
+}
+
+// runSync is the well-behaved tenant: paced synchronous runs, each a
+// fresh seed, each completed result contributing its queue wait.
+func runSync(ctx context.Context, client *http.Client, url, workload string,
+	st *tenantState, seq *atomic.Uint64) {
+	rps := st.load.RPS
+	if rps <= 0 {
+		rps = 10
+	}
+	tick := time.NewTicker(time.Duration(float64(time.Second) / rps))
+	defer tick.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-tick.C:
+		}
+		body := fmt.Sprintf(`%s,"seed":%d}`, workload, seq.Add(1))
+		js, code, ok := post(ctx, client, url, "/v1/run", body, st.load.Key, st)
+		if ok && code == http.StatusOK && js.State == api.JobDone {
+			st.mu.Lock()
+			st.completed++
+			st.waits = append(st.waits, js.QueueWaitMS)
+			st.mu.Unlock()
+		}
+	}
+}
+
+// runFlood is the hostile tenant's run path: closed-loop async
+// submissions, backing off only the few milliseconds a 429 costs.
+func runFlood(ctx context.Context, client *http.Client, url, workload string,
+	st *tenantState, seq *atomic.Uint64) {
+	for ctx.Err() == nil {
+		body := fmt.Sprintf(`%s,"seed":%d,"async":true}`, workload, seq.Add(1))
+		_, code, ok := post(ctx, client, url, "/v1/run", body, st.load.Key, st)
+		if ok && code == http.StatusAccepted {
+			st.mu.Lock()
+			st.completed++
+			st.mu.Unlock()
+			continue
+		}
+		select {
+		case <-ctx.Done():
+		case <-time.After(2 * time.Millisecond):
+		}
+	}
+}
+
+// runSweepFlood adds bulk-class pressure: a small sweep every 500ms,
+// so the hostile tenant contends in both priority classes.
+func runSweepFlood(ctx context.Context, client *http.Client, url string,
+	st *tenantState, seq *atomic.Uint64) {
+	tick := time.NewTicker(500 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-tick.C:
+		}
+		body := fmt.Sprintf(`{"kinds":["d2m-ns-r"],"benchmarks":["tpc-c"],"nodes":2,
+			"warmup":500,"measure":2000,"seeds":[%d],
+			"link_bandwidths":[0.001,0.002,0.004,0.008]}`, seq.Add(1))
+		_, code, ok := post(ctx, client, url, "/v1/sweeps", body, st.load.Key, st)
+		if ok && code == http.StatusAccepted {
+			st.mu.Lock()
+			st.completed++
+			st.mu.Unlock()
+		}
+	}
+}
+
+// percentile returns the p-th percentile (nearest-rank) of xs; 0 when
+// empty.
+func percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	rank := int(math.Ceil(p/100*float64(len(sorted)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(sorted) {
+		rank = len(sorted) - 1
+	}
+	return sorted[rank]
+}

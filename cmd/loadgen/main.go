@@ -1,0 +1,46 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+)
+
+func main() {
+	var (
+		url      = flag.String("url", "http://localhost:8080", "server or gateway base URL")
+		duration = flag.Duration("duration", 30*time.Second, "soak duration")
+		seed     = flag.Uint64("seed", 1, "seed offset for the unique-seed sequence")
+		tenants  = flag.String("tenants", "", "JSON file of tenant loads ([]TenantLoad); empty = one anonymous sync tenant")
+	)
+	flag.Parse()
+
+	loads := []TenantLoad{{Name: "default", Mode: "sync"}}
+	if *tenants != "" {
+		data, err := os.ReadFile(*tenants)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
+			os.Exit(2)
+		}
+		loads = nil
+		if err := json.Unmarshal(data, &loads); err != nil {
+			fmt.Fprintf(os.Stderr, "loadgen: %s: %v\n", *tenants, err)
+			os.Exit(2)
+		}
+	}
+
+	rep, err := Soak(SoakConfig{
+		URL:      *url,
+		Duration: *duration,
+		Tenants:  loads,
+		Seed:     *seed,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
+		os.Exit(1)
+	}
+	out, _ := json.MarshalIndent(rep, "", "  ")
+	fmt.Println(string(out))
+}

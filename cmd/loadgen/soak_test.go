@@ -1,0 +1,157 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"os"
+	"testing"
+	"time"
+
+	"d2m/internal/service"
+)
+
+// The sustained-load soak proof (API v1.6): an in-process d2mserver
+// with three API-key tenants is put under roughly 4x oversubscription
+// by one hostile flood tenant while two well-behaved interactive
+// tenants keep a paced synchronous load. Fair admission (per-tenant
+// token buckets and queue allotments) plus weighted fair dequeue must
+// keep the interactive tenants' p99 queue wait bounded — the test
+// asserts it, and TestMain lands the measured numbers in the
+// D2M_BENCH_OUT journal next to the throughput series.
+//
+//	D2M_BENCH_OUT=BENCH_service.json go test -run TestSoakFairness ./cmd/loadgen
+
+// soakOutcome carries the measured numbers from the test to TestMain.
+var soakOutcome struct {
+	p99WaitMS        float64
+	oversubscription float64
+	recorded         bool
+}
+
+func TestMain(m *testing.M) {
+	code := m.Run()
+	if out := os.Getenv("D2M_BENCH_OUT"); out != "" && soakOutcome.recorded {
+		// Merge, don't overwrite: the service throughput bench writes
+		// the same journal first.
+		doc := map[string]interface{}{}
+		if data, err := os.ReadFile(out); err == nil {
+			json.Unmarshal(data, &doc)
+		}
+		doc["soak_p99_wait_ms"] = soakOutcome.p99WaitMS
+		doc["soak_oversubscription"] = soakOutcome.oversubscription
+		data, _ := json.MarshalIndent(doc, "", "  ")
+		if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			code = 1
+		}
+	}
+	os.Exit(code)
+}
+
+func soakDuration(t *testing.T) time.Duration {
+	if v := os.Getenv("D2M_SOAK_DURATION"); v != "" {
+		d, err := time.ParseDuration(v)
+		if err != nil {
+			t.Fatalf("bad D2M_SOAK_DURATION %q: %v", v, err)
+		}
+		return d
+	}
+	if testing.Short() {
+		return 4 * time.Second
+	}
+	return 8 * time.Second
+}
+
+func TestSoakFairness(t *testing.T) {
+	share := func(n int) *int { return &n }
+	// A small per-tenant queue allotment: on a small machine the flood
+	// is CPU-starved alongside the simulations it competes with, and a
+	// deep queue would simply never fill. Eight slots keep the
+	// backpressure real without changing what is being proven.
+	svc, err := service.New(service.Config{
+		Workers:    2,
+		QueueDepth: 8,
+		Tenants: []service.TenantSpec{
+			{Name: "alice", Key: "ka", Rate: 50, Share: share(4)},
+			{Name: "bob", Key: "kb", Rate: 50, Share: share(2)},
+			{Name: "mallory", Key: "km"}, // unlimited rate, share 1: pure flood
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(svc.Handler())
+	defer func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		svc.Shutdown(ctx)
+	}()
+
+	rep, err := Soak(SoakConfig{
+		URL:      ts.URL,
+		Duration: soakDuration(t),
+		Seed:     1,
+		// Heavier than the loadgen default: ~10ms of simulation per
+		// job, so two workers cap out near 200 jobs/s and the flood
+		// genuinely fills the queue instead of being absorbed.
+		Workload: `{"kind":"d2m-ns-r","benchmark":"tpc-c","nodes":2,"warmup":2000,"measure":16000`,
+		Tenants: []TenantLoad{
+			{Name: "alice", Key: "ka", Mode: "sync", RPS: 5},
+			{Name: "bob", Key: "kb", Mode: "sync", RPS: 5},
+			{Name: "mallory", Key: "km", Mode: "flood", Concurrency: 16, Hostile: true},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, _ := json.MarshalIndent(rep, "", "  ")
+	t.Logf("soak report:\n%s", out)
+
+	// The hostile tenant must actually have flooded: without real
+	// oversubscription the latency bound below proves nothing.
+	if rep.Oversubscription < 4 {
+		t.Errorf("oversubscription = %.1f, want >= 4 (the flood did not saturate the server)",
+			rep.Oversubscription)
+	}
+
+	worstP99 := 0.0
+	for _, tr := range rep.Tenants {
+		if tr.Completed == 0 {
+			t.Errorf("tenant %s completed no work", tr.Name)
+		}
+		if tr.Hostile {
+			// The flood must have hit real backpressure — its own queue
+			// allotment filling — or the soak ran under no pressure.
+			if tr.Rejected == 0 {
+				t.Errorf("hostile tenant %s was never queue-rejected: the soak did not saturate", tr.Name)
+			}
+			continue
+		}
+		if tr.Errors > 0 {
+			t.Errorf("tenant %s saw %d transport/server errors", tr.Name, tr.Errors)
+		}
+		if tr.RateLimited > 0 || tr.Rejected > 0 {
+			// A paced 10 RPS tenant is far inside its 50/s bucket and its
+			// queue allotment: any 429 means the flood leaked across
+			// tenants.
+			t.Errorf("tenant %s was throttled (%d rate_limited, %d rejected) despite being in budget",
+				tr.Name, tr.RateLimited, tr.Rejected)
+		}
+		// The acceptance bound: a well-behaved interactive tenant's p99
+		// queue wait stays bounded while a hostile tenant floods.
+		if tr.P99WaitMS >= 5000 {
+			t.Errorf("tenant %s p99 queue wait = %.0fms, want < 5000ms", tr.Name, tr.P99WaitMS)
+		}
+		if tr.P99WaitMS > worstP99 {
+			worstP99 = tr.P99WaitMS
+		}
+	}
+	if !t.Failed() {
+		soakOutcome.p99WaitMS = worstP99
+		soakOutcome.oversubscription = rep.Oversubscription
+		soakOutcome.recorded = true
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"strconv"
 
 	"d2m"
 )
@@ -19,7 +20,7 @@ import (
 // Revision is the wire API revision served by shards and gateway alike,
 // reported by GET /v1/capabilities. Gateways refuse to route to shards
 // whose revision differs.
-const Revision = "v1.5"
+const Revision = "v1.6"
 
 // Engine names accepted by the "engine" request hint. EngineAuto (or
 // an empty string) lets the scheduler choose; the scalar and vector
@@ -230,6 +231,33 @@ type Capabilities struct {
 	Placements    []string            `json:"placements"`
 	Kernels       []KernelCap         `json:"kernels"`
 	MaxReplicates int                 `json:"max_replicates"`
+	// SSE reports that GET /v1/jobs/{id} and GET /v1/sweeps/{id} stream
+	// live state over text/event-stream when the request asks for it
+	// (Accept header), with Last-Event-ID resume. API v1.6.
+	SSE bool `json:"sse"`
+	// SweepsList reports the GET /v1/sweeps listing endpoint
+	// (state/limit/cursor pagination, same contract as GET /v1/jobs).
+	// API v1.6.
+	SweepsList bool `json:"sweeps_list"`
+	// Tenancy describes multi-tenant admission; omitted when the server
+	// runs open (no -tenants file). API v1.6.
+	Tenancy *TenancyCaps `json:"tenancy,omitempty"`
+}
+
+// TenancyCaps advertises a multi-tenant server's admission contract
+// and, when the capabilities request carried a valid X-API-Key, the
+// caller's own limits.
+type TenancyCaps struct {
+	Enabled bool `json:"enabled"`
+	// Tenant is the caller's resolved tenant name; empty when the
+	// request carried no (or an unknown) key.
+	Tenant string `json:"tenant,omitempty"`
+	// Rate is the caller's sustained admission rate in jobs per second
+	// (0 = unlimited), Burst its token-bucket capacity, and Share its
+	// fair-queueing weight within each priority class.
+	Rate  float64 `json:"rate,omitempty"`
+	Burst int     `json:"burst,omitempty"`
+	Share int     `json:"share,omitempty"`
 }
 
 // ErrCode is a machine-readable error category.
@@ -238,9 +266,11 @@ type ErrCode string
 const (
 	ErrInvalidRequest   ErrCode = "invalid_request"   // 400: malformed body or parameters
 	ErrUnknownBenchmark ErrCode = "unknown_benchmark" // 400: benchmark not in the catalog
+	ErrUnauthorized     ErrCode = "unauthorized"      // 401: missing or unknown API key
 	ErrNotFound         ErrCode = "not_found"         // 404: unknown job or sweep id
 	ErrConflict         ErrCode = "conflict"          // 409: job already settled
 	ErrOverloaded       ErrCode = "overloaded"        // 429: job queue full, retry later
+	ErrRateLimited      ErrCode = "rate_limited"      // 429: tenant budget exhausted
 	ErrDraining         ErrCode = "draining"          // 503: server shutting down
 	ErrInternal         ErrCode = "internal"          // 500: unexpected failure
 )
@@ -250,11 +280,13 @@ func (c ErrCode) HTTPStatus() int {
 	switch c {
 	case ErrInvalidRequest, ErrUnknownBenchmark:
 		return http.StatusBadRequest
+	case ErrUnauthorized:
+		return http.StatusUnauthorized
 	case ErrNotFound:
 		return http.StatusNotFound
 	case ErrConflict:
 		return http.StatusConflict
-	case ErrOverloaded:
+	case ErrOverloaded, ErrRateLimited:
 		return http.StatusTooManyRequests
 	case ErrDraining:
 		return http.StatusServiceUnavailable
@@ -264,10 +296,17 @@ func (c ErrCode) HTTPStatus() int {
 }
 
 // Error is an error with a wire code; handlers surface any other error
-// type as ErrInternal.
+// type as ErrInternal. The optional fields below Message enrich 429
+// envelopes (API v1.6): RetryAfterMS is the machine-readable backoff
+// hint (the Retry-After header, kept for compat, is derived from it),
+// and Tenant/Limit identify the exhausted budget on rate_limited
+// rejections.
 type Error struct {
-	Code    ErrCode
-	Message string
+	Code         ErrCode
+	Message      string
+	RetryAfterMS int64
+	Tenant       string
+	Limit        float64
 }
 
 func (e *Error) Error() string { return e.Message }
@@ -277,10 +316,17 @@ func Errorf(code ErrCode, format string, args ...interface{}) *Error {
 	return &Error{Code: code, Message: fmt.Sprintf(format, args...)}
 }
 
-// ErrorInfo is the structured half of the envelope.
+// ErrorInfo is the structured half of the envelope. RetryAfterMS,
+// Tenant and Limit appear on 429s (API v1.6): rate_limited carries all
+// three (whose budget ran out and at what sustained rate), overloaded
+// carries the backoff hint and, on multi-tenant servers, the tenant
+// whose class queue filled.
 type ErrorInfo struct {
-	Code    ErrCode `json:"code"`
-	Message string  `json:"message"`
+	Code         ErrCode `json:"code"`
+	Message      string  `json:"message"`
+	RetryAfterMS int64   `json:"retry_after_ms,omitempty"`
+	Tenant       string  `json:"tenant,omitempty"`
+	Limit        float64 `json:"limit,omitempty"`
 }
 
 // ErrorBody is the JSON error envelope:
@@ -299,14 +345,22 @@ func ErrorCode(err error) ErrCode {
 	return ErrInternal
 }
 
-// WriteErr renders err through the envelope at its mapped status.
+// WriteErr renders err through the envelope at its mapped status. An
+// Error carrying RetryAfterMS also sets the Retry-After header (whole
+// seconds, rounded up) so pre-v1.6 clients keep their backoff hint.
 func WriteErr(w http.ResponseWriter, err error) {
 	ae, ok := err.(*Error)
 	if !ok {
 		ae = &Error{Code: ErrInternal, Message: err.Error()}
 	}
+	if ae.RetryAfterMS > 0 {
+		w.Header().Set("Retry-After", strconv.FormatInt((ae.RetryAfterMS+999)/1000, 10))
+	}
 	WriteJSON(w, ae.Code.HTTPStatus(), ErrorBody{
-		Error: ErrorInfo{Code: ae.Code, Message: ae.Message},
+		Error: ErrorInfo{
+			Code: ae.Code, Message: ae.Message,
+			RetryAfterMS: ae.RetryAfterMS, Tenant: ae.Tenant, Limit: ae.Limit,
+		},
 	})
 }
 

@@ -104,6 +104,10 @@ func (g *Gateway) handleBatch(w http.ResponseWriter, r *http.Request) {
 
 	// Forward the rest, re-partitioning by live ring owner each round so
 	// a shard lost mid-batch fails over instead of failing the batch.
+	// The caller's API key rides along on every sub-batch: the shards
+	// hold the tenant registry and their admission answers (401, 429
+	// rate_limited) relay back unchanged.
+	apiKey := r.Header.Get("X-API-Key")
 	type subResult struct {
 		idxs    []int
 		fr      forwardResult
@@ -134,7 +138,7 @@ func (g *Gateway) handleBatch(w http.ResponseWriter, r *http.Request) {
 			go func(p Peer, idxs []int) {
 				defer wg.Done()
 				body := encodeSubBatch(slots, idxs)
-				fr, err := g.do(r.Context(), p, http.MethodPost, "/v1/batch", body)
+				fr, err := g.do(r.Context(), p, http.MethodPost, "/v1/batch", body, apiKey)
 				if err != nil {
 					g.peers.setState(p.Name, PeerDown)
 					g.logf("peer %s is down (%v)", p.Name, err)

@@ -3,6 +3,7 @@ package cluster
 import (
 	"bytes"
 	"context"
+	"d2m/internal/api"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -121,12 +122,12 @@ func TestClusterRunMatchesSingle(t *testing.T) {
 		if code != http.StatusOK {
 			t.Fatalf("gateway POST = %d (%s)", code, gotRaw)
 		}
-		var got service.JobStatus
+		var got api.JobStatus
 		if err := json.Unmarshal(gotRaw, &got); err != nil {
 			t.Fatal(err)
 		}
 
-		var req service.RunRequest
+		var req api.RunRequest
 		if err := json.Unmarshal([]byte(body), &req); err != nil {
 			t.Fatal(err)
 		}
@@ -177,7 +178,7 @@ func TestClusterWarmIdentityRouting(t *testing.T) {
 	before := g.metrics.RunsForwarded.Load()
 	body := `{"kind":"d2m-ns-r","benchmark":"tpc-c","nodes":2,"link_bandwidth":0.001000001}`
 	code, raw, _ := postJSON(t, gts.URL+"/v1/run", body)
-	var st service.JobStatus
+	var st api.JobStatus
 	json.Unmarshal(raw, &st)
 	if code != http.StatusOK || !st.Cached {
 		t.Fatalf("repeat POST = %d cached=%v (%s)", code, st.Cached, raw)
@@ -200,7 +201,7 @@ func TestClusterAsyncJobRouting(t *testing.T) {
 	if code != http.StatusAccepted {
 		t.Fatalf("async POST = %d (%s)", code, raw)
 	}
-	var st service.JobStatus
+	var st api.JobStatus
 	if err := json.Unmarshal(raw, &st); err != nil {
 		t.Fatal(err)
 	}
@@ -213,9 +214,9 @@ func TestClusterAsyncJobRouting(t *testing.T) {
 		if code != http.StatusOK {
 			t.Fatalf("GET job = %d (%s)", code, raw)
 		}
-		var cur service.JobStatus
+		var cur api.JobStatus
 		json.Unmarshal(raw, &cur)
-		if cur.State == service.JobDone {
+		if cur.State == api.JobDone {
 			if cur.ID != st.ID {
 				t.Errorf("status id %q, want %q", cur.ID, st.ID)
 			}
@@ -265,7 +266,7 @@ func TestClusterBatchAcrossShards(t *testing.T) {
 		t.Fatalf("batch POST = %d (%s)", code, raw)
 	}
 	var out struct {
-		Results []service.JobStatus `json:"results"`
+		Results []api.JobStatus `json:"results"`
 	}
 	if err := json.Unmarshal(raw, &out); err != nil {
 		t.Fatal(err)
@@ -274,7 +275,7 @@ func TestClusterBatchAcrossShards(t *testing.T) {
 		t.Fatalf("batch results = %d, want 8", len(out.Results))
 	}
 	for i, st := range out.Results {
-		if st.State != service.JobDone || st.Result == nil {
+		if st.State != api.JobDone || st.Result == nil {
 			t.Fatalf("results[%d]: state %s", i, st.State)
 		}
 		if st.Result.Cycles != uint64(1000+i+1) {
@@ -341,8 +342,8 @@ func TestClusterBatchOverloadRelays429(t *testing.T) {
 	if hdr.Get("Retry-After") == "" {
 		t.Error("429 lost its Retry-After through the gateway")
 	}
-	var eb service.ErrorBody
-	if err := json.Unmarshal(raw, &eb); err != nil || eb.Error.Code != service.ErrOverloaded {
+	var eb api.ErrorBody
+	if err := json.Unmarshal(raw, &eb); err != nil || eb.Error.Code != api.ErrOverloaded {
 		t.Errorf("429 body = %s", raw)
 	}
 }
@@ -504,7 +505,7 @@ func TestClusterJournalMerge(t *testing.T) {
 	}
 	for i, body := range append(runBodies, `{"kind":"base-2l","benchmark":"tpc-c","nodes":2,"seed":3}`) {
 		code, raw, _ := postJSON(t, gts.URL+"/v1/run", body)
-		var st service.JobStatus
+		var st api.JobStatus
 		json.Unmarshal(raw, &st)
 		if code != http.StatusOK || !st.Cached {
 			t.Errorf("replayed run %d: code %d cached %v (%s)", i, code, st.Cached, raw)

@@ -12,6 +12,7 @@ import (
 	"bufio"
 	"bytes"
 	"context"
+	"d2m/internal/api"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -138,11 +139,11 @@ func get(t *testing.T, url string) (int, []byte) {
 // across topologies).
 func resultBytes(t *testing.T, raw []byte) []byte {
 	t.Helper()
-	var st service.JobStatus
+	var st api.JobStatus
 	if err := json.Unmarshal(raw, &st); err != nil {
 		t.Fatalf("decode %s: %v", raw, err)
 	}
-	if st.State != service.JobDone || st.Result == nil {
+	if st.State != api.JobDone || st.Result == nil {
 		t.Fatalf("job not done: %s", raw)
 	}
 	out, _ := json.Marshal(st.Result)
@@ -200,7 +201,7 @@ func TestClusterE2EProcesses(t *testing.T) {
 		t.Fatalf("batch: gateway=%d single=%d", codeG, codeS)
 	}
 	var bg, bs struct {
-		Results []service.JobStatus `json:"results"`
+		Results []api.JobStatus `json:"results"`
 	}
 	json.Unmarshal(rawG, &bg)
 	json.Unmarshal(rawS, &bs)

@@ -163,6 +163,7 @@ func New(cfg Config) (*Gateway, error) {
 	g.mux.HandleFunc("GET /v1/jobs/{id}", g.handleJob)
 	g.mux.HandleFunc("DELETE /v1/jobs/{id}", g.handleJobCancel)
 	g.mux.HandleFunc("POST /v1/sweeps", g.handleSweepCreate)
+	g.mux.HandleFunc("GET /v1/sweeps", g.handleSweeps)
 	g.mux.HandleFunc("GET /v1/sweeps/{id}", g.handleSweepGet)
 	g.mux.HandleFunc("DELETE /v1/sweeps/{id}", g.handleSweepDelete)
 	g.mux.HandleFunc("GET /v1/capabilities", g.handleCapabilities)
@@ -206,8 +207,11 @@ type forwardResult struct {
 // errNoShard is returned when no live shard could take the request.
 var errNoShard = fmt.Errorf("cluster: no shard available")
 
-// do issues one forwarded request to a specific peer.
-func (g *Gateway) do(ctx context.Context, p Peer, method, path string, body []byte) (forwardResult, error) {
+// do issues one forwarded request to a specific peer. apiKey, when
+// non-empty, rides along as X-API-Key: with a tenant-configured fleet
+// the shard is the authority on admission, so the gateway forwards the
+// caller's credential on every hop instead of holding its own registry.
+func (g *Gateway) do(ctx context.Context, p Peer, method, path string, body []byte, apiKey string) (forwardResult, error) {
 	var rd io.Reader
 	if body != nil {
 		rd = bytes.NewReader(body)
@@ -218,6 +222,9 @@ func (g *Gateway) do(ctx context.Context, p Peer, method, path string, body []by
 	}
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
+	}
+	if apiKey != "" {
+		req.Header.Set("X-API-Key", apiKey)
 	}
 	resp, err := g.client.Do(req)
 	if err != nil {
@@ -251,7 +258,7 @@ func isDrainingResponse(fr forwardResult) bool {
 // retry: submissions are content-addressed and idempotent). Every
 // other response — including 429 with its Retry-After — is relayed
 // as-is.
-func (g *Gateway) forwardKey(ctx context.Context, key, method, path string, body []byte) (forwardResult, error) {
+func (g *Gateway) forwardKey(ctx context.Context, key, method, path string, body []byte, apiKey string) (forwardResult, error) {
 	for attempt := 0; attempt < g.maxAttempts; attempt++ {
 		owners := g.peers.owners(key, g.maxAttempts)
 		if len(owners) == 0 {
@@ -265,7 +272,7 @@ func (g *Gateway) forwardKey(ctx context.Context, key, method, path string, body
 		if attempt > 0 {
 			g.metrics.Failovers.Add(1)
 		}
-		fr, err := g.do(ctx, p, method, path, body)
+		fr, err := g.do(ctx, p, method, path, body, apiKey)
 		if err != nil {
 			if ctx.Err() != nil {
 				return forwardResult{}, ctx.Err()
@@ -349,7 +356,7 @@ func (g *Gateway) handleRun(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	fr, err := g.forwardKey(r.Context(), d2m.WarmKey(kind, bench, opt), http.MethodPost, "/v1/run", raw)
+	fr, err := g.forwardKey(r.Context(), d2m.WarmKey(kind, bench, opt), http.MethodPost, "/v1/run", raw, r.Header.Get("X-API-Key"))
 	if err != nil {
 		api.WriteError(w, api.ErrDraining, "no scheduler shard available")
 		return
@@ -397,7 +404,11 @@ func (g *Gateway) routeJob(w http.ResponseWriter, r *http.Request, method string
 		api.WriteError(w, api.ErrNotFound, "unknown shard %q in job id %q", peerName, id)
 		return
 	}
-	fr, err := g.do(r.Context(), p, method, "/v1/jobs/"+local, nil)
+	if method == http.MethodGet && api.AcceptsSSE(r) {
+		g.streamJobProxy(w, r, p, local)
+		return
+	}
+	fr, err := g.do(r.Context(), p, method, "/v1/jobs/"+local, nil, r.Header.Get("X-API-Key"))
 	if err != nil {
 		api.WriteError(w, api.ErrInternal, "shard %s unreachable: %v", p.Name, err)
 		return
@@ -435,7 +446,7 @@ func (g *Gateway) handleJobs(w http.ResponseWriter, r *http.Request) {
 		if entry.State == PeerDown {
 			continue
 		}
-		fr, err := g.do(r.Context(), entry.Peer, http.MethodGet, "/v1/jobs?"+r.URL.RawQuery, nil)
+		fr, err := g.do(r.Context(), entry.Peer, http.MethodGet, "/v1/jobs?"+r.URL.RawQuery, nil, r.Header.Get("X-API-Key"))
 		if err != nil || fr.status != http.StatusOK {
 			continue
 		}
@@ -463,7 +474,7 @@ func (g *Gateway) handleCapabilities(w http.ResponseWriter, r *http.Request) {
 		if entry.State == PeerDown {
 			continue
 		}
-		fr, err := g.do(r.Context(), entry.Peer, http.MethodGet, "/v1/capabilities", nil)
+		fr, err := g.do(r.Context(), entry.Peer, http.MethodGet, "/v1/capabilities", nil, r.Header.Get("X-API-Key"))
 		if err == nil && fr.status == http.StatusOK {
 			relay(w, fr)
 			return

@@ -229,7 +229,7 @@ func (g *Gateway) verifyPeer(ctx context.Context, p Peer) PeerState {
 		}
 		return PeerDown
 	}
-	fr, err := g.do(ctx, p, http.MethodGet, "/v1/capabilities", nil)
+	fr, err := g.do(ctx, p, http.MethodGet, "/v1/capabilities", nil, "")
 	if err != nil || fr.status != http.StatusOK {
 		return PeerDown
 	}

@@ -28,6 +28,7 @@ import (
 // gatewaySweep is the gateway's record of one fleet sweep.
 type gatewaySweep struct {
 	id        string
+	apiKey    string // caller credential, forwarded on every sub-sweep hop
 	baseline  d2m.Kind
 	reps      int
 	engine    string // normalized engine hint, forwarded to sub-sweeps
@@ -50,12 +51,23 @@ type gatewaySweep struct {
 	created  time.Time
 	finished time.Time
 	summary  *service.SweepSummary
+	// events mirrors the shard-side SSE event log: cell indexes in
+	// settle order, with eventsCh closed and replaced on every append
+	// so streamers wake without being tracked. The gateway settles
+	// whole sub-sweep slices at once, so its settle order differs from
+	// any one shard's — but the framing and payloads are identical.
+	events   []int
+	eventsCh chan struct{}
 }
 
 // settle records one cell's terminal outcome exactly once.
 func (sw *gatewaySweep) settle(i int, cs service.SweepCellStatus) {
 	sw.mu.Lock()
 	defer sw.mu.Unlock()
+	sw.settleLocked(i, cs)
+}
+
+func (sw *gatewaySweep) settleLocked(i int, cs service.SweepCellStatus) {
 	if sw.outcome[i].State != "" {
 		return
 	}
@@ -71,6 +83,9 @@ func (sw *gatewaySweep) settle(i int, cs service.SweepCellStatus) {
 	default:
 		sw.failed++
 	}
+	sw.events = append(sw.events, i)
+	close(sw.eventsCh)
+	sw.eventsCh = make(chan struct{})
 }
 
 // pending lists the unresolved cell indexes.
@@ -138,6 +153,7 @@ func (g *Gateway) handleSweepCreate(w http.ResponseWriter, r *http.Request) {
 
 	sw := &gatewaySweep{
 		id:        fmt.Sprintf("gs%08d", g.nextSweepID.Add(1)),
+		apiKey:    r.Header.Get("X-API-Key"),
 		baseline:  baseline,
 		reps:      reps,
 		engine:    engine,
@@ -147,6 +163,7 @@ func (g *Gateway) handleSweepCreate(w http.ResponseWriter, r *http.Request) {
 		warm:      make([]string, len(cells)),
 		outcome:   make([]service.SweepCellStatus, len(cells)),
 		doneCh:    make(chan struct{}),
+		eventsCh:  make(chan struct{}),
 		state:     service.SweepRunning,
 		created:   time.Now(),
 	}
@@ -188,6 +205,10 @@ func (g *Gateway) lookupSweep(w http.ResponseWriter, r *http.Request) *gatewaySw
 func (g *Gateway) handleSweepGet(w http.ResponseWriter, r *http.Request) {
 	sw := g.lookupSweep(w, r)
 	if sw == nil {
+		return
+	}
+	if api.AcceptsSSE(r) {
+		g.streamSweep(w, r, sw)
 		return
 	}
 	st := sw.status()
@@ -272,7 +293,7 @@ func (g *Gateway) runSubSweep(sw *gatewaySweep, p Peer, idxs []int) {
 	if err != nil {
 		return
 	}
-	fr, err := g.do(sw.ctx, p, http.MethodPost, "/v1/sweeps", body)
+	fr, err := g.do(sw.ctx, p, http.MethodPost, "/v1/sweeps", body, sw.apiKey)
 	if err != nil {
 		if sw.ctx.Err() == nil {
 			g.peers.setState(p.Name, PeerDown)
@@ -311,12 +332,12 @@ func (g *Gateway) runSubSweep(sw *gatewaySweep, p Peer, idxs []int) {
 		case <-sw.ctx.Done():
 			// Gateway-side cancel: release the shard's cells too.
 			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
-			g.do(ctx, p, http.MethodDelete, "/v1/sweeps/"+subID, nil)
+			g.do(ctx, p, http.MethodDelete, "/v1/sweeps/"+subID, nil, sw.apiKey)
 			cancel()
 			return
 		case <-t.C:
 		}
-		fr, err := g.do(sw.ctx, p, http.MethodGet, "/v1/sweeps/"+subID+"?cells=1", nil)
+		fr, err := g.do(sw.ctx, p, http.MethodGet, "/v1/sweeps/"+subID+"?cells=1", nil, sw.apiKey)
 		if err != nil {
 			if sw.ctx.Err() == nil {
 				g.peers.setState(p.Name, PeerDown)
@@ -364,10 +385,9 @@ func (g *Gateway) finalizeSweep(sw *gatewaySweep) {
 	sw.mu.Lock()
 	for i := range sw.outcome {
 		if sw.outcome[i].State == "" {
-			sw.outcome[i] = service.SweepCellStatus{
+			sw.settleLocked(i, service.SweepCellStatus{
 				State: api.JobCanceled, Error: "no scheduler shard available",
-			}
-			sw.canceled++
+			})
 		}
 	}
 	results := make([]*d2m.Result, len(sw.cells))

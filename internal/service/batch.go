@@ -6,7 +6,6 @@ import (
 	"errors"
 	"io"
 	"net/http"
-	"strconv"
 	"sync"
 
 	"d2m"
@@ -34,10 +33,10 @@ type BatchRequest = api.BatchRequest
 // cannot swallow the whole queue several times over.
 const MaxBatchRuns = 256
 
-// batchBody is the POST /v1/batch response: one JobStatus per run, in
+// batchBody is the POST /v1/batch response: one api.JobStatus per run, in
 // request order.
 type batchBody struct {
-	Results []JobStatus `json:"results"`
+	Results []api.JobStatus `json:"results"`
 }
 
 // maxBatchBodyBytes sizes the request-body cap: MaxBatchRuns requests
@@ -56,39 +55,48 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBatchBodyBytes))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
-		writeError(w, apiErrorf(ErrInvalidRequest, "bad request body: %v", err))
+		api.WriteErr(w, api.Errorf(api.ErrInvalidRequest, "bad request body: %v", err))
 		return
 	}
 	if len(req.Runs) == 0 {
-		writeError(w, apiErrorf(ErrInvalidRequest, "batch has no runs"))
+		api.WriteErr(w, api.Errorf(api.ErrInvalidRequest, "batch has no runs"))
 		return
 	}
 	if len(req.Runs) > MaxBatchRuns {
-		writeError(w, apiErrorf(ErrInvalidRequest,
+		api.WriteErr(w, api.Errorf(api.ErrInvalidRequest,
 			"batch has %d runs, limit is %d", len(req.Runs), MaxBatchRuns))
 		return
 	}
 
 	// Validate every run before admitting any: a batch either enters
 	// the queue whole or not at all. The canonical identities ride
-	// along for rendering cached slots.
+	// along for rendering cached slots. The tenant bucket is charged
+	// one token per run, after validation — an invalid batch costs
+	// nothing.
 	subs := make([]sched.Submission, len(req.Runs))
 	kinds := make([]d2m.Kind, len(req.Runs))
 	benches := make([]string, len(req.Runs))
 	for i, rr := range req.Runs {
 		if rr.Async {
-			writeError(w, apiErrorf(ErrInvalidRequest,
+			api.WriteErr(w, api.Errorf(api.ErrInvalidRequest,
 				"runs[%d]: async is not supported in batches; use POST /v1/run", i))
 			return
 		}
 		kind, bench, opt, reps, engine, err := rr.Normalize()
 		if err != nil {
-			ae := err.(*apiError)
-			writeError(w, apiErrorf(ae.Code, "runs[%d]: %s", i, ae.Message))
+			ae := err.(*api.Error)
+			api.WriteErr(w, api.Errorf(ae.Code, "runs[%d]: %s", i, ae.Message))
 			return
 		}
-		subs[i] = submission(kind, bench, opt, reps, engine, rr.TimeoutMS, false)
+		subs[i] = submission(kind, bench, opt, reps, engine, rr.TimeoutMS, false, "")
 		kinds[i], benches[i] = kind, bench
+	}
+	tenant, ok := s.admitTenant(w, r, len(req.Runs))
+	if !ok {
+		return
+	}
+	for i := range subs {
+		subs[i].Tenant = tenant
 	}
 
 	adms, err := s.sched.SubmitGroup(subs)
@@ -97,13 +105,11 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		switch {
 		case errors.As(err, &qfe):
 			s.metrics.JobsRejected.Add(uint64(qfe.Jobs))
-			w.Header().Set("Retry-After",
-				strconv.Itoa(s.retryAfterSeconds(sched.Interactive)))
-			writeError(w, errQueueFull)
+			api.WriteErr(w, s.queueFullError(sched.Interactive, tenant))
 		case errors.Is(err, sched.ErrDraining):
-			writeError(w, errDraining)
+			api.WriteErr(w, errDraining)
 		default:
-			writeError(w, err)
+			api.WriteErr(w, err)
 		}
 		return
 	}
@@ -139,7 +145,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		if i > 0 {
 			io.WriteString(w, ",")
 		}
-		var st JobStatus
+		var st api.JobStatus
 		if adms[i].Cached {
 			st = cachedStatus(kinds[i], benches[i], adms[i])
 		} else {

@@ -2,6 +2,7 @@ package service
 
 import (
 	"context"
+	"d2m/internal/api"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -16,7 +17,7 @@ import (
 
 // postBatch posts a body to /v1/batch and decodes the response (batch
 // envelope on success, error envelope otherwise).
-func postBatch(t *testing.T, ts *httptest.Server, body string) (int, batchBody, ErrorBody) {
+func postBatch(t *testing.T, ts *httptest.Server, body string) (int, batchBody, api.ErrorBody) {
 	t.Helper()
 	resp, err := http.Post(ts.URL+"/v1/batch", "application/json", strings.NewReader(body))
 	if err != nil {
@@ -24,7 +25,7 @@ func postBatch(t *testing.T, ts *httptest.Server, body string) (int, batchBody, 
 	}
 	defer resp.Body.Close()
 	var ok batchBody
-	var bad ErrorBody
+	var bad api.ErrorBody
 	if resp.StatusCode == http.StatusOK {
 		if err := json.NewDecoder(resp.Body).Decode(&ok); err != nil {
 			t.Fatalf("decode batch response: %v", err)
@@ -74,7 +75,7 @@ func TestBatchMixedCachedAndFresh(t *testing.T) {
 		if st.Benchmark != wantBench[i] {
 			t.Errorf("results[%d].benchmark = %q, want %q (order must match the request)", i, st.Benchmark, wantBench[i])
 		}
-		if st.State != JobDone || st.Result == nil {
+		if st.State != api.JobDone || st.Result == nil {
 			t.Errorf("results[%d]: state %s, result nil = %v", i, st.State, st.Result == nil)
 		}
 	}
@@ -151,9 +152,13 @@ func TestBatchAllOrNothing(t *testing.T) {
 	})
 	defer close(block)
 
-	// Occupy the worker and the single queue slot.
-	for i := 0; i < 2; i++ {
-		body := fmt.Sprintf(`{"kind":"base-2l","benchmark":"tpc-c","seed":%d}`, i)
+	// Occupy the worker and the single queue slot. A filler can race
+	// the worker's claim and bounce 429 off the momentarily-full
+	// one-slot queue, so keep feeding fresh seeds until both are held.
+	seed := 0
+	launch := func() {
+		body := fmt.Sprintf(`{"kind":"base-2l","benchmark":"tpc-c","seed":%d}`, seed)
+		seed++
 		go func() {
 			resp, err := http.Post(ts.URL+"/v1/run", "application/json", strings.NewReader(body))
 			if err == nil {
@@ -161,12 +166,17 @@ func TestBatchAllOrNothing(t *testing.T) {
 			}
 		}()
 	}
+	launch()
+	launch()
 	deadline := time.Now().Add(5 * time.Second)
 	for s.Metrics().Queued.Load() < 1 || s.Metrics().Running.Load() < 1 {
 		if time.Now().After(deadline) {
 			t.Fatal("queue never filled")
 		}
-		time.Sleep(time.Millisecond)
+		time.Sleep(5 * time.Millisecond)
+		if s.Metrics().Queued.Load() < 1 {
+			launch()
+		}
 	}
 
 	accepted := s.Metrics().JobsAccepted.Load()
@@ -174,7 +184,7 @@ func TestBatchAllOrNothing(t *testing.T) {
 		{"kind":"d2m-fs","benchmark":"tpc-c","seed":100},
 		{"kind":"d2m-fs","benchmark":"tpc-c","seed":101}
 	]}`)
-	if code != http.StatusTooManyRequests || bad.Error.Code != ErrOverloaded {
+	if code != http.StatusTooManyRequests || bad.Error.Code != api.ErrOverloaded {
 		t.Fatalf("batch over full queue = %d/%q, want 429/overloaded", code, bad.Error.Code)
 	}
 	if got := s.Metrics().JobsAccepted.Load(); got != accepted {
@@ -214,7 +224,7 @@ func TestBatchWarmAffinity(t *testing.T) {
 		t.Fatalf("batch = %d, %d results", code, len(ok.Results))
 	}
 	for i, st := range ok.Results {
-		if st.State != JobDone {
+		if st.State != api.JobDone {
 			t.Errorf("results[%d].state = %s", i, st.State)
 		}
 	}

@@ -5,7 +5,16 @@ import (
 	"sync"
 
 	"d2m"
+	"d2m/internal/service/sched"
 )
+
+// cacheKey is the content address of a simulation: the hash of the
+// canonical (kind, benchmark, defaulted Options, replicates) tuple,
+// computed by the scheduler (sched.CacheKey) so the transport, the
+// sweep orchestrator, and tests all agree with the admission pipeline.
+func cacheKey(kind d2m.Kind, bench string, opt d2m.Options, reps int) string {
+	return sched.CacheKey(kind, bench, opt, reps)
+}
 
 // resultCache is a bounded LRU of completed simulation results, keyed
 // by the content address of the request (cacheKey). A Result is a few

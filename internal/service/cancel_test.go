@@ -2,6 +2,7 @@ package service
 
 import (
 	"context"
+	"d2m/internal/api"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -15,7 +16,7 @@ import (
 
 // deleteJob issues DELETE /v1/jobs/{id} and decodes whichever of the
 // two body shapes came back.
-func deleteJob(t *testing.T, ts *httptest.Server, id string) (int, JobStatus, ErrorBody) {
+func deleteJob(t *testing.T, ts *httptest.Server, id string) (int, api.JobStatus, api.ErrorBody) {
 	t.Helper()
 	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+id, nil)
 	resp, err := http.DefaultClient.Do(req)
@@ -24,8 +25,8 @@ func deleteJob(t *testing.T, ts *httptest.Server, id string) (int, JobStatus, Er
 	}
 	defer resp.Body.Close()
 	raw, _ := io.ReadAll(resp.Body)
-	var st JobStatus
-	var eb ErrorBody
+	var st api.JobStatus
+	var eb api.ErrorBody
 	if resp.StatusCode < 400 {
 		if err := json.Unmarshal(raw, &st); err != nil {
 			t.Fatalf("decode %q: %v", raw, err)
@@ -59,7 +60,7 @@ func TestJobCancelQueued(t *testing.T) {
 		t.Fatalf("blocker = %d, want 202", code)
 	}
 	<-started
-	var queued [2]JobStatus
+	var queued [2]api.JobStatus
 	for i := range queued {
 		code, st, _ := postRun(t, ts,
 			fmt.Sprintf(`{"kind":"base-2l","benchmark":"tpc-c","seed":%d,"async":true}`, i+2))
@@ -68,7 +69,7 @@ func TestJobCancelQueued(t *testing.T) {
 		}
 		queued[i] = st
 	}
-	if queued[0].State != JobQueued || queued[0].Priority != "interactive" {
+	if queued[0].State != api.JobQueued || queued[0].Priority != "interactive" {
 		t.Errorf("queued job status = %+v, want queued/interactive", queued[0])
 	}
 	if queued[0].QueuePosition != 1 || queued[1].QueuePosition != 2 {
@@ -77,7 +78,7 @@ func TestJobCancelQueued(t *testing.T) {
 	}
 
 	code, st, _ := deleteJob(t, ts, queued[0].ID)
-	if code != http.StatusOK || st.State != JobCanceled {
+	if code != http.StatusOK || st.State != api.JobCanceled {
 		t.Fatalf("DELETE queued = %d %+v, want 200 canceled", code, st)
 	}
 	// The job behind it moves up.
@@ -85,20 +86,20 @@ func TestJobCancelQueued(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	var moved JobStatus
+	var moved api.JobStatus
 	json.NewDecoder(resp.Body).Decode(&moved)
 	resp.Body.Close()
-	if moved.State != JobQueued || moved.QueuePosition != 1 {
+	if moved.State != api.JobQueued || moved.QueuePosition != 1 {
 		t.Errorf("survivor = %+v, want queued at position 1", moved)
 	}
 
 	// Cancelling a settled job conflicts, with the terminal state named.
 	code, _, eb := deleteJob(t, ts, queued[0].ID)
-	if code != http.StatusConflict || eb.Error.Code != ErrConflict {
+	if code != http.StatusConflict || eb.Error.Code != api.ErrConflict {
 		t.Errorf("second DELETE = %d %+v, want 409 conflict", code, eb)
 	}
 	// Unknown ids are 404.
-	if code, _, eb := deleteJob(t, ts, "j99999999"); code != http.StatusNotFound || eb.Error.Code != ErrNotFound {
+	if code, _, eb := deleteJob(t, ts, "j99999999"); code != http.StatusNotFound || eb.Error.Code != api.ErrNotFound {
 		t.Errorf("unknown DELETE = %d %+v, want 404 not_found", code, eb)
 	}
 }
@@ -124,7 +125,7 @@ func TestJobCancelRunning(t *testing.T) {
 	if code != http.StatusOK {
 		t.Fatalf("DELETE running = %d, want 200", code)
 	}
-	if got.State != JobRunning && got.State != JobCanceled {
+	if got.State != api.JobRunning && got.State != api.JobCanceled {
 		t.Fatalf("state right after cancel = %s", got.State)
 	}
 	// The job settles canceled once the simulation notices.
@@ -134,10 +135,10 @@ func TestJobCancelRunning(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		var cur JobStatus
+		var cur api.JobStatus
 		json.NewDecoder(resp.Body).Decode(&cur)
 		resp.Body.Close()
-		if cur.State == JobCanceled {
+		if cur.State == api.JobCanceled {
 			break
 		}
 		if time.Now().After(deadline) {

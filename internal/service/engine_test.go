@@ -2,6 +2,7 @@ package service
 
 import (
 	"context"
+	"d2m/internal/api"
 	"encoding/json"
 	"net/http"
 	"strings"
@@ -30,7 +31,7 @@ func TestRunEngineHint(t *testing.T) {
 
 	code, st, _ := postRun(t, ts,
 		`{"kind":"d2m-ns-r","benchmark":"tpc-c","nodes":2,"warmup":2000,"measure":4000,"engine":"scalar"}`)
-	if code != http.StatusOK || st.State != JobDone {
+	if code != http.StatusOK || st.State != api.JobDone {
 		t.Fatalf("scalar run = %d/%s", code, st.State)
 	}
 	if st.Engine != d2m.EngineScalar {
@@ -40,7 +41,7 @@ func TestRunEngineHint(t *testing.T) {
 	// "auto" normalizes to the default; a lone run still executes scalar.
 	code, st, _ = postRun(t, ts,
 		`{"kind":"d2m-ns-r","benchmark":"tpc-c","nodes":2,"warmup":2000,"measure":5000,"engine":"auto"}`)
-	if code != http.StatusOK || st.State != JobDone {
+	if code != http.StatusOK || st.State != api.JobDone {
 		t.Fatalf("auto run = %d/%s", code, st.State)
 	}
 	if st.Engine != d2m.EngineScalar {
@@ -53,14 +54,14 @@ func TestRunEngineHint(t *testing.T) {
 func TestEngineHintRejected(t *testing.T) {
 	_, ts := newTestServer(t, Config{Workers: 1})
 
-	post := func(path, body string) ErrorBody {
+	post := func(path, body string) api.ErrorBody {
 		t.Helper()
 		resp, err := http.Post(ts.URL+path, "application/json", strings.NewReader(body))
 		if err != nil {
 			t.Fatal(err)
 		}
 		defer resp.Body.Close()
-		var eb ErrorBody
+		var eb api.ErrorBody
 		if err := json.NewDecoder(resp.Body).Decode(&eb); err != nil {
 			t.Fatalf("%s: decode: %v", path, err)
 		}
@@ -72,17 +73,17 @@ func TestEngineHintRejected(t *testing.T) {
 
 	eb := post("/v1/run",
 		`{"kind":"d2m-ns-r","benchmark":"tpc-c","nodes":2,"measure":4000,"engine":"warp"}`)
-	if eb.Error.Code != ErrInvalidRequest || !strings.Contains(eb.Error.Message, "warp") {
+	if eb.Error.Code != api.ErrInvalidRequest || !strings.Contains(eb.Error.Message, "warp") {
 		t.Errorf("run envelope = %+v, want invalid_request naming the engine", eb.Error)
 	}
 	eb = post("/v1/batch",
 		`{"runs":[{"kind":"d2m-ns-r","benchmark":"tpc-c","nodes":2,"measure":4000,"engine":"warp"}]}`)
-	if eb.Error.Code != ErrInvalidRequest {
+	if eb.Error.Code != api.ErrInvalidRequest {
 		t.Errorf("batch envelope = %+v, want invalid_request", eb.Error)
 	}
 	eb = post("/v1/sweeps",
 		`{"kinds":["d2m-ns-r"],"benchmarks":["tpc-c"],"nodes":2,"engine":"warp"}`)
-	if eb.Error.Code != ErrInvalidRequest {
+	if eb.Error.Code != api.ErrInvalidRequest {
 		t.Errorf("sweep envelope = %+v, want invalid_request", eb.Error)
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -63,6 +64,48 @@ type Metrics struct {
 	// bulk backlog cannot mask interactive latency.
 	QueueWait  [sched.NumPriorities]Histogram
 	RunLatency Histogram // seconds of simulation time per job
+
+	// tenantAdmitted / tenantLimited count submissions through the
+	// token-bucket gate per tenant, rendered as tenant-labeled series.
+	tenantMu       sync.Mutex
+	tenantAdmitted map[string]uint64
+	tenantLimited  map[string]uint64
+}
+
+// TenantAdmitted counts n submissions a tenant's bucket admitted.
+func (m *Metrics) TenantAdmitted(tenant string, n int) {
+	m.tenantMu.Lock()
+	defer m.tenantMu.Unlock()
+	if m.tenantAdmitted == nil {
+		m.tenantAdmitted = make(map[string]uint64)
+	}
+	m.tenantAdmitted[tenant] += uint64(n)
+}
+
+// TenantRateLimited counts n submissions rejected 429 rate_limited.
+func (m *Metrics) TenantRateLimited(tenant string, n int) {
+	m.tenantMu.Lock()
+	defer m.tenantMu.Unlock()
+	if m.tenantLimited == nil {
+		m.tenantLimited = make(map[string]uint64)
+	}
+	m.tenantLimited[tenant] += uint64(n)
+}
+
+// tenantCounts snapshots one tenant-counter map in sorted-name order.
+func (m *Metrics) tenantCounts(src map[string]uint64) ([]string, []uint64) {
+	m.tenantMu.Lock()
+	defer m.tenantMu.Unlock()
+	names := make([]string, 0, len(src))
+	for name := range src {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	counts := make([]uint64, len(names))
+	for i, name := range names {
+		counts[i] = src[name]
+	}
+	return names, counts
 }
 
 // Metrics implements sched.Observer: the scheduler reports accounting
@@ -228,6 +271,23 @@ func (m *Metrics) WritePrometheus(w io.Writer) {
 	gauge("d2m_sweeps_active", "Sweeps not yet settled.", m.SweepsActive.Load())
 	gauge("d2m_snapshot_bytes", "Bytes held by the warm-snapshot cache.", m.SnapshotBytes.Load())
 	gauge("d2m_snapshot_entries", "Snapshots held by the warm-snapshot cache.", m.SnapshotEntries.Load())
+	for _, series := range []struct {
+		name, help string
+		src        map[string]uint64
+	}{
+		{"d2m_tenant_submissions_total", "Submissions admitted through a tenant's token bucket.", m.tenantAdmitted},
+		{"d2m_tenant_rate_limited_total", "Submissions rejected 429 rate_limited, by tenant.", m.tenantLimited},
+	} {
+		names, counts := m.tenantCounts(series.src)
+		if len(names) == 0 {
+			continue
+		}
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n", series.name, series.help, series.name)
+		for i, name := range names {
+			fmt.Fprintf(w, "%s{%s} %d\n", series.name,
+				joinLabels(m.shardLabel(), fmt.Sprintf("tenant=%q", name)), counts[i])
+		}
+	}
 	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n",
 		"d2m_queue_wait_seconds", "Seconds from admission to worker pickup, by scheduling class.",
 		"d2m_queue_wait_seconds")

@@ -129,7 +129,7 @@ func (s *Scheduler) SubmitGroup(subs []Submission) ([]Admission, error) {
 	var (
 		coalesced []coalesce
 		created   []*Job
-		need      [NumPriorities]int
+		need      [NumPriorities]map[string]int
 		byKey     = make(map[string]*Job)
 	)
 	for _, i := range pending {
@@ -160,21 +160,29 @@ func (s *Scheduler) SubmitGroup(subs []Submission) ([]Admission, error) {
 		j := s.newJobLocked(sub, key)
 		byKey[key] = j
 		created = append(created, j)
-		need[sub.Priority]++
+		if need[sub.Priority] == nil {
+			need[sub.Priority] = make(map[string]int)
+		}
+		need[sub.Priority][sub.Tenant]++
 		adms[i] = Admission{Job: j, New: true}
 	}
 
+	// QueueDepth bounds each (class, tenant) pair separately: a tenant
+	// whose allotment is full is rejected without consuming any other
+	// tenant's admission capacity.
 	for p := Interactive; p < NumPriorities; p++ {
-		if s.queuedN[p]+need[p] > s.cfg.QueueDepth {
-			for _, c := range coalesced {
-				c.j.waiters--
-				c.j.detached = c.prevDetached
+		for tenant, n := range need[p] {
+			if s.queuedT[p][tenant]+n > s.cfg.QueueDepth {
+				for _, c := range coalesced {
+					c.j.waiters--
+					c.j.detached = c.prevDetached
+				}
+				for _, j := range created {
+					j.cancel()
+				}
+				s.mu.Unlock()
+				return nil, &QueueFullError{Jobs: len(created)}
 			}
-			for _, j := range created {
-				j.cancel()
-			}
-			s.mu.Unlock()
-			return nil, &QueueFullError{Jobs: len(created)}
 		}
 	}
 
@@ -187,8 +195,10 @@ func (s *Scheduler) SubmitGroup(subs []Submission) ([]Admission, error) {
 		s.inflight[j.key] = j
 		p := j.spec.Priority
 		s.queuedN[p]++
+		s.queuedT[p][j.spec.Tenant]++
 		wk := d2m.WarmKey(j.spec.Kind, j.spec.Benchmark, j.spec.Options)
-		if lead := byWarm[wk]; lead != nil && lead.spec.Priority == p {
+		if lead := byWarm[wk]; lead != nil && lead.spec.Priority == p &&
+			lead.spec.Tenant == j.spec.Tenant {
 			j.leader = lead
 			lead.chain = append(lead.chain, j)
 			if s.warm != nil {
@@ -196,7 +206,7 @@ func (s *Scheduler) SubmitGroup(subs []Submission) ([]Admission, error) {
 			}
 		} else {
 			byWarm[wk] = j
-			s.queues[p] = append(s.queues[p], j)
+			s.queues[p].push(j)
 		}
 		s.obs.JobAccepted()
 		s.obs.QueuedDelta(1)
@@ -224,28 +234,28 @@ func (s *Scheduler) promoteLocked(j *Job) {
 	if j.state != StateQueued || j.spec.Priority != Bulk || j.leader != nil {
 		return
 	}
-	idx := -1
-	for i, q := range s.queues[Bulk] {
-		if q == j {
-			idx = i
-			break
-		}
-	}
-	if idx < 0 {
+	if s.queues[Bulk].position(j) == 0 {
 		return
 	}
 	moved := 1 + len(j.chain)
-	if s.queuedN[Interactive]+moved > s.cfg.QueueDepth {
+	tenant := j.spec.Tenant
+	if s.queuedT[Interactive][tenant]+moved > s.cfg.QueueDepth {
 		return
 	}
-	s.queues[Bulk] = append(s.queues[Bulk][:idx], s.queues[Bulk][idx+1:]...)
-	s.queues[Interactive] = append(s.queues[Interactive], j)
+	s.queues[Bulk].remove(j)
 	s.queuedN[Bulk] -= moved
 	s.queuedN[Interactive] += moved
+	if n := s.queuedT[Bulk][tenant] - moved; n > 0 {
+		s.queuedT[Bulk][tenant] = n
+	} else {
+		delete(s.queuedT[Bulk], tenant)
+	}
+	s.queuedT[Interactive][tenant] += moved
 	j.spec.Priority = Interactive
 	for _, c := range j.chain {
 		c.spec.Priority = Interactive
 	}
+	s.queues[Interactive].push(j)
 	s.pulseSlotFree()
 }
 
@@ -276,25 +286,18 @@ func (s *Scheduler) Cancel(id string) (*Job, error) {
 	// walking the chain skips settled jobs); a leader already popped by
 	// a worker needs no queue surgery (runJob will skip it).
 	if j.leader == nil {
-		for i, q := range s.queues[j.spec.Priority] {
-			if q != j {
-				continue
-			}
-			if len(j.chain) > 0 {
-				nl := j.chain[0]
+		if len(j.chain) > 0 {
+			nl := j.chain[0]
+			if s.queues[j.spec.Priority].replace(j, nl) {
 				nl.leader = nil
 				nl.chain = append(nl.chain, j.chain[1:]...)
 				for _, c := range nl.chain {
 					c.leader = nl
 				}
 				j.chain = nil
-				s.queues[j.spec.Priority][i] = nl
-			} else {
-				s.queues[j.spec.Priority] = append(
-					s.queues[j.spec.Priority][:i],
-					s.queues[j.spec.Priority][i+1:]...)
 			}
-			break
+		} else {
+			s.queues[j.spec.Priority].remove(j)
 		}
 	}
 	j.cancel()
@@ -305,7 +308,7 @@ func (s *Scheduler) Cancel(id string) (*Job, error) {
 	j.err = context.Canceled
 	j.finished = time.Now()
 	s.retireLocked(j)
-	s.queuedN[j.spec.Priority]--
+	s.dequeuedLocked(j)
 	s.pulseSlotFree()
 	s.obs.QueuedDelta(-1)
 	s.obs.JobSettled(StateCanceled)
@@ -368,12 +371,7 @@ func (s *Scheduler) infoLocked(j *Job) Info {
 		if j.leader != nil {
 			lead = j.leader
 		}
-		for i, q := range s.queues[lead.spec.Priority] {
-			if q == lead {
-				in.QueuePos = i + 1
-				break
-			}
-		}
+		in.QueuePos = s.queues[lead.spec.Priority].position(lead)
 	}
 	if j.state == StateDone {
 		r := j.result

@@ -80,6 +80,14 @@ type Submission struct {
 	// Priority selects the scheduling class. The zero value is
 	// Interactive.
 	Priority Priority
+	// Tenant names the traffic source for fair queueing: within each
+	// class, tenants drain deficit-round-robin in proportion to their
+	// Config.TenantShare, and each tenant gets its own QueueDepth
+	// allotment. The zero value is the default tenant — a scheduler fed
+	// only by it behaves exactly like the pre-tenancy FIFO. Tenant is a
+	// handling knob: it never enters the cache key, so identical work
+	// from different tenants still coalesces.
+	Tenant string
 	// Timeout caps the job's total lifetime (queue wait + run). Zero
 	// takes the scheduler's default; negative means no deadline.
 	Timeout time.Duration
@@ -149,6 +157,10 @@ type Job struct {
 	ctx    context.Context
 	cancel context.CancelFunc
 	done   chan struct{}
+	// runCh closes when a worker claims the job (queued → running). A
+	// job settled straight from the queue (cancel, deadline) never
+	// closes it, so observers must select on Done as well.
+	runCh chan struct{}
 	// leader points at the chain head when this job was admitted as an
 	// affinity follower; chain holds the followers of a leader. A
 	// worker that dequeues a leader runs the chain in order on the same
@@ -188,6 +200,11 @@ func (j *Job) Key() string { return j.key }
 // Done returns the channel closed when the job settles.
 func (j *Job) Done() <-chan struct{} { return j.done }
 
+// Started returns the channel closed when a worker claims the job.
+// Jobs settled without ever running (cancelled or expired while
+// queued) never close it; select on Done alongside it.
+func (j *Job) Started() <-chan struct{} { return j.runCh }
+
 // Info snapshots the job's observable state.
 func (j *Job) Info() Info {
 	j.s.mu.Lock()
@@ -201,9 +218,11 @@ type Info struct {
 	ID       string
 	State    State
 	Priority Priority
-	// QueuePos is the job's 1-based position among the queued leaders
-	// of its class (affinity followers share their leader's position);
-	// zero once the job leaves the queue.
+	// QueuePos is the job's 1-based position among its own tenant's
+	// queued leaders of its class (affinity followers share their
+	// leader's position); zero once the job leaves the queue. Under
+	// fair queueing the tenant-local depth, not the interleaved class
+	// order, is the client-meaningful number.
 	QueuePos  int
 	Kind      d2m.Kind
 	Benchmark string

@@ -32,6 +32,12 @@ type Config struct {
 	// waiting jobs: this many interactive jobs are served per bulk job.
 	// Zero means 4.
 	InteractiveWeight int
+	// TenantShare maps a Submission.Tenant to its deficit-round-robin
+	// quantum within each class: per contended round, a tenant drains
+	// TenantShare jobs for every one job of a share-1 tenant. Nil (or
+	// returns below 1) means every tenant weighs 1. The class-level
+	// InteractiveWeight policy is unaffected.
+	TenantShare func(tenant string) int
 	// Run executes one simulation; it is the only required field. The
 	// scheduler passes the submission's identity through a d2m.RunSpec
 	// (Replicates included) and stores the output on the job.
@@ -110,10 +116,14 @@ type Scheduler struct {
 	// once the queues empty; it is set only by Shutdown and is final.
 	draining bool
 	stopping bool
-	// queues hold chain leaders only, per class; queuedN counts every
-	// queued job including chain followers.
-	queues  [NumPriorities][]*Job
+	// queues hold chain leaders only, per class, fair-queued across
+	// tenants; queuedN counts every queued job including chain
+	// followers, and queuedT splits that count by tenant — QueueDepth
+	// bounds each tenant's share of a class separately, so one tenant's
+	// backlog cannot consume another's admission capacity.
+	queues  [NumPriorities]classQueue
 	queuedN [NumPriorities]int
+	queuedT [NumPriorities]map[string]int
 	// rr counts interactive dequeues since the last bulk one, for the
 	// weighted pick.
 	rr       int
@@ -140,6 +150,9 @@ func New(cfg Config) (*Scheduler, error) {
 		slotFree: make(chan struct{}, 1),
 		jobs:     make(map[string]*Job),
 		inflight: make(map[string]*Job),
+	}
+	for p := range s.queuedT {
+		s.queuedT[p] = make(map[string]int)
 	}
 	s.cond = sync.NewCond(&s.mu)
 	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
@@ -306,21 +319,14 @@ func (s *Scheduler) gatherLanes(j *Job) (lanes, rest []*Job) {
 		if len(lanes) >= s.cfg.MaxLanes {
 			break
 		}
-		q := s.queues[p]
-		kept := q[:0]
-		for _, cand := range q {
-			if len(lanes) < s.cfg.MaxLanes && cand.laneKey == j.laneKey &&
-				len(cand.chain) == 0 && cand.state == StateQueued && cand.ctx.Err() == nil {
-				lanes = append(lanes, cand)
-				stole = true
-			} else {
-				kept = append(kept, cand)
-			}
+		got := s.queues[p].steal(s.cfg.MaxLanes-len(lanes), func(cand *Job) bool {
+			return cand.laneKey == j.laneKey && len(cand.chain) == 0 &&
+				cand.state == StateQueued && cand.ctx.Err() == nil
+		})
+		if len(got) > 0 {
+			lanes = append(lanes, got...)
+			stole = true
 		}
-		for i := len(kept); i < len(q); i++ {
-			q[i] = nil
-		}
-		s.queues[p] = kept
 	}
 	if stole {
 		s.pulseSlotFree()
@@ -414,13 +420,14 @@ func (s *Scheduler) dequeue() (*Job, bool) {
 	}
 }
 
-// pickLocked pops the next leader under the weighted-priority policy:
-// when both classes are waiting, InteractiveWeight interactive leaders
-// are served per bulk leader, so bulk work cannot starve interactive
-// jobs and interactive bursts cannot starve bulk work either.
+// pickLocked pops the next leader: the weighted-priority policy picks
+// the class — when both are waiting, InteractiveWeight interactive
+// leaders are served per bulk leader — then the class's deficit round
+// robin picks the tenant, so neither a class nor a tenant can starve
+// the others.
 func (s *Scheduler) pickLocked() *Job {
-	hasI := len(s.queues[Interactive]) > 0
-	hasB := len(s.queues[Bulk]) > 0
+	hasI := !s.queues[Interactive].empty()
+	hasB := !s.queues[Bulk].empty()
 	var p Priority
 	switch {
 	case hasI && hasB:
@@ -437,11 +444,7 @@ func (s *Scheduler) pickLocked() *Job {
 	default:
 		return nil
 	}
-	q := s.queues[p]
-	j := q[0]
-	q[0] = nil
-	s.queues[p] = q[1:]
-	return j
+	return s.queues[p].pop(s.cfg.TenantShare)
 }
 
 // pulseSlotFree wakes one feeder parked on a full queue. Callers hold
@@ -486,6 +489,7 @@ func (s *Scheduler) claim(j *Job) bool {
 	s.dequeuedLocked(j)
 	j.state = StateRunning
 	j.started = time.Now()
+	close(j.runCh)
 	s.mu.Unlock()
 	s.obs.QueuedDelta(-1)
 	s.obs.ObserveQueueWait(j.spec.Priority, j.started.Sub(j.created).Seconds())
@@ -512,10 +516,16 @@ func (s *Scheduler) execute(j *Job) {
 	s.finish(j, out, err, dur)
 }
 
-// dequeuedLocked maintains the per-class queued-job count as a job
-// leaves the queue for a worker.
+// dequeuedLocked maintains the per-class and per-tenant queued-job
+// counts as a job leaves the queue for a worker.
 func (s *Scheduler) dequeuedLocked(j *Job) {
-	s.queuedN[j.spec.Priority]--
+	p := j.spec.Priority
+	s.queuedN[p]--
+	if n := s.queuedT[p][j.spec.Tenant] - 1; n > 0 {
+		s.queuedT[p][j.spec.Tenant] = n
+	} else {
+		delete(s.queuedT[p], j.spec.Tenant)
+	}
 }
 
 // finish settles a job exactly once: records the outcome, releases the
@@ -591,6 +601,7 @@ func (s *Scheduler) newJobLocked(sub Submission, key string) *Job {
 		key:      key,
 		spec:     sub,
 		done:     make(chan struct{}),
+		runCh:    make(chan struct{}),
 		state:    StateQueued,
 		created:  time.Now(),
 		waiters:  1,

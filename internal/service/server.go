@@ -1,3 +1,15 @@
+// Package service implements the d2mserver simulation service: the
+// HTTP/JSON transport over the root d2m package. Execution — the job
+// ledger, priority-class queues with per-tenant fair queueing and
+// backpressure, the worker pool with warm-affinity chaining and lane
+// grouping, and the admission pipeline (result-cache lookup,
+// single-flight coalescing, all-or-nothing enqueue) — lives in
+// internal/service/sched; this package contributes request validation,
+// tenant authentication and token-bucket admission, the result cache
+// and JSONL journal, the warm-snapshot store, the sweep orchestrator,
+// SSE result streaming, and Prometheus-style metrics. The wire types
+// live in internal/api (shared with the cluster gateway).
+// cmd/d2mserver is the thin binary around it.
 package service
 
 import (
@@ -61,6 +73,13 @@ type Config struct {
 	// 1 disables vector execution. Ignored when Runner is set (stub
 	// runners run every job scalar).
 	MaxLanes int
+	// Tenants, when non-empty, turns on multi-tenant admission: every
+	// /v1 job and sweep endpoint requires an X-API-Key naming one of
+	// these tenants, each with its own token-bucket rate limit and
+	// scheduler queue share (see TenantSpec and cmd/d2mserver's
+	// -tenants flag). Empty means single-tenant: no header required,
+	// no limits.
+	Tenants []TenantSpec
 	// Runner executes one simulation. Nil means d2m.Run against the
 	// server's snapshot cache; tests substitute stubs to control timing
 	// and observe cancellation.
@@ -115,6 +134,7 @@ type Server struct {
 	snapshots   *snapshotCache // nil when SnapshotMemBytes < 0
 	store       *resultStore   // nil without Config.StorePath
 	mux         *http.ServeMux
+	tenants     *tenantRegistry // nil in single-tenant mode
 	nextSweepID atomic.Uint64
 	ready       chan struct{} // closed once journal replay has landed
 
@@ -168,6 +188,11 @@ func New(cfg Config) (*Server, error) {
 	if cfg.SnapshotMemBytes > 0 {
 		s.snapshots = newSnapshotCache(cfg.SnapshotMemBytes, s.metrics)
 	}
+	reg, err := newTenantRegistry(cfg.Tenants)
+	if err != nil {
+		return nil, err
+	}
+	s.tenants = reg
 	if s.runner == nil {
 		s.runner = func(ctx context.Context, kind d2m.Kind, bench string, opt d2m.Options) (d2m.Result, error) {
 			out, err := d2m.Run(ctx, d2m.RunSpec{
@@ -225,6 +250,7 @@ func New(cfg Config) (*Server, error) {
 		DefaultTimeout: cfg.DefaultTimeout,
 		MaxJobs:        cfg.MaxJobs,
 		MaxLanes:       cfg.MaxLanes,
+		TenantShare:    s.tenantShare,
 		Run: func(ctx context.Context, spec d2m.RunSpec) (d2m.RunOutput, error) {
 			if spec.Replicates >= 2 {
 				agg, err := s.replicator(ctx, spec.Kind, spec.Benchmark, spec.Options, spec.Replicates)
@@ -259,15 +285,10 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
 	s.mux.HandleFunc("POST /v1/sweeps", s.handleSweepCreate)
+	s.mux.HandleFunc("GET /v1/sweeps", s.handleSweeps)
 	s.mux.HandleFunc("GET /v1/sweeps/{id}", s.handleSweepGet)
 	s.mux.HandleFunc("DELETE /v1/sweeps/{id}", s.handleSweepDelete)
 	s.mux.HandleFunc("GET /v1/capabilities", s.handleCapabilities)
-	// The GET /v1/benchmarks alias was carried for one release (API
-	// v1.1) and removed in v1.2; a targeted 404 beats a generic one.
-	s.mux.HandleFunc("GET /v1/benchmarks", func(w http.ResponseWriter, r *http.Request) {
-		writeError(w, apiErrorf(ErrNotFound,
-			"GET /v1/benchmarks was removed in API v1.2; use GET /v1/capabilities"))
-	})
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	s.mux.HandleFunc("POST /admin/drain", s.handleDrain)
@@ -338,15 +359,12 @@ func (s *Server) Shutdown(ctx context.Context) error {
 // ---------------------------------------------------------------------------
 // Admission plumbing shared by the handlers.
 
-var (
-	errDraining  = &apiError{Code: ErrDraining, Message: "server is draining"}
-	errQueueFull = &apiError{Code: ErrOverloaded, Message: "job queue is full"}
-)
+var errDraining = &api.Error{Code: api.ErrDraining, Message: "server is draining"}
 
 // submission maps a validated request onto the scheduler's admission
 // type. All transport-submitted runs (single and batch) are
 // interactive; sweep cells enter as bulk through the sweep feeder.
-func submission(kind d2m.Kind, bench string, opt d2m.Options, reps int, engine string, timeoutMS int64, detached bool) sched.Submission {
+func submission(kind d2m.Kind, bench string, opt d2m.Options, reps int, engine string, timeoutMS int64, detached bool, tenant string) sched.Submission {
 	return sched.Submission{
 		Kind:       kind,
 		Benchmark:  bench,
@@ -356,33 +374,38 @@ func submission(kind d2m.Kind, bench string, opt d2m.Options, reps int, engine s
 		Priority:   sched.Interactive,
 		Timeout:    time.Duration(timeoutMS) * time.Millisecond,
 		Detached:   detached,
+		Tenant:     tenant,
 	}
 }
 
-// retryAfterSeconds renders the scheduler's backoff estimate for a
-// rejected class-p client as whole seconds for the Retry-After header.
-func (s *Server) retryAfterSeconds(p sched.Priority) int {
-	secs := int(s.sched.RetryAfter(p) / time.Second)
-	if secs < 1 {
-		secs = 1
+// queueFullError builds the 429 overloaded envelope for a full class
+// queue: retry_after_ms carries the scheduler's backoff estimate (the
+// Retry-After header is derived from it), and tenant names the limited
+// party under multi-tenancy — the per-tenant queue bound means the
+// rejection is tenant-local, not global.
+func (s *Server) queueFullError(p sched.Priority, tenant string) *api.Error {
+	return &api.Error{
+		Code:         api.ErrOverloaded,
+		Message:      "job queue is full",
+		RetryAfterMS: s.sched.RetryAfter(p).Milliseconds(),
+		Tenant:       tenant,
 	}
-	return secs
 }
 
 // cachedStatus renders an admission settled from the result cache.
-func cachedStatus(kind d2m.Kind, bench string, adm sched.Admission) JobStatus {
+func cachedStatus(kind d2m.Kind, bench string, adm sched.Admission) api.JobStatus {
 	res := adm.Result
-	return JobStatus{
-		State: JobDone, Kind: kind.String(), Benchmark: bench,
+	return api.JobStatus{
+		State: api.JobDone, Kind: kind.String(), Benchmark: bench,
 		Cached: true, Result: &res, Replicated: adm.Replicated,
 	}
 }
 
-// jobStatus renders a scheduler job snapshot as the wire JobStatus.
-func jobStatus(in sched.Info) JobStatus {
-	st := JobStatus{
+// jobStatus renders a scheduler job snapshot as the wire api.JobStatus.
+func jobStatus(in sched.Info) api.JobStatus {
+	st := api.JobStatus{
 		ID:        in.ID,
-		State:     JobState(in.State),
+		State:     api.JobState(in.State),
 		Kind:      in.Kind.String(),
 		Benchmark: in.Benchmark,
 		Priority:  in.Priority.String(),
@@ -400,7 +423,7 @@ func jobStatus(in sched.Info) JobStatus {
 	if in.Err != nil {
 		st.Error = in.Err.Error()
 	}
-	if st.State == JobDone {
+	if st.State == api.JobDone {
 		st.Result = in.Result
 		st.Replicated = in.Replicated
 	}
@@ -408,19 +431,19 @@ func jobStatus(in sched.Info) JobStatus {
 }
 
 // writeAdmissionError maps a scheduler admission error onto the wire:
-// 503 for drain, counted 429 + Retry-After for a full class queue.
-// rejected is the number of jobs the rejection rolled back (1 for a
-// single run; the created-job count for a batch).
-func (s *Server) writeAdmissionError(w http.ResponseWriter, err error, p sched.Priority, rejected int) {
+// 503 for drain, counted 429 (retry_after_ms in the envelope, header
+// derived) for a full class queue. rejected is the number of jobs the
+// rejection rolled back (1 for a single run; the created-job count for
+// a batch).
+func (s *Server) writeAdmissionError(w http.ResponseWriter, err error, p sched.Priority, rejected int, tenant string) {
 	switch {
 	case errors.Is(err, sched.ErrDraining):
-		writeError(w, errDraining)
+		api.WriteErr(w, errDraining)
 	case errors.Is(err, sched.ErrQueueFull):
 		s.metrics.JobsRejected.Add(uint64(rejected))
-		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds(p)))
-		writeError(w, errQueueFull)
+		api.WriteErr(w, s.queueFullError(p, tenant))
 	default:
-		writeError(w, err)
+		api.WriteErr(w, err)
 	}
 }
 
@@ -430,22 +453,26 @@ func (s *Server) writeAdmissionError(w http.ResponseWriter, err error, p sched.P
 const maxBodyBytes = 1 << 20
 
 func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
-	var req RunRequest
+	var req api.RunRequest
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
-		writeError(w, apiErrorf(ErrInvalidRequest, "bad request body: %v", err))
+		api.WriteErr(w, api.Errorf(api.ErrInvalidRequest, "bad request body: %v", err))
 		return
 	}
 	kind, bench, opt, reps, engine, err := req.Normalize()
 	if err != nil {
-		writeError(w, err)
+		api.WriteErr(w, err)
+		return
+	}
+	tenant, ok := s.admitTenant(w, r, 1)
+	if !ok {
 		return
 	}
 
-	adm, err := s.sched.Submit(submission(kind, bench, opt, reps, engine, req.TimeoutMS, req.Async))
+	adm, err := s.sched.Submit(submission(kind, bench, opt, reps, engine, req.TimeoutMS, req.Async, tenant))
 	if err != nil {
-		s.writeAdmissionError(w, err, sched.Interactive, 1)
+		s.writeAdmissionError(w, err, sched.Interactive, 1, tenant)
 		return
 	}
 	if adm.Cached {
@@ -472,11 +499,11 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 }
 
 // statusCode maps a settled job state to its HTTP status.
-func statusCode(st JobState) int {
+func statusCode(st api.JobState) int {
 	switch st {
-	case JobDone:
+	case api.JobDone:
 		return http.StatusOK
-	case JobCanceled:
+	case api.JobCanceled:
 		return http.StatusGatewayTimeout
 	default:
 		return http.StatusInternalServerError
@@ -484,9 +511,16 @@ func statusCode(st JobState) int {
 }
 
 func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	if _, ok := s.authTenant(w, r); !ok {
+		return
+	}
 	j, ok := s.sched.Lookup(r.PathValue("id"))
 	if !ok {
-		writeError(w, apiErrorf(ErrNotFound, "unknown job id %q", r.PathValue("id")))
+		api.WriteErr(w, api.Errorf(api.ErrNotFound, "unknown job id %q", r.PathValue("id")))
+		return
+	}
+	if api.AcceptsSSE(r) {
+		s.streamJob(w, r, j)
 		return
 	}
 	writeJSON(w, http.StatusOK, jobStatus(j.Info()))
@@ -498,16 +532,19 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 // checkpoint. Cancelling a settled job is a 409 conflict carrying the
 // terminal state.
 func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
+	if _, ok := s.authTenant(w, r); !ok {
+		return
+	}
 	id := r.PathValue("id")
 	j, err := s.sched.Cancel(id)
 	switch {
 	case errors.Is(err, sched.ErrUnknownJob):
-		writeError(w, apiErrorf(ErrNotFound, "unknown job id %q", id))
+		api.WriteErr(w, api.Errorf(api.ErrNotFound, "unknown job id %q", id))
 	case errors.Is(err, sched.ErrSettled):
-		writeError(w, apiErrorf(ErrConflict,
+		api.WriteErr(w, api.Errorf(api.ErrConflict,
 			"job %q already settled (%s)", id, j.Info().State))
 	case err != nil:
-		writeError(w, err)
+		api.WriteErr(w, err)
 	default:
 		writeJSON(w, http.StatusOK, jobStatus(j.Info()))
 	}
@@ -515,7 +552,7 @@ func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
 
 // jobListBody is the GET /v1/jobs response page.
 type jobListBody struct {
-	Jobs []JobStatus `json:"jobs"`
+	Jobs []api.JobStatus `json:"jobs"`
 	// NextCursor, when set, fetches the next (older) page via
 	// ?cursor=.
 	NextCursor string `json:"next_cursor,omitempty"`
@@ -525,12 +562,15 @@ type jobListBody struct {
 // with an optional state filter and limit/cursor pagination. Results
 // are omitted from list entries; fetch a job by id for its payload.
 func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
+	if _, ok := s.authTenant(w, r); !ok {
+		return
+	}
 	q := r.URL.Query()
 	limit := 50
 	if v := q.Get("limit"); v != "" {
 		n, err := strconv.Atoi(v)
 		if err != nil || n < 1 {
-			writeError(w, apiErrorf(ErrInvalidRequest, "bad limit %q", v))
+			api.WriteErr(w, api.Errorf(api.ErrInvalidRequest, "bad limit %q", v))
 			return
 		}
 		if n > 500 {
@@ -538,11 +578,11 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 		}
 		limit = n
 	}
-	filter := JobState(q.Get("state"))
+	filter := api.JobState(q.Get("state"))
 	switch filter {
-	case "", JobQueued, JobRunning, JobDone, JobFailed, JobCanceled:
+	case "", api.JobQueued, api.JobRunning, api.JobDone, api.JobFailed, api.JobCanceled:
 	default:
-		writeError(w, apiErrorf(ErrInvalidRequest,
+		api.WriteErr(w, api.Errorf(api.ErrInvalidRequest,
 			"bad state %q (want queued, running, done, failed or canceled)", filter))
 		return
 	}
@@ -553,13 +593,13 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 	// id of the prior page.
 	infos := s.sched.Jobs()
 	sort.Slice(infos, func(a, b int) bool { return infos[a].ID < infos[b].ID })
-	body := jobListBody{Jobs: []JobStatus{}}
+	body := jobListBody{Jobs: []api.JobStatus{}}
 	for i := len(infos) - 1; i >= 0; i-- {
 		in := infos[i]
 		if cursor != "" && in.ID >= cursor {
 			continue
 		}
-		if filter != "" && JobState(in.State) != filter {
+		if filter != "" && api.JobState(in.State) != filter {
 			continue
 		}
 		if len(body.Jobs) == limit {
@@ -582,14 +622,17 @@ func (s *Server) handleCapabilities(w http.ResponseWriter, r *http.Request) {
 		Kinds:         d2m.KindNames(),
 		Topologies:    d2m.Topologies(),
 		Placements:    d2m.Placements(),
-		Kernels:       []KernelCap{},
-		MaxReplicates: MaxReplicates,
+		Kernels:       []api.KernelCap{},
+		MaxReplicates: api.MaxReplicates,
+		SSE:           true,
+		SweepsList:    true,
+		Tenancy:       s.tenancyCaps(r),
 	}
 	for _, suite := range d2m.Suites() {
 		body.Suites[suite] = d2m.BenchmarksOf(suite)
 	}
 	for _, k := range d2m.Kernels() {
-		body.Kernels = append(body.Kernels, KernelCap{Name: k.Name, Description: k.Description})
+		body.Kernels = append(body.Kernels, api.KernelCap{Name: k.Name, Description: k.Description})
 	}
 	writeJSON(w, http.StatusOK, body)
 }

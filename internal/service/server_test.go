@@ -38,7 +38,7 @@ func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
 }
 
 // postRun posts a request body to /v1/run and decodes the response.
-func postRun(t *testing.T, ts *httptest.Server, body string) (int, JobStatus, http.Header) {
+func postRun(t *testing.T, ts *httptest.Server, body string) (int, api.JobStatus, http.Header) {
 	t.Helper()
 	resp, err := http.Post(ts.URL+"/v1/run", "application/json", strings.NewReader(body))
 	if err != nil {
@@ -46,8 +46,8 @@ func postRun(t *testing.T, ts *httptest.Server, body string) (int, JobStatus, ht
 	}
 	defer resp.Body.Close()
 	raw, _ := io.ReadAll(resp.Body)
-	var st JobStatus
-	// Error responses carry the error envelope, not a JobStatus; tests
+	var st api.JobStatus
+	// Error responses carry the error envelope, not a api.JobStatus; tests
 	// that care about the envelope decode it themselves.
 	if resp.StatusCode < 400 || resp.StatusCode == http.StatusGatewayTimeout ||
 		resp.StatusCode == http.StatusInternalServerError {
@@ -73,7 +73,7 @@ func TestEndToEndMatchesRun(t *testing.T) {
 	if code != http.StatusOK {
 		t.Fatalf("POST = %d, want 200 (%+v)", code, st)
 	}
-	if st.State != JobDone || st.Result == nil {
+	if st.State != api.JobDone || st.Result == nil {
 		t.Fatalf("state = %s, result nil = %v", st.State, st.Result == nil)
 	}
 
@@ -148,7 +148,7 @@ func TestReplicatedRun(t *testing.T) {
 	})
 	body := `{"kind":"d2m-ns","benchmark":"tpc-c","nodes":2,"replicates":4}`
 	code, st, _ := postRun(t, ts, body)
-	if code != http.StatusOK || st.State != JobDone {
+	if code != http.StatusOK || st.State != api.JobDone {
 		t.Fatalf("POST = %d state %s", code, st.State)
 	}
 	if st.Replicated == nil || st.Replicated.N != 4 {
@@ -210,7 +210,7 @@ func TestCoalescing(t *testing.T) {
 	body := `{"kind":"d2m-ns","benchmark":"tpc-c","nodes":2}`
 	var wg sync.WaitGroup
 	codes := make([]int, clients)
-	results := make([]JobStatus, clients)
+	results := make([]api.JobStatus, clients)
 	for i := 0; i < clients; i++ {
 		wg.Add(1)
 		go func(i int) {
@@ -302,7 +302,7 @@ func TestDeadlineCancelFreesWorker(t *testing.T) {
 		},
 	})
 	code, st, _ := postRun(t, ts, `{"kind":"base-3l","benchmark":"tpc-c","seed":1,"timeout_ms":1}`)
-	if code != http.StatusGatewayTimeout || st.State != JobCanceled {
+	if code != http.StatusGatewayTimeout || st.State != api.JobCanceled {
 		t.Fatalf("doomed job: code %d state %s, want 504/canceled", code, st.State)
 	}
 	if got := s.Metrics().JobsCanceled.Load(); got != 1 {
@@ -310,7 +310,7 @@ func TestDeadlineCancelFreesWorker(t *testing.T) {
 	}
 	// The worker must be free again: a normal job completes.
 	code, st, _ = postRun(t, ts, `{"kind":"base-3l","benchmark":"tpc-c","seed":2}`)
-	if code != http.StatusOK || st.State != JobDone {
+	if code != http.StatusOK || st.State != api.JobDone {
 		t.Fatalf("follow-up job: code %d state %s, want 200/done", code, st.State)
 	}
 }
@@ -426,10 +426,10 @@ func TestAsyncJobLifecycle(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		var cur JobStatus
+		var cur api.JobStatus
 		json.NewDecoder(resp.Body).Decode(&cur)
 		resp.Body.Close()
-		if cur.State == JobDone {
+		if cur.State == api.JobDone {
 			if cur.Result == nil {
 				t.Fatal("done job has no result")
 			}
@@ -456,21 +456,21 @@ func TestRequestValidation(t *testing.T) {
 	})
 	cases := []struct {
 		name, body string
-		code       ErrCode
+		code       api.ErrCode
 	}{
-		{"malformed json", `{"kind":`, ErrInvalidRequest},
-		{"unknown field", `{"kind":"d2m-fs","benchmark":"tpc-c","bogus":1}`, ErrInvalidRequest},
-		{"unknown kind", `{"kind":"d2m-xl","benchmark":"tpc-c"}`, ErrInvalidRequest},
-		{"unknown benchmark", `{"kind":"d2m-fs","benchmark":"nonesuch"}`, ErrUnknownBenchmark},
-		{"unknown topology", `{"kind":"d2m-fs","benchmark":"tpc-c","topology":"hypercube"}`, ErrInvalidRequest},
-		{"unknown placement", `{"kind":"d2m-ns","benchmark":"tpc-c","placement":"random"}`, ErrInvalidRequest},
-		{"nodes out of range", `{"kind":"d2m-fs","benchmark":"tpc-c","nodes":9}`, ErrInvalidRequest},
-		{"removed mdscale alias", `{"kind":"d2m-fs","benchmark":"tpc-c","mdscale":3}`, ErrInvalidRequest},
-		{"bad md_scale", `{"kind":"d2m-fs","benchmark":"tpc-c","md_scale":3}`, ErrInvalidRequest},
-		{"mdscale next to md_scale", `{"kind":"d2m-fs","benchmark":"tpc-c","md_scale":2,"mdscale":4}`, ErrInvalidRequest},
-		{"negative measure", `{"kind":"d2m-fs","benchmark":"tpc-c","measure":-5}`, ErrInvalidRequest},
-		{"negative replicates", `{"kind":"d2m-fs","benchmark":"tpc-c","replicates":-1}`, ErrInvalidRequest},
-		{"excessive replicates", `{"kind":"d2m-fs","benchmark":"tpc-c","replicates":65}`, ErrInvalidRequest},
+		{"malformed json", `{"kind":`, api.ErrInvalidRequest},
+		{"unknown field", `{"kind":"d2m-fs","benchmark":"tpc-c","bogus":1}`, api.ErrInvalidRequest},
+		{"unknown kind", `{"kind":"d2m-xl","benchmark":"tpc-c"}`, api.ErrInvalidRequest},
+		{"unknown benchmark", `{"kind":"d2m-fs","benchmark":"nonesuch"}`, api.ErrUnknownBenchmark},
+		{"unknown topology", `{"kind":"d2m-fs","benchmark":"tpc-c","topology":"hypercube"}`, api.ErrInvalidRequest},
+		{"unknown placement", `{"kind":"d2m-ns","benchmark":"tpc-c","placement":"random"}`, api.ErrInvalidRequest},
+		{"nodes out of range", `{"kind":"d2m-fs","benchmark":"tpc-c","nodes":9}`, api.ErrInvalidRequest},
+		{"removed mdscale alias", `{"kind":"d2m-fs","benchmark":"tpc-c","mdscale":3}`, api.ErrInvalidRequest},
+		{"bad md_scale", `{"kind":"d2m-fs","benchmark":"tpc-c","md_scale":3}`, api.ErrInvalidRequest},
+		{"mdscale next to md_scale", `{"kind":"d2m-fs","benchmark":"tpc-c","md_scale":2,"mdscale":4}`, api.ErrInvalidRequest},
+		{"negative measure", `{"kind":"d2m-fs","benchmark":"tpc-c","measure":-5}`, api.ErrInvalidRequest},
+		{"negative replicates", `{"kind":"d2m-fs","benchmark":"tpc-c","replicates":-1}`, api.ErrInvalidRequest},
+		{"excessive replicates", `{"kind":"d2m-fs","benchmark":"tpc-c","replicates":65}`, api.ErrInvalidRequest},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -482,7 +482,7 @@ func TestRequestValidation(t *testing.T) {
 			if resp.StatusCode != http.StatusBadRequest {
 				t.Errorf("code %d, want 400", resp.StatusCode)
 			}
-			var eb ErrorBody
+			var eb api.ErrorBody
 			if err := json.NewDecoder(resp.Body).Decode(&eb); err != nil {
 				t.Fatal(err)
 			}
@@ -508,12 +508,12 @@ func TestErrorEnvelopeStatuses(t *testing.T) {
 	if resp.StatusCode != http.StatusNotFound {
 		t.Fatalf("code %d, want 404", resp.StatusCode)
 	}
-	var eb ErrorBody
+	var eb api.ErrorBody
 	if err := json.NewDecoder(resp.Body).Decode(&eb); err != nil {
 		t.Fatal(err)
 	}
-	if eb.Error.Code != ErrNotFound {
-		t.Errorf("error code %q, want %q", eb.Error.Code, ErrNotFound)
+	if eb.Error.Code != api.ErrNotFound {
+		t.Errorf("error code %q, want %q", eb.Error.Code, api.ErrNotFound)
 	}
 }
 
@@ -549,11 +549,11 @@ func TestRunRequestNewFields(t *testing.T) {
 	if resp.StatusCode != http.StatusBadRequest {
 		t.Errorf("legacy-spelling request = %d, want 400", resp.StatusCode)
 	}
-	var eb ErrorBody
+	var eb api.ErrorBody
 	if err := json.NewDecoder(resp.Body).Decode(&eb); err != nil {
 		t.Fatal(err)
 	}
-	if eb.Error.Code != ErrInvalidRequest || !strings.Contains(eb.Error.Message, "md_scale") {
+	if eb.Error.Code != api.ErrInvalidRequest || !strings.Contains(eb.Error.Message, "md_scale") {
 		t.Errorf("legacy-spelling error = %+v, want invalid_request naming md_scale", eb.Error)
 	}
 }
@@ -625,7 +625,7 @@ func TestJobsList(t *testing.T) {
 	}
 
 	failed := getList("?state=failed")
-	if len(failed.Jobs) != 1 || failed.Jobs[0].State != JobFailed {
+	if len(failed.Jobs) != 1 || failed.Jobs[0].State != api.JobFailed {
 		t.Fatalf("failed filter: %+v", failed.Jobs)
 	}
 
@@ -642,8 +642,8 @@ func TestJobsList(t *testing.T) {
 }
 
 // TestCapabilitiesEndpoint checks the catalogue response on the
-// canonical path, and that the retired /v1/benchmarks alias answers
-// with a targeted 404 pointing at it.
+// canonical path, and that the /v1/benchmarks alias — deprecated in
+// v1.2, stub dropped in v1.6 — is now an ordinary unrouted 404.
 func TestCapabilitiesEndpoint(t *testing.T) {
 	_, ts := newTestServer(t, Config{Workers: 1})
 
@@ -651,17 +651,9 @@ func TestCapabilitiesEndpoint(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	var envelope ErrorBody
-	err = json.NewDecoder(resp.Body).Decode(&envelope)
 	resp.Body.Close()
-	if err != nil {
-		t.Fatal(err)
-	}
-	if resp.StatusCode != http.StatusNotFound || envelope.Error.Code != ErrNotFound {
-		t.Errorf("GET /v1/benchmarks = %d/%q, want 404/not_found", resp.StatusCode, envelope.Error.Code)
-	}
-	if !strings.Contains(envelope.Error.Message, "/v1/capabilities") {
-		t.Errorf("removed-alias error %q does not point at /v1/capabilities", envelope.Error.Message)
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("GET /v1/benchmarks = %d, want plain 404 (stub removed in v1.6)", resp.StatusCode)
 	}
 
 	for _, path := range []string{"/v1/capabilities"} {
@@ -678,8 +670,8 @@ func TestCapabilitiesEndpoint(t *testing.T) {
 		if body.APIRevision != api.Revision {
 			t.Errorf("%s: api_revision %q, want %q", path, body.APIRevision, api.Revision)
 		}
-		if body.APIRevision != "v1.5" {
-			t.Errorf("%s: api_revision %q, want v1.5", path, body.APIRevision)
+		if body.APIRevision != "v1.6" {
+			t.Errorf("%s: api_revision %q, want v1.6", path, body.APIRevision)
 		}
 		wantEngines := []string{d2m.EngineScalar, d2m.EngineVector}
 		if !reflect.DeepEqual(body.Engines, wantEngines) {
@@ -706,8 +698,8 @@ func TestCapabilitiesEndpoint(t *testing.T) {
 		if len(body.Kernels) == 0 {
 			t.Errorf("%s: empty kernel list", path)
 		}
-		if body.MaxReplicates != MaxReplicates {
-			t.Errorf("%s: max_replicates = %d, want %d", path, body.MaxReplicates, MaxReplicates)
+		if body.MaxReplicates != api.MaxReplicates {
+			t.Errorf("%s: max_replicates = %d, want %d", path, body.MaxReplicates, api.MaxReplicates)
 		}
 	}
 }

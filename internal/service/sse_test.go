@@ -1,0 +1,286 @@
+package service
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"d2m/internal/api"
+)
+
+// Live result streaming tests (API v1.6): the SSE views of
+// GET /v1/jobs/{id} and GET /v1/sweeps/{id}, including Last-Event-ID
+// resume and the byte-identity of streamed cells with the polling
+// view.
+
+// sseEvent is one parsed frame.
+type sseEvent struct {
+	id    int
+	event string
+	data  []byte
+}
+
+// openSSE opens an event-stream GET; lastID < 1 omits Last-Event-ID.
+func openSSE(t *testing.T, url string, lastID int) *http.Response {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Accept", "text/event-stream")
+	if lastID >= 1 {
+		req.Header.Set("Last-Event-ID", strconv.Itoa(lastID))
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		raw, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		t.Fatalf("SSE GET %s = %d (%s)", url, resp.StatusCode, raw)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("SSE Content-Type = %q", ct)
+	}
+	return resp
+}
+
+// readEvents parses frames until max events, a terminal event name, or
+// EOF.
+func readEvents(t *testing.T, body io.Reader, max int, terminal string) []sseEvent {
+	t.Helper()
+	var (
+		out []sseEvent
+		ev  sseEvent
+	)
+	sc := bufio.NewScanner(body)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case line == "":
+			if ev.event != "" || len(ev.data) > 0 {
+				out = append(out, ev)
+				if len(out) >= max || ev.event == terminal {
+					return out
+				}
+			}
+			ev = sseEvent{}
+		case strings.HasPrefix(line, "id: "):
+			n, err := strconv.Atoi(line[len("id: "):])
+			if err != nil {
+				t.Fatalf("bad SSE id line %q", line)
+			}
+			ev.id = n
+		case strings.HasPrefix(line, "event: "):
+			ev.event = line[len("event: "):]
+		case strings.HasPrefix(line, "data: "):
+			ev.data = []byte(line[len("data: "):])
+		default:
+			t.Fatalf("unexpected SSE line %q", line)
+		}
+	}
+	return out
+}
+
+func TestJobSSE(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+
+	code, js, _ := postRun(t, ts, strings.TrimSuffix(tinyRun, "}")+`,"async":true}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit = %d", code)
+	}
+
+	resp := openSSE(t, ts.URL+"/v1/jobs/"+js.ID, 0)
+	defer resp.Body.Close()
+	events := readEvents(t, resp.Body, 4, "")
+	// The stream ends at the terminal event; how many intermediate
+	// states it caught depends on timing, but ids must be strictly
+	// increasing, every event is a "state", and the last is id 3, done.
+	if len(events) == 0 {
+		t.Fatal("no events")
+	}
+	prev := 0
+	for _, ev := range events {
+		if ev.event != "state" {
+			t.Errorf("event name = %q, want state", ev.event)
+		}
+		if ev.id <= prev {
+			t.Errorf("event ids not increasing: %d after %d", ev.id, prev)
+		}
+		prev = ev.id
+	}
+	last := events[len(events)-1]
+	if last.id != 3 {
+		t.Errorf("terminal event id = %d, want 3", last.id)
+	}
+	var st api.JobStatus
+	if err := json.Unmarshal(last.data, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.State != api.JobDone || st.ID != js.ID || st.Result == nil {
+		t.Errorf("terminal state = %s id=%s result?=%v", st.State, st.ID, st.Result != nil)
+	}
+
+	// Resuming past the terminal event replays only the terminal frame.
+	resp = openSSE(t, ts.URL+"/v1/jobs/"+js.ID, 2)
+	defer resp.Body.Close()
+	events = readEvents(t, resp.Body, 4, "")
+	if len(events) != 1 || events[0].id != 3 {
+		t.Fatalf("resume from id 2 = %+v, want the single terminal event", events)
+	}
+
+	// The streamed terminal status agrees with the polling view.
+	var polled api.JobStatus
+	_, raw, _ := doJSON(t, "GET", ts.URL+"/v1/jobs/"+js.ID, "", "")
+	if err := json.Unmarshal(raw, &polled); err != nil {
+		t.Fatal(err)
+	}
+	streamed, _ := json.Marshal(st)
+	repolled, _ := json.Marshal(polled)
+	if !bytes.Equal(streamed, repolled) {
+		t.Errorf("streamed terminal status diverges from polling:\n%s\n%s", streamed, repolled)
+	}
+}
+
+// TestSweepSSEReconnect drives one sweep through two SSE connections —
+// dropping the first mid-stream and resuming with Last-Event-ID — and
+// asserts the union of cell events covers every cell exactly once with
+// payloads byte-identical to the ?cells=1 polling view.
+func TestSweepSSEReconnect(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2})
+
+	code, st := postSweep(t, ts,
+		`{"kinds":["d2m-ns-r"],"benchmarks":["tpc-c"],"nodes":2,"warmup":200,"measure":500,
+		  "seeds":[1,2,3],"link_bandwidths":[0.001,0.002]}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("sweep = %d", code)
+	}
+	total := st.Total
+	if total != 6 {
+		t.Fatalf("total = %d, want 6", total)
+	}
+
+	type cellEvent struct {
+		Index int             `json:"index"`
+		Cell  json.RawMessage `json:"cell"`
+	}
+	cells := map[int]json.RawMessage{}
+	record := func(ev sseEvent) {
+		var ce cellEvent
+		if err := json.Unmarshal(ev.data, &ce); err != nil {
+			t.Fatalf("bad cell event %s: %v", ev.data, err)
+		}
+		if _, dup := cells[ce.Index]; dup {
+			t.Fatalf("cell %d streamed twice", ce.Index)
+		}
+		cells[ce.Index] = ce.Cell
+	}
+
+	// First connection: take two cell events, then drop the stream.
+	resp := openSSE(t, ts.URL+"/v1/sweeps/"+st.ID, 0)
+	first := readEvents(t, resp.Body, 2, "sweep")
+	resp.Body.Close()
+	lastID := 0
+	for _, ev := range first {
+		if ev.event != "cell" {
+			t.Fatalf("early terminal %q after %d events", ev.event, lastID)
+		}
+		record(ev)
+		lastID = ev.id
+	}
+
+	// Resume where the first connection left off; run to the terminal
+	// sweep event.
+	resp = openSSE(t, ts.URL+"/v1/sweeps/"+st.ID, lastID)
+	rest := readEvents(t, resp.Body, total+2, "sweep")
+	resp.Body.Close()
+	for _, ev := range rest {
+		if ev.id <= lastID {
+			t.Errorf("resumed event id %d <= Last-Event-ID %d", ev.id, lastID)
+		}
+		lastID = ev.id
+		if ev.event == "cell" {
+			record(ev)
+			continue
+		}
+		if ev.event != "sweep" || ev.id != total+1 {
+			t.Fatalf("terminal event = %q id %d, want sweep id %d", ev.event, ev.id, total+1)
+		}
+		var final SweepStatus
+		if err := json.Unmarshal(ev.data, &final); err != nil {
+			t.Fatal(err)
+		}
+		if final.State != SweepDone || final.Done != total || final.Summary == nil {
+			t.Errorf("terminal sweep = %s done=%d summary?=%v",
+				final.State, final.Done, final.Summary != nil)
+		}
+	}
+	if len(cells) != total {
+		t.Fatalf("streamed %d distinct cells, want %d", len(cells), total)
+	}
+
+	// Byte-identity with polling: every streamed cell payload equals
+	// the re-marshaled ?cells=1 entry for its index.
+	var polled SweepStatus
+	_, raw, _ := doJSON(t, "GET", ts.URL+"/v1/sweeps/"+st.ID+"?cells=1", "", "")
+	if err := json.Unmarshal(raw, &polled); err != nil {
+		t.Fatal(err)
+	}
+	if len(polled.Cells) != total {
+		t.Fatalf("polled %d cells", len(polled.Cells))
+	}
+	for i, cell := range polled.Cells {
+		want, _ := json.Marshal(cell)
+		if !bytes.Equal(cells[i], want) {
+			t.Errorf("cell %d streamed %s, polled %s", i, cells[i], want)
+		}
+	}
+}
+
+// TestSweepSSEResumeBeyondLog clamps an over-large Last-Event-ID: the
+// client skips straight to the terminal event instead of erroring.
+func TestSweepSSEResumeBeyondLog(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	code, st := postSweep(t, ts,
+		`{"kinds":["d2m-ns-r"],"benchmarks":["tpc-c"],"nodes":2,"warmup":200,"measure":500,"seeds":[7]}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("sweep = %d", code)
+	}
+	waitSweep(t, ts, st.ID, 30*time.Second)
+
+	resp := openSSE(t, ts.URL+"/v1/sweeps/"+st.ID, 100)
+	defer resp.Body.Close()
+	events := readEvents(t, resp.Body, 3, "sweep")
+	if len(events) != 1 || events[0].event != "sweep" {
+		t.Fatalf("resume beyond log = %+v, want the single terminal event", events)
+	}
+}
+
+// TestJobSSEFallback: a plain GET (no Accept header) still returns the
+// JSON document, so SSE support never breaks pre-v1.6 clients.
+func TestJobSSEFallback(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	code, js, _ := postRun(t, ts, tinyRun)
+	if code != http.StatusOK {
+		t.Fatalf("run = %d", code)
+	}
+	code, raw, hdr := doJSON(t, "GET", ts.URL+"/v1/jobs/"+js.ID, "", "")
+	if code != http.StatusOK || !strings.HasPrefix(hdr.Get("Content-Type"), "application/json") {
+		t.Fatalf("plain GET = %d %s", code, hdr.Get("Content-Type"))
+	}
+	var st api.JobStatus
+	if err := json.Unmarshal(raw, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.ID != js.ID {
+		t.Errorf("polled id = %s", st.ID)
+	}
+}

@@ -5,6 +5,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"sort"
+	"strconv"
 	"sync"
 	"time"
 
@@ -96,15 +98,15 @@ type SweepStatus struct {
 // SweepCellStatus is one grid point's settled (or pending) state in
 // the ?cells=1 view of GET /v1/sweeps/{id}.
 type SweepCellStatus struct {
-	State  JobState    `json:"state"`
-	Cached bool        `json:"cached,omitempty"`
-	Result *d2m.Result `json:"result,omitempty"`
-	Error  string      `json:"error,omitempty"`
+	State  api.JobState `json:"state"`
+	Cached bool         `json:"cached,omitempty"`
+	Result *d2m.Result  `json:"result,omitempty"`
+	Error  string       `json:"error,omitempty"`
 }
 
 // cellOutcome is one grid point's settled state.
 type cellOutcome struct {
-	state  JobState
+	state  api.JobState
 	cached bool
 	result *d2m.Result
 	err    error
@@ -114,6 +116,7 @@ type cellOutcome struct {
 // sweep is the server's internal record of one accepted sweep.
 type sweep struct {
 	id       string
+	tenant   string // admitting tenant; "" in single-tenant mode
 	baseline d2m.Kind
 	timeout  int64
 	reps     int    // canonical replicate count per cell; 0 = single run
@@ -137,6 +140,13 @@ type sweep struct {
 	created  time.Time
 	finished time.Time
 	summary  *SweepSummary
+	// events records cell indexes in settle order: the SSE event log.
+	// Event id k (1-based) is cell events[k-1], so a reconnecting
+	// client's Last-Event-ID maps straight to a replay offset. eventsCh
+	// is closed and replaced on every append — a broadcast that wakes
+	// all streamers without holding references to them.
+	events   []int
+	eventsCh chan struct{}
 }
 
 // settleCell records one cell's outcome exactly once.
@@ -144,7 +154,7 @@ func (sw *sweep) settleCell(i int, out cellOutcome, m *Metrics) {
 	sw.mu.Lock()
 	sw.outcome[i] = out
 	switch out.state {
-	case JobDone:
+	case api.JobDone:
 		sw.done++
 		m.SweepCellsDone.Add(1)
 		if out.cached {
@@ -154,13 +164,16 @@ func (sw *sweep) settleCell(i int, out cellOutcome, m *Metrics) {
 			sw.runSecs += out.runSec
 			sw.runCells++
 		}
-	case JobCanceled:
+	case api.JobCanceled:
 		sw.canceled++
 		m.SweepCellsCanceled.Add(1)
 	default:
 		sw.failed++
 		m.SweepCellsFailed.Add(1)
 	}
+	sw.events = append(sw.events, i)
+	close(sw.eventsCh)
+	sw.eventsCh = make(chan struct{})
 	sw.mu.Unlock()
 }
 
@@ -202,7 +215,7 @@ func ExpandSweep(req SweepRequest) ([]d2m.SweepCell, d2m.Kind, int, string, erro
 	// Unknown benchmarks carry their own code, matching POST /v1/run.
 	for _, b := range req.Benchmarks {
 		if _, ok := d2m.SuiteOf(b); !ok {
-			return nil, 0, 0, "", apiErrorf(ErrUnknownBenchmark,
+			return nil, 0, 0, "", api.Errorf(api.ErrUnknownBenchmark,
 				"d2m: unknown benchmark %q (see GET /v1/capabilities)", b)
 		}
 	}
@@ -230,17 +243,24 @@ func (s *Server) handleSweepCreate(w http.ResponseWriter, r *http.Request) {
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
-		writeError(w, apiErrorf(ErrInvalidRequest, "bad request body: %v", err))
+		api.WriteErr(w, api.Errorf(api.ErrInvalidRequest, "bad request body: %v", err))
 		return
 	}
 	cells, baseline, reps, engine, err := ExpandSweep(req)
 	if err != nil {
-		writeError(w, err)
+		api.WriteErr(w, err)
+		return
+	}
+	// The bucket is charged one token per cell, after validation: a
+	// sweep is a bulk submission of its whole grid.
+	tenant, ok := s.admitTenant(w, r, len(cells))
+	if !ok {
 		return
 	}
 
 	sw := &sweep{
 		id:       fmt.Sprintf("s%08d", s.nextSweepID.Add(1)),
+		tenant:   tenant,
 		baseline: baseline,
 		timeout:  req.TimeoutMS,
 		reps:     reps,
@@ -248,6 +268,7 @@ func (s *Server) handleSweepCreate(w http.ResponseWriter, r *http.Request) {
 		cells:    cells,
 		outcome:  make([]cellOutcome, len(cells)),
 		doneCh:   make(chan struct{}),
+		eventsCh: make(chan struct{}),
 		state:    SweepRunning,
 		created:  time.Now(),
 	}
@@ -255,7 +276,7 @@ func (s *Server) handleSweepCreate(w http.ResponseWriter, r *http.Request) {
 
 	if s.sched.Draining() {
 		sw.cancel()
-		writeError(w, errDraining)
+		api.WriteErr(w, errDraining)
 		return
 	}
 	s.mu.Lock()
@@ -274,30 +295,30 @@ func sweepCells(req SweepRequest) ([]d2m.SweepCell, error) {
 	if len(req.Cells) == 0 {
 		cells, err := req.SweepSpec.Expand()
 		if err != nil {
-			return nil, apiErrorf(ErrInvalidRequest, "%v", err)
+			return nil, api.Errorf(api.ErrInvalidRequest, "%v", err)
 		}
 		return cells, nil
 	}
 	if len(req.Kinds) > 0 || len(req.Benchmarks) > 0 {
-		return nil, apiErrorf(ErrInvalidRequest,
+		return nil, api.Errorf(api.ErrInvalidRequest,
 			"cells and grid axes (kinds, benchmarks) are mutually exclusive")
 	}
 	if len(req.Cells) > d2m.DefaultSweepCells {
-		return nil, apiErrorf(ErrInvalidRequest,
+		return nil, api.Errorf(api.ErrInvalidRequest,
 			"sweep lists %d cells, over the cap of %d", len(req.Cells), d2m.DefaultSweepCells)
 	}
 	cells := make([]d2m.SweepCell, len(req.Cells))
 	for i, c := range req.Cells {
 		if _, err := d2m.ParseKind(c.Kind.String()); err != nil {
-			return nil, apiErrorf(ErrInvalidRequest, "cells[%d]: %v", i, err)
+			return nil, api.Errorf(api.ErrInvalidRequest, "cells[%d]: %v", i, err)
 		}
 		if _, ok := d2m.SuiteOf(c.Benchmark); !ok {
-			return nil, apiErrorf(ErrUnknownBenchmark,
+			return nil, api.Errorf(api.ErrUnknownBenchmark,
 				"cells[%d]: d2m: unknown benchmark %q (see GET /v1/capabilities)", i, c.Benchmark)
 		}
 		c.Options = c.Options.WithDefaults()
 		if err := c.Options.Validate(); err != nil {
-			return nil, apiErrorf(ErrInvalidRequest, "cells[%d]: %v", i, err)
+			return nil, api.Errorf(api.ErrInvalidRequest, "cells[%d]: %v", i, err)
 		}
 		cells[i] = c
 	}
@@ -320,14 +341,14 @@ func resolveBaseline(name string, cells []d2m.SweepCell) (d2m.Kind, error) {
 	}
 	base, err := d2m.ParseKind(name)
 	if err != nil {
-		return 0, apiErrorf(ErrInvalidRequest, "%v", err)
+		return 0, api.Errorf(api.ErrInvalidRequest, "%v", err)
 	}
 	for _, c := range cells {
 		if c.Kind == base {
 			return base, nil
 		}
 	}
-	return 0, apiErrorf(ErrInvalidRequest,
+	return 0, api.Errorf(api.ErrInvalidRequest,
 		"baseline %q is not one of the sweep's kinds", name)
 }
 
@@ -336,15 +357,22 @@ func (s *Server) lookupSweep(w http.ResponseWriter, r *http.Request) *sweep {
 	sw, ok := s.sweeps[r.PathValue("id")]
 	s.mu.Unlock()
 	if !ok {
-		writeError(w, apiErrorf(ErrNotFound, "unknown sweep id %q", r.PathValue("id")))
+		api.WriteErr(w, api.Errorf(api.ErrNotFound, "unknown sweep id %q", r.PathValue("id")))
 		return nil
 	}
 	return sw
 }
 
 func (s *Server) handleSweepGet(w http.ResponseWriter, r *http.Request) {
+	if _, ok := s.authTenant(w, r); !ok {
+		return
+	}
 	sw := s.lookupSweep(w, r)
 	if sw == nil {
+		return
+	}
+	if api.AcceptsSSE(r) {
+		s.streamSweep(w, r, sw)
 		return
 	}
 	st := sw.status(s.cfg.Workers)
@@ -362,17 +390,106 @@ func (sw *sweep) cellStatuses() []SweepCellStatus {
 	sw.mu.Lock()
 	defer sw.mu.Unlock()
 	out := make([]SweepCellStatus, len(sw.outcome))
-	for i, oc := range sw.outcome {
-		cs := SweepCellStatus{State: oc.state, Cached: oc.cached, Result: oc.result}
-		if cs.State == "" {
-			cs.State = JobQueued
-		}
-		if oc.err != nil {
-			cs.Error = oc.err.Error()
-		}
-		out[i] = cs
+	for i := range sw.outcome {
+		out[i] = sw.cellStatusLocked(i)
 	}
 	return out
+}
+
+// cellStatus snapshots one cell — the payload of an SSE "cell" event,
+// rendered identically to its slot in the ?cells=1 view.
+func (sw *sweep) cellStatus(i int) SweepCellStatus {
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
+	return sw.cellStatusLocked(i)
+}
+
+func (sw *sweep) cellStatusLocked(i int) SweepCellStatus {
+	oc := sw.outcome[i]
+	cs := SweepCellStatus{State: oc.state, Cached: oc.cached, Result: oc.result}
+	if cs.State == "" {
+		cs.State = api.JobQueued
+	}
+	if oc.err != nil {
+		cs.Error = oc.err.Error()
+	}
+	return cs
+}
+
+// SweepList is the GET /v1/sweeps response: a newest-first page of
+// sweep statuses (without the per-cell view or summary) plus the
+// cursor for the next page, empty when this page is the last.
+type SweepList struct {
+	Sweeps     []SweepStatus `json:"sweeps"`
+	NextCursor string        `json:"next_cursor,omitempty"`
+}
+
+// handleSweeps lists known sweeps newest first, with ?state= filtering
+// and cursor pagination. Sweep ids are zero-padded monotonic counters,
+// so lexicographic order is creation order and the cursor is simply
+// the last id of the previous page: the next page starts strictly
+// below it. Retired sweeps fall out of the listing with the lookup
+// table.
+func (s *Server) handleSweeps(w http.ResponseWriter, r *http.Request) {
+	if _, ok := s.authTenant(w, r); !ok {
+		return
+	}
+	q := r.URL.Query()
+	var filter SweepState
+	switch st := q.Get("state"); st {
+	case "":
+	case string(SweepRunning), string(SweepDone), string(SweepCanceled):
+		filter = SweepState(st)
+	default:
+		api.WriteErr(w, api.Errorf(api.ErrInvalidRequest,
+			"unknown state %q: want running, done, or canceled", st))
+		return
+	}
+	limit := 50
+	if raw := q.Get("limit"); raw != "" {
+		n, err := strconv.Atoi(raw)
+		if err != nil || n < 1 {
+			api.WriteErr(w, api.Errorf(api.ErrInvalidRequest, "bad limit %q", raw))
+			return
+		}
+		limit = n
+		if limit > 500 {
+			limit = 500
+		}
+	}
+	cursor := q.Get("cursor")
+
+	s.mu.Lock()
+	ids := make([]string, 0, len(s.sweeps))
+	for id := range s.sweeps {
+		ids = append(ids, id)
+	}
+	s.mu.Unlock()
+	sort.Sort(sort.Reverse(sort.StringSlice(ids)))
+
+	list := SweepList{Sweeps: []SweepStatus{}}
+	for _, id := range ids {
+		if cursor != "" && id >= cursor {
+			continue
+		}
+		s.mu.Lock()
+		sw, ok := s.sweeps[id]
+		s.mu.Unlock()
+		if !ok {
+			continue // retired between snapshot and render
+		}
+		st := sw.status(s.cfg.Workers)
+		if filter != "" && st.State != filter {
+			continue
+		}
+		st.Summary = nil // the list view is a digest; GET the id for detail
+		if len(list.Sweeps) == limit {
+			list.NextCursor = list.Sweeps[limit-1].ID
+			break
+		}
+		list.Sweeps = append(list.Sweeps, st)
+	}
+	writeJSON(w, http.StatusOK, list)
 }
 
 // handleSweepDelete cancels a sweep: the feeder stops, every
@@ -380,6 +497,9 @@ func (sw *sweep) cellStatuses() []SweepCellStatus {
 // whose only waiter was this sweep), and the sweep settles as
 // canceled. Deleting a settled sweep is a no-op returning its status.
 func (s *Server) handleSweepDelete(w http.ResponseWriter, r *http.Request) {
+	if _, ok := s.authTenant(w, r); !ok {
+		return
+	}
 	sw := s.lookupSweep(w, r)
 	if sw == nil {
 		return
@@ -412,7 +532,7 @@ func (s *Server) runSweep(sw *sweep) {
 	}
 	for i := 0; i < len(sw.cells); {
 		if sw.ctx.Err() != nil {
-			sw.settleCell(i, cellOutcome{state: JobCanceled, err: sw.ctx.Err()}, s.metrics)
+			sw.settleCell(i, cellOutcome{state: api.JobCanceled, err: sw.ctx.Err()}, s.metrics)
 			i++
 			continue
 		}
@@ -434,6 +554,7 @@ func (s *Server) runSweep(sw *sweep) {
 				Replicates: sw.reps,
 				Engine:     sw.engine,
 				Priority:   sched.Bulk,
+				Tenant:     sw.tenant,
 				Timeout:    time.Duration(sw.timeout) * time.Millisecond,
 			}
 		}
@@ -442,7 +563,7 @@ func (s *Server) runSweep(sw *sweep) {
 			// Draining (or canceled mid-wait): abandon the remainder.
 			sw.cancel()
 			for k := i; k < end; k++ {
-				sw.settleCell(k, cellOutcome{state: JobCanceled, err: err}, s.metrics)
+				sw.settleCell(k, cellOutcome{state: api.JobCanceled, err: err}, s.metrics)
 			}
 			i = end
 			continue
@@ -450,7 +571,7 @@ func (s *Server) runSweep(sw *sweep) {
 		for k := range adms {
 			if adms[k].Cached {
 				r := adms[k].Result
-				sw.settleCell(i+k, cellOutcome{state: JobDone, cached: true, result: &r}, s.metrics)
+				sw.settleCell(i+k, cellOutcome{state: api.JobDone, cached: true, result: &r}, s.metrics)
 				continue
 			}
 			sw.wg.Add(1)
@@ -469,9 +590,9 @@ func (s *Server) collectCell(sw *sweep, i int, j *sched.Job) {
 	select {
 	case <-j.Done():
 		in := j.Info()
-		out := cellOutcome{state: JobState(in.State)}
+		out := cellOutcome{state: api.JobState(in.State)}
 		switch out.state {
-		case JobDone:
+		case api.JobDone:
 			out.result = in.Result
 			out.runSec = in.Finished.Sub(in.Started).Seconds()
 		default:
@@ -480,7 +601,7 @@ func (s *Server) collectCell(sw *sweep, i int, j *sched.Job) {
 		sw.settleCell(i, out, s.metrics)
 	case <-sw.ctx.Done():
 		s.sched.Release(j)
-		sw.settleCell(i, cellOutcome{state: JobCanceled, err: sw.ctx.Err()}, s.metrics)
+		sw.settleCell(i, cellOutcome{state: api.JobCanceled, err: sw.ctx.Err()}, s.metrics)
 	}
 }
 

@@ -3,6 +3,7 @@ package service
 import (
 	"bytes"
 	"context"
+	"d2m/internal/api"
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
@@ -106,7 +107,7 @@ func TestSweepEndToEndMatchesPerRun(t *testing.T) {
 	}
 	results := make([]*d2m.Result, len(cells))
 	for i, cell := range cells {
-		req := RunRequest{
+		req := api.RunRequest{
 			Kind: cell.Kind.String(), Benchmark: cell.Benchmark,
 			Nodes: cell.Options.Nodes, Warmup: cell.Options.Warmup, Measure: cell.Options.Measure,
 			Seed: cell.Options.Seed, MDScale: cell.Options.MDScale,
@@ -234,7 +235,7 @@ func TestSweepCancellationFreesWorkers(t *testing.T) {
 	// The worker must be free: an ordinary run (different kind, so the
 	// stub returns immediately) completes.
 	code2, jst, _ := postRun(t, ts, `{"kind":"d2m-fs","benchmark":"tpc-c"}`)
-	if code2 != http.StatusOK || jst.State != JobDone {
+	if code2 != http.StatusOK || jst.State != api.JobDone {
 		t.Fatalf("follow-up run after cancel: code %d state %s", code2, jst.State)
 	}
 
@@ -394,16 +395,16 @@ func TestSweepValidation(t *testing.T) {
 	})
 	cases := []struct {
 		name, body string
-		code       ErrCode
+		code       api.ErrCode
 	}{
-		{"no kinds", `{"kinds":[],"benchmarks":["tpc-c"]}`, ErrInvalidRequest},
-		{"no benchmarks", `{"kinds":["base-2l"],"benchmarks":[]}`, ErrInvalidRequest},
-		{"unknown kind", `{"kinds":["d2m-xl"],"benchmarks":["tpc-c"]}`, ErrInvalidRequest},
-		{"unknown benchmark", `{"kinds":["base-2l"],"benchmarks":["nonesuch"]}`, ErrUnknownBenchmark},
-		{"unknown field", `{"kinds":["base-2l"],"benchmarks":["tpc-c"],"bogus":1}`, ErrInvalidRequest},
-		{"baseline outside kinds", `{"kinds":["d2m-ns"],"benchmarks":["tpc-c"],"baseline":"base-2l"}`, ErrInvalidRequest},
-		{"over cell cap", `{"kinds":["base-2l","d2m-ns"],"benchmarks":["tpc-c"],"seeds":[1,2,3],"max_cells":4}`, ErrInvalidRequest},
-		{"bad option axis", `{"kinds":["base-2l"],"benchmarks":["tpc-c"],"md_scales":[3]}`, ErrInvalidRequest},
+		{"no kinds", `{"kinds":[],"benchmarks":["tpc-c"]}`, api.ErrInvalidRequest},
+		{"no benchmarks", `{"kinds":["base-2l"],"benchmarks":[]}`, api.ErrInvalidRequest},
+		{"unknown kind", `{"kinds":["d2m-xl"],"benchmarks":["tpc-c"]}`, api.ErrInvalidRequest},
+		{"unknown benchmark", `{"kinds":["base-2l"],"benchmarks":["nonesuch"]}`, api.ErrUnknownBenchmark},
+		{"unknown field", `{"kinds":["base-2l"],"benchmarks":["tpc-c"],"bogus":1}`, api.ErrInvalidRequest},
+		{"baseline outside kinds", `{"kinds":["d2m-ns"],"benchmarks":["tpc-c"],"baseline":"base-2l"}`, api.ErrInvalidRequest},
+		{"over cell cap", `{"kinds":["base-2l","d2m-ns"],"benchmarks":["tpc-c"],"seeds":[1,2,3],"max_cells":4}`, api.ErrInvalidRequest},
+		{"bad option axis", `{"kinds":["base-2l"],"benchmarks":["tpc-c"],"md_scales":[3]}`, api.ErrInvalidRequest},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -415,7 +416,7 @@ func TestSweepValidation(t *testing.T) {
 			if resp.StatusCode != http.StatusBadRequest {
 				t.Errorf("code %d, want 400", resp.StatusCode)
 			}
-			var eb ErrorBody
+			var eb api.ErrorBody
 			if err := json.NewDecoder(resp.Body).Decode(&eb); err != nil {
 				t.Fatal(err)
 			}
@@ -431,10 +432,10 @@ func TestSweepValidation(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		var eb ErrorBody
+		var eb api.ErrorBody
 		json.NewDecoder(resp.Body).Decode(&eb)
 		resp.Body.Close()
-		if resp.StatusCode != http.StatusNotFound || eb.Error.Code != ErrNotFound {
+		if resp.StatusCode != http.StatusNotFound || eb.Error.Code != api.ErrNotFound {
 			t.Errorf("%s unknown sweep: code %d envelope %q", method, resp.StatusCode, eb.Error.Code)
 		}
 	}
@@ -485,11 +486,11 @@ func TestSweepDrainingRefused(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer resp.Body.Close()
-	var eb ErrorBody
+	var eb api.ErrorBody
 	if err := json.NewDecoder(resp.Body).Decode(&eb); err != nil {
 		t.Fatal(err)
 	}
-	if resp.StatusCode != http.StatusServiceUnavailable || eb.Error.Code != ErrDraining {
+	if resp.StatusCode != http.StatusServiceUnavailable || eb.Error.Code != api.ErrDraining {
 		t.Errorf("draining sweep POST: code %d envelope %q", resp.StatusCode, eb.Error.Code)
 	}
 }

@@ -1,0 +1,381 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"d2m/internal/api"
+)
+
+// Multi-tenant admission tests (API v1.6): API-key auth, the
+// per-tenant token bucket, the zero-share kill switch, and the
+// capability advert.
+
+func intp(n int) *int { return &n }
+
+// tenantConfig is the three-tenant fixture most tests share.
+func tenantConfig() []TenantSpec {
+	return []TenantSpec{
+		{Name: "alice", Key: "key-a", Rate: 5, Burst: 4, Share: intp(4)},
+		{Name: "bob", Key: "key-b"}, // unlimited rate, default share 1
+		{Name: "muted", Key: "key-m", Share: intp(0)},
+	}
+}
+
+// doJSON issues a request with an optional API key and decodes the
+// error envelope when the status is an error.
+func doJSON(t *testing.T, method, url, key, body string) (int, []byte, http.Header) {
+	t.Helper()
+	var rd io.Reader
+	if body != "" {
+		rd = strings.NewReader(body)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if body != "" {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	if key != "" {
+		req.Header.Set("X-API-Key", key)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	return resp.StatusCode, raw, resp.Header
+}
+
+func errEnvelope(t *testing.T, raw []byte) api.ErrorInfo {
+	t.Helper()
+	var eb api.ErrorBody
+	if err := json.Unmarshal(raw, &eb); err != nil {
+		t.Fatalf("decode error envelope %q: %v", raw, err)
+	}
+	return eb.Error
+}
+
+const tinyRun = `{"kind":"d2m-ns-r","benchmark":"tpc-c","nodes":2,"warmup":200,"measure":500}`
+
+func TestTenantAuthRequired(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1, Tenants: tenantConfig()})
+
+	// No key: 401 on every job endpoint, submit or read.
+	for _, probe := range []struct{ method, path, body string }{
+		{"POST", "/v1/run", tinyRun},
+		{"POST", "/v1/batch", `{"runs":[` + tinyRun + `]}`},
+		{"POST", "/v1/sweeps", `{"kinds":["d2m-ns-r"],"benchmarks":["tpc-c"],"nodes":2,"warmup":200,"measure":500}`},
+		{"GET", "/v1/jobs", ""},
+		{"GET", "/v1/jobs/j00000001", ""},
+		{"GET", "/v1/sweeps", ""},
+		{"GET", "/v1/sweeps/s00000001", ""},
+		{"DELETE", "/v1/jobs/j00000001", ""},
+		{"DELETE", "/v1/sweeps/s00000001", ""},
+	} {
+		code, raw, _ := doJSON(t, probe.method, ts.URL+probe.path, "", probe.body)
+		if code != http.StatusUnauthorized {
+			t.Errorf("%s %s without key = %d, want 401", probe.method, probe.path, code)
+			continue
+		}
+		if ei := errEnvelope(t, raw); ei.Code != api.ErrUnauthorized {
+			t.Errorf("%s %s error code = %q, want %q", probe.method, probe.path, ei.Code, api.ErrUnauthorized)
+		}
+	}
+
+	// Unknown key: also 401.
+	code, raw, _ := doJSON(t, "POST", ts.URL+"/v1/run", "no-such-key", tinyRun)
+	if code != http.StatusUnauthorized {
+		t.Fatalf("unknown key = %d, want 401", code)
+	}
+	if ei := errEnvelope(t, raw); ei.Code != api.ErrUnauthorized {
+		t.Fatalf("unknown key error code = %q", ei.Code)
+	}
+
+	// A valid key runs normally.
+	code, raw, _ = doJSON(t, "POST", ts.URL+"/v1/run", "key-b", tinyRun)
+	if code != http.StatusOK {
+		t.Fatalf("valid key = %d (%s), want 200", code, raw)
+	}
+
+	// Health, readiness, capabilities, and metrics stay open: probes
+	// and dashboards carry no tenant identity.
+	for _, path := range []string{"/healthz", "/readyz", "/v1/capabilities", "/metrics"} {
+		if code, _, _ := doJSON(t, "GET", ts.URL+path, "", ""); code != http.StatusOK {
+			t.Errorf("GET %s without key = %d, want 200", path, code)
+		}
+	}
+}
+
+func TestTenantTokenBucket(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1, Tenants: tenantConfig()})
+
+	// alice has burst 4: four immediate async submissions pass, the
+	// fifth is 429 rate_limited with the machine-readable envelope.
+	async := strings.TrimSuffix(tinyRun, "}") + `,"async":true,"seed":%d}`
+	for i := 0; i < 4; i++ {
+		code, raw, _ := doJSON(t, "POST", ts.URL+"/v1/run", "key-a", fmt.Sprintf(async, i+1))
+		if code != http.StatusAccepted {
+			t.Fatalf("burst submission %d = %d (%s), want 202", i, code, raw)
+		}
+	}
+	code, raw, hdr := doJSON(t, "POST", ts.URL+"/v1/run", "key-a", fmt.Sprintf(async, 99))
+	if code != http.StatusTooManyRequests {
+		t.Fatalf("burst exhaustion = %d (%s), want 429", code, raw)
+	}
+	ei := errEnvelope(t, raw)
+	if ei.Code != api.ErrRateLimited {
+		t.Errorf("code = %q, want %q (distinct from %q)", ei.Code, api.ErrRateLimited, api.ErrOverloaded)
+	}
+	if ei.Tenant != "alice" {
+		t.Errorf("tenant = %q, want alice", ei.Tenant)
+	}
+	if ei.Limit != 5 {
+		t.Errorf("limit = %g, want 5", ei.Limit)
+	}
+	if ei.RetryAfterMS < 1 {
+		t.Errorf("retry_after_ms = %d, want >= 1", ei.RetryAfterMS)
+	}
+	if hdr.Get("Retry-After") == "" {
+		t.Error("Retry-After header missing on rate_limited 429")
+	}
+
+	// bob is unlimited and unaffected by alice's empty bucket.
+	if code, raw, _ := doJSON(t, "POST", ts.URL+"/v1/run", "key-b", tinyRun); code != http.StatusOK {
+		t.Fatalf("bob after alice's 429 = %d (%s), want 200", code, raw)
+	}
+
+	// At 5/s the bucket refills a token every 200ms and alice recovers.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		code, _, _ := doJSON(t, "POST", ts.URL+"/v1/run", "key-a", fmt.Sprintf(async, 100))
+		if code == http.StatusAccepted {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("alice's bucket never refilled")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestTenantBatchAndSweepChargePerSubmission(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1, Tenants: []TenantSpec{
+		{Name: "alice", Key: "key-a", Rate: 0.001, Burst: 4},
+	}})
+
+	// A 5-run batch costs 5 tokens against a burst of 4: rejected
+	// whole, nothing admitted, and the bucket is not charged (the next
+	// 4-cell sweep still fits).
+	runs := make([]string, 5)
+	for i := range runs {
+		runs[i] = strings.TrimSuffix(tinyRun, "}") + fmt.Sprintf(`,"seed":%d}`, i+1)
+	}
+	code, raw, _ := doJSON(t, "POST", ts.URL+"/v1/batch", "key-a",
+		`{"runs":[`+strings.Join(runs, ",")+`]}`)
+	if code != http.StatusTooManyRequests {
+		t.Fatalf("5-run batch on burst 4 = %d (%s), want 429", code, raw)
+	}
+	if ei := errEnvelope(t, raw); ei.Code != api.ErrRateLimited {
+		t.Fatalf("batch rejection code = %q, want rate_limited", ei.Code)
+	}
+
+	// A 4-cell sweep costs exactly the burst and is accepted.
+	code, raw, _ = doJSON(t, "POST", ts.URL+"/v1/sweeps", "key-a",
+		`{"kinds":["d2m-ns-r"],"benchmarks":["tpc-c"],"nodes":2,"warmup":200,"measure":500,
+		  "link_bandwidths":[0.001,0.002,0.003,0.004]}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("4-cell sweep = %d (%s), want 202", code, raw)
+	}
+
+	// The bucket is now empty (refill is negligible at 0.001/s): even
+	// one run is rejected.
+	code, raw, _ = doJSON(t, "POST", ts.URL+"/v1/run", "key-a", tinyRun)
+	if code != http.StatusTooManyRequests {
+		t.Fatalf("run after sweep drained bucket = %d (%s), want 429", code, raw)
+	}
+}
+
+func TestZeroShareTenant(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1, Tenants: tenantConfig()})
+
+	// Seed a job as bob so the muted tenant has something to read.
+	code, raw, _ := doJSON(t, "POST", ts.URL+"/v1/run", "key-b",
+		strings.TrimSuffix(tinyRun, "}")+`,"async":true}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("seed job = %d (%s)", code, raw)
+	}
+	var js api.JobStatus
+	if err := json.Unmarshal(raw, &js); err != nil {
+		t.Fatal(err)
+	}
+
+	// Every submission is 429 rate_limited — no retry hint, this is
+	// not a transient state.
+	code, raw, hdr := doJSON(t, "POST", ts.URL+"/v1/run", "key-m", tinyRun)
+	if code != http.StatusTooManyRequests {
+		t.Fatalf("zero-share submission = %d (%s), want 429", code, raw)
+	}
+	ei := errEnvelope(t, raw)
+	if ei.Code != api.ErrRateLimited || ei.Tenant != "muted" {
+		t.Errorf("envelope = %+v, want rate_limited for muted", ei)
+	}
+	if ei.RetryAfterMS != 0 || hdr.Get("Retry-After") != "" {
+		t.Error("zero-share rejection should carry no retry hint")
+	}
+
+	// Reads keep working: the kill switch disables submission only.
+	if code, _, _ := doJSON(t, "GET", ts.URL+"/v1/jobs/"+js.ID, "key-m", ""); code != http.StatusOK {
+		t.Errorf("zero-share read = %d, want 200", code)
+	}
+
+	// And the scheduler never saw a muted submission to weigh.
+	if got := s.tenantShare("muted"); got != 0 {
+		t.Errorf("tenantShare(muted) = %d, want 0", got)
+	}
+}
+
+func TestTenancyCapabilities(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1, Tenants: tenantConfig()})
+
+	var caps api.Capabilities
+	_, raw, _ := doJSON(t, "GET", ts.URL+"/v1/capabilities", "key-a", "")
+	if err := json.Unmarshal(raw, &caps); err != nil {
+		t.Fatal(err)
+	}
+	if !caps.SSE || !caps.SweepsList {
+		t.Errorf("caps advertise sse=%v sweeps_list=%v, want both true", caps.SSE, caps.SweepsList)
+	}
+	if caps.Tenancy == nil || !caps.Tenancy.Enabled {
+		t.Fatalf("tenancy caps = %+v, want enabled", caps.Tenancy)
+	}
+	if caps.Tenancy.Tenant != "alice" || caps.Tenancy.Rate != 5 ||
+		caps.Tenancy.Burst != 4 || caps.Tenancy.Share != 4 {
+		t.Errorf("alice's own limits = %+v", caps.Tenancy)
+	}
+
+	// Without a key the advert shows enabled but no identity.
+	_, raw, _ = doJSON(t, "GET", ts.URL+"/v1/capabilities", "", "")
+	caps = api.Capabilities{}
+	if err := json.Unmarshal(raw, &caps); err != nil {
+		t.Fatal(err)
+	}
+	if caps.Tenancy == nil || !caps.Tenancy.Enabled || caps.Tenancy.Tenant != "" {
+		t.Errorf("anonymous tenancy caps = %+v", caps.Tenancy)
+	}
+
+	// A single-tenant server advertises no tenancy at all.
+	_, ts2 := newTestServer(t, Config{Workers: 1})
+	_, raw, _ = doJSON(t, "GET", ts2.URL+"/v1/capabilities", "", "")
+	caps = api.Capabilities{}
+	if err := json.Unmarshal(raw, &caps); err != nil {
+		t.Fatal(err)
+	}
+	if caps.Tenancy != nil {
+		t.Errorf("single-tenant tenancy caps = %+v, want absent", caps.Tenancy)
+	}
+}
+
+func TestLoadTenantsValidation(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		specs []TenantSpec
+		want  string
+	}{
+		{"missing name", []TenantSpec{{Key: "k"}}, "name is required"},
+		{"missing key", []TenantSpec{{Name: "a"}}, "key is required"},
+		{"dup name", []TenantSpec{{Name: "a", Key: "k1"}, {Name: "a", Key: "k2"}}, "duplicate name"},
+		{"dup key", []TenantSpec{{Name: "a", Key: "k"}, {Name: "b", Key: "k"}}, "key already assigned"},
+		{"negative share", []TenantSpec{{Name: "a", Key: "k", Share: intp(-1)}}, "negative"},
+	} {
+		if _, err := newTenantRegistry(tc.specs); err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want containing %q", tc.name, err, tc.want)
+		}
+	}
+
+	// Burst defaults to ceil(rate), floored at 1.
+	reg, err := newTenantRegistry([]TenantSpec{
+		{Name: "a", Key: "ka", Rate: 2.5},
+		{Name: "b", Key: "kb", Rate: 0.1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.byName["a"].spec.Burst; got != 3 {
+		t.Errorf("burst for rate 2.5 = %d, want 3", got)
+	}
+	if got := reg.byName["b"].spec.Burst; got != 1 {
+		t.Errorf("burst for rate 0.1 = %d, want 1", got)
+	}
+}
+
+func TestSweepsListPagination(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2})
+
+	// Three one-cell sweeps, settled in order.
+	var ids []string
+	for i := 0; i < 3; i++ {
+		code, st := postSweep(t, ts, fmt.Sprintf(
+			`{"kinds":["d2m-ns-r"],"benchmarks":["tpc-c"],"nodes":2,"warmup":200,"measure":500,"seeds":[%d]}`, i+1))
+		if code != http.StatusAccepted {
+			t.Fatalf("sweep %d = %d", i, code)
+		}
+		waitSweep(t, ts, st.ID, 30*time.Second)
+		ids = append(ids, st.ID)
+	}
+
+	get := func(query string) SweepList {
+		t.Helper()
+		code, raw, _ := doJSON(t, "GET", ts.URL+"/v1/sweeps"+query, "", "")
+		if code != http.StatusOK {
+			t.Fatalf("GET /v1/sweeps%s = %d (%s)", query, code, raw)
+		}
+		var list SweepList
+		if err := json.Unmarshal(raw, &list); err != nil {
+			t.Fatal(err)
+		}
+		return list
+	}
+
+	// Newest first, no cursor on a complete page.
+	list := get("")
+	if len(list.Sweeps) != 3 || list.NextCursor != "" {
+		t.Fatalf("full list = %d sweeps, cursor %q", len(list.Sweeps), list.NextCursor)
+	}
+	for i, st := range list.Sweeps {
+		if want := ids[len(ids)-1-i]; st.ID != want {
+			t.Errorf("list[%d] = %s, want %s", i, st.ID, want)
+		}
+		if st.Summary != nil || st.Cells != nil {
+			t.Errorf("list[%d] carries summary/cells; the list view is a digest", i)
+		}
+	}
+
+	// Pagination: limit 2 pages then cursor walks the rest.
+	page := get("?limit=2")
+	if len(page.Sweeps) != 2 || page.NextCursor != ids[1] {
+		t.Fatalf("page 1 = %d sweeps, cursor %q (want %q)", len(page.Sweeps), page.NextCursor, ids[1])
+	}
+	rest := get("?limit=2&cursor=" + page.NextCursor)
+	if len(rest.Sweeps) != 1 || rest.Sweeps[0].ID != ids[0] || rest.NextCursor != "" {
+		t.Fatalf("page 2 = %+v", rest)
+	}
+
+	// State filter.
+	if done := get("?state=done"); len(done.Sweeps) != 3 {
+		t.Errorf("state=done = %d sweeps, want 3", len(done.Sweeps))
+	}
+	if running := get("?state=running"); len(running.Sweeps) != 0 {
+		t.Errorf("state=running = %d sweeps, want 0", len(running.Sweeps))
+	}
+	if code, _, _ := doJSON(t, "GET", ts.URL+"/v1/sweeps?state=bogus", "", ""); code != http.StatusBadRequest {
+		t.Errorf("state=bogus = %d, want 400", code)
+	}
+}
