@@ -25,6 +25,9 @@
 //	GET    /v1/sweeps      list sweeps newest first (?state=, ?limit=, ?cursor=)
 //	GET    /v1/sweeps/{id} sweep progress (done/failed/total, ETA) and, once done, the aggregate
 //	DELETE /v1/sweeps/{id} cancel a sweep's outstanding cells
+//	POST   /v1/traces      ingest a binary (or text/csv) access trace; runs as benchmark "trace:<id>"
+//	GET    /v1/traces      list ingested traces
+//	GET    /v1/traces/{id} one trace's metadata (append /raw for the stored binary)
 //	GET    /v1/capabilities catalogue of benchmarks, kinds, topologies, placements, kernels
 //	GET    /healthz        liveness (always 200; reports draining)
 //	GET    /readyz         readiness (503 while draining or replaying the store)
@@ -39,6 +42,14 @@
 // With -store, completed simulations are journaled to an append-only
 // JSONL file and replayed into the result cache at startup, so a
 // restarted server resumes sweeps instead of recomputing them.
+//
+// With -trace-dir, the server ingests access traces: POST /v1/traces
+// validates the upload (torn or corrupt files are rejected), stores it
+// content-addressed under the directory, and the returned id runs as
+// benchmark "trace:<id>" on every job and sweep endpoint. Replay
+// streams the file in fixed-size chunks, so multi-gigabyte traces run
+// with bounded memory. In cluster mode the gateway fans uploads out to
+// every shard (ids are content-derived, so the fleet converges).
 //
 // With -tenants, the server is multi-tenant: the flag names a JSON
 // file listing API-key tenants (name, key, rate, burst, share), every
@@ -109,6 +120,7 @@ func main() {
 		timeout      = flag.Duration("timeout", 2*time.Minute, "default per-job deadline (0 = none)")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown budget")
 		storePath    = flag.String("store", "", "persistent result store (append-only JSONL journal; empty = in-memory only)")
+		traceDir     = flag.String("trace-dir", "", "trace library directory: uploaded traces become trace:<id> benchmarks (empty = ingestion disabled)")
 		snapshotMem  = flag.Int64("snapshot-mem", 256, "warm-snapshot cache budget in MiB (0 = disabled)")
 		maxLanes     = flag.Int("max-lanes", 0, "vector lane-group width cap (0 = default, 1 = scalar only)")
 		debugAddr    = flag.String("debug-addr", "", "serve net/http/pprof and expvar on this address (empty = disabled)")
@@ -165,6 +177,7 @@ func main() {
 		CacheEntries:     *cacheEntries,
 		DefaultTimeout:   *timeout,
 		StorePath:        *storePath,
+		TraceDir:         *traceDir,
 		SnapshotMemBytes: snapshotBytes,
 		MaxLanes:         *maxLanes,
 		ShardName:        *shardName,

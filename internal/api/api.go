@@ -20,7 +20,7 @@ import (
 // Revision is the wire API revision served by shards and gateway alike,
 // reported by GET /v1/capabilities. Gateways refuse to route to shards
 // whose revision differs.
-const Revision = "v1.6"
+const Revision = "v1.7"
 
 // Engine names accepted by the "engine" request hint. EngineAuto (or
 // an empty string) lets the scheduler choose; the scalar and vector
@@ -242,6 +242,9 @@ type Capabilities struct {
 	// Tenancy describes multi-tenant admission; omitted when the server
 	// runs open (no -tenants file). API v1.6.
 	Tenancy *TenancyCaps `json:"tenancy,omitempty"`
+	// Traces reports the trace-ingestion endpoints (POST/GET /v1/traces):
+	// uploaded access traces become "trace:<id>" benchmarks. API v1.7.
+	Traces bool `json:"traces"`
 }
 
 // TenancyCaps advertises a multi-tenant server's admission contract

@@ -56,8 +56,13 @@ func (t *Table) Index(set, way int) int { return set*t.ways + way }
 // recency; callers decide whether an operation constitutes a use.
 func (t *Table) Lookup(set int, key uint64) (way int, ok bool) {
 	base := set * t.ways
-	for w := 0; w < t.ways; w++ {
-		if t.valid[base+w] && t.keys[base+w] == key {
+	// Reslicing once hoists the bounds checks out of the probe loop —
+	// this is the single hottest loop under the protocol engine (every
+	// MD1/MD2/tag/directory probe lands here).
+	keys := t.keys[base : base+t.ways]
+	valid := t.valid[base : base+t.ways]
+	for w := range keys {
+		if keys[w] == key && valid[w] {
 			return w, true
 		}
 	}
@@ -69,6 +74,22 @@ func (t *Table) Touch(set, way int) {
 	t.clock++
 	t.stamp[set*t.ways+way] = t.clock
 }
+
+// TouchSlot is Touch addressed by flat slot index (Index(set, way)),
+// for callers that already computed the index for their own payloads.
+func (t *Table) TouchSlot(i int) {
+	t.clock++
+	t.stamp[i] = t.clock
+}
+
+// StampAt returns the LRU stamp of flat slot index i (0 for invalid
+// slots; larger = more recently used). Callers use it to compare
+// recency between slots without keeping a parallel stamp array.
+func (t *Table) StampAt(i int) uint64 { return t.stamp[i] }
+
+// SlotKey is KeyAt addressed by flat slot index, for callers that
+// memoized the index.
+func (t *Table) SlotKey(i int) (uint64, bool) { return t.keys[i], t.valid[i] }
 
 // KeyAt returns the key stored at (set, way) and whether the slot is
 // valid.

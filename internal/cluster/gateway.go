@@ -98,6 +98,7 @@ type gatewayMetrics struct {
 	Failovers        atomic.Uint64 // forwards that left the ring owner for a successor
 	StoreLoaded      atomic.Uint64 // journal records merged at startup
 	CellsRemapped    atomic.Uint64 // sweep cells remapped off a lost or draining shard
+	TracesForwarded  atomic.Uint64 // trace uploads fanned out to the fleet
 }
 
 // New builds the gateway, merges the configured shard journals into
@@ -166,6 +167,10 @@ func New(cfg Config) (*Gateway, error) {
 	g.mux.HandleFunc("GET /v1/sweeps", g.handleSweeps)
 	g.mux.HandleFunc("GET /v1/sweeps/{id}", g.handleSweepGet)
 	g.mux.HandleFunc("DELETE /v1/sweeps/{id}", g.handleSweepDelete)
+	g.mux.HandleFunc("POST /v1/traces", g.handleTraceUpload)
+	g.mux.HandleFunc("GET /v1/traces", g.handleTraceList)
+	g.mux.HandleFunc("GET /v1/traces/{id}", g.handleTraceGet)
+	g.mux.HandleFunc("GET /v1/traces/{id}/raw", g.handleTraceRaw)
 	g.mux.HandleFunc("GET /v1/capabilities", g.handleCapabilities)
 	g.mux.HandleFunc("GET /healthz", g.handleHealthz)
 	g.mux.HandleFunc("GET /readyz", g.handleReadyz)
@@ -517,6 +522,7 @@ func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	counter("d2m_gateway_failovers_total", "Forwards that left the ring owner for a successor.", g.metrics.Failovers.Load())
 	counter("d2m_gateway_store_loaded_total", "Journal records merged at startup.", g.metrics.StoreLoaded.Load())
 	counter("d2m_gateway_cells_remapped_total", "Sweep cells remapped off a lost or draining shard.", g.metrics.CellsRemapped.Load())
+	counter("d2m_gateway_traces_forwarded_total", "Trace uploads fanned out to the fleet.", g.metrics.TracesForwarded.Load())
 	fmt.Fprintf(w, "# HELP d2m_gateway_peer_up Peer readiness by shard (1 up, 0 not).\n# TYPE d2m_gateway_peer_up gauge\n")
 	for _, entry := range g.peers.snapshot() {
 		v := 0

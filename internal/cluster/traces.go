@@ -1,0 +1,119 @@
+package cluster
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+
+	"d2m/internal/api"
+)
+
+// Trace ingestion across the fleet (API v1.7). Trace ids are
+// content-derived and shard stores are idempotent, so the gateway can
+// fan one upload out to EVERY shard without coordination: each shard
+// validates and stores the same bytes under the same id, and any shard
+// the ring later routes a "trace:<id>" run to can replay it locally.
+// Reads (list/get/raw) relay from the first reachable shard, since a
+// fanned-out library is identical fleet-wide.
+
+// maxTraceBodyBytes mirrors the shard-side upload bound.
+const maxTraceBodyBytes = 1 << 30
+
+// handleTraceUpload is POST /v1/traces: buffer the upload once, then
+// ingest it on every live shard. All shards must accept — a partial
+// fan-out would leave "trace:<id>" runnable on some of the ring only —
+// so any rejection or unreachable shard fails the upload (retry is
+// safe: stores are idempotent).
+func (g *Gateway) handleTraceUpload(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxTraceBodyBytes))
+	if err != nil {
+		api.WriteError(w, api.ErrInvalidRequest, "bad request body: %v", err)
+		return
+	}
+	path := "/v1/traces"
+	if q := r.URL.RawQuery; q != "" {
+		path += "?" + q
+	}
+	var accepted *forwardResult
+	for _, entry := range g.peers.snapshot() {
+		if entry.State == PeerDown {
+			continue
+		}
+		fr, err := g.doUpload(r, entry.Peer, path, body)
+		if err != nil {
+			api.WriteError(w, api.ErrInternal,
+				"shard %s unreachable during trace fan-out: %v (retry; uploads are idempotent)", entry.Name, err)
+			return
+		}
+		if fr.status != http.StatusOK {
+			relay(w, fr) // the shard's rejection (torn, corrupt, ...) verbatim
+			return
+		}
+		if accepted == nil {
+			accepted = &fr
+		}
+	}
+	if accepted == nil {
+		api.WriteError(w, api.ErrDraining, "no scheduler shard available")
+		return
+	}
+	g.metrics.TracesForwarded.Add(1)
+	relay(w, *accepted)
+}
+
+// doUpload forwards one trace upload to a peer, preserving the
+// client's Content-Type (text/csv selects CSV ingestion shard-side).
+func (g *Gateway) doUpload(r *http.Request, p Peer, path string, body []byte) (forwardResult, error) {
+	req, err := http.NewRequestWithContext(r.Context(), http.MethodPost, p.URL+path, bytes.NewReader(body))
+	if err != nil {
+		return forwardResult{}, err
+	}
+	if ct := r.Header.Get("Content-Type"); ct != "" {
+		req.Header.Set("Content-Type", ct)
+	}
+	if key := r.Header.Get("X-API-Key"); key != "" {
+		req.Header.Set("X-API-Key", key)
+	}
+	resp, err := g.client.Do(req)
+	if err != nil {
+		return forwardResult{}, err
+	}
+	defer resp.Body.Close()
+	buf, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return forwardResult{}, err
+	}
+	return forwardResult{status: resp.StatusCode, header: resp.Header, body: buf, peer: p}, nil
+}
+
+// relayTraceRead serves a trace read endpoint from the first reachable
+// shard; the fanned-out library is identical across the fleet.
+func (g *Gateway) relayTraceRead(w http.ResponseWriter, r *http.Request, path string) {
+	for _, entry := range g.peers.snapshot() {
+		if entry.State == PeerDown {
+			continue
+		}
+		fr, err := g.do(r.Context(), entry.Peer, http.MethodGet, path, nil, r.Header.Get("X-API-Key"))
+		if err != nil {
+			continue
+		}
+		relay(w, fr)
+		return
+	}
+	api.WriteError(w, api.ErrDraining, "no scheduler shard available")
+}
+
+// handleTraceList is GET /v1/traces.
+func (g *Gateway) handleTraceList(w http.ResponseWriter, r *http.Request) {
+	g.relayTraceRead(w, r, "/v1/traces")
+}
+
+// handleTraceGet is GET /v1/traces/{id}.
+func (g *Gateway) handleTraceGet(w http.ResponseWriter, r *http.Request) {
+	g.relayTraceRead(w, r, "/v1/traces/"+r.PathValue("id"))
+}
+
+// handleTraceRaw is GET /v1/traces/{id}/raw.
+func (g *Gateway) handleTraceRaw(w http.ResponseWriter, r *http.Request) {
+	g.relayTraceRead(w, r, "/v1/traces/"+r.PathValue("id")+"/raw")
+}

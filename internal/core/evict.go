@@ -41,6 +41,23 @@ func (n *node) localSlot(ent *nodeRegion, idx int) (*dataStore, int, *slot) {
 	return st, set, st.get(set, li.Way, line)
 }
 
+// localSlotI is localSlot returning the slot's flat table index instead
+// of the set, so hit paths can touch the slot without recomputing the
+// set*ways+way product a second time.
+func (n *node) localSlotI(ent *nodeRegion, idx int) (*dataStore, int, *slot) {
+	li := ent.li[idx]
+	st := n.storeForLocal(li, ent)
+	line := ent.region.Line(idx)
+	set := st.setFor(line, ent.scramble)
+	i := st.tbl.Index(set, li.Way)
+	sl := &st.slots[i]
+	if !sl.valid || sl.line != line {
+		panic(fmt.Sprintf("core: determinism violation in %s: set %d way %d holds %v (valid=%v), metadata expected %v",
+			st.name, set, li.Way, sl.line, sl.valid, line))
+	}
+	return st, i, sl
+}
+
 // evictNodeLine evicts the locally held line idx of ent from node n.
 // Replicas are replaced silently (LI := RP, the master location). Masters
 // move to the victim location named by their RP (case E for private

@@ -61,15 +61,32 @@ func (s *System) lookupMD(n *node, instr bool, r mem.RegionAddr, t *txn) (*nodeR
 	if s.cfg.TraditionalL1 {
 		return s.lookupMDTraditional(n, instr, r, t)
 	}
-	md1, _ := n.md1For(instr)
+	md1, pay := n.md1For(instr)
 	s.meter.Do(energy.OpMD1, 1)
 	t.add(timing.MD1)
+	// Last-region memo: consecutive accesses overwhelmingly land in the
+	// region the stream touched last, so check the remembered slot
+	// before paying the hash + associative probe. The key comparison
+	// against the live table makes the memo self-invalidating.
+	memo := &n.memoD
+	if instr {
+		memo = &n.memoI
+	}
+	if memo.ok && memo.region == r {
+		if key, valid := md1.SlotKey(memo.slot); valid && key == uint64(r) {
+			md1.TouchSlot(memo.slot)
+			s.st.MD1Hits++
+			return pay[memo.slot], mdHitMD1
+		}
+		memo.ok = false
+	}
 	set := md1.SetFor(regionKey(r))
 	if way, ok := md1.Lookup(set, uint64(r)); ok {
-		md1.Touch(set, way)
+		i := md1.Index(set, way)
+		md1.TouchSlot(i)
 		s.st.MD1Hits++
-		_, pay := n.md1For(instr)
-		return pay[md1.Index(set, way)], mdHitMD1
+		*memo = md1Memo{region: r, slot: i, ok: true}
+		return pay[i], mdHitMD1
 	}
 
 	// MD1 miss: translate (TLB2) and search MD2.
@@ -139,6 +156,13 @@ func (n *node) md1Install(ent *nodeRegion, instr bool) {
 	} else {
 		ent.active = activeMD1D
 	}
+	// Seed the stream's memo: the access that triggered this promote is
+	// usually the first of a run within the region.
+	memo := &n.memoD
+	if instr {
+		memo = &n.memoI
+	}
+	*memo = md1Memo{region: ent.region, slot: md1.Index(set, way), ok: true}
 }
 
 // md1Drop removes ent from whichever MD1 holds it and marks MD2 active.

@@ -56,8 +56,9 @@ func (s *System) Access(a mem.Access) Result {
 		ent = s.mdMiss(n, instr, r, t)
 		indirect = true
 	}
+	li := ent.li[idx]
 	if lvl == mdHitMD1 {
-		switch ent.li[idx].Kind {
+		switch li.Kind {
 		case LocL1:
 			s.st.MD1CoverL1++
 		case LocL2:
@@ -69,7 +70,7 @@ func (s *System) Access(a mem.Access) Result {
 		}
 	}
 	ent.noteTouch()
-	if s.cfg.TraditionalL1 && lvl == mdHitMD2 && ent.li[idx].Kind != LocL1 {
+	if s.cfg.TraditionalL1 && lvl == mdHitMD2 && li.Kind != LocL1 {
 		// Hybrid front-end (§III-A): the miss consults MD2 (with its
 		// TLB2 translation) to obtain the direct-to-master location.
 		s.meter.Do(energy.OpTLB2, 1)
@@ -84,7 +85,7 @@ func (s *System) Access(a mem.Access) Result {
 		indirect = indirect || ind
 	} else {
 		var ind bool
-		hit, ind = s.read(n, ent, idx, line, instr, t)
+		hit, ind = s.read(n, ent, idx, line, li, instr, t)
 		indirect = indirect || ind
 	}
 	if s.verMem != nil {
@@ -210,19 +211,21 @@ func (s *System) validateRP(line mem.LineAddr, scramble uint64, rp Location) Loc
 }
 
 // read services a load or instruction fetch given the node's region
-// metadata. It returns whether the L1 held the line and whether the
-// access needed an MD3 indirection.
-func (s *System) read(n *node, ent *nodeRegion, idx int, line mem.LineAddr, instr bool, t *txn) (hit, indirect bool) {
-	li := ent.li[idx]
+// metadata and the line's LI (li must be ent.li[idx] as of the call —
+// callers that already loaded it pass it through). It returns whether
+// the L1 held the line and whether the access needed an MD3
+// indirection.
+func (s *System) read(n *node, ent *nodeRegion, idx int, line mem.LineAddr, li Location, instr bool, t *txn) (hit, indirect bool) {
 	switch li.Kind {
 	case LocL1:
 		if ent.instrStream != instr {
-			// Stream switch: refetch through the normal path.
+			// Stream switch: refetch through the normal path (the
+			// eviction may have moved the line, so reload the LI).
 			s.ensureStream(n, ent, instr, t)
-			return s.read(n, ent, idx, line, instr, t)
+			return s.read(n, ent, idx, line, ent.li[idx], instr, t)
 		}
-		st, set, sl := n.localSlot(ent, idx)
-		st.touch(set, li.Way)
+		st, i, sl := n.localSlotI(ent, idx)
+		st.tbl.TouchSlot(i)
 		s.meter.Do(st.op, 1)
 		t.add(st.lat)
 		if sl.prefetched {
@@ -342,7 +345,7 @@ func (s *System) prefetchNext(n *node, ent *nodeRegion, idx int, instr bool) {
 	defer func() { s.inPrefetch = false }()
 	line := ent.region.Line(next)
 	pt := &txn{} // prefetch latency is off the critical path
-	s.read(n, ent, next, line, instr, pt)
+	s.read(n, ent, next, line, li, instr, pt)
 	s.st.PrefetchIssued++
 	if ent.li[next].Kind == LocL1 {
 		_, _, sl := n.localSlot(ent, next)
@@ -653,13 +656,13 @@ func (s *System) write(n *node, ent *nodeRegion, idx int, line mem.LineAddr, t *
 	}
 
 	if li.Kind == LocL1 {
-		_, set, sl := n.localSlot(ent, idx)
+		st, i, sl := n.localSlotI(ent, idx)
 		if sl.master && sl.excl {
 			// Silent write: exclusivity was established earlier.
 			sl.dirty = true
-			n.l1d.touch(set, li.Way)
-			s.meter.Do(n.l1d.op, 1)
-			t.add(n.l1d.lat)
+			st.tbl.TouchSlot(i)
+			s.meter.Do(st.op, 1)
+			t.add(st.lat)
 			return true, false
 		}
 		s.caseC(n, ent, idx, line, t)
@@ -676,10 +679,10 @@ func (s *System) write(n *node, ent *nodeRegion, idx int, line mem.LineAddr, t *
 func (s *System) writePrivate(n *node, ent *nodeRegion, idx int, line mem.LineAddr, li Location, t *txn) (hit bool) {
 	switch li.Kind {
 	case LocL1:
-		_, set, sl := n.localSlot(ent, idx)
-		s.meter.Do(n.l1d.op, 1)
-		t.add(n.l1d.lat)
-		n.l1d.touch(set, li.Way)
+		st, i, sl := n.localSlotI(ent, idx)
+		s.meter.Do(st.op, 1)
+		t.add(st.lat)
+		st.tbl.TouchSlot(i)
 		if sl.master {
 			sl.dirty = true
 			sl.excl = true

@@ -29,10 +29,8 @@ import (
 
 // storeSnap is the frozen state of one tag-less data store.
 type storeSnap struct {
-	tbl     *cache.Table
-	slots   []slot
-	recency []uint64
-	clock   uint64
+	tbl   *cache.Table
+	slots []slot
 }
 
 // nodeSnap is the frozen state of one node: the three metadata tables
@@ -81,25 +79,20 @@ const (
 
 func (d *dataStore) snapshot() *storeSnap {
 	ss := &storeSnap{
-		tbl:     d.tbl.Clone(),
-		slots:   make([]slot, len(d.slots)),
-		recency: make([]uint64, len(d.recency)),
-		clock:   d.clock,
+		tbl:   d.tbl.Clone(),
+		slots: make([]slot, len(d.slots)),
 	}
 	copy(ss.slots, d.slots)
-	copy(ss.recency, d.recency)
 	return ss
 }
 
 func (d *dataStore) restore(ss *storeSnap) {
 	d.tbl.CopyFrom(ss.tbl)
 	copy(d.slots, ss.slots)
-	copy(d.recency, ss.recency)
-	d.clock = ss.clock
 }
 
 func (ss *storeSnap) sizeBytes() int64 {
-	return ss.tbl.SizeBytes() + int64(len(ss.slots))*slotSize + int64(len(ss.recency))*8
+	return ss.tbl.SizeBytes() + int64(len(ss.slots))*slotSize
 }
 
 // snapEntries flattens one metadata entry array: every distinct region

@@ -36,15 +36,16 @@ type slot struct {
 }
 
 // dataStore is a tag-less set-associative data array (an L1, L2, or an
-// LLC/NS-LLC slice in the split hierarchy). It keeps its own recency
-// stamps so the replication heuristic can test for MRU position, and
-// knows its own access cost so protocol code can charge uniformly.
+// LLC/NS-LLC slice in the split hierarchy). The replication heuristic's
+// MRU test reads the table's own LRU stamps (every operation that would
+// bump a recency stamp already bumps the table stamp at the same site,
+// so a parallel recency array would be redundant bookkeeping on the
+// hottest store path), and the store knows its own access cost so
+// protocol code can charge uniformly.
 type dataStore struct {
-	name    string
-	tbl     *cache.Table
-	slots   []slot
-	recency []uint64
-	clock   uint64
+	name  string
+	tbl   *cache.Table
+	slots []slot
 
 	op  energy.Op // dynamic energy per data-way access
 	lat uint64    // access latency in cycles
@@ -57,12 +58,11 @@ type dataStore struct {
 func newDataStore(name string, sets, ways int, op energy.Op, lat uint64) *dataStore {
 	n := sets * ways
 	return &dataStore{
-		name:    name,
-		tbl:     cache.GetTable(sets, ways),
-		slots:   slotArrays.Get(n),
-		recency: stampArrays.Get(n),
-		op:      op,
-		lat:     lat,
+		name:  name,
+		tbl:   cache.GetTable(sets, ways),
+		slots: slotArrays.Get(n),
+		op:    op,
+		lat:   lat,
 	}
 }
 
@@ -71,8 +71,7 @@ func newDataStore(name string, sets, ways int, op energy.Op, lat uint64) *dataSt
 func (s *dataStore) release() {
 	cache.PutTable(s.tbl)
 	slotArrays.Put(s.slots)
-	stampArrays.Put(s.recency)
-	s.tbl, s.slots, s.recency = nil, nil, nil
+	s.tbl, s.slots = nil, nil
 }
 
 func (s *dataStore) ways() int { return s.tbl.Ways() }
@@ -107,8 +106,6 @@ func (s *dataStore) get(set, way int, line mem.LineAddr) *slot {
 // touch marks (set, way) most recently used.
 func (s *dataStore) touch(set, way int) {
 	s.tbl.Touch(set, way)
-	s.clock++
-	s.recency[s.tbl.Index(set, way)] = s.clock
 }
 
 // isMRU reports whether (set, way) is the most recently used valid slot
@@ -120,8 +117,8 @@ func (s *dataStore) isMRU(set, way int) bool {
 		if !s.slots[i].valid {
 			continue
 		}
-		if bestWay == -1 || s.recency[i] > best {
-			best, bestWay = s.recency[i], w
+		if st := s.tbl.StampAt(i); bestWay == -1 || st > best {
+			best, bestWay = st, w
 		}
 	}
 	return bestWay == way
@@ -136,16 +133,12 @@ func (s *dataStore) install(set, way int, line mem.LineAddr, master, dirty, excl
 	}
 	*sl = slot{line: line, valid: true, dirty: dirty, master: master, excl: excl, rp: rp}
 	s.tbl.Put(set, way, uint64(line))
-	s.clock++
-	s.recency[s.tbl.Index(set, way)] = s.clock
 	return sl
 }
 
 // drop invalidates (set, way).
 func (s *dataStore) drop(set, way int) {
-	i := s.tbl.Index(set, way)
-	s.slots[i] = slot{}
-	s.recency[i] = 0
+	s.slots[s.tbl.Index(set, way)] = slot{}
 	s.tbl.Invalidate(set, way)
 }
 

@@ -27,9 +27,28 @@ type node struct {
 	l1i, l1d *dataStore
 	l2       *dataStore // nil when the config has no private L2
 
+	// memoI and memoD cache the last MD1 hit per stream (the slot the
+	// stream's previous access found its region in). Consecutive
+	// accesses overwhelmingly stay within one region, so the memo lets
+	// lookupMD skip the hash and associative probe; it is verified
+	// against the live table before use (key match at the remembered
+	// slot), so a stale memo — after an MD1 eviction, migration, or
+	// snapshot restore — falls through to the full probe instead of
+	// misresolving. Purely an access-path shortcut: timing, energy and
+	// LRU updates are charged identically on both paths.
+	memoI, memoD md1Memo
+
 	// streamInstr records, per region currently tracked, whether the
 	// region's L1-resident lines live in the L1-I (true) or L1-D.
 	// Keyed by the region entry itself to avoid a map.
+}
+
+// md1Memo remembers where a stream's last access found its region in
+// the MD1 (slot is the flat table index).
+type md1Memo struct {
+	region mem.RegionAddr
+	slot   int
+	ok     bool
 }
 
 // System is a complete D2M machine: the nodes, the LLC (far-side
@@ -264,7 +283,11 @@ func (s *System) acquireRegionLock(r mem.RegionAddr) {
 		}
 	}
 	s.lockWindow[s.lockPos] = r
-	s.lockPos = (s.lockPos + 1) % len(s.lockWindow)
+	// Wraparound compare instead of modulo (hot-path divide).
+	s.lockPos++
+	if s.lockPos == len(s.lockWindow) {
+		s.lockPos = 0
+	}
 }
 
 // md3Probe returns the MD3 entry for region r, without charging anything.

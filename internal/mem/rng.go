@@ -33,6 +33,13 @@ func (r *RNG) Intn(n int) int {
 	if n <= 0 {
 		panic("mem: RNG.Intn with non-positive n")
 	}
+	if n&(n-1) == 0 {
+		// Power-of-two n: masking selects exactly the same value as the
+		// modulo below (x % 2^k == x & (2^k-1)) without the hardware
+		// divide. Intn(2) and Intn(LinesPerRegion) dominate the
+		// generator hot paths, so this branch is the common case.
+		return int(r.Uint64() & uint64(n-1))
+	}
 	return int(r.Uint64() % uint64(n))
 }
 

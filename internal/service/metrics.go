@@ -53,6 +53,9 @@ type Metrics struct {
 	LaneGroups atomic.Uint64 // vector lane groups executed
 	LaneJobs   atomic.Uint64 // jobs that ran as lanes of a group
 
+	TracesUploaded atomic.Uint64 // traces ingested via POST /v1/traces
+	TracesRejected atomic.Uint64 // uploads rejected (torn, corrupt, malformed)
+
 	Queued          atomic.Int64 // gauge: jobs waiting in the queue
 	Running         atomic.Int64 // gauge: jobs occupying a worker
 	SweepsActive    atomic.Int64 // gauge: sweeps not yet settled
@@ -266,6 +269,8 @@ func (m *Metrics) WritePrometheus(w io.Writer) {
 	counter("d2m_batch_runs_total", "Individual runs submitted through batches.", m.BatchRuns.Load())
 	counter("d2m_lane_groups_total", "Vector lane groups executed.", m.LaneGroups.Load())
 	counter("d2m_lane_jobs_total", "Jobs that ran as lanes of a vector group.", m.LaneJobs.Load())
+	counter("d2m_traces_uploaded_total", "Traces ingested via POST /v1/traces.", m.TracesUploaded.Load())
+	counter("d2m_traces_rejected_total", "Trace uploads rejected as torn, corrupt or malformed.", m.TracesRejected.Load())
 	gauge("d2m_jobs_queued", "Jobs waiting in the queue.", m.Queued.Load())
 	gauge("d2m_jobs_running", "Jobs occupying a worker.", m.Running.Load())
 	gauge("d2m_sweeps_active", "Sweeps not yet settled.", m.SweepsActive.Load())
@@ -361,5 +366,7 @@ func (m *Metrics) Snapshot() map[string]interface{} {
 		"batch_runs":         m.BatchRuns.Load(),
 		"lane_groups":        m.LaneGroups.Load(),
 		"lane_jobs":          m.LaneJobs.Load(),
+		"traces_uploaded":    m.TracesUploaded.Load(),
+		"traces_rejected":    m.TracesRejected.Load(),
 	}
 }

@@ -80,6 +80,12 @@ type Config struct {
 	// -tenants flag). Empty means single-tenant: no header required,
 	// no limits.
 	Tenants []TenantSpec
+	// TraceDir, when non-empty, enables trace ingestion: uploaded access
+	// traces are stored (content-addressed, validated) under this
+	// directory and become "trace:<id>" benchmarks. The library is
+	// installed process-wide via d2m.SetTraceDir — one directory per
+	// process; the last server constructed with a TraceDir wins.
+	TraceDir string
 	// Runner executes one simulation. Nil means d2m.Run against the
 	// server's snapshot cache; tests substitute stubs to control timing
 	// and observe cancellation.
@@ -193,6 +199,11 @@ func New(cfg Config) (*Server, error) {
 		return nil, err
 	}
 	s.tenants = reg
+	if cfg.TraceDir != "" {
+		if err := d2m.SetTraceDir(cfg.TraceDir); err != nil {
+			return nil, err
+		}
+	}
 	if s.runner == nil {
 		s.runner = func(ctx context.Context, kind d2m.Kind, bench string, opt d2m.Options) (d2m.Result, error) {
 			out, err := d2m.Run(ctx, d2m.RunSpec{
@@ -288,6 +299,10 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("GET /v1/sweeps", s.handleSweeps)
 	s.mux.HandleFunc("GET /v1/sweeps/{id}", s.handleSweepGet)
 	s.mux.HandleFunc("DELETE /v1/sweeps/{id}", s.handleSweepDelete)
+	s.mux.HandleFunc("POST /v1/traces", s.handleTraceUpload)
+	s.mux.HandleFunc("GET /v1/traces", s.handleTraceList)
+	s.mux.HandleFunc("GET /v1/traces/{id}", s.handleTraceGet)
+	s.mux.HandleFunc("GET /v1/traces/{id}/raw", s.handleTraceRaw)
 	s.mux.HandleFunc("GET /v1/capabilities", s.handleCapabilities)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
@@ -627,10 +642,14 @@ func (s *Server) handleCapabilities(w http.ResponseWriter, r *http.Request) {
 		SSE:           true,
 		SweepsList:    true,
 		Tenancy:       s.tenancyCaps(r),
+		Traces:        d2m.TraceDirSet(),
 	}
 	for _, suite := range d2m.Suites() {
 		body.Suites[suite] = d2m.BenchmarksOf(suite)
 	}
+	// The Vector extras suite rides along outside the paper's five-suite
+	// catalog: advertised here so clients can discover the vec-* names.
+	body.Suites[d2m.SuiteVector] = d2m.BenchmarksOf(d2m.SuiteVector)
 	for _, k := range d2m.Kernels() {
 		body.Kernels = append(body.Kernels, api.KernelCap{Name: k.Name, Description: k.Description})
 	}

@@ -670,8 +670,8 @@ func TestCapabilitiesEndpoint(t *testing.T) {
 		if body.APIRevision != api.Revision {
 			t.Errorf("%s: api_revision %q, want %q", path, body.APIRevision, api.Revision)
 		}
-		if body.APIRevision != "v1.6" {
-			t.Errorf("%s: api_revision %q, want v1.6", path, body.APIRevision)
+		if body.APIRevision != "v1.7" {
+			t.Errorf("%s: api_revision %q, want v1.7", path, body.APIRevision)
 		}
 		wantEngines := []string{d2m.EngineScalar, d2m.EngineVector}
 		if !reflect.DeepEqual(body.Engines, wantEngines) {
@@ -680,8 +680,13 @@ func TestCapabilitiesEndpoint(t *testing.T) {
 		if body.MaxLanes < 2 {
 			t.Errorf("%s: max_lanes = %d, want >= 2", path, body.MaxLanes)
 		}
-		if len(body.Suites) != len(d2m.Suites()) {
-			t.Errorf("%s: suites = %d, want %d", path, len(body.Suites), len(d2m.Suites()))
+		// The catalog's paper suites plus the Vector extras suite
+		// advertised only through capabilities (API v1.7).
+		if len(body.Suites) != len(d2m.Suites())+1 {
+			t.Errorf("%s: suites = %d, want %d", path, len(body.Suites), len(d2m.Suites())+1)
+		}
+		if len(body.Suites[d2m.SuiteVector]) == 0 {
+			t.Errorf("%s: capabilities missing Vector extras suite", path)
 		}
 		found := false
 		for _, k := range body.Kinds {

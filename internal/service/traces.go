@@ -1,0 +1,96 @@
+package service
+
+import (
+	"net/http"
+	"strings"
+
+	"d2m"
+	"d2m/internal/api"
+)
+
+// Trace ingestion endpoints (API v1.7). Uploaded access traces join the
+// process-wide trace library (d2m.SetTraceDir, installed from
+// Config.TraceDir at New) and become runnable benchmarks named
+// "trace:<id>" on every job and sweep endpoint. Ids are content-derived
+// (SHA-256 prefix), so uploads are idempotent and replicas ingesting
+// the same file agree on the name — the property the cluster gateway's
+// upload fan-out relies on.
+
+// maxTraceBodyBytes bounds one trace upload. Traces are bulk data, not
+// control-plane requests, so the limit is far above maxBodyBytes; the
+// ingest path spools to disk, so a large upload costs memory only in
+// stream-copy buffers.
+const maxTraceBodyBytes = 1 << 30
+
+// handleTraceUpload is POST /v1/traces: ingest a binary (v1/v2) trace,
+// or a textual one when the request says Content-Type: text/csv. The
+// optional ?name= labels the trace. Responds 200 with the TraceInfo
+// (including re-uploads, which are idempotent no-ops).
+func (s *Server) handleTraceUpload(w http.ResponseWriter, r *http.Request) {
+	if _, ok := s.admitTenant(w, r, 1); !ok {
+		return
+	}
+	if !d2m.TraceDirSet() {
+		api.WriteErr(w, api.Errorf(api.ErrInvalidRequest,
+			"trace ingestion is disabled on this server (no -trace-dir)"))
+		return
+	}
+	body := http.MaxBytesReader(w, r.Body, maxTraceBodyBytes)
+	name := r.URL.Query().Get("name")
+	var (
+		info d2m.TraceInfo
+		err  error
+	)
+	if ct := r.Header.Get("Content-Type"); strings.HasPrefix(ct, "text/csv") {
+		info, err = d2m.ImportTraceCSV(body, name)
+	} else {
+		info, err = d2m.ImportTrace(body, name)
+	}
+	if err != nil {
+		s.metrics.TracesRejected.Add(1)
+		api.WriteErr(w, api.Errorf(api.ErrInvalidRequest, "%v", err))
+		return
+	}
+	s.metrics.TracesUploaded.Add(1)
+	writeJSON(w, http.StatusOK, info)
+}
+
+// handleTraceList is GET /v1/traces.
+func (s *Server) handleTraceList(w http.ResponseWriter, r *http.Request) {
+	if _, ok := s.authTenant(w, r); !ok {
+		return
+	}
+	traces := d2m.ListTraces()
+	if traces == nil {
+		traces = []d2m.TraceInfo{}
+	}
+	writeJSON(w, http.StatusOK, map[string]interface{}{"traces": traces})
+}
+
+// handleTraceGet is GET /v1/traces/{id}.
+func (s *Server) handleTraceGet(w http.ResponseWriter, r *http.Request) {
+	if _, ok := s.authTenant(w, r); !ok {
+		return
+	}
+	info, ok := d2m.TraceByID(r.PathValue("id"))
+	if !ok {
+		api.WriteErr(w, api.Errorf(api.ErrNotFound, "unknown trace %q", r.PathValue("id")))
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+// handleTraceRaw is GET /v1/traces/{id}/raw: the stored binary file,
+// byte-exact — what the gateway relays and external tools download.
+func (s *Server) handleTraceRaw(w http.ResponseWriter, r *http.Request) {
+	if _, ok := s.authTenant(w, r); !ok {
+		return
+	}
+	path, ok := d2m.TracePath(r.PathValue("id"))
+	if !ok {
+		api.WriteErr(w, api.Errorf(api.ErrNotFound, "unknown trace %q", r.PathValue("id")))
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	http.ServeFile(w, r, path)
+}

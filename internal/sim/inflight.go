@@ -28,6 +28,11 @@ type inflight struct {
 	key   []uint64
 	ready []uint64
 	used  int // occupied slots (live or dead) since the last compaction
+	// maxReady is an upper bound on every entry's ready time. When the
+	// node's issue clock has passed it, no entry can be live, so the
+	// engine skips the probe entirely — on hit-dominated phases this
+	// turns the per-hit lookup into a single compare.
+	maxReady uint64
 
 	// compaction scratch, allocated at the first compact and retained,
 	// so steady-state compaction never allocates.
@@ -52,6 +57,7 @@ func newInflight() inflight {
 func (t *inflight) reset() {
 	clear(t.key)
 	t.used = 0
+	t.maxReady = 0
 }
 
 // slot returns the starting probe index for a line (Fibonacci hashing:
@@ -79,6 +85,9 @@ func (t *inflight) lookup(line mem.LineAddr) (uint64, bool) {
 // insert records that line's miss data arrives at ready. now is the
 // node's issue clock, used to recognize dead slots worth reclaiming.
 func (t *inflight) insert(line mem.LineAddr, ready, now uint64) {
+	if ready > t.maxReady {
+		t.maxReady = ready
+	}
 	if t.used*2 >= len(t.key) {
 		t.compact(now)
 	}

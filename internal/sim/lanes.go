@@ -27,12 +27,13 @@ import (
 // guarantees); lanes with equal windows capture at the same boundary
 // and receive identical reports.
 //
-// active reports whether a lane still wants its result; it is polled at
-// the same cancelCheckInterval stride as ctx. A lane that goes inactive
-// before its boundary is skipped (sink is never called for it), and
-// when every remaining lane is inactive the walk stops early — a
-// cancelled lane demotes itself without aborting the group. ctx
-// cancellation aborts the whole group with ctx.Err().
+// active reports whether a lane still wants its result; it is polled
+// together with ctx at every block boundary (at most BlockAccesses
+// apart). A lane that goes inactive before its boundary is skipped
+// (sink is never called for it), and when every remaining lane is
+// inactive the walk stops early — a cancelled lane demotes itself
+// without aborting the group. ctx cancellation aborts the whole group
+// with ctx.Err().
 //
 // The report passed to sink is deeply copied (NodeCycles and the
 // latency histogram are fresh slices), so callers may retain it while
@@ -69,18 +70,24 @@ func (e *Engine) MeasureLanes(ctx context.Context, iv trace.Stream, measures []i
 	}
 	limit := recompute()
 
-	for i := 0; i < limit; i++ {
-		if i%cancelCheckInterval == 0 {
-			if ctx.Err() != nil {
-				return ctx.Err()
-			}
-			if limit = recompute(); i >= limit {
-				break
-			}
+	// Lane-group capture happens at block boundaries: each refill is
+	// clipped to the nearest pending lane boundary, so the walk lands
+	// exactly on every boundary and the captured reports are the same
+	// bytes the scalar path produces at the same step.
+	bs, _ := iv.(trace.BlockStream)
+	for i := 0; i < limit; {
+		if ctx.Err() != nil {
+			return ctx.Err()
 		}
-		e.step(iv.Next())
-		done := i + 1
-		for next < len(order) && measures[order[next]] == done {
+		if limit = recompute(); i >= limit {
+			break
+		}
+		want := limit - i
+		if next < len(order) && measures[order[next]]-i < want {
+			want = measures[order[next]] - i
+		}
+		i += e.stepBlock(e.refillAny(bs, iv, want))
+		for next < len(order) && measures[order[next]] == i {
 			lane := order[next]
 			next++
 			if active(lane) {

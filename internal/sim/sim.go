@@ -148,18 +148,28 @@ type Engine struct {
 	clock  []uint64   // retire clocks
 	issue  []uint64   // issue clocks
 	inFly  []inflight // per node: line -> issue-ready time (MSHR stand-in)
+	block  []mem.Access
 	report Report
 }
 
+// BlockAccesses is the engine's refill granularity: sources that
+// implement trace.BlockStream deliver up to this many accesses per Fill
+// and the engine consumes them in a tight loop. Context cancellation
+// and lane-group captures happen at block boundaries; the block is
+// small enough that both stay as responsive as the scalar path's
+// cancelCheckInterval, and small enough to stay L1/L2-resident.
+const BlockAccesses = 1024
+
 // NewEngine returns an engine for a machine with the given node count.
-// All hot-path state (clocks and the per-node in-flight tables) is
-// allocated here once and reused across Run calls.
+// All hot-path state (clocks, the per-node in-flight tables and the
+// refill block) is allocated here once and reused across Run calls.
 func NewEngine(m Machine, nodes int) *Engine {
 	e := &Engine{m: m, nodes: nodes, clock: make([]uint64, nodes), issue: make([]uint64, nodes)}
 	e.inFly = make([]inflight, nodes)
 	for i := range e.inFly {
 		e.inFly[i] = newInflight()
 	}
+	e.block = make([]mem.Access, BlockAccesses)
 	return e
 }
 
@@ -172,17 +182,12 @@ func (e *Engine) Run(iv trace.Stream, warmup, measure int) Report {
 	return rep
 }
 
-// cancelCheckInterval is how many accesses pass between ctx.Err() polls
-// in RunContext. A poll is two atomic loads; at this stride the cost is
-// unmeasurable while a cancelled run stops within a few microseconds of
-// simulated work.
-const cancelCheckInterval = 4096
-
 // RunContext is Run with cooperative cancellation: the run loop polls
-// ctx every cancelCheckInterval accesses (in warmup and measurement
-// alike) and abandons the simulation with ctx.Err() once the context is
-// done, so a killed job stops burning CPU mid-run. The partial report is
-// discarded — a cancelled run returns a zero Report.
+// ctx at every block boundary (at most BlockAccesses apart, in warmup
+// and measurement alike) and abandons the simulation with ctx.Err()
+// once the context is done, so a killed job stops burning CPU mid-run.
+// The partial report is discarded — a cancelled run returns a zero
+// Report.
 func (e *Engine) RunContext(ctx context.Context, iv trace.Stream, warmup, measure int) (Report, error) {
 	if err := e.Warmup(ctx, iv, warmup); err != nil {
 		return Report{}, err
@@ -193,16 +198,57 @@ func (e *Engine) RunContext(ctx context.Context, iv trace.Stream, warmup, measur
 // Warmup drives warmup accesses through the machine untimed, updating
 // hierarchy state only. It is the first half of RunContext, split out
 // so the warm-state snapshot layer can capture the machine at the
-// warmup/measurement boundary (after Warmup, before Measure).
+// warmup/measurement boundary (after Warmup, before Measure). Sources
+// that support block delivery are consumed a block at a time; the
+// stream is never drawn past the warmup boundary, so the state a
+// snapshot captures is identical on both paths.
 func (e *Engine) Warmup(ctx context.Context, iv trace.Stream, warmup int) error {
-	for i := 0; i < warmup; i++ {
-		if i%cancelCheckInterval == 0 && ctx.Err() != nil {
+	bs, _ := iv.(trace.BlockStream)
+	for done := 0; done < warmup; {
+		if ctx.Err() != nil {
 			return ctx.Err()
 		}
-		a := iv.Next()
-		e.m.Access(a)
+		blk := e.refillAny(bs, iv, warmup-done)
+		for _, a := range blk {
+			e.m.Access(a)
+		}
+		done += len(blk)
 	}
 	return nil
+}
+
+// refill draws the next block of at most want accesses. A block source
+// returning zero accesses is a programming error: engine sources are
+// either infinite generators or looping trace readers.
+func (e *Engine) refill(bs trace.BlockStream, want int) []mem.Access {
+	if want > len(e.block) {
+		want = len(e.block)
+	}
+	n := bs.Fill(e.block[:want])
+	if n <= 0 {
+		panic("sim: block stream exhausted mid-run")
+	}
+	return e.block[:n]
+}
+
+// refillAny draws the next block from bs when the source supports block
+// delivery, and otherwise buffers Next calls into the engine's block.
+// Buffering draws is unobservable: streams never depend on machine
+// state, and the draw never runs past the accesses the caller asked
+// for, which is what warm-state snapshots at the warmup boundary
+// require.
+func (e *Engine) refillAny(bs trace.BlockStream, iv trace.Stream, want int) []mem.Access {
+	if bs != nil {
+		return e.refill(bs, want)
+	}
+	if want > len(e.block) {
+		want = len(e.block)
+	}
+	blk := e.block[:want]
+	for i := range blk {
+		blk[i] = iv.Next()
+	}
+	return blk
 }
 
 // Measure resets statistics (ResetMeasurement, the warmup boundary) and
@@ -220,11 +266,16 @@ func (e *Engine) Measure(ctx context.Context, iv trace.Stream, measure int) (Rep
 	}
 	e.report = Report{NodeCycles: make([]uint64, e.nodes), missLat: make([]uint64, missLatBuckets)}
 
-	for i := 0; i < measure; i++ {
-		if i%cancelCheckInterval == 0 && ctx.Err() != nil {
+	// One dynamic dispatch per block (native Fill or buffered Next),
+	// then a tight loop over the buffer. The step sequence — and
+	// therefore the Report — is independent of how the blocks were
+	// delivered.
+	bs, _ := iv.(trace.BlockStream)
+	for done := 0; done < measure; {
+		if ctx.Err() != nil {
 			return Report{}, ctx.Err()
 		}
-		e.step(iv.Next())
+		done += e.stepBlock(e.refillAny(bs, iv, measure-done))
 	}
 
 	for i, c := range e.clock {
@@ -237,50 +288,63 @@ func (e *Engine) Measure(ctx context.Context, iv trace.Stream, measure int) (Rep
 	return e.report, nil
 }
 
-// step processes one access through the timing model.
-func (e *Engine) step(a mem.Access) {
-	n := a.Node
-	now := e.issue[n]
-	line := a.Addr.Line()
-	lat, hit := e.m.Access(a)
+// stepBlock processes one delivered block through the timing model and
+// returns its length. The per-access step is folded in so the loop
+// keeps the engine's slice headers and report pointer in locals instead
+// of reloading them through e on every access.
+func (e *Engine) stepBlock(blk []mem.Access) int {
+	issue, clock := e.issue, e.clock
+	rep := &e.report
+	for _, a := range blk {
+		n := a.Node
+		now := issue[n]
+		line := a.Addr.Line()
+		lat, hit := e.m.Access(a)
 
-	e.report.Accesses++
-	if a.Kind.IsInstr() {
-		e.report.FetchAccesses++
-	}
+		if a.Kind.IsInstr() {
+			rep.FetchAccesses++
+		}
 
-	stall := 0.0
-	if hit {
-		if ready, ok := e.inFly[n].lookup(line); ok && ready > now {
-			// Late hit: the line is still in flight (a secondary
-			// miss on the MSHR); part of the residual wait blocks.
-			// An entry whose ready time has passed is dead — the
-			// table reclaims it lazily.
-			wait := float64(ready - now)
-			stall = wait * lateHitBlocking
-			if a.Kind.IsInstr() {
-				e.report.LateHitsI++
-			} else {
-				e.report.LateHitsD++
+		stall := 0.0
+		if hit {
+			// The probe can only find a live entry while some miss is
+			// still in flight (maxReady bounds every entry's ready
+			// time), so hit-dominated phases skip it on one compare.
+			if inf := &e.inFly[n]; inf.maxReady > now {
+				if ready, ok := inf.lookup(line); ok && ready > now {
+					// Late hit: the line is still in flight (a
+					// secondary miss on the MSHR); part of the residual
+					// wait blocks. An entry whose ready time has passed
+					// is dead — the table reclaims it lazily.
+					wait := float64(ready - now)
+					stall = wait * lateHitBlocking
+					if a.Kind.IsInstr() {
+						rep.LateHitsI++
+					} else {
+						rep.LateHitsD++
+					}
+				}
+			}
+		} else {
+			e.inFly[n].insert(line, now+lat, now)
+			b := lat
+			if b >= missLatBuckets {
+				b = missLatBuckets - 1
+			}
+			rep.missLat[b]++
+			rep.misses++
+			switch {
+			case a.Kind.IsInstr():
+				stall = float64(lat) * ifetchBlocking
+			case a.Kind.IsWrite():
+				stall = float64(lat) * storeBlocking
+			default:
+				stall = float64(lat) * loadBlocking
 			}
 		}
-	} else {
-		e.inFly[n].insert(line, now+lat, now)
-		b := lat
-		if b >= missLatBuckets {
-			b = missLatBuckets - 1
-		}
-		e.report.missLat[b]++
-		e.report.misses++
-		switch {
-		case a.Kind.IsInstr():
-			stall = float64(lat) * ifetchBlocking
-		case a.Kind.IsWrite():
-			stall = float64(lat) * storeBlocking
-		default:
-			stall = float64(lat) * loadBlocking
-		}
+		issue[n] = now + baseCyclesPerAccess
+		clock[n] += baseCyclesPerAccess + uint64(stall)
 	}
-	e.issue[n] = now + baseCyclesPerAccess
-	e.clock[n] += baseCyclesPerAccess + uint64(stall)
+	rep.Accesses += uint64(len(blk))
+	return len(blk)
 }

@@ -1,0 +1,102 @@
+package trace
+
+import (
+	"bufio"
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+
+	"d2m/internal/mem"
+)
+
+// TestBigTraceReplay writes a >=1 GiB v2 trace file and replays it
+// through FileReader, asserting the reader's memory footprint stays
+// bounded (the file must never become resident). The file is large, so
+// the test only runs when D2M_BIG_TRACE=1 (CI sets it on the gate job).
+func TestBigTraceReplay(t *testing.T) {
+	if os.Getenv("D2M_BIG_TRACE") != "1" {
+		t.Skip("set D2M_BIG_TRACE=1 to run the 1 GiB replay test")
+	}
+	path := filepath.Join(t.TempDir(), "big.trc")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bw := bufio.NewWriterSize(f, 1<<20)
+	fw, err := NewFileWriter(bw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A pseudo-random walk defeats delta compression (~6-11 bytes per
+	// record), so ~128M records comfortably clear 1 GiB.
+	const records = 128 << 20
+	x := uint64(0x9e3779b97f4a7c15)
+	for i := 0; i < records; i++ {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		a := mem.Access{Node: int(x % 8), Kind: mem.Kind(x >> 8 % 3), Addr: mem.Addr(x &^ 63)}
+		if err := fw.Append(a); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := fw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := bw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Size() < 1<<30 {
+		t.Fatalf("trace file is %d bytes, want >= 1 GiB", st.Size())
+	}
+	t.Logf("trace file: %.2f GiB, %d records", float64(st.Size())/(1<<30), records)
+
+	rf, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rf.Close()
+	fr, err := NewFileReader(rf, st.Size())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fr.Len() != records {
+		t.Fatalf("Len = %d, want %d", fr.Len(), records)
+	}
+
+	runtime.GC()
+	var before runtime.MemStats
+	runtime.ReadMemStats(&before)
+
+	var total uint64
+	buf := make([]mem.Access, 4096)
+	for {
+		n := fr.Fill(buf)
+		if n == 0 {
+			break
+		}
+		total += uint64(n)
+	}
+	if total != records {
+		t.Fatalf("replayed %d records, want %d", total, records)
+	}
+
+	runtime.GC()
+	var after runtime.MemStats
+	runtime.ReadMemStats(&after)
+	grew := int64(after.HeapAlloc) - int64(before.HeapAlloc)
+	t.Logf("heap growth across replay: %d bytes", grew)
+	// The reader holds one 256 KiB chunk; allow generous slack for the
+	// runtime, but far less than the 1 GiB file.
+	if grew > 64<<20 {
+		t.Fatalf("heap grew %d bytes replaying a %d-byte file; replay must stay chunk-resident", grew, st.Size())
+	}
+}

@@ -4,27 +4,67 @@ import (
 	"bufio"
 	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"io"
+	"strconv"
+	"strings"
 
 	"d2m/internal/mem"
 )
 
-// Binary trace format: a 8-byte header ("D2MTRC" + 2-byte version),
-// followed by fixed 10-byte records: node (uint8), kind (uint8), address
-// (uint64 little-endian). The format is deliberately trivial so traces
-// can be produced or consumed by other tools.
-var traceMagic = [8]byte{'D', '2', 'M', 'T', 'R', 'C', 0, 1}
+// Binary trace formats.
+//
+// v1 (legacy, still readable): an 8-byte header ("D2MTRC" + 2-byte
+// version) followed by fixed 10-byte records: node (uint8), kind
+// (uint8), address (uint64 little-endian). Trivial, but 10 bytes per
+// access and no way to tell a torn file from a complete one.
+//
+// v2 (current, what Writer-side APIs produce): the same 8-byte header
+// with version 2, then one variable-length record per access — a
+// control byte (kind in bits 0-1, node in bits 2-7) followed by the
+// zigzag-varint delta of the address against the SAME NODE's previous
+// address. Per-node deltas make both the instruction stream (mostly
+// +1 line) and strided data streams encode in 2-3 bytes instead of 10.
+// The file ends in a fixed 24-byte footer carrying the record count,
+// the largest node id and a CRC-32 of the record bytes, so torn or
+// truncated files are rejected (no footer) and bit rot is caught at
+// ingest (CRC mismatch).
+var (
+	traceMagic   = [8]byte{'D', '2', 'M', 'T', 'R', 'C', 0, 1}
+	traceMagicV2 = [8]byte{'D', '2', 'M', 'T', 'R', 'C', 0, 2}
+	footerMagic  = [8]byte{'D', '2', 'M', 'E', 'N', 'D', 0, 2}
+)
 
-const recordBytes = 10
+const (
+	recordBytes = 10 // v1 fixed record size
+	headerBytes = 8
+	// footerBytes is the v2 trailer: magic (8), max node (1), zero pad
+	// (3), CRC-32/IEEE of the record bytes (4), record count (8).
+	footerBytes = 24
+	// maxRecordBytes bounds one v2 record: control byte + 10-byte
+	// varint.
+	maxRecordBytes = 11
+	// MaxTraceNodes bounds node ids representable in the v2 control
+	// byte (6 bits). The simulator itself caps machines at 8 nodes.
+	MaxTraceNodes = 64
+)
 
-// Writer streams accesses to an io.Writer in the binary trace format.
+// zigzag encodes a signed delta as an unsigned varint payload.
+func zigzag(d int64) uint64 { return uint64(d<<1) ^ uint64(d>>63) }
+
+// unzigzag inverts zigzag.
+func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
+
+// Writer streams accesses to an io.Writer in the v1 binary format. It
+// is kept for compatibility with externally produced v1 traces; new
+// code writes v2 via FileWriter.
 type Writer struct {
 	w   *bufio.Writer
 	n   uint64
 	err error
 }
 
-// NewWriter writes the header and returns a trace writer.
+// NewWriter writes the v1 header and returns a trace writer.
 func NewWriter(w io.Writer) (*Writer, error) {
 	bw := bufio.NewWriter(w)
 	if _, err := bw.Write(traceMagic[:]); err != nil {
@@ -61,6 +101,103 @@ func (tw *Writer) Flush() error {
 	return tw.w.Flush()
 }
 
+// FileWriter streams accesses to an io.Writer in the v2 binary format.
+// Close writes the footer; a file without one is rejected by every
+// reader, which is what makes torn writes detectable.
+type FileWriter struct {
+	w       *bufio.Writer
+	crc     uint32
+	last    [MaxTraceNodes]uint64
+	n       uint64
+	maxNode int
+	err     error
+}
+
+// NewFileWriter writes the v2 header and returns the writer.
+func NewFileWriter(w io.Writer) (*FileWriter, error) {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(traceMagicV2[:]); err != nil {
+		return nil, fmt.Errorf("trace: writing header: %w", err)
+	}
+	return &FileWriter{w: bw}, nil
+}
+
+// Append writes one access record.
+func (fw *FileWriter) Append(a mem.Access) error {
+	if fw.err != nil {
+		return fw.err
+	}
+	if a.Node < 0 || a.Node >= MaxTraceNodes {
+		fw.err = fmt.Errorf("trace: node %d out of range 0..%d", a.Node, MaxTraceNodes-1)
+		return fw.err
+	}
+	if a.Kind > mem.Store {
+		fw.err = fmt.Errorf("trace: invalid access kind %d", a.Kind)
+		return fw.err
+	}
+	var rec [maxRecordBytes]byte
+	rec[0] = byte(a.Kind) | byte(a.Node)<<2
+	d := int64(uint64(a.Addr) - fw.last[a.Node])
+	n := 1 + binary.PutUvarint(rec[1:], zigzag(d))
+	fw.last[a.Node] = uint64(a.Addr)
+	fw.crc = crc32.Update(fw.crc, crc32.IEEETable, rec[:n])
+	if _, err := fw.w.Write(rec[:n]); err != nil {
+		fw.err = fmt.Errorf("trace: writing record: %w", err)
+		return fw.err
+	}
+	fw.n++
+	if a.Node > fw.maxNode {
+		fw.maxNode = a.Node
+	}
+	return nil
+}
+
+// Count returns the number of records written.
+func (fw *FileWriter) Count() uint64 { return fw.n }
+
+// Close writes the footer and flushes. The writer is unusable after.
+func (fw *FileWriter) Close() error {
+	if fw.err != nil {
+		return fw.err
+	}
+	var ft [footerBytes]byte
+	copy(ft[:8], footerMagic[:])
+	ft[8] = byte(fw.maxNode)
+	binary.LittleEndian.PutUint32(ft[12:16], fw.crc)
+	binary.LittleEndian.PutUint64(ft[16:24], fw.n)
+	if _, err := fw.w.Write(ft[:]); err != nil {
+		return fmt.Errorf("trace: writing footer: %w", err)
+	}
+	return fw.w.Flush()
+}
+
+// decodeV2 decodes one v2 record from b, updating the per-node address
+// state, and returns the access and the bytes consumed.
+func decodeV2(b []byte, last *[MaxTraceNodes]uint64) (mem.Access, int, error) {
+	ctrl := b[0]
+	kind := mem.Kind(ctrl & 3)
+	if kind > mem.Store {
+		return mem.Access{}, 0, fmt.Errorf("trace: invalid kind %d in record", ctrl&3)
+	}
+	node := int(ctrl >> 2)
+	u, n := binary.Uvarint(b[1:])
+	if n <= 0 {
+		return mem.Access{}, 0, fmt.Errorf("trace: truncated or oversized address varint")
+	}
+	addr := last[node] + uint64(unzigzag(u))
+	last[node] = addr
+	return mem.Access{Node: node, Kind: kind, Addr: mem.Addr(addr)}, 1 + n, nil
+}
+
+// parseFooter validates a v2 trailer and returns its fields.
+func parseFooter(ft []byte) (count uint64, maxNode int, crc uint32, err error) {
+	if len(ft) != footerBytes || string(ft[:8]) != string(footerMagic[:]) {
+		return 0, 0, 0, fmt.Errorf("trace: missing footer (file is torn, truncated or not a trace)")
+	}
+	return binary.LittleEndian.Uint64(ft[16:24]), int(ft[8]),
+		binary.LittleEndian.Uint32(ft[12:16]), nil
+}
+
 // Tee wraps a stream so that every produced access is also recorded.
 func Tee(s Stream, tw *Writer) Stream {
 	return StreamFunc(func() mem.Access {
@@ -72,7 +209,7 @@ func Tee(s Stream, tw *Writer) Stream {
 	})
 }
 
-// Reader replays a recorded trace.
+// Reader replays a fully in-memory trace.
 type Reader struct {
 	records []mem.Access
 	pos     int
@@ -81,26 +218,36 @@ type Reader struct {
 	Loop bool
 }
 
-// ReadTrace loads an entire trace into memory.
+// ReadTrace loads an entire trace (either format version) into memory.
+// v2 payloads are CRC-checked; a missing or malformed footer, a record
+// count that does not match, or trailing bytes all reject the file —
+// the torn-write guarantees the chunked FileReader gets from ingest
+// validation hold here directly.
 func ReadTrace(r io.Reader) (*Reader, error) {
-	br := bufio.NewReader(r)
-	var hdr [8]byte
-	if _, err := io.ReadFull(br, hdr[:]); err != nil {
-		return nil, fmt.Errorf("trace: reading header: %w", err)
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("trace: reading: %w", err)
 	}
-	if hdr != traceMagic {
-		return nil, fmt.Errorf("trace: bad magic %q", hdr[:])
+	if len(data) < headerBytes {
+		return nil, fmt.Errorf("trace: short file (%d bytes)", len(data))
 	}
-	out := &Reader{}
-	var rec [recordBytes]byte
-	for {
-		_, err := io.ReadFull(br, rec[:])
-		if err == io.EOF {
-			break
-		}
-		if err != nil {
-			return nil, fmt.Errorf("trace: reading record %d: %w", len(out.records), err)
-		}
+	switch {
+	case string(data[:headerBytes]) == string(traceMagic[:]):
+		return readV1(data[headerBytes:])
+	case string(data[:headerBytes]) == string(traceMagicV2[:]):
+		return readV2(data[headerBytes:])
+	default:
+		return nil, fmt.Errorf("trace: bad magic %q", data[:headerBytes])
+	}
+}
+
+func readV1(body []byte) (*Reader, error) {
+	if len(body)%recordBytes != 0 {
+		return nil, fmt.Errorf("trace: torn v1 file: %d trailing bytes after the last whole record", len(body)%recordBytes)
+	}
+	out := &Reader{records: make([]mem.Access, 0, len(body)/recordBytes)}
+	for off := 0; off < len(body); off += recordBytes {
+		rec := body[off : off+recordBytes]
 		kind := mem.Kind(rec[1])
 		if kind > mem.Store {
 			return nil, fmt.Errorf("trace: record %d has invalid kind %d", len(out.records), rec[1])
@@ -113,6 +260,40 @@ func ReadTrace(r io.Reader) (*Reader, error) {
 	}
 	if len(out.records) == 0 {
 		return nil, fmt.Errorf("trace: empty trace")
+	}
+	return out, nil
+}
+
+func readV2(rest []byte) (*Reader, error) {
+	if len(rest) < footerBytes {
+		return nil, fmt.Errorf("trace: missing footer (file is torn, truncated or not a trace)")
+	}
+	body := rest[:len(rest)-footerBytes]
+	count, maxNode, crc, err := parseFooter(rest[len(rest)-footerBytes:])
+	if err != nil {
+		return nil, err
+	}
+	if count == 0 {
+		return nil, fmt.Errorf("trace: empty trace")
+	}
+	if got := crc32.ChecksumIEEE(body); got != crc {
+		return nil, fmt.Errorf("trace: body CRC mismatch (got %08x, footer says %08x)", got, crc)
+	}
+	out := &Reader{records: make([]mem.Access, 0, count)}
+	var last [MaxTraceNodes]uint64
+	for off := 0; off < len(body); {
+		a, n, err := decodeV2(body[off:], &last)
+		if err != nil {
+			return nil, fmt.Errorf("trace: record %d: %w", len(out.records), err)
+		}
+		if a.Node > maxNode {
+			return nil, fmt.Errorf("trace: record %d uses node %d but footer says max %d", len(out.records), a.Node, maxNode)
+		}
+		out.records = append(out.records, a)
+		off += n
+	}
+	if uint64(len(out.records)) != count {
+		return nil, fmt.Errorf("trace: decoded %d records but footer says %d", len(out.records), count)
 	}
 	return out, nil
 }
@@ -133,6 +314,31 @@ func (r *Reader) Next() mem.Access {
 	return a
 }
 
+// Fill implements BlockStream: batched Next. Without Loop it returns
+// short counts at the end of the trace and 0 once exhausted.
+func (r *Reader) Fill(buf []mem.Access) int {
+	i := 0
+	for i < len(buf) {
+		if r.pos >= len(r.records) {
+			if !r.Loop {
+				return i
+			}
+			r.pos = 0
+		}
+		n := copy(buf[i:], r.records[r.pos:])
+		i += n
+		r.pos += n
+	}
+	return i
+}
+
+// Clone returns an independent reader continuing the identical sequence
+// from the current position (the records are shared, the cursor is not).
+func (r *Reader) Clone() Stream {
+	cp := *r
+	return &cp
+}
+
 // MaxNode returns the largest node id appearing in the trace.
 func (r *Reader) MaxNode() int {
 	max := 0
@@ -142,4 +348,343 @@ func (r *Reader) MaxNode() int {
 		}
 	}
 	return max
+}
+
+// Summary describes a validated trace file.
+type Summary struct {
+	// Version is the format version (1 or 2).
+	Version int
+	// Count is the number of access records.
+	Count uint64
+	// MaxNode is the largest node id used.
+	MaxNode int
+}
+
+// Validate fully checks a trace file through an io.ReaderAt without
+// loading it into memory: header, every record, and (v2) the footer's
+// count, max-node and CRC against the actual body. This is the ingest
+// gate — once a file passes, FileReader can replay it without
+// re-verifying.
+func Validate(src io.ReaderAt, size int64) (Summary, error) {
+	fr, err := NewFileReader(src, size)
+	if err != nil {
+		return Summary{}, err
+	}
+	var (
+		crc     uint32
+		maxNode int
+		count   uint64
+		last    [MaxTraceNodes]uint64
+	)
+	buf := make([]byte, fileChunkBytes)
+	tail := 0 // undecoded bytes carried from the previous chunk
+	for off := int64(0); off < fr.bodyLen; {
+		want := int64(len(buf) - tail)
+		if rem := fr.bodyLen - off; want > rem {
+			want = rem
+		}
+		n, err := src.ReadAt(buf[tail:tail+int(want)], fr.bodyOff+off)
+		if n != int(want) {
+			return Summary{}, fmt.Errorf("trace: reading body at %d: %w", off, err)
+		}
+		if fr.version == 2 {
+			crc = crc32.Update(crc, crc32.IEEETable, buf[tail:tail+n])
+		}
+		off += int64(n)
+		avail := tail + n
+		pos := 0
+		for {
+			if avail-pos < maxRecordBytes && off < fr.bodyLen {
+				break // record may straddle the chunk boundary; refill
+			}
+			if pos == avail {
+				break
+			}
+			var a mem.Access
+			var rn int
+			if fr.version == 1 {
+				if avail-pos < recordBytes {
+					return Summary{}, fmt.Errorf("trace: torn v1 file: partial trailing record")
+				}
+				rec := buf[pos : pos+recordBytes]
+				kind := mem.Kind(rec[1])
+				if kind > mem.Store {
+					return Summary{}, fmt.Errorf("trace: record %d has invalid kind %d", count, rec[1])
+				}
+				a = mem.Access{Node: int(rec[0])}
+				a.Kind = kind
+				rn = recordBytes
+			} else {
+				var derr error
+				a, rn, derr = decodeV2(buf[pos:avail], &last)
+				if derr != nil {
+					return Summary{}, fmt.Errorf("trace: record %d: %w", count, derr)
+				}
+			}
+			pos += rn
+			count++
+			if a.Node > maxNode {
+				maxNode = a.Node
+			}
+		}
+		copy(buf, buf[pos:avail])
+		tail = avail - pos
+	}
+	if tail != 0 {
+		return Summary{}, fmt.Errorf("trace: %d trailing bytes after the last whole record", tail)
+	}
+	if count != fr.count {
+		return Summary{}, fmt.Errorf("trace: decoded %d records but expected %d", count, fr.count)
+	}
+	if fr.version == 2 {
+		if crc != fr.crc {
+			return Summary{}, fmt.Errorf("trace: body CRC mismatch (got %08x, footer says %08x)", crc, fr.crc)
+		}
+		if maxNode != fr.maxNode {
+			return Summary{}, fmt.Errorf("trace: max node %d does not match footer's %d", maxNode, fr.maxNode)
+		}
+	}
+	return Summary{Version: fr.version, Count: count, MaxNode: maxNode}, nil
+}
+
+// fileChunkBytes is FileReader's read granularity. It bounds the
+// reader's resident memory regardless of trace size: a multi-GiB trace
+// replays through this one buffer.
+const fileChunkBytes = 256 << 10
+
+// FileReader replays a trace file through chunked positional reads —
+// the whole file is never resident, so multi-GiB traces replay with a
+// fixed memory footprint. It implements Stream, BlockStream and Cloner;
+// clones share the underlying io.ReaderAt (concurrent use is safe when
+// the source's ReadAt is, as os.File's is) but carry their own cursor
+// and buffer, which is what lets warm-state snapshots freeze a replay
+// mid-trace.
+type FileReader struct {
+	src     io.ReaderAt
+	version int
+	bodyOff int64
+	bodyLen int64
+	count   uint64
+	maxNode int
+	crc     uint32 // v2 footer CRC (checked by Validate, not per-replay)
+
+	// Loop makes the reader wrap at the end instead of reporting
+	// exhaustion, for warmup+measure windows longer than the trace.
+	Loop bool
+
+	pos  int64  // body offset of the next undecoded byte
+	read uint64 // records decoded this pass
+	last [MaxTraceNodes]uint64
+
+	buf    []byte
+	bufPos int // next undecoded byte within buf
+	bufLen int // valid bytes in buf
+}
+
+// NewFileReader opens a trace file (either version) over a positional
+// reader. The header and (v2) footer are validated here — torn or
+// truncated files are rejected — but the body is only decoded as it is
+// replayed; run Validate first on untrusted files.
+func NewFileReader(src io.ReaderAt, size int64) (*FileReader, error) {
+	var hdr [headerBytes]byte
+	if size < headerBytes {
+		return nil, fmt.Errorf("trace: short file (%d bytes)", size)
+	}
+	if n, err := src.ReadAt(hdr[:], 0); n != headerBytes {
+		return nil, fmt.Errorf("trace: reading header: %w", err)
+	}
+	fr := &FileReader{src: src, bodyOff: headerBytes}
+	switch {
+	case hdr == traceMagic:
+		fr.version = 1
+		fr.bodyLen = size - headerBytes
+		if fr.bodyLen%recordBytes != 0 {
+			return nil, fmt.Errorf("trace: torn v1 file: %d trailing bytes after the last whole record", fr.bodyLen%recordBytes)
+		}
+		fr.count = uint64(fr.bodyLen / recordBytes)
+		fr.maxNode = MaxTraceNodes - 1 // v1 carries no footer; unknown until read
+	case hdr == traceMagicV2:
+		fr.version = 2
+		if size < headerBytes+footerBytes {
+			return nil, fmt.Errorf("trace: missing footer (file is torn, truncated or not a trace)")
+		}
+		var ft [footerBytes]byte
+		if n, err := src.ReadAt(ft[:], size-footerBytes); n != footerBytes {
+			return nil, fmt.Errorf("trace: reading footer: %w", err)
+		}
+		count, maxNode, crc, err := parseFooter(ft[:])
+		if err != nil {
+			return nil, err
+		}
+		fr.bodyLen = size - headerBytes - footerBytes
+		fr.count, fr.maxNode, fr.crc = count, maxNode, crc
+	default:
+		return nil, fmt.Errorf("trace: bad magic %q", hdr[:])
+	}
+	if fr.count == 0 {
+		return nil, fmt.Errorf("trace: empty trace")
+	}
+	return fr, nil
+}
+
+// Len returns the number of records in the trace.
+func (fr *FileReader) Len() uint64 { return fr.count }
+
+// MaxNode returns the largest node id the trace uses (v2; for v1 files
+// it is only an upper bound until the file has been validated).
+func (fr *FileReader) MaxNode() int { return fr.maxNode }
+
+// Version returns the trace format version.
+func (fr *FileReader) Version() int { return fr.version }
+
+// rewind restarts the replay from record zero.
+func (fr *FileReader) rewind() {
+	fr.pos, fr.read = 0, 0
+	fr.last = [MaxTraceNodes]uint64{}
+	fr.bufPos, fr.bufLen = 0, 0
+}
+
+// refill slides the undecoded tail to the buffer's front and reads the
+// next chunk behind it.
+func (fr *FileReader) refill() {
+	if fr.buf == nil {
+		fr.buf = make([]byte, fileChunkBytes)
+	}
+	copy(fr.buf, fr.buf[fr.bufPos:fr.bufLen])
+	fr.bufLen -= fr.bufPos
+	fr.bufPos = 0
+	fileOff := fr.pos + int64(fr.bufLen)
+	want := int64(len(fr.buf) - fr.bufLen)
+	if rem := fr.bodyLen - fileOff; want > rem {
+		want = rem
+	}
+	if want <= 0 {
+		return
+	}
+	n, err := fr.src.ReadAt(fr.buf[fr.bufLen:fr.bufLen+int(want)], fr.bodyOff+fileOff)
+	if int64(n) != want {
+		panic(fmt.Sprintf("trace: reading body at %d: %v", fileOff, err))
+	}
+	fr.bufLen += n
+}
+
+// Fill implements BlockStream. Without Loop it returns short counts at
+// the end of the trace and 0 once exhausted; decode errors panic (run
+// Validate at ingest — replay assumes a structurally sound file).
+func (fr *FileReader) Fill(out []mem.Access) int {
+	i := 0
+	for i < len(out) {
+		if fr.read == fr.count {
+			if !fr.Loop {
+				return i
+			}
+			fr.rewind()
+		}
+		if avail := fr.bufLen - fr.bufPos; avail < maxRecordBytes && int64(avail) < fr.bodyLen-fr.pos {
+			fr.refill()
+		}
+		var a mem.Access
+		var n int
+		if fr.version == 1 {
+			rec := fr.buf[fr.bufPos : fr.bufPos+recordBytes]
+			kind := mem.Kind(rec[1])
+			if kind > mem.Store {
+				panic(fmt.Sprintf("trace: record %d has invalid kind %d", fr.read, rec[1]))
+			}
+			a = mem.Access{
+				Node: int(rec[0]),
+				Kind: kind,
+				Addr: mem.Addr(binary.LittleEndian.Uint64(rec[2:])),
+			}
+			n = recordBytes
+		} else {
+			var err error
+			a, n, err = decodeV2(fr.buf[fr.bufPos:fr.bufLen], &fr.last)
+			if err != nil {
+				panic(fmt.Sprintf("trace: record %d: %v", fr.read, err))
+			}
+		}
+		fr.bufPos += n
+		fr.pos += int64(n)
+		fr.read++
+		out[i] = a
+		i++
+	}
+	return i
+}
+
+// Next implements Stream, wrapping if Loop is set.
+func (fr *FileReader) Next() mem.Access {
+	var one [1]mem.Access
+	if fr.Fill(one[:]) == 0 {
+		panic("trace: replay ran past the end of the trace (set Loop to wrap)")
+	}
+	return one[0]
+}
+
+// Clone implements Cloner: an independent reader continuing the
+// identical sequence from the current position. The clone shares the
+// underlying source but owns its cursor and buffer.
+func (fr *FileReader) Clone() Stream {
+	cp := *fr
+	cp.buf = nil
+	// The clone's cursor is fr.pos with an empty buffer; its first Fill
+	// re-reads from there.
+	cp.bufPos, cp.bufLen = 0, 0
+	return &cp
+}
+
+// ImportCSV converts a textual trace to the v2 binary format. Each line
+// is "node,kind,address": node a small integer, kind one of
+// i/ifetch (instruction fetch), l/load/r/read, or s/store/w/write
+// (case-insensitive), and address decimal or 0x-hex. Blank lines and
+// #-comments are skipped. Returns the number of records written.
+func ImportCSV(r io.Reader, w io.Writer) (uint64, error) {
+	fw, err := NewFileWriter(w)
+	if err != nil {
+		return 0, err
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		parts := strings.Split(line, ",")
+		if len(parts) != 3 {
+			return fw.n, fmt.Errorf("trace: csv line %d: want node,kind,address, got %q", lineNo, line)
+		}
+		node, err := strconv.Atoi(strings.TrimSpace(parts[0]))
+		if err != nil || node < 0 || node >= MaxTraceNodes {
+			return fw.n, fmt.Errorf("trace: csv line %d: bad node %q", lineNo, parts[0])
+		}
+		var kind mem.Kind
+		switch strings.ToLower(strings.TrimSpace(parts[1])) {
+		case "i", "ifetch", "f", "fetch":
+			kind = mem.IFetch
+		case "l", "load", "r", "read":
+			kind = mem.Load
+		case "s", "store", "w", "write":
+			kind = mem.Store
+		default:
+			return fw.n, fmt.Errorf("trace: csv line %d: bad kind %q", lineNo, parts[1])
+		}
+		addr, err := strconv.ParseUint(strings.TrimSpace(parts[2]), 0, 64)
+		if err != nil {
+			return fw.n, fmt.Errorf("trace: csv line %d: bad address %q", lineNo, parts[2])
+		}
+		if err := fw.Append(mem.Access{Node: node, Kind: kind, Addr: mem.Addr(addr)}); err != nil {
+			return fw.n, err
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return fw.n, fmt.Errorf("trace: csv line %d: %w", lineNo, err)
+	}
+	if fw.n == 0 {
+		return 0, fmt.Errorf("trace: empty trace")
+	}
+	return fw.n, fw.Close()
 }

@@ -1,0 +1,376 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"d2m/internal/mem"
+)
+
+// writeV2 builds a v2 trace in memory and returns the encoded bytes.
+func writeV2(t *testing.T, accs []mem.Access) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	fw, err := NewFileWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range accs {
+		if err := fw.Append(a); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := fw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// randomAccesses produces a deterministic pseudo-random access mix over
+// the given node count.
+func randomAccesses(n, nodes int, seed int64) []mem.Access {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]mem.Access, n)
+	for i := range out {
+		out[i] = mem.Access{
+			Node: rng.Intn(nodes),
+			Kind: mem.Kind(rng.Intn(3)),
+			Addr: mem.Addr(rng.Uint64()),
+		}
+	}
+	return out
+}
+
+func TestV2WriteReadRoundTrip(t *testing.T) {
+	want := []mem.Access{
+		{Node: 0, Addr: 0x40, Kind: mem.Load},
+		{Node: 3, Addr: 0x1_0000_0040, Kind: mem.IFetch},
+		{Node: 7, Addr: 0xdeadbeef00, Kind: mem.Store},
+		{Node: 3, Addr: 0x1_0000_0000, Kind: mem.Load}, // negative delta
+		{Node: 0, Addr: 0, Kind: mem.Store},
+	}
+	enc := writeV2(t, want)
+	r, err := ReadTrace(bytes.NewReader(enc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != len(want) || r.MaxNode() != 7 {
+		t.Errorf("Len=%d MaxNode=%d", r.Len(), r.MaxNode())
+	}
+	for i, a := range want {
+		if got := r.Next(); got != a {
+			t.Errorf("record %d: got %v, want %v", i, got, a)
+		}
+	}
+}
+
+func TestV2SmallerThanV1(t *testing.T) {
+	// A strided single-node stream is the format's best case: sequential
+	// per-node deltas encode in 2 bytes.
+	accs := make([]mem.Access, 10_000)
+	for i := range accs {
+		accs[i] = mem.Access{Node: 2, Kind: mem.Load, Addr: mem.Addr(i * 64)}
+	}
+	enc := writeV2(t, accs)
+	v1Size := headerBytes + recordBytes*len(accs)
+	if len(enc) >= v1Size/3 {
+		t.Errorf("v2 encoded %d accesses in %d bytes; v1 would take %d — want at least 3x smaller", len(accs), len(enc), v1Size)
+	}
+}
+
+func TestV2RoundTripProperty(t *testing.T) {
+	f := func(raw []struct {
+		Node uint8
+		Kind uint8
+		Addr uint64
+	}) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		var buf bytes.Buffer
+		fw, _ := NewFileWriter(&buf)
+		var want []mem.Access
+		for _, x := range raw {
+			a := mem.Access{
+				Node: int(x.Node % MaxTraceNodes),
+				Kind: mem.Kind(x.Kind % 3),
+				Addr: mem.Addr(x.Addr),
+			}
+			want = append(want, a)
+			if err := fw.Append(a); err != nil {
+				return false
+			}
+		}
+		if fw.Close() != nil {
+			return false
+		}
+		r, err := ReadTrace(&buf)
+		if err != nil {
+			return false
+		}
+		for _, a := range want {
+			if r.Next() != a {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFileWriterRejectsBadAccesses(t *testing.T) {
+	fw, _ := NewFileWriter(&bytes.Buffer{})
+	if err := fw.Append(mem.Access{Node: MaxTraceNodes}); err == nil {
+		t.Error("node out of range accepted")
+	}
+	fw, _ = NewFileWriter(&bytes.Buffer{})
+	if err := fw.Append(mem.Access{Kind: mem.Kind(7)}); err == nil {
+		t.Error("invalid kind accepted")
+	}
+}
+
+// TestFileReaderMatchesReader is the replay differential: the chunked
+// FileReader must produce byte-identical access sequences to the
+// in-memory Reader, across both Next and blocked Fill, for both format
+// versions.
+func TestFileReaderMatchesReader(t *testing.T) {
+	want := randomAccesses(5000, 8, 1)
+
+	encode := map[string][]byte{}
+	encode["v2"] = writeV2(t, want)
+	var v1 bytes.Buffer
+	w, _ := NewWriter(&v1)
+	for _, a := range want {
+		w.Append(a)
+	}
+	w.Flush()
+	encode["v1"] = v1.Bytes()
+
+	for name, enc := range encode {
+		t.Run(name, func(t *testing.T) {
+			mr, err := ReadTrace(bytes.NewReader(enc))
+			if err != nil {
+				t.Fatal(err)
+			}
+			fr, err := NewFileReader(bytes.NewReader(enc), int64(len(enc)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if fr.Len() != uint64(len(want)) {
+				t.Fatalf("Len = %d, want %d", fr.Len(), len(want))
+			}
+			// Mixed Next / Fill with odd block sizes exercises records
+			// straddling chunk boundaries.
+			buf := make([]mem.Access, 0, 97)
+			i := 0
+			for i < len(want) {
+				if i%5 == 0 {
+					if got := fr.Next(); got != mr.Next() || got != want[i] {
+						t.Fatalf("record %d mismatch: %v want %v", i, got, want[i])
+					}
+					i++
+					continue
+				}
+				n := 97
+				if rem := len(want) - i; n > rem {
+					n = rem
+				}
+				got := buf[:n]
+				if fr.Fill(got) != n {
+					t.Fatalf("short Fill at %d", i)
+				}
+				ref := make([]mem.Access, n)
+				mr.Fill(ref)
+				for k := 0; k < n; k++ {
+					if got[k] != ref[k] || got[k] != want[i+k] {
+						t.Fatalf("record %d mismatch: %v want %v", i+k, got[k], want[i+k])
+					}
+				}
+				i += n
+			}
+			// Exhausted without Loop: Fill returns 0.
+			if n := fr.Fill(buf[:1]); n != 0 {
+				t.Errorf("Fill past end = %d, want 0", n)
+			}
+		})
+	}
+}
+
+func TestFileReaderLoop(t *testing.T) {
+	want := randomAccesses(333, 4, 2)
+	enc := writeV2(t, want)
+	fr, err := NewFileReader(bytes.NewReader(enc), int64(len(enc)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fr.Loop = true
+	for i := 0; i < 3*len(want); i++ {
+		if got := fr.Next(); got != want[i%len(want)] {
+			t.Fatalf("looped record %d: got %v, want %v", i, got, want[i%len(want)])
+		}
+	}
+}
+
+func TestFileReaderNoLoopPanics(t *testing.T) {
+	enc := writeV2(t, []mem.Access{{Node: 1, Addr: 64}})
+	fr, _ := NewFileReader(bytes.NewReader(enc), int64(len(enc)))
+	fr.Next()
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic past end without Loop")
+		}
+	}()
+	fr.Next()
+}
+
+// TestFileReaderCloneMidReplay pins the warm-snapshot contract: a clone
+// taken mid-replay continues the identical sequence, independently of
+// the original, including across a Loop wrap.
+func TestFileReaderCloneMidReplay(t *testing.T) {
+	want := randomAccesses(2000, 8, 3)
+	enc := writeV2(t, want)
+	fr, err := NewFileReader(bytes.NewReader(enc), int64(len(enc)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fr.Loop = true
+	// Advance into the middle (not on a block boundary).
+	for i := 0; i < 1234; i++ {
+		fr.Next()
+	}
+	c1 := fr.Clone().(*FileReader)
+	c2 := fr.Clone().(*FileReader)
+	// All three must agree for longer than the remaining trace (forces a
+	// wrap) and the clones must not disturb each other.
+	for i := 0; i < 3000; i++ {
+		a, b, c := fr.Next(), c1.Next(), c2.Next()
+		if a != b || a != c {
+			t.Fatalf("clone diverged at %d: %v %v %v", i, a, b, c)
+		}
+		if want[(1234+i)%len(want)] != a {
+			t.Fatalf("replay wrong at %d: %v", i, a)
+		}
+	}
+}
+
+func TestV2Rejections(t *testing.T) {
+	good := writeV2(t, randomAccesses(100, 4, 4))
+
+	check := func(name string, mangle func([]byte) []byte) {
+		enc := mangle(append([]byte{}, good...))
+		if _, err := ReadTrace(bytes.NewReader(enc)); err == nil {
+			t.Errorf("%s: ReadTrace accepted", name)
+		}
+		if _, err := Validate(bytes.NewReader(enc), int64(len(enc))); err == nil {
+			t.Errorf("%s: Validate accepted", name)
+		}
+	}
+
+	// Torn: footer missing entirely (crash mid-write).
+	check("missing footer", func(b []byte) []byte { return b[:len(b)-footerBytes] })
+	// Truncated mid-body: footer bytes land where records should be.
+	check("truncated body", func(b []byte) []byte { return b[:len(b)/2] })
+	// Bit rot in the body flips the CRC.
+	check("corrupt body", func(b []byte) []byte { b[headerBytes+3] ^= 0x40; return b })
+	// Footer count lies.
+	check("count mismatch", func(b []byte) []byte {
+		binary.LittleEndian.PutUint64(b[len(b)-8:], 7)
+		return b
+	})
+	// Zero-record file.
+	var empty bytes.Buffer
+	fw, _ := NewFileWriter(&empty)
+	fw.Close()
+	if _, err := ReadTrace(bytes.NewReader(empty.Bytes())); err == nil {
+		t.Error("empty v2 trace accepted")
+	}
+	if _, err := NewFileReader(bytes.NewReader(empty.Bytes()), int64(empty.Len())); err == nil {
+		t.Error("NewFileReader accepted empty trace")
+	}
+
+	// The unmangled file passes both paths.
+	if _, err := ReadTrace(bytes.NewReader(good)); err != nil {
+		t.Errorf("good file rejected: %v", err)
+	}
+	sum, err := Validate(bytes.NewReader(good), int64(len(good)))
+	if err != nil {
+		t.Errorf("good file failed Validate: %v", err)
+	}
+	if sum.Version != 2 || sum.Count != 100 {
+		t.Errorf("Summary = %+v", sum)
+	}
+}
+
+func TestValidateV1(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	for _, a := range randomAccesses(50, 3, 5) {
+		w.Append(a)
+	}
+	w.Flush()
+	sum, err := Validate(bytes.NewReader(buf.Bytes()), int64(buf.Len()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Version != 1 || sum.Count != 50 {
+		t.Errorf("Summary = %+v", sum)
+	}
+	// Torn v1: trailing partial record.
+	torn := append(buf.Bytes(), 0xaa)
+	if _, err := Validate(bytes.NewReader(torn), int64(len(torn))); err == nil {
+		t.Error("torn v1 accepted")
+	}
+}
+
+func TestImportCSV(t *testing.T) {
+	src := strings.Join([]string{
+		"# trace of a toy kernel",
+		"0, i, 0x1000",
+		"0, load, 4096",
+		"1, W, 0x2040",
+		"",
+		"3, read, 0x2080",
+	}, "\n")
+	var bin bytes.Buffer
+	n, err := ImportCSV(strings.NewReader(src), &bin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 4 {
+		t.Errorf("imported %d records, want 4", n)
+	}
+	r, err := ReadTrace(&bin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []mem.Access{
+		{Node: 0, Kind: mem.IFetch, Addr: 0x1000},
+		{Node: 0, Kind: mem.Load, Addr: 4096},
+		{Node: 1, Kind: mem.Store, Addr: 0x2040},
+		{Node: 3, Kind: mem.Load, Addr: 0x2080},
+	}
+	for i, a := range want {
+		if got := r.Next(); got != a {
+			t.Errorf("record %d: got %v, want %v", i, got, a)
+		}
+	}
+
+	for name, bad := range map[string]string{
+		"missing field": "0, load",
+		"bad node":      "x, load, 0x40",
+		"node range":    "64, load, 0x40",
+		"bad kind":      "0, jump, 0x40",
+		"bad addr":      "0, load, banana",
+		"empty":         "# only a comment\n",
+	} {
+		if _, err := ImportCSV(strings.NewReader(bad), &bytes.Buffer{}); err == nil {
+			t.Errorf("%s: accepted %q", name, bad)
+		}
+	}
+}

@@ -12,6 +12,12 @@ const (
 	SuiteMobile   = "Mobile"
 	SuiteServer   = "Server"
 	SuiteDatabase = "Database"
+	// SuiteVector is the strided/vector extras suite: synthetic SIMD
+	// streaming kernels exercising the VectorLines spatial-locality knob.
+	// It is NOT part of Suites() or Names() — the paper's catalog stays
+	// at its five suites — but its members resolve through ByName and
+	// BySuite like any benchmark.
+	SuiteVector = "Vector"
 )
 
 // Suites returns the five suite names in the paper's presentation order.
@@ -122,7 +128,46 @@ var serverNames = []string{"mix1", "mix2", "mix3", "mix4"}
 
 var databaseNames = []string{"tpc-c"}
 
+// vectorTemplate is the base spec of the Vector extras: a
+// streaming-dominated kernel whose spatial pattern is set per member
+// by vectorShape (VectorLines burst length × StrideLines walk stride).
+func vectorTemplate() Spec {
+	return Spec{
+		Suite: SuiteVector, SharedCode: true,
+		CodeBytes: 32 * kb, HotCodeBytes: 8 * kb,
+		HotJumpFrac: 0.9995, RejumpFrac: 0.30, JumpProb: 0.02,
+		DataFrac: 0.65, WriteFrac: 0.25, RepeatFrac: 0.30,
+		HotDataBytes: 12 * kb, HotDataFrac: 0.98,
+		WarmBytes: 64 * kb, WarmFrac: 0.94, PrivateWS: 8 * mb,
+		SharedFrac: 0.06, SharedHotBytes: 8 * kb, SharedHotFrac: 0.975,
+		SharedWS: 8 * mb, SharedWriteFrac: 0.01,
+		StreamFrac: 0.45, StreamBytes: 32 * mb, StrideLines: 1, StreamReuse: 8,
+	}
+}
+
+var vectorNames = []string{"vec-dense", "vec-tile4", "vec-stride16", "vec-scatter"}
+
+// vectorShape sets each Vector member's spatial-locality point, from
+// fully dense unit-stride bursts down to cache-hostile scatter.
+func vectorShape(sp *Spec) {
+	switch sp.Name {
+	case "vec-dense":
+		// Long unit-stride bursts: the friendliest possible layout.
+		sp.VectorLines, sp.StrideLines = 16, 1
+	case "vec-tile4":
+		// 4-line tiles separated by a 4-line hop (blocked kernels).
+		sp.VectorLines, sp.StrideLines = 4, 4
+	case "vec-stride16":
+		// Short 2-line touches 16 lines apart (column-major walks).
+		sp.VectorLines, sp.StrideLines = 2, 16
+	case "vec-scatter":
+		// Single-line touches 128 lines apart: near-random spatially.
+		sp.VectorLines, sp.StrideLines = 1, 128
+	}
+}
+
 var catalog []*Spec
+var vectorCatalog []*Spec
 var byName map[string]*Spec
 
 func init() {
@@ -141,8 +186,16 @@ func init() {
 	add(mobileNames, mobileTemplate)
 	add(serverNames, serverTemplate)
 	add(databaseNames, databaseTemplate)
-	byName = make(map[string]*Spec, len(catalog))
-	for _, sp := range catalog {
+	for _, name := range vectorNames {
+		sp := vectorTemplate()
+		sp.Name = name
+		sp.Seed = hashName(name)
+		jitter(&sp)
+		vectorShape(&sp)
+		vectorCatalog = append(vectorCatalog, &sp)
+	}
+	byName = make(map[string]*Spec, len(catalog)+len(vectorCatalog))
+	for _, sp := range append(All(), vectorCatalog...) {
 		if _, dup := byName[sp.Name]; dup {
 			panic(fmt.Sprintf("workloads: duplicate benchmark %q", sp.Name))
 		}
@@ -234,13 +287,29 @@ func All() []*Spec {
 	return out
 }
 
-// BySuite returns the suite's benchmarks.
+// BySuite returns the suite's benchmarks (including the Vector extras
+// when asked for by name).
 func BySuite(suite string) []*Spec {
+	if suite == SuiteVector {
+		out := make([]*Spec, len(vectorCatalog))
+		copy(out, vectorCatalog)
+		return out
+	}
 	var out []*Spec
 	for _, sp := range catalog {
 		if sp.Suite == suite {
 			out = append(out, sp)
 		}
+	}
+	return out
+}
+
+// VectorNames returns the Vector extras suite's benchmark names, in
+// catalog order.
+func VectorNames() []string {
+	out := make([]string, len(vectorCatalog))
+	for i, sp := range vectorCatalog {
+		out[i] = sp.Name
 	}
 	return out
 }

@@ -92,6 +92,14 @@ type Spec struct {
 	StreamBytes int
 	StrideLines int
 	StreamReuse int
+	// VectorLines models vector/SIMD streaming kernels: each stream
+	// step touches this many consecutive cachelines (the vector length,
+	// in lines) before the walk advances by StrideLines. Together with
+	// StrideLines it is the spatial-locality knob of the Vector suite —
+	// unit-stride long vectors maximize line reuse, large strides with
+	// short vectors defeat it. 0 and 1 both mean scalar streaming
+	// (every step advances by the stride), the pre-Vector behaviour.
+	VectorLines int
 
 	// Migratory lines: read-modify-written by different nodes in turn.
 	MigratoryLines int
@@ -113,6 +121,7 @@ type stream struct {
 
 	streamPtr  mem.LineAddr
 	streamUses int
+	burstLeft  int // consecutive lines left in the current vector burst
 
 	// Region cursors give the cold pools the spatial locality real
 	// programs have: several nearby lines are touched before moving to
@@ -172,7 +181,11 @@ func (c *regionCursor) pick(r *mem.RNG, base mem.Addr, bytes int) mem.Addr {
 		} else {
 			c.region = (base + mem.Addr(r.Intn(regions))*mem.RegionBytes).Region()
 			c.history[c.histPos] = c.region
-			c.histPos = (c.histPos + 1) % len(c.history)
+			// Wraparound compare instead of modulo (hot-path divide).
+			c.histPos++
+			if c.histPos == len(c.history) {
+				c.histPos = 0
+			}
 			if c.hist < len(c.history) {
 				c.hist++
 			}
@@ -209,6 +222,52 @@ func (st *stream) Clone() trace.Stream {
 	cp := *st
 	cp.rng = st.rng.Clone()
 	return &cp
+}
+
+// Fill implements trace.BlockStream: a batched Next. The block path
+// exists so the interleaver and engine pay one dynamic dispatch per
+// block instead of one per access; the generated sequence is exactly
+// Next's — the loop below draws in the same order Next does (jump
+// decision, fetch, data decision, data draw), stashing a data access
+// that falls past the buffer into pending exactly as Next would leave
+// it. Generator streams are infinite and node-independent, so Fill
+// always fills the whole buffer and staging blocks per node is safe.
+func (st *stream) Fill(buf []mem.Access) int {
+	sp := st.spec
+	r := st.rng
+	node := st.node
+	i := 0
+	if st.hasPending && len(buf) > 0 {
+		st.hasPending = false
+		buf[i] = st.pending
+		i++
+	}
+	pc, runLeft := st.pc, st.runLeft
+	for i < len(buf) {
+		if runLeft <= 0 || r.Bool(sp.JumpProb) {
+			t := st.jumpTarget(false)
+			st.targets[r.Intn(2)] = t
+			pc = t
+			runLeft = 2 + r.Intn(11)
+		}
+		buf[i] = mem.Access{Node: node, Addr: pc.Addr(), Kind: mem.IFetch}
+		i++
+		pc++
+		runLeft--
+
+		if r.Bool(sp.DataFrac) {
+			a := st.dataAccess()
+			if i < len(buf) {
+				buf[i] = a
+				i++
+			} else {
+				st.pending = a
+				st.hasPending = true
+			}
+		}
+	}
+	st.pc, st.runLeft = pc, runLeft
+	return len(buf)
 }
 
 func hashName(name string) uint64 {
@@ -341,10 +400,20 @@ func (st *stream) freshData() mem.Access {
 			if stride < 1 {
 				stride = 1
 			}
-			st.streamPtr += mem.LineAddr(stride)
+			if st.burstLeft > 0 {
+				// Continue the vector burst: the next consecutive line.
+				st.burstLeft--
+				st.streamPtr++
+			} else {
+				st.streamPtr += mem.LineAddr(stride)
+				if sp.VectorLines > 1 {
+					st.burstLeft = sp.VectorLines - 1
+				}
+			}
 			limit := st.streamStart() + mem.LineAddr(maxInt(sp.StreamBytes/mem.LineBytes, 1))
 			if st.streamPtr >= limit {
 				st.streamPtr = st.streamStart() + mem.LineAddr(r.Intn(stride))
+				st.burstLeft = 0
 			}
 		}
 		if r.Bool(sp.WriteFrac) {

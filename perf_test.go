@@ -7,7 +7,12 @@ package d2m
 // D2M_BENCH_OUT (the repo's BENCH_core.json) so later PRs can track
 // regressions:
 //
-//	D2M_BENCH_OUT=BENCH_core.json go test -run '^$' -bench BenchmarkEngineHotPath .
+//	D2M_BENCH_OUT=BENCH_core.json go test -run '^$' -bench 'BenchmarkEngineHotPath|BenchmarkTraceReplay' .
+//
+// BenchmarkTraceReplay measures the same engine fed from a stored
+// binary trace (the "trace:<id>" benchmark path: chunked FileReader
+// replay through the block pipeline) and journals
+// trace_replay_accesses_per_sec alongside.
 //
 // TestEngineAllocBudget and TestReplicateParallelDeterministic are the
 // regression guards for the two optimizations the numbers come from:
@@ -16,6 +21,7 @@ package d2m
 // serial aggregation.
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
@@ -34,8 +40,12 @@ var coreBench = struct {
 func TestMain(m *testing.M) {
 	code := m.Run()
 	if out := os.Getenv("D2M_BENCH_OUT"); out != "" && len(coreBench.m) > 0 {
+		bench := "BenchmarkEngineHotPath"
+		if _, ok := coreBench.m["trace_replay_accesses_per_sec"]; ok {
+			bench += ",BenchmarkTraceReplay"
+		}
 		payload := map[string]interface{}{
-			"benchmark": "BenchmarkEngineHotPath",
+			"benchmark": bench,
 			"workload":  hotPathWorkload,
 			"metrics":   coreBench.m,
 		}
@@ -81,6 +91,69 @@ func BenchmarkEngineHotPath(b *testing.B) {
 	// Benchmarks ramp b.N upward; the last (largest) run wins.
 	coreBench.m["accesses_per_sec_cold"] = accPerSec
 	coreBench.m["allocs_per_access"] = allocsPerAccess
+	coreBench.Unlock()
+}
+
+// traceBenchSetup builds the stored trace BenchmarkTraceReplay replays:
+// a 200k-access tpc-c capture, recorded and imported once per process.
+var traceBenchSetup struct {
+	sync.Once
+	dir   string
+	bench string
+	err   error
+}
+
+// BenchmarkTraceReplay drives the same cold D2M-NS-R configuration as
+// BenchmarkEngineHotPath, but fed from a stored binary trace through
+// the "trace:<id>" benchmark path — content-addressed lookup, chunked
+// FileReader decode (varint-delta records), Loop wrap — so the number
+// is the end-to-end replay throughput CI gates as
+// trace_replay_accesses_per_sec.
+func BenchmarkTraceReplay(b *testing.B) {
+	s := &traceBenchSetup
+	s.Do(func() {
+		s.dir, s.err = os.MkdirTemp("", "d2m-bench-trace-")
+		if s.err != nil {
+			return
+		}
+		if s.err = SetTraceDir(s.dir); s.err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if _, s.err = RecordTrace("tpc-c", 2, 200_000, &buf); s.err != nil {
+			return
+		}
+		var info TraceInfo
+		if info, s.err = ImportTrace(&buf, "bench-capture"); s.err != nil {
+			return
+		}
+		s.bench = TracePrefix + info.ID
+	})
+	if s.err != nil {
+		b.Fatal(s.err)
+	}
+	// Tests may have reinstalled or cleared the process-wide library;
+	// point it back at the benchmark's store.
+	if err := SetTraceDir(s.dir); err != nil {
+		b.Fatal(err)
+	}
+	opt := Options{Nodes: 2, Warmup: 2000, Measure: b.N}
+	if opt.Measure < 1 {
+		opt.Measure = 1
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	start := time.Now()
+	if _, err := runSim(D2MNSR, s.bench, opt); err != nil {
+		b.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	b.StopTimer()
+
+	accPerSec := float64(opt.Measure) / elapsed.Seconds()
+	b.ReportMetric(accPerSec, "accesses/s")
+	coreBench.Lock()
+	coreBench.m["trace_replay_accesses_per_sec"] = accPerSec
 	coreBench.Unlock()
 }
 

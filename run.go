@@ -550,8 +550,21 @@ func Benchmarks() []string { return workloads.Names() }
 // Suites returns the five suite names.
 func Suites() []string { return workloads.Suites() }
 
-// SuiteOf returns the suite of a benchmark.
+// SuiteVector is the strided/vector extras suite: synthetic SIMD
+// streaming kernels outside the paper's five-suite catalog (not in
+// Suites() or Benchmarks()), resolvable by name like any benchmark and
+// advertised separately in the service's capabilities.
+const SuiteVector = workloads.SuiteVector
+
+// SuiteOf returns the suite of a benchmark: the catalog suite, or
+// SuiteTrace for a stored-trace reference ("trace:<id>").
 func SuiteOf(bench string) (string, bool) {
+	if id, ok := traceName(bench); ok {
+		if _, ok := TraceByID(id); ok {
+			return SuiteTrace, true
+		}
+		return "", false
+	}
 	sp, ok := workloads.ByName(bench)
 	if !ok {
 		return "", false
@@ -569,8 +582,9 @@ func BenchmarksOf(suite string) []string {
 }
 
 // RecordTrace generates a benchmark's access stream (interleaved across
-// nodes) and writes it as a binary trace file, usable with RunTrace or
-// external tools.
+// nodes) and writes it as a v2 binary trace file (varint-delta records,
+// CRC-protected footer), usable with RunTrace, ImportTrace or external
+// tools.
 func RecordTrace(bench string, nodes, accesses int, w io.Writer) (int, error) {
 	sp, ok := workloads.ByName(bench)
 	if !ok {
@@ -582,17 +596,17 @@ func RecordTrace(bench string, nodes, accesses int, w io.Writer) (int, error) {
 	if accesses < 1 {
 		return 0, fmt.Errorf("d2m: accesses = %d", accesses)
 	}
-	tw, err := trace.NewWriter(w)
+	fw, err := trace.NewFileWriter(w)
 	if err != nil {
 		return 0, err
 	}
 	iv := trace.NewInterleaver(sp.Streams(nodes))
 	for i := 0; i < accesses; i++ {
-		if err := tw.Append(iv.Next()); err != nil {
+		if err := fw.Append(iv.Next()); err != nil {
 			return i, err
 		}
 	}
-	return accesses, tw.Flush()
+	return accesses, fw.Close()
 }
 
 // RunTrace replays a recorded trace against a configuration. The trace

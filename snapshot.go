@@ -9,7 +9,6 @@ import (
 	"d2m/internal/energy"
 	"d2m/internal/sim"
 	"d2m/internal/trace"
-	"d2m/internal/workloads"
 )
 
 // Warm-state snapshots amortize warmup across runs: every simulation
@@ -62,13 +61,14 @@ type WarmSnapshot struct {
 	core *core.Snapshot
 	base *baseline.Snapshot
 
-	// iv is the post-warmup stream, cloned at capture time while the
-	// capturing run went on consuming the original. Nil when the
-	// workload's streams cannot be cloned (closure-driven kernel
-	// emitters); restores then rebuild the stream and replay the
-	// warmup draws, which is deterministic and still far cheaper than
-	// simulating them.
-	iv *trace.Interleaver
+	// src is the post-warmup stream, cloned at capture time while the
+	// capturing run went on consuming the original — an interleaver
+	// over generator streams, or a trace.Cloner such as the file reader
+	// replaying a stored trace. Nil when the workload's streams cannot
+	// be cloned (closure-driven kernel emitters); restores then rebuild
+	// the stream and replay the warmup draws, which is deterministic
+	// and still far cheaper than simulating them.
+	src trace.Stream
 
 	bytes int64
 }
@@ -125,16 +125,15 @@ func warmKey(kind Kind, scope string, opt Options) string {
 // scratch.
 func runSingle(ctx context.Context, kind Kind, bench string, opt Options, wc WarmCache) (Result, error) {
 	opt = opt.withDefaults()
-	sp, ok := workloads.ByName(bench)
-	if !ok {
-		return Result{}, fmt.Errorf("d2m: unknown benchmark %q (see Benchmarks())", bench)
+	name, suite, mk, err := benchStream(bench, opt)
+	if err != nil {
+		return Result{}, err
 	}
 	if err := opt.Validate(); err != nil {
 		return Result{}, err
 	}
-	res := Result{Kind: kind, Benchmark: sp.Name, Suite: sp.Suite}
-	mk := func() trace.Stream { return trace.NewInterleaver(specStreams(sp, opt)) }
-	if err := res.runWarm(ctx, kind, opt, warmKey(kind, "bench:"+sp.Name, opt), mk, wc); err != nil {
+	res := Result{Kind: kind, Benchmark: name, Suite: suite}
+	if err := res.runWarm(ctx, kind, opt, warmKey(kind, "bench:"+name, opt), mk, wc); err != nil {
 		return Result{}, err
 	}
 	return res, nil
@@ -214,12 +213,18 @@ func warmedStream(ctx context.Context, engine *sim.Engine, snap *WarmSnapshot, m
 		}
 		return src, nil
 	}
-	if snap.iv != nil {
-		cp, ok := snap.iv.Clone()
-		if !ok {
-			panic("d2m: stored warm stream lost cloneability")
+	if snap.src != nil {
+		switch s := snap.src.(type) {
+		case *trace.Interleaver:
+			cp, ok := s.Clone()
+			if !ok {
+				panic("d2m: stored warm stream lost cloneability")
+			}
+			return cp, nil
+		case trace.Cloner:
+			return s.Clone(), nil
 		}
-		return cp, nil
+		panic("d2m: stored warm stream lost cloneability")
 	}
 	src := mkStream()
 	for i := 0; i < snap.warmup; i++ {
@@ -234,10 +239,15 @@ func warmedStream(ctx context.Context, engine *sim.Engine, snap *WarmSnapshot, m
 // finish records the post-warmup stream position (cloning it when the
 // streams support cloning) and totals the snapshot's byte footprint.
 func (ws *WarmSnapshot) finish(src trace.Stream) {
-	if iv, ok := src.(*trace.Interleaver); ok {
-		if cp, ok := iv.Clone(); ok {
-			ws.iv = cp
+	switch s := src.(type) {
+	case *trace.Interleaver:
+		// Interleaver's Clone reports cloneability separately, so it is
+		// matched before the generic Cloner interface.
+		if cp, ok := s.Clone(); ok {
+			ws.src = cp
 		}
+	case trace.Cloner:
+		ws.src = s.Clone()
 	}
 	ws.bytes = streamOverheadBytes
 	if ws.core != nil {

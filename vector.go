@@ -6,8 +6,6 @@ import (
 
 	"d2m/internal/energy"
 	"d2m/internal/sim"
-	"d2m/internal/trace"
-	"d2m/internal/workloads"
 )
 
 // The vector engine: RunGroup executes a lane group — K RunSpecs that
@@ -100,9 +98,9 @@ func RunGroup(ctx context.Context, lanes []GroupLane) ([]LaneOutcome, error) {
 
 	spec0 := lanes[0].Spec
 	opt0 := spec0.Options.withDefaults()
-	sp, ok := workloads.ByName(spec0.Benchmark)
-	if !ok {
-		return nil, fmt.Errorf("d2m: unknown benchmark %q (see Benchmarks())", spec0.Benchmark)
+	benchName, benchSuite, mk, err := benchStream(spec0.Benchmark, opt0)
+	if err != nil {
+		return nil, err
 	}
 	if err := opt0.Validate(); err != nil {
 		return nil, err
@@ -123,8 +121,7 @@ func RunGroup(ctx context.Context, lanes []GroupLane) ([]LaneOutcome, error) {
 	outs := make([]LaneOutcome, len(lanes))
 	captured := make([]bool, len(lanes))
 	active := func(i int) bool { return laneCtx(i).Err() == nil }
-	key := warmKey(spec0.Kind, "bench:"+sp.Name, opt0)
-	mk := func() trace.Stream { return trace.NewInterleaver(specStreams(sp, opt0)) }
+	key := warmKey(spec0.Kind, "bench:"+benchName, opt0)
 
 	// Mirror runWarm's per-kind template with MeasureLanes in place of
 	// Measure: the sink extracts each lane's Result from the shared
@@ -153,7 +150,7 @@ func RunGroup(ctx context.Context, lanes []GroupLane) ([]LaneOutcome, error) {
 			wc.PutWarm(ws)
 		}
 		sink := func(lane int, rep sim.Report) {
-			r := Result{Kind: spec0.Kind, Benchmark: sp.Name, Suite: sp.Suite}
+			r := Result{Kind: spec0.Kind, Benchmark: benchName, Suite: benchSuite}
 			r.fillCommon(rep)
 			r.fillBaseline(s, rep)
 			r.applyBandwidth(lanes[lane].Spec.Options.withDefaults(), s.Meter().Count(energy.OpNoCFlit))
@@ -181,7 +178,7 @@ func RunGroup(ctx context.Context, lanes []GroupLane) ([]LaneOutcome, error) {
 			wc.PutWarm(ws)
 		}
 		sink := func(lane int, rep sim.Report) {
-			r := Result{Kind: spec0.Kind, Benchmark: sp.Name, Suite: sp.Suite}
+			r := Result{Kind: spec0.Kind, Benchmark: benchName, Suite: benchSuite}
 			r.fillCommon(rep)
 			r.fillCore(s, rep, spec0.Kind)
 			r.applyBandwidth(lanes[lane].Spec.Options.withDefaults(), s.Meter().Count(energy.OpNoCFlit))

@@ -49,6 +49,10 @@ type WorkloadSpec struct {
 	StreamBytes int     `json:"stream_bytes"`
 	StrideLines int     `json:"stride_lines"`
 	StreamReuse int     `json:"stream_reuse"`
+	// VectorLines models vector/SIMD streaming: each stream touch reads
+	// this many consecutive lines before the walk advances by
+	// StrideLines. 0 and 1 both mean single-line touches.
+	VectorLines int `json:"vector_lines"`
 
 	MigratoryLines int     `json:"migratory_lines"`
 	MigratoryFrac  float64 `json:"migratory_frac"`
@@ -81,7 +85,8 @@ func (w WorkloadSpec) Validate() error {
 		"private_ws": w.PrivateWS, "shared_hot_bytes": w.SharedHotBytes,
 		"shared_ws": w.SharedWS, "stream_bytes": w.StreamBytes,
 		"warm_stride_lines": w.WarmStrideLines, "stride_lines": w.StrideLines,
-		"stream_reuse": w.StreamReuse, "migratory_lines": w.MigratoryLines,
+		"stream_reuse": w.StreamReuse, "vector_lines": w.VectorLines,
+		"migratory_lines": w.MigratoryLines,
 	} {
 		if v < 0 {
 			return fmt.Errorf("d2m: workload %q: %s = %d negative", w.Name, name, v)
@@ -132,6 +137,7 @@ func (w WorkloadSpec) toInternal() *workloads.Spec {
 		SharedWriteFrac: w.SharedWriteFrac,
 		StreamFrac:      w.StreamFrac, StreamBytes: w.StreamBytes,
 		StrideLines: w.StrideLines, StreamReuse: w.StreamReuse,
+		VectorLines:    w.VectorLines,
 		MigratoryLines: w.MigratoryLines, MigratoryFrac: w.MigratoryFrac,
 	}
 }
