@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strings"
 
 	"d2m"
 )
@@ -23,7 +24,7 @@ func main() {
 	var (
 		bench   = flag.String("bench", "tpc-c", "benchmark name (see -list)")
 		kernel  = flag.String("kernel", "", "run an algorithmic kernel instead of a benchmark (see -list)")
-		kindStr = flag.String("kind", "d2m-ns-r", "system kind: base-2l, base-3l, d2m-fs, d2m-ns, d2m-ns-r, d2m-hybrid")
+		kindStr = flag.String("kind", "d2m-ns-r", "system kind: "+strings.Join(d2m.KindNames(), ", "))
 		nodes   = flag.Int("nodes", 8, "number of cores (1..8)")
 		warmup  = flag.Int("warmup", 200_000, "warmup accesses (untimed)")
 		measure = flag.Int("measure", 800_000, "measured accesses")

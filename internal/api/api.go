@@ -20,7 +20,14 @@ import (
 // Revision is the wire API revision served by shards and gateway alike,
 // reported by GET /v1/capabilities. Gateways refuse to route to shards
 // whose revision differs.
-const Revision = "v1.7"
+const Revision = "v1.8"
+
+// KindNames is the single source of truth for the kind list every
+// transport advertises: the capabilities document, the gateway's peer
+// prober and the CLI help text all read this. It is derived from the
+// root package's registry-backed list, so registering a mechanism is
+// the only step needed to advertise it fleet-wide.
+func KindNames() []string { return d2m.KindNames() }
 
 // Engine names accepted by the "engine" request hint. EngineAuto (or
 // an empty string) lets the scheduler choose; the scalar and vector

@@ -131,11 +131,29 @@ func (t *Table) VictimWay(set int) int {
 // metadata replacement policies ("the replacement policy can favor
 // choosing regions with few cachelines present", §II-A).
 func (t *Table) VictimWayScored(set int, score func(way int) int) int {
+	return t.VictimWayScoredIn(set, t.ways, score)
+}
+
+// VictimWayIn is VictimWay restricted to the first ways ways of the
+// set, for callers that mask off part of the associativity (adaptive
+// way repartitioning).
+func (t *Table) VictimWayIn(set, ways int) int {
+	return t.VictimWayScoredIn(set, ways, nil)
+}
+
+// VictimWayScoredIn is VictimWayScored restricted to the first ways
+// ways of the set: ways outside the active prefix are never offered as
+// victims, so a store whose associativity was partially deactivated
+// keeps allocating only within its active ways.
+func (t *Table) VictimWayScoredIn(set, ways int, score func(way int) int) int {
+	if ways <= 0 || ways > t.ways {
+		ways = t.ways
+	}
 	base := set * t.ways
 	best := -1
 	bestScore := 0
 	var bestStamp uint64
-	for w := 0; w < t.ways; w++ {
+	for w := 0; w < ways; w++ {
 		if !t.valid[base+w] {
 			return w
 		}

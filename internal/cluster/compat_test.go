@@ -15,8 +15,9 @@ import (
 )
 
 // fakeShard serves /readyz 200 and /v1/capabilities at an arbitrary
-// API revision — a stand-in for a shard running a different build.
-func fakeShard(t *testing.T, revision string) (*httptest.Server, *atomic.Int64) {
+// API revision and kind list — a stand-in for a shard running a
+// different build.
+func fakeShard(t *testing.T, revision string, kinds []string) (*httptest.Server, *atomic.Int64) {
 	t.Helper()
 	var runs atomic.Int64
 	mux := http.NewServeMux()
@@ -24,7 +25,7 @@ func fakeShard(t *testing.T, revision string) (*httptest.Server, *atomic.Int64) 
 		fmt.Fprint(w, `{"status":"ok"}`)
 	})
 	mux.HandleFunc("GET /v1/capabilities", func(w http.ResponseWriter, r *http.Request) {
-		json.NewEncoder(w).Encode(api.Capabilities{APIRevision: revision})
+		json.NewEncoder(w).Encode(api.Capabilities{APIRevision: revision, Kinds: kinds})
 	})
 	mux.HandleFunc("POST /v1/run", func(w http.ResponseWriter, r *http.Request) {
 		runs.Add(1)
@@ -39,7 +40,7 @@ func fakeShard(t *testing.T, revision string) (*httptest.Server, *atomic.Int64) 
 // /v1/capabilities once; a shard speaking a different API revision is
 // marked Down and never routed to, even though its /readyz says 200.
 func TestGatewayRejectsRevisionMismatch(t *testing.T) {
-	old, oldRuns := fakeShard(t, "v1.4")
+	old, oldRuns := fakeShard(t, "v1.4", api.KindNames())
 	pGood, _, _ := newShard(t, "good", service.Config{Workers: 1})
 
 	var (
@@ -94,6 +95,26 @@ func TestGatewayRejectsRevisionMismatch(t *testing.T) {
 	time.Sleep(250 * time.Millisecond)
 	if st := g.peers.stateOf("old"); st != PeerDown {
 		t.Errorf("mismatched peer state after re-probe = %s, want down", st)
+	}
+}
+
+// TestGatewayRejectsStaleKindList: a shard speaking the right API
+// revision but advertising an older mechanism registry (missing
+// kinds) is marked Down — the gateway would otherwise route adaptive
+// jobs to a shard that 400s them.
+func TestGatewayRejectsStaleKindList(t *testing.T) {
+	stale := api.KindNames()[:4] // pre-registry build: first four kinds only
+	old, _ := fakeShard(t, api.Revision, stale)
+	pGood, _, _ := newShard(t, "good", service.Config{Workers: 1})
+
+	g, _ := newGatewayServer(t, Config{
+		Peers: []Peer{{Name: "old", URL: old.URL}, pGood},
+	})
+	if st := g.peers.stateOf("old"); st != PeerDown {
+		t.Errorf("stale-kind peer state = %s, want down", st)
+	}
+	if st := g.peers.stateOf("good"); st != PeerUp {
+		t.Errorf("full-registry peer state = %s, want up", st)
 	}
 }
 

@@ -211,14 +211,17 @@ func probe(ctx context.Context, client *http.Client, p Peer) PeerState {
 	return PeerDraining
 }
 
-// verifyPeer checks an Up peer's API revision once: the gateway
+// verifyPeer checks an Up peer's compatibility once: the gateway
 // fetches its /v1/capabilities and compares api_revision against its
-// own. A mismatched shard is kept out of the ring (Down) — routing to
-// it would relay responses in a shape the gateway does not speak —
-// and the mismatch is logged. The verdict is cached per peer, so the
-// fleet pays one capabilities fetch per shard, not one per probe
-// round; a fetch that fails outright reads as Down and is retried on
-// the next round.
+// own, and checks the peer advertises every kind the gateway routes
+// (a shard built against an older mechanism registry would 400 any
+// request for a kind it does not know, after the gateway already
+// admitted it). A mismatched shard is kept out of the ring (Down) —
+// routing to it would relay responses in a shape the gateway does not
+// speak — and the mismatch is logged. The verdict is cached per peer,
+// so the fleet pays one capabilities fetch per shard, not one per
+// probe round; a fetch that fails outright reads as Down and is
+// retried on the next round.
 func (g *Gateway) verifyPeer(ctx context.Context, p Peer) PeerState {
 	g.compatMu.Lock()
 	ok, seen := g.compatOK[p.Name]
@@ -238,15 +241,38 @@ func (g *Gateway) verifyPeer(ctx context.Context, p Peer) PeerState {
 		return PeerDown
 	}
 	compatible := caps.APIRevision == api.Revision
+	if !compatible {
+		g.logf("peer %s is incompatible: api_revision %q != gateway %q; marking down",
+			p.Name, caps.APIRevision, api.Revision)
+	} else if missing := missingKinds(caps.Kinds); len(missing) > 0 {
+		compatible = false
+		g.logf("peer %s is incompatible: kinds %v not advertised; marking down",
+			p.Name, missing)
+	}
 	g.compatMu.Lock()
 	g.compatOK[p.Name] = compatible
 	g.compatMu.Unlock()
 	if !compatible {
-		g.logf("peer %s is incompatible: api_revision %q != gateway %q; marking down",
-			p.Name, caps.APIRevision, api.Revision)
 		return PeerDown
 	}
 	return PeerUp
+}
+
+// missingKinds returns the gateway's kinds that a peer's advertised
+// list lacks (empty when the peer covers all of them; extra peer-side
+// kinds are fine — the gateway simply never routes them).
+func missingKinds(peerKinds []string) []string {
+	have := make(map[string]bool, len(peerKinds))
+	for _, k := range peerKinds {
+		have[k] = true
+	}
+	var missing []string
+	for _, k := range api.KindNames() {
+		if !have[k] {
+			missing = append(missing, k)
+		}
+	}
+	return missing
 }
 
 // probeAll probes every peer once, concurrently, and applies the

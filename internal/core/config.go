@@ -76,6 +76,34 @@ type Config struct {
 	// retaining the benefits of inclusion for other data".
 	CacheBypass bool
 
+	// AdaptiveWays enables online capacity repartitioning between each
+	// node's L1-D data store and its MD1-D metadata store (the
+	// d2m-adaptive mechanism): both keep their full geometry, but only
+	// an "active" prefix of ways is usable on each side, and the split
+	// is re-balanced at every epoch boundary toward whichever side
+	// missed more during the interval (in the spirit of Graphite's
+	// evolveNaive I/D repartitioner). The active budget is
+	// AdaptiveWayBudget ways total, each side within
+	// [AdaptiveMinWays, AdaptiveMaxWays].
+	AdaptiveWays bool
+	// EpochLen is the repartitioning interval in accesses (zero selects
+	// DefaultEpochLen). Only meaningful with AdaptiveWays.
+	EpochLen int
+
+	// LevelPred enables the per-region cache-level predictor (the
+	// d2m-levelpred mechanism): each node predicts, per region, the
+	// level that served the region's last access and issues a
+	// speculative parallel data lookup next to the MD walk. A correct
+	// prediction overlaps the metadata and data latencies (the shorter
+	// of the two comes off the critical path); a wrong one pays the
+	// wasted probe's energy but no extra latency. Deterministic LI makes
+	// the speculation safe: the probe can never observe stale data,
+	// because the LI walked in parallel still validates the location.
+	LevelPred bool
+	// PredEntries sizes each node's direct-mapped predictor table (a
+	// power of two; zero selects DefaultPredEntries).
+	PredEntries int
+
 	// Topology selects the interconnect model (nil = crossbar, the
 	// calibrated default). Near-side locality gains grow on ring/mesh
 	// topologies, where distance varies with placement.
@@ -128,6 +156,37 @@ func (c Config) Validate() error {
 		return fmt.Errorf("core: Replication requires NearSide")
 	case c.LockBits < 0:
 		return fmt.Errorf("core: LockBits = %d negative", c.LockBits)
+	case c.AdaptiveWays && c.L1Ways < AdaptiveMaxWays:
+		return fmt.Errorf("core: AdaptiveWays needs L1Ways >= %d, have %d", AdaptiveMaxWays, c.L1Ways)
+	case c.AdaptiveWays && c.MD1Ways < AdaptiveMaxWays:
+		return fmt.Errorf("core: AdaptiveWays needs MD1Ways >= %d, have %d", AdaptiveMaxWays, c.MD1Ways)
+	case c.EpochLen < 0:
+		return fmt.Errorf("core: EpochLen = %d negative", c.EpochLen)
+	case c.PredEntries < 0 || (c.PredEntries > 0 && c.PredEntries&(c.PredEntries-1) != 0):
+		return fmt.Errorf("core: PredEntries = %d, want a power of two", c.PredEntries)
 	}
 	return nil
 }
+
+// Adaptive way-repartitioning parameters (Config.AdaptiveWays): each
+// node splits AdaptiveWayBudget active ways between its L1-D data store
+// and its MD1-D metadata store, each side staying within
+// [AdaptiveMinWays, AdaptiveMaxWays] of its 8-way geometry.
+const (
+	AdaptiveWayBudget = 12
+	AdaptiveMinWays   = 4
+	AdaptiveMaxWays   = 8
+	// DefaultEpochLen is the repartitioning interval when
+	// Config.EpochLen is zero.
+	DefaultEpochLen = 8192
+	// adaptiveMinActivity is the minimum interval miss count below
+	// which an epoch leaves the split alone (too little signal). A node
+	// sees EpochLen/Nodes accesses per epoch — about 1k at the default
+	// geometry — so this floor asks for ~1.5% combined miss activity
+	// before moving a way.
+	adaptiveMinActivity = 16
+)
+
+// DefaultPredEntries is the per-node predictor table size when
+// Config.PredEntries is zero.
+const DefaultPredEntries = 512

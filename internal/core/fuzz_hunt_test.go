@@ -20,13 +20,7 @@ func runScript(sc accessScript) (err error) {
 			err = fmt.Errorf("panic: %v", r)
 		}
 	}()
-	cfg := testConfig(sc.NearSide)
-	cfg.Replication = sc.Replication
-	cfg.DynamicIndexing = sc.Scramble
-	cfg.MD2Pruning = sc.Pruning
-	cfg.CacheBypass = sc.Bypass
-	cfg.Prefetch = sc.Prefetch
-	cfg.TraditionalL1 = sc.Hybrid
+	cfg := scriptConfig(sc)
 	s := NewSystem(cfg)
 	for i, st := range sc.Steps {
 		kind := mem.Load
@@ -43,6 +37,9 @@ func runScript(sc accessScript) (err error) {
 			Addr: mem.RegionAddr(region).Line(int(st.Line)).Addr(),
 			Kind: kind,
 		})
+		if sc.Adaptive && i%64 == 63 {
+			s.EpochTick()
+		}
 		if e := s.CheckInvariants(); e != nil {
 			return fmt.Errorf("step %d: %v", i, e)
 		}
@@ -70,9 +67,9 @@ func TestFuzzHunt(t *testing.T) {
 					i++
 				}
 			}
-			t.Fatalf("seed %d: %v\nflags near=%v repl=%v scr=%v prune=%v byp=%v pref=%v hyb=%v\nsteps (%d): %+v",
+			t.Fatalf("seed %d: %v\nflags near=%v repl=%v scr=%v prune=%v byp=%v pref=%v hyb=%v adapt=%v lpred=%v\nsteps (%d): %+v",
 				seed, runScript(sc), sc.NearSide, sc.Replication, sc.Scramble, sc.Pruning,
-				sc.Bypass, sc.Prefetch, sc.Hybrid, len(sc.Steps), sc.Steps)
+				sc.Bypass, sc.Prefetch, sc.Hybrid, sc.Adaptive, sc.LevelPred, len(sc.Steps), sc.Steps)
 		}
 	}
 }

@@ -43,6 +43,48 @@ func (s *System) CheckInvariants() error {
 	if err := s.checkLineGlobals(orphans); err != nil {
 		return err
 	}
+	if err := s.checkAdaptive(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// checkAdaptive audits the way-repartitioning state (Config.AdaptiveWays):
+// each node's split must exhaust the budget within the per-side bounds,
+// and the ways outside either active prefix must be fully drained — a
+// line or metadata entry parked in an inactive way would be capacity the
+// policy believes it reclaimed.
+func (s *System) checkAdaptive() error {
+	if !s.cfg.AdaptiveWays {
+		return nil
+	}
+	for _, n := range s.nodes {
+		if n.l1dActive+n.md1dActive != AdaptiveWayBudget {
+			return fmt.Errorf("node %d: adaptive split %d+%d != budget %d", n.id, n.l1dActive, n.md1dActive, AdaptiveWayBudget)
+		}
+		for _, side := range []int{n.l1dActive, n.md1dActive} {
+			if side < AdaptiveMinWays || side > AdaptiveMaxWays {
+				return fmt.Errorf("node %d: adaptive side %d outside [%d,%d]", n.id, side, AdaptiveMinWays, AdaptiveMaxWays)
+			}
+		}
+		if n.l1d.activeWays != n.l1dActive {
+			return fmt.Errorf("node %d: L1-D activeWays %d != split %d", n.id, n.l1d.activeWays, n.l1dActive)
+		}
+		for set := 0; set < n.l1d.tbl.Sets(); set++ {
+			for w := n.l1dActive; w < n.l1d.ways(); w++ {
+				if sl := n.l1d.at(set, w); sl.valid {
+					return fmt.Errorf("node %d: L1-D inactive way %d holds %v (active=%d)", n.id, w, sl.line, n.l1dActive)
+				}
+			}
+		}
+		for set := 0; set < n.md1d.Sets(); set++ {
+			for w := n.md1dActive; w < n.md1d.Ways(); w++ {
+				if n.md1d.Valid(set, w) {
+					return fmt.Errorf("node %d: MD1-D inactive way %d valid in set %d (active=%d)", n.id, w, set, n.md1dActive)
+				}
+			}
+		}
+	}
 	return nil
 }
 

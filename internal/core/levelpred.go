@@ -1,0 +1,62 @@
+package core
+
+import (
+	"d2m/internal/energy"
+	"d2m/internal/mem"
+)
+
+// Region-level level prediction (the D2M-LevelPred mechanism): a small
+// direct-mapped table per node remembers, per hashed region, the level
+// that served the region's last access. When the predictor has an
+// opinion and it is not "L1" (an L1 hit is already a single pipelined
+// probe — nothing to hide), the node launches the predicted level's
+// data probe in parallel with the metadata walk. A correct prediction
+// overlaps the MD walk with the data access, hiding the shorter of the
+// two from the critical path; a wrong one wastes the probed level's
+// data-array energy but costs no extra latency (the metadata walk was
+// proceeding anyway and remains authoritative). This trades the
+// determinism of the LI — which always knows the level — for latency,
+// and the EXPERIMENTS.md comparison against the deterministic LI walk
+// quantifies whether the trade ever pays.
+
+// predSlot returns the node's direct-mapped predictor index for region
+// r. len(n.pred) is a power of two (Config.Validate enforces it).
+func (n *node) predSlot(r mem.RegionAddr) int {
+	return int(regionKey(r) & uint64(len(n.pred)-1))
+}
+
+// levelPredResolve settles the access's speculation once the serving
+// level is known: li is the line's pre-access LI (the level that
+// actually served), mdLat the latency of the metadata walk alone, and
+// t the full transaction. It also trains the predictor.
+func (s *System) levelPredResolve(n *node, slot int, predicted LocKind, predValid bool, li Location, mdLat uint64, t *txn) {
+	actual := li.Kind
+	if predValid && predicted != LocL1 {
+		s.st.PredSpeculations++
+		if predicted == actual {
+			// The probe and the MD walk overlapped; the shorter of the
+			// two disappears from the critical path.
+			saved := mdLat
+			if dataLat := t.lat - mdLat; dataLat < saved {
+				saved = dataLat
+			}
+			t.lat -= saved
+			s.st.PredHits++
+			s.st.PredCyclesSaved += saved
+		} else {
+			// Wrong level probed: charge the wasted data-array access.
+			s.st.PredMispredicts++
+			switch predicted {
+			case LocLLC:
+				s.meter.Do(energy.OpLLCData, 1)
+			case LocNode:
+				s.meter.Do(energy.OpL1Data, 1)
+			case LocL2:
+				s.meter.Do(energy.OpL2Data, 1)
+			case LocMem:
+				s.meter.Do(energy.OpDRAM, 1)
+			}
+		}
+	}
+	n.pred[slot] = uint8(actual) + 1
+}

@@ -143,7 +143,7 @@ func (s *System) lookupMDTraditional(n *node, instr bool, r mem.RegionAddr, t *t
 func (n *node) md1Install(ent *nodeRegion, instr bool) {
 	md1, pay := n.md1For(instr)
 	set := md1.SetFor(regionKey(ent.region))
-	way := md1.VictimWay(set)
+	way := md1.VictimWayIn(set, n.md1ActiveWaysFor(instr))
 	if md1.Valid(set, way) {
 		victim := pay[md1.Index(set, way)]
 		victim.active = activeMD2

@@ -78,6 +78,18 @@ func (s *System) Access(a mem.Access) Result {
 		t.add(timing.TLB2 + timing.MD2)
 	}
 
+	// Level prediction (D2M-LevelPred): consult the predictor and mark
+	// the metadata walk's latency; the speculation settles after the
+	// dispatch below, when the serving level is known.
+	mdLat := t.lat
+	predIdx, predicted, predValid := 0, LocInvalid, false
+	if n.pred != nil {
+		predIdx = n.predSlot(r)
+		if v := n.pred[predIdx]; v != 0 {
+			predicted, predValid = LocKind(v-1), true
+		}
+	}
+
 	var hit bool
 	if a.Kind.IsWrite() {
 		var ind bool
@@ -93,6 +105,20 @@ func (s *System) Access(a mem.Access) Result {
 	}
 	if s.cfg.Prefetch && !hit && !a.Kind.IsWrite() && !s.bypassServed && !s.inPrefetch {
 		s.prefetchNext(n, ent, idx, instr)
+	}
+	if s.cfg.AdaptiveWays && !instr {
+		// Interval counters for the epoch repartitioning policy: a
+		// data-stream MD1 miss signals metadata pressure, a data-stream
+		// L1 miss signals data pressure.
+		if lvl != mdHitMD1 {
+			n.epochMDMisses++
+		}
+		if !hit {
+			n.epochDataMisses++
+		}
+	}
+	if n.pred != nil {
+		s.levelPredResolve(n, predIdx, predicted, predValid, li, mdLat, t)
 	}
 
 	if hit {

@@ -22,7 +22,33 @@ type accessScript struct {
 	Bypass      bool
 	Prefetch    bool
 	Hybrid      bool
+	Adaptive    bool
+	LevelPred   bool
 	Steps       []accessStep
+}
+
+// scriptConfig maps a script's flag set onto a machine configuration.
+// Adaptive scripts widen the L1/MD1 to hold the way budget (the tiny
+// default geometry is narrower than AdaptiveMaxWays); level-predicting
+// scripts get a small predictor so aliasing is constant.
+func scriptConfig(sc accessScript) Config {
+	cfg := testConfig(sc.NearSide)
+	cfg.Replication = sc.Replication
+	cfg.DynamicIndexing = sc.Scramble
+	cfg.MD2Pruning = sc.Pruning
+	cfg.CacheBypass = sc.Bypass
+	cfg.Prefetch = sc.Prefetch
+	cfg.TraditionalL1 = sc.Hybrid
+	cfg.AdaptiveWays = sc.Adaptive
+	if sc.Adaptive {
+		cfg.L1Ways = AdaptiveMaxWays
+		cfg.MD1Ways = AdaptiveMaxWays
+	}
+	cfg.LevelPred = sc.LevelPred
+	if sc.LevelPred {
+		cfg.PredEntries = 64
+	}
+	return cfg
 }
 
 type accessStep struct {
@@ -45,6 +71,8 @@ func (accessScript) Generate(r *rand.Rand, size int) reflect.Value {
 		Hybrid:   r.Intn(4) == 0,
 	}
 	sc.Replication = sc.NearSide && r.Intn(2) == 0
+	sc.Adaptive = r.Intn(4) == 0
+	sc.LevelPred = r.Intn(4) == 0
 	n := 200 + r.Intn(600)
 	sc.Steps = make([]accessStep, n)
 	for i := range sc.Steps {
@@ -64,15 +92,9 @@ func (accessScript) Generate(r *rand.Rand, size int) reflect.Value {
 // and the machine-wide invariants hold at the end.
 func TestQuickProtocolInvariants(t *testing.T) {
 	prop := func(sc accessScript) bool {
-		cfg := testConfig(sc.NearSide)
-		cfg.Replication = sc.Replication
-		cfg.DynamicIndexing = sc.Scramble
-		cfg.MD2Pruning = sc.Pruning
-		cfg.CacheBypass = sc.Bypass
-		cfg.Prefetch = sc.Prefetch
-		cfg.TraditionalL1 = sc.Hybrid
+		cfg := scriptConfig(sc)
 		s := NewSystem(cfg)
-		for _, st := range sc.Steps {
+		for i, st := range sc.Steps {
 			kind := mem.Load
 			region := int(st.Region)
 			switch {
@@ -90,6 +112,11 @@ func TestQuickProtocolInvariants(t *testing.T) {
 				Addr: mem.RegionAddr(region).Line(int(st.Line)).Addr(),
 				Kind: kind,
 			})
+			// Adaptive scripts fire the epoch hook on a short period so
+			// the repartitioning drains run many times per script.
+			if sc.Adaptive && i%64 == 63 {
+				s.EpochTick()
+			}
 		}
 		return s.CheckInvariants() == nil
 	}

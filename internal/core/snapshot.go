@@ -42,6 +42,14 @@ type nodeSnap struct {
 	md1iIdx, md1dIdx, md2Idx []int32
 	regions                  []nodeRegion
 	l1i, l1d, l2             *storeSnap
+
+	// Adaptive way split and its interval counters (D2M-Adaptive), and
+	// the level-predictor table (D2M-LevelPred). All zero/nil outside
+	// those configurations.
+	l1dActive, md1dActive int
+	epochDataMisses       uint64
+	epochMDMisses         uint64
+	pred                  []uint8
 }
 
 // Snapshot is a complete warm-state capture of a System. It is
@@ -174,6 +182,12 @@ func (s *System) Snapshot() *Snapshot {
 		if n.l2 != nil {
 			ns.l2 = n.l2.snapshot()
 		}
+		ns.l1dActive, ns.md1dActive = n.l1dActive, n.md1dActive
+		ns.epochDataMisses, ns.epochMDMisses = n.epochDataMisses, n.epochMDMisses
+		if n.pred != nil {
+			ns.pred = make([]uint8, len(n.pred))
+			copy(ns.pred, n.pred)
+		}
 	}
 
 	sn.md3 = s.md3.Clone()
@@ -236,6 +250,10 @@ func (sn *Snapshot) RestoreInto(dst *System) {
 		if n.l2 != nil {
 			n.l2.restore(ns.l2)
 		}
+		n.l1dActive, n.md1dActive = ns.l1dActive, ns.md1dActive
+		n.l1d.activeWays = ns.l1dActive // zero = all active (non-adaptive)
+		n.epochDataMisses, n.epochMDMisses = ns.epochDataMisses, ns.epochMDMisses
+		copy(n.pred, ns.pred)
 	}
 
 	dst.md3.CopyFrom(sn.md3)
@@ -272,6 +290,7 @@ func (sn *Snapshot) computeSize() int64 {
 		if ns.l2 != nil {
 			b += ns.l2.sizeBytes()
 		}
+		b += int64(len(ns.pred))
 	}
 	b += sn.md3.SizeBytes() + int64(len(sn.md3Idx))*4 + int64(len(sn.md3Regions))*dirRegSize
 	if sn.far != nil {

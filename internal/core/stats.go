@@ -88,6 +88,19 @@ type Stats struct {
 	// Latency bookkeeping for the L1-miss-latency metric (§V-D).
 	MissLatencySum uint64
 	MissCount      uint64
+
+	// Adaptive mechanisms. Repartitions counts epoch-boundary way moves
+	// between the L1-D and MD1-D (D2M-Adaptive); the Pred* counters
+	// account the level predictor's speculative parallel lookups
+	// (D2M-LevelPred): how often one was launched, how often it matched
+	// the serving level (hiding part of the MD walk), how often it
+	// probed the wrong level (energy wasted, no latency penalty), and
+	// the total critical-path cycles hidden.
+	Repartitions     uint64
+	PredSpeculations uint64
+	PredHits         uint64
+	PredMispredicts  uint64
+	PredCyclesSaved  uint64
 }
 
 // LockCollisionRate returns collisions per acquired lock.

@@ -53,6 +53,11 @@ type dataStore struct {
 	// applies the per-region scramble where conflict misses hurt — the
 	// LLC/NS slices; L1 indexing stays conventional.
 	scrambled bool
+	// activeWays masks the associativity under adaptive way
+	// repartitioning: victim selection never offers a way at or above
+	// this count, so ways [activeWays, ways) drain and stay empty. Zero
+	// means all ways are active (every non-adaptive store).
+	activeWays int
 }
 
 func newDataStore(name string, sets, ways int, op energy.Op, lat uint64) *dataStore {
@@ -143,12 +148,14 @@ func (s *dataStore) drop(set, way int) {
 }
 
 // victimWay picks the way to free in set: invalid first, then the
-// supplied preference score (higher = evict first), then LRU.
+// supplied preference score (higher = evict first), then LRU. Under
+// adaptive way repartitioning only the active prefix of ways is
+// offered.
 func (s *dataStore) victimWay(set int, score func(sl *slot) int) int {
 	if score == nil {
-		return s.tbl.VictimWayScored(set, nil)
+		return s.tbl.VictimWayScoredIn(set, s.activeWays, nil)
 	}
-	return s.tbl.VictimWayScored(set, func(w int) int {
+	return s.tbl.VictimWayScoredIn(set, s.activeWays, func(w int) int {
 		return score(s.at(set, w))
 	})
 }

@@ -38,6 +38,23 @@ type node struct {
 	// LRU updates are charged identically on both paths.
 	memoI, memoD md1Memo
 
+	// Adaptive way-repartitioning state (Config.AdaptiveWays): the
+	// active-way split between the L1-D data store and the MD1-D
+	// metadata store (l1dActive + md1dActive == AdaptiveWayBudget), and
+	// the current interval's miss counters feeding the epoch policy.
+	// The counters live here rather than in Stats so the measurement
+	// boundary's statistics reset does not disturb the policy, and so
+	// warm snapshots carry them.
+	l1dActive, md1dActive int
+	epochDataMisses       uint64
+	epochMDMisses         uint64
+
+	// pred is the node's direct-mapped region-level predictor
+	// (Config.LevelPred): indexed by the hashed region key, each entry
+	// holds the LocKind that served the region's last access, plus one
+	// (zero = never seen).
+	pred []uint8
+
 	// streamInstr records, per region currently tracked, whether the
 	// region's L1-resident lines live in the L1-I (true) or L1-D.
 	// Keyed by the region entry itself to avoid a map.
@@ -172,6 +189,18 @@ func NewSystem(cfg Config) *System {
 		if cfg.L2Sets > 0 {
 			n.l2 = newDataStore(fmt.Sprintf("l2[%d]", i), cfg.L2Sets, cfg.L2Ways, energy.OpL2Data, timing.L2)
 			s.meter.AddLeakage(energy.LeakL2)
+		}
+		if cfg.AdaptiveWays {
+			n.l1dActive = AdaptiveWayBudget / 2
+			n.md1dActive = AdaptiveWayBudget - n.l1dActive
+			n.l1d.activeWays = n.l1dActive
+		}
+		if cfg.LevelPred {
+			pe := cfg.PredEntries
+			if pe == 0 {
+				pe = DefaultPredEntries
+			}
+			n.pred = make([]uint8, pe)
 		}
 		s.meter.AddLeakage(2*energy.LeakL1 + 2*energy.LeakMD1 + energy.LeakMD2)
 		s.nodes = append(s.nodes, n)

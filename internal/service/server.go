@@ -634,7 +634,7 @@ func (s *Server) handleCapabilities(w http.ResponseWriter, r *http.Request) {
 		Engines:       s.engines(),
 		MaxLanes:      s.sched.MaxLanes(),
 		Suites:        make(map[string][]string),
-		Kinds:         d2m.KindNames(),
+		Kinds:         api.KindNames(),
 		Topologies:    d2m.Topologies(),
 		Placements:    d2m.Placements(),
 		Kernels:       []api.KernelCap{},

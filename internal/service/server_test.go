@@ -670,8 +670,8 @@ func TestCapabilitiesEndpoint(t *testing.T) {
 		if body.APIRevision != api.Revision {
 			t.Errorf("%s: api_revision %q, want %q", path, body.APIRevision, api.Revision)
 		}
-		if body.APIRevision != "v1.7" {
-			t.Errorf("%s: api_revision %q, want v1.7", path, body.APIRevision)
+		if body.APIRevision != "v1.8" {
+			t.Errorf("%s: api_revision %q, want v1.8", path, body.APIRevision)
 		}
 		wantEngines := []string{d2m.EngineScalar, d2m.EngineVector}
 		if !reflect.DeepEqual(body.Engines, wantEngines) {
@@ -688,14 +688,21 @@ func TestCapabilitiesEndpoint(t *testing.T) {
 		if len(body.Suites[d2m.SuiteVector]) == 0 {
 			t.Errorf("%s: capabilities missing Vector extras suite", path)
 		}
-		found := false
-		for _, k := range body.Kinds {
-			if k == "D2M-NS-R" {
-				found = true
-			}
+		// The advertised kinds must match the registry-derived list
+		// exactly — this is the wire-side guard against kind-list drift.
+		if !reflect.DeepEqual(body.Kinds, api.KindNames()) {
+			t.Errorf("%s: kinds %v, want registry list %v", path, body.Kinds, api.KindNames())
 		}
-		if !found {
-			t.Errorf("%s: kinds %v missing D2M-NS-R", path, body.Kinds)
+		for _, want := range []string{"D2M-NS-R", "D2M-Adaptive", "D2M-LevelPred"} {
+			found := false
+			for _, k := range body.Kinds {
+				if k == want {
+					found = true
+				}
+			}
+			if !found {
+				t.Errorf("%s: kinds %v missing %s", path, body.Kinds, want)
+			}
 		}
 		if len(body.Topologies) == 0 || len(body.Placements) == 0 {
 			t.Errorf("%s: empty topology/placement lists", path)

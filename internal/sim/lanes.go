@@ -40,6 +40,7 @@ import (
 // later lanes keep accumulating.
 func (e *Engine) MeasureLanes(ctx context.Context, iv trace.Stream, measures []int, active func(lane int) bool, sink func(lane int, rep Report)) error {
 	e.m.ResetMeasurement()
+	e.beginEpochPhase()
 	for i := range e.clock {
 		e.clock[i] = 0
 		e.issue[i] = 0
@@ -86,7 +87,11 @@ func (e *Engine) MeasureLanes(ctx context.Context, iv trace.Stream, measures []i
 		if next < len(order) && measures[order[next]]-i < want {
 			want = measures[order[next]] - i
 		}
-		i += e.stepBlock(e.refillAny(bs, iv, want))
+		n := e.stepBlock(e.refillAny(bs, iv, e.clampEpoch(want)))
+		i += n
+		// The tick fires before any boundary capture at the same step,
+		// matching Measure, which ticks before building its final report.
+		e.advanceEpoch(n)
 		for next < len(order) && measures[order[next]] == i {
 			lane := order[next]
 			next++

@@ -45,6 +45,28 @@ func (m baseMachine) ResetMeasurement() { m.s.ResetMeasurement() }
 // WrapBaseline adapts a baseline system to the Machine interface.
 func WrapBaseline(s *baseline.System) Machine { return baseMachine{s} }
 
+// EpochMachine is the optional interval hook a Machine may implement:
+// the engine calls EpochTick once per EpochLen accesses, in warmup and
+// measurement alike, so adaptive mechanisms can reconfigure themselves
+// at fixed access counts. EpochLen is read once per run phase; a value
+// <= 0 disables the hook. The engine aligns epoch phase to the start of
+// each phase (Warmup, Measure, MeasureLanes), so a snapshot-restored
+// run ticks at exactly the positions a fresh run does inside the
+// measurement window — the warm-snapshot exactness contract.
+//
+// The hook is implemented by clipping the refill size to the next epoch
+// boundary, so the stepBlock hot loop is untouched and machines that do
+// not implement the interface pay one nil-check per run phase and
+// nothing per block.
+type EpochMachine interface {
+	Machine
+	// EpochLen returns the interval in accesses between ticks (<= 0:
+	// no ticks).
+	EpochLen() int
+	// EpochTick fires at each epoch boundary.
+	EpochTick()
+}
+
 // CPU overlap model (§V-D): the simulated core is "a fairly aggressive
 // OoO CPU", so "not all of this latency reduction will translate
 // directly into performance". Instruction-miss stalls are unhidden (the
@@ -150,6 +172,13 @@ type Engine struct {
 	inFly  []inflight // per node: line -> issue-ready time (MSHR stand-in)
 	block  []mem.Access
 	report Report
+
+	// Epoch hook state (EpochMachine): epoch is nil for plain machines;
+	// epochLen caches EpochLen() for the current phase and sinceTick
+	// counts accesses since the last tick.
+	epoch     EpochMachine
+	epochLen  int
+	sinceTick int
 }
 
 // BlockAccesses is the engine's refill granularity: sources that
@@ -165,6 +194,9 @@ const BlockAccesses = 1024
 // refill block) is allocated here once and reused across Run calls.
 func NewEngine(m Machine, nodes int) *Engine {
 	e := &Engine{m: m, nodes: nodes, clock: make([]uint64, nodes), issue: make([]uint64, nodes)}
+	if em, ok := m.(EpochMachine); ok {
+		e.epoch = em
+	}
 	e.inFly = make([]inflight, nodes)
 	for i := range e.inFly {
 		e.inFly[i] = newInflight()
@@ -203,18 +235,55 @@ func (e *Engine) RunContext(ctx context.Context, iv trace.Stream, warmup, measur
 // stream is never drawn past the warmup boundary, so the state a
 // snapshot captures is identical on both paths.
 func (e *Engine) Warmup(ctx context.Context, iv trace.Stream, warmup int) error {
+	e.beginEpochPhase()
 	bs, _ := iv.(trace.BlockStream)
 	for done := 0; done < warmup; {
 		if ctx.Err() != nil {
 			return ctx.Err()
 		}
-		blk := e.refillAny(bs, iv, warmup-done)
+		blk := e.refillAny(bs, iv, e.clampEpoch(warmup-done))
 		for _, a := range blk {
 			e.m.Access(a)
 		}
 		done += len(blk)
+		e.advanceEpoch(len(blk))
 	}
 	return nil
+}
+
+// beginEpochPhase re-reads the machine's epoch length and aligns the
+// epoch phase to the start of a run phase (Warmup, Measure,
+// MeasureLanes). Re-aligning at Measure is what makes a
+// snapshot-restored run tick at the same in-window positions as a fresh
+// one.
+func (e *Engine) beginEpochPhase() {
+	e.epochLen, e.sinceTick = 0, 0
+	if e.epoch != nil {
+		e.epochLen = e.epoch.EpochLen()
+	}
+}
+
+// clampEpoch clips a refill request so no delivered block straddles an
+// epoch boundary.
+func (e *Engine) clampEpoch(want int) int {
+	if e.epochLen > 0 && want > e.epochLen-e.sinceTick {
+		want = e.epochLen - e.sinceTick
+	}
+	return want
+}
+
+// advanceEpoch accounts n stepped accesses against the epoch phase,
+// firing the tick at the boundary. clampEpoch guarantees the boundary
+// is never overshot.
+func (e *Engine) advanceEpoch(n int) {
+	if e.epochLen <= 0 {
+		return
+	}
+	e.sinceTick += n
+	if e.sinceTick >= e.epochLen {
+		e.epoch.EpochTick()
+		e.sinceTick = 0
+	}
 }
 
 // refill draws the next block of at most want accesses. A block source
@@ -259,6 +328,7 @@ func (e *Engine) refillAny(bs trace.BlockStream, iv trace.Stream, want int) []me
 // reset at the same boundary.
 func (e *Engine) Measure(ctx context.Context, iv trace.Stream, measure int) (Report, error) {
 	e.m.ResetMeasurement()
+	e.beginEpochPhase()
 	for i := range e.clock {
 		e.clock[i] = 0
 		e.issue[i] = 0
@@ -275,7 +345,9 @@ func (e *Engine) Measure(ctx context.Context, iv trace.Stream, measure int) (Rep
 		if ctx.Err() != nil {
 			return Report{}, ctx.Err()
 		}
-		done += e.stepBlock(e.refillAny(bs, iv, measure-done))
+		n := e.stepBlock(e.refillAny(bs, iv, e.clampEpoch(measure-done)))
+		done += n
+		e.advanceEpoch(n)
 	}
 
 	for i, c := range e.clock {

@@ -10,11 +10,14 @@ import (
 // library callers): one code path decides what a valid kind, topology,
 // placement or Options is.
 
-// KindNames returns the accepted configuration names, including the
-// hybrid variant, in presentation order.
+// KindNames returns the accepted configuration names, in presentation
+// order. The list is derived from the mechanism registry, so a newly
+// registered mechanism appears here (and everywhere downstream — CLI,
+// capabilities document, sweeps) without further wiring.
 func KindNames() []string {
-	out := make([]string, 0, 6)
-	for _, k := range append(Kinds(), D2MHybrid) {
+	kinds := AllKinds()
+	out := make([]string, 0, len(kinds))
+	for _, k := range kinds {
 		out = append(out, k.String())
 	}
 	return out

@@ -5,6 +5,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"d2m/internal/core"
 )
 
 // TestParseKind is the shared-request-validation table: every front end
@@ -22,6 +24,8 @@ func TestParseKind(t *testing.T) {
 		{"d2m-ns-r", D2MNSR},
 		{"D2M-NS-R", D2MNSR},
 		{"d2mhybrid", D2MHybrid},
+		{"d2m-adaptive", D2MAdaptive},
+		{"D2MLevelPred", D2MLevelPred},
 	}
 	for _, tc := range good {
 		k, err := ParseKind(tc.in)
@@ -38,13 +42,18 @@ func TestParseKind(t *testing.T) {
 	}
 }
 
-// TestKindNames checks the advertised list round-trips through ParseKind.
+// TestKindNames checks the advertised list round-trips through ParseKind
+// and stays in lockstep with the mechanism registry.
 func TestKindNames(t *testing.T) {
 	names := KindNames()
-	if len(names) != 6 {
-		t.Fatalf("KindNames() = %v, want 6 entries", names)
+	mechs := core.Mechanisms()
+	if len(names) != len(mechs) {
+		t.Fatalf("KindNames() = %v, want %d entries (one per registered mechanism)", names, len(mechs))
 	}
-	for _, n := range names {
+	for i, n := range names {
+		if n != mechs[i].Name {
+			t.Errorf("KindNames()[%d] = %q, registry has %q", i, n, mechs[i].Name)
+		}
 		if _, err := ParseKind(n); err != nil {
 			t.Errorf("advertised name %q does not parse: %v", n, err)
 		}

@@ -7,7 +7,6 @@ import (
 	"io"
 	"math"
 	"runtime"
-	"strings"
 	"sync"
 
 	"d2m/internal/baseline"
@@ -41,34 +40,47 @@ const (
 	// backend behind unmodified cores with conventional TLBs and tagged
 	// L1 caches ("achieving most of the reported D2M advantages").
 	D2MHybrid
+	// D2MAdaptive is D2M-NS-R with adaptive way repartitioning: each
+	// node shares a fixed way budget between its L1-D and MD1-D, and an
+	// epoch-boundary policy moves ways toward whichever side missed
+	// more during the elapsed interval.
+	D2MAdaptive
+	// D2MLevelPred is D2M-NS-R with a per-region level predictor that
+	// launches a speculative data probe of the predicted serving level
+	// in parallel with the metadata walk.
+	D2MLevelPred
 )
 
-// Kinds returns all five configurations in the paper's presentation
-// order.
+// Kinds returns the paper's five configurations in its presentation
+// order (Figure 4 plus §V-A). The variants beyond the paper's
+// comparison set — the hybrid and the adaptive mechanisms — are in
+// AllKinds.
 func Kinds() []Kind { return []Kind{Base2L, Base3L, D2MFS, D2MNS, D2MNSR} }
 
-func (k Kind) String() string {
-	switch k {
-	case Base2L:
-		return "Base-2L"
-	case Base3L:
-		return "Base-3L"
-	case D2MFS:
-		return "D2M-FS"
-	case D2MNS:
-		return "D2M-NS"
-	case D2MNSR:
-		return "D2M-NS-R"
-	case D2MHybrid:
-		return "D2M-Hybrid"
-	default:
-		return fmt.Sprintf("Kind(%d)", int(k))
+// AllKinds returns every registered configuration in presentation
+// order. The list is derived from the mechanism registry, so a newly
+// registered mechanism appears here — and everywhere this feeds (kind
+// parsing, capabilities, sweeps) — without further wiring.
+func AllKinds() []Kind {
+	mechs := core.Mechanisms()
+	out := make([]Kind, 0, len(mechs))
+	for _, m := range mechs {
+		out = append(out, Kind(m.Order))
 	}
+	return out
+}
+
+func (k Kind) String() string {
+	if m, ok := core.MechanismByOrder(int(k)); ok {
+		return m.Name
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
 }
 
 // IsD2M reports whether the kind is a split-hierarchy configuration.
 func (k Kind) IsD2M() bool {
-	return k == D2MFS || k == D2MNS || k == D2MNSR || k == D2MHybrid
+	m, ok := core.MechanismByOrder(int(k))
+	return ok && m.D2M
 }
 
 // MarshalText renders the kind by name, so JSON output (d2msim -json,
@@ -78,14 +90,12 @@ func (k Kind) MarshalText() ([]byte, error) { return []byte(k.String()), nil }
 
 // UnmarshalText parses a kind name (case-insensitive, dashes optional).
 func (k *Kind) UnmarshalText(text []byte) error {
-	want := strings.ToLower(strings.ReplaceAll(string(text), "-", ""))
-	for _, c := range append(Kinds(), D2MHybrid) {
-		if strings.ToLower(strings.ReplaceAll(c.String(), "-", "")) == want {
-			*k = c
-			return nil
-		}
+	m, ok := core.MechanismByName(string(text))
+	if !ok {
+		return fmt.Errorf("d2m: unknown kind %q", text)
 	}
-	return fmt.Errorf("d2m: unknown kind %q", text)
+	*k = Kind(m.Order)
+	return nil
 }
 
 // Options control a simulation run. The zero value selects the paper's
@@ -278,6 +288,14 @@ type Result struct {
 	// that would have stalled on a hashed lock bit held by an unrelated
 	// region (appendix: negligible with 1K bits).
 	LockCollisionRate float64
+	// Repartitions counts the epoch-boundary way moves between L1-D and
+	// MD1-D on the adaptive kind (D2M-Adaptive).
+	Repartitions uint64
+	// Level-predictor accounting (D2M-LevelPred): speculative parallel
+	// probes launched, how many matched the serving level, how many
+	// probed the wrong level, and the critical-path cycles hidden.
+	PredSpeculations, PredHits, PredMispredicts uint64
+	PredCyclesSaved                             uint64
 	// BandwidthBound reports that Options.LinkBandwidth stretched the
 	// runtime (the interconnect, not latency, limited the run).
 	BandwidthBound bool
@@ -286,7 +304,36 @@ type Result struct {
 	DRAMReads, DRAMWrites uint64
 }
 
-// baselineConfig builds the baseline configuration for a kind.
+// mechOptions projects the run options onto the mechanism-neutral
+// construction options of the registry. Placement and topology were
+// validated by Options.Validate before any run reaches here.
+func mechOptions(opt Options) core.MechOptions {
+	pl, _ := opt.placement()
+	topo, _ := opt.topology()
+	return core.MechOptions{
+		Nodes:     opt.Nodes,
+		Seed:      opt.Seed,
+		MDScale:   opt.MDScale,
+		Bypass:    opt.Bypass,
+		Prefetch:  opt.Prefetch,
+		Placement: pl,
+		Topology:  topo,
+	}
+}
+
+// mechFor resolves a kind's registry entry.
+func mechFor(kind Kind) (*core.Mechanism, error) {
+	m, ok := core.MechanismByOrder(int(kind))
+	if !ok {
+		return nil, fmt.Errorf("d2m: kind %v has no registered mechanism", kind)
+	}
+	return m, nil
+}
+
+// baselineConfig builds the baseline configuration for a kind. The run
+// path constructs through the mechanism registry; this remains for the
+// storage model and tests (the registry-equivalence test pins the two
+// together).
 func baselineConfig(kind Kind, opt Options) baseline.Config {
 	cfg := baseline.Base2L()
 	if kind == Base3L {
@@ -297,10 +344,11 @@ func baselineConfig(kind Kind, opt Options) baseline.Config {
 	return cfg
 }
 
-func newBaseline(cfg baseline.Config) *baseline.System { return baseline.NewSystem(cfg, false) }
-func newCore(cfg core.Config) *core.System             { return core.NewSystem(cfg) }
-
-// coreConfig builds the D2M configuration for a kind.
+// coreConfig builds the D2M configuration for a kind. Like
+// baselineConfig it is off the run path: the storage model and the
+// calibration experiments read geometries from it, and the
+// registry-equivalence test asserts it matches what the registry
+// constructs, field for field.
 func coreConfig(kind Kind, opt Options) core.Config {
 	cfg := core.DefaultConfig()
 	cfg.Nodes = opt.Nodes
@@ -319,6 +367,18 @@ func coreConfig(kind Kind, opt Options) core.Config {
 		cfg.Replication = true
 		cfg.DynamicIndexing = true
 		cfg.TraditionalL1 = true
+	case D2MAdaptive:
+		cfg.NearSide = true
+		cfg.Replication = true
+		cfg.DynamicIndexing = true
+		cfg.AdaptiveWays = true
+		cfg.EpochLen = core.DefaultEpochLen
+	case D2MLevelPred:
+		cfg.NearSide = true
+		cfg.Replication = true
+		cfg.DynamicIndexing = true
+		cfg.LevelPred = true
+		cfg.PredEntries = core.DefaultPredEntries
 	default:
 		panic(fmt.Sprintf("d2m: coreConfig on %v", kind))
 	}
@@ -394,35 +454,44 @@ func (r *Result) measure(kind Kind, opt Options, src trace.Stream) {
 }
 
 // measureContext runs the stream on the kind's machine and fills the
-// result, abandoning the run when ctx is done.
+// result, abandoning the run when ctx is done. The machine is
+// constructed, driven and released through the mechanism registry, so
+// every registered kind takes the same path.
 func (r *Result) measureContext(ctx context.Context, kind Kind, opt Options, src trace.Stream) error {
-	var flitHops uint64
-	switch kind {
-	case Base2L, Base3L:
-		s := newBaseline(baselineConfig(kind, opt))
-		defer s.Release() // recycle the hierarchy's arrays for the next run
-		engine := sim.NewEngine(sim.WrapBaseline(s), opt.Nodes)
-		rep, err := engine.RunContext(ctx, src, opt.Warmup, opt.Measure)
-		if err != nil {
-			return err
-		}
-		r.fillCommon(rep)
-		r.fillBaseline(s, rep)
-		flitHops = s.Meter().Count(energy.OpNoCFlit)
-	default:
-		s := newCore(coreConfig(kind, opt))
-		defer s.Release()
-		engine := sim.NewEngine(sim.WrapCore(s), opt.Nodes)
-		rep, err := engine.RunContext(ctx, src, opt.Warmup, opt.Measure)
-		if err != nil {
-			return err
-		}
-		r.fillCommon(rep)
-		r.fillCore(s, rep, kind)
-		flitHops = s.Meter().Count(energy.OpNoCFlit)
+	mech, err := mechFor(kind)
+	if err != nil {
+		return err
+	}
+	inst := mech.New(mechOptions(opt))
+	defer inst.Release() // recycle the hierarchy's arrays for the next run
+	engine := sim.NewEngine(inst, opt.Nodes)
+	rep, err := engine.RunContext(ctx, src, opt.Warmup, opt.Measure)
+	if err != nil {
+		return err
+	}
+	r.fillCommon(rep)
+	flitHops, err := r.fillFromInstance(inst, rep, mech)
+	if err != nil {
+		return err
 	}
 	r.applyBandwidth(opt, flitHops)
 	return nil
+}
+
+// fillFromInstance extracts the mechanism-family metrics from the
+// instance's concrete system and returns the flit-hop count for the
+// bandwidth model.
+func (r *Result) fillFromInstance(inst core.MechInstance, rep sim.Report, mech *core.Mechanism) (uint64, error) {
+	switch s := inst.Underlying().(type) {
+	case *baseline.System:
+		r.fillBaseline(s, rep)
+		return s.Meter().Count(energy.OpNoCFlit), nil
+	case *core.System:
+		r.fillCore(s, rep, mech)
+		return s.Meter().Count(energy.OpNoCFlit), nil
+	default:
+		return 0, fmt.Errorf("d2m: mechanism %s exposes unknown system type %T", mech.Name, s)
+	}
 }
 
 // applyBandwidth stretches the runtime when the interconnect cannot
@@ -501,7 +570,7 @@ func (r *Result) fillBaseline(s *baseline.System, rep sim.Report) {
 	r.DRAMWrites = st.DRAMWrites
 }
 
-func (r *Result) fillCore(s *core.System, rep sim.Report, kind Kind) {
+func (r *Result) fillCore(s *core.System, rep sim.Report, mech *core.Mechanism) {
 	st := s.Stats()
 	fab := s.Fabric()
 	r.Messages = fab.Messages()
@@ -516,7 +585,7 @@ func (r *Result) fillCore(s *core.System, rep sim.Report, kind Kind) {
 	r.EnergyByOp = s.Meter().BreakdownPJ()
 	r.MissRatioI = st.MissRatioI()
 	r.MissRatioD = st.MissRatioD()
-	if kind == D2MNS || kind == D2MNSR {
+	if mech.ReportNearHit {
 		r.NearHitI = st.NearSideHitRatioI()
 		r.NearHitD = st.NearSideHitRatioD()
 	}
@@ -529,6 +598,11 @@ func (r *Result) fillCore(s *core.System, rep sim.Report, kind Kind) {
 	r.PrefetchIssued = st.PrefetchIssued
 	r.PrefetchUseful = st.PrefetchUseful
 	r.LockCollisionRate = st.LockCollisionRate()
+	r.Repartitions = st.Repartitions
+	r.PredSpeculations = st.PredSpeculations
+	r.PredHits = st.PredHits
+	r.PredMispredicts = st.PredMispredicts
+	r.PredCyclesSaved = st.PredCyclesSaved
 	r.MD2Accesses = s.Meter().Count(energy.OpMD2)
 	if st.Accesses > 0 {
 		r.MD1HitFrac = float64(st.MD1Hits) / float64(st.Accesses)

@@ -4,9 +4,7 @@ import (
 	"context"
 	"fmt"
 
-	"d2m/internal/baseline"
 	"d2m/internal/core"
-	"d2m/internal/energy"
 	"d2m/internal/sim"
 	"d2m/internal/trace"
 )
@@ -51,15 +49,15 @@ func wantWarm(wc WarmCache, key string) bool {
 }
 
 // WarmSnapshot is the frozen warmup/measurement boundary of one run:
-// the machine state (exactly one of core/base is set) plus the
-// workload stream at its post-warmup position. Snapshots are immutable
-// after capture and safe for concurrent restores.
+// the machine state (whatever MechSnapshot the run's mechanism
+// produces) plus the workload stream at its post-warmup position.
+// Snapshots are immutable after capture and safe for concurrent
+// restores.
 type WarmSnapshot struct {
 	key    string
 	warmup int
 
-	core *core.Snapshot
-	base *baseline.Snapshot
+	state core.MechSnapshot
 
 	// src is the post-warmup stream, cloned at capture time while the
 	// capturing run went on consuming the original — an interleaver
@@ -141,59 +139,42 @@ func runSingle(ctx context.Context, kind Kind, bench string, opt Options, wc War
 
 // runWarm runs the simulation with warm-state reuse through wc;
 // mkStream rebuilds the access stream from position zero. With a nil
-// cache it is exactly measureContext on a fresh stream.
+// cache it is exactly measureContext on a fresh stream. The machine
+// comes from the mechanism registry; restore and capture go through
+// the MechInstance snapshot hooks, so every registered kind — baseline
+// or D2M — shares this one path.
 func (r *Result) runWarm(ctx context.Context, kind Kind, opt Options, key string, mkStream func() trace.Stream, wc WarmCache) error {
 	if wc == nil {
 		return r.measureContext(ctx, kind, opt, mkStream())
 	}
+	mech, err := mechFor(kind)
+	if err != nil {
+		return err
+	}
 	snap := wc.GetWarm(key)
 
-	var flitHops uint64
-	switch kind {
-	case Base2L, Base3L:
-		s := newBaseline(baselineConfig(kind, opt))
-		defer s.Release()
-		engine := sim.NewEngine(sim.WrapBaseline(s), opt.Nodes)
-		src, err := warmedStream(ctx, engine, snap, mkStream, opt.Warmup)
-		if err != nil {
-			return err
-		}
-		if snap != nil {
-			snap.base.RestoreInto(s)
-		} else if wantWarm(wc, key) {
-			ws := &WarmSnapshot{key: key, warmup: opt.Warmup, base: s.Snapshot()}
-			ws.finish(src)
-			wc.PutWarm(ws)
-		}
-		rep, err := engine.Measure(ctx, src, opt.Measure)
-		if err != nil {
-			return err
-		}
-		r.fillCommon(rep)
-		r.fillBaseline(s, rep)
-		flitHops = s.Meter().Count(energy.OpNoCFlit)
-	default:
-		s := newCore(coreConfig(kind, opt))
-		defer s.Release()
-		engine := sim.NewEngine(sim.WrapCore(s), opt.Nodes)
-		src, err := warmedStream(ctx, engine, snap, mkStream, opt.Warmup)
-		if err != nil {
-			return err
-		}
-		if snap != nil {
-			snap.core.RestoreInto(s)
-		} else if wantWarm(wc, key) {
-			ws := &WarmSnapshot{key: key, warmup: opt.Warmup, core: s.Snapshot()}
-			ws.finish(src)
-			wc.PutWarm(ws)
-		}
-		rep, err := engine.Measure(ctx, src, opt.Measure)
-		if err != nil {
-			return err
-		}
-		r.fillCommon(rep)
-		r.fillCore(s, rep, kind)
-		flitHops = s.Meter().Count(energy.OpNoCFlit)
+	inst := mech.New(mechOptions(opt))
+	defer inst.Release()
+	engine := sim.NewEngine(inst, opt.Nodes)
+	src, err := warmedStream(ctx, engine, snap, mkStream, opt.Warmup)
+	if err != nil {
+		return err
+	}
+	if snap != nil {
+		inst.Restore(snap.state)
+	} else if wantWarm(wc, key) {
+		ws := &WarmSnapshot{key: key, warmup: opt.Warmup, state: inst.Snapshot()}
+		ws.finish(src)
+		wc.PutWarm(ws)
+	}
+	rep, err := engine.Measure(ctx, src, opt.Measure)
+	if err != nil {
+		return err
+	}
+	r.fillCommon(rep)
+	flitHops, err := r.fillFromInstance(inst, rep, mech)
+	if err != nil {
+		return err
 	}
 	r.applyBandwidth(opt, flitHops)
 	return nil
@@ -250,10 +231,7 @@ func (ws *WarmSnapshot) finish(src trace.Stream) {
 		ws.src = s.Clone()
 	}
 	ws.bytes = streamOverheadBytes
-	if ws.core != nil {
-		ws.bytes += ws.core.SizeBytes()
-	}
-	if ws.base != nil {
-		ws.bytes += ws.base.SizeBytes()
+	if ws.state != nil {
+		ws.bytes += ws.state.SizeBytes()
 	}
 }

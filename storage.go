@@ -195,10 +195,10 @@ func Storage(kind Kind, opt Options) (StorageReport, error) {
 	return rep, nil
 }
 
-// StorageComparison computes the budget for every configuration,
-// including the §III-A hybrid.
+// StorageComparison computes the budget for every registered
+// configuration, including the §III-A hybrid and the adaptive kinds.
 func StorageComparison(opt Options) []StorageReport {
-	kinds := append(Kinds(), D2MHybrid)
+	kinds := AllKinds()
 	out := make([]StorageReport, 0, len(kinds))
 	for _, k := range kinds {
 		r, err := Storage(k, opt)

@@ -4,7 +4,6 @@ import (
 	"context"
 	"fmt"
 
-	"d2m/internal/energy"
 	"d2m/internal/sim"
 )
 
@@ -123,69 +122,49 @@ func RunGroup(ctx context.Context, lanes []GroupLane) ([]LaneOutcome, error) {
 	active := func(i int) bool { return laneCtx(i).Err() == nil }
 	key := warmKey(spec0.Kind, "bench:"+benchName, opt0)
 
-	// Mirror runWarm's per-kind template with MeasureLanes in place of
+	// Mirror runWarm's registry template with MeasureLanes in place of
 	// Measure: the sink extracts each lane's Result from the shared
 	// machine at that lane's boundary, reading the flit-hop meter there
 	// so the per-lane bandwidth stretch sees exactly the traffic a
 	// scalar run of that lane would have generated.
-	var groupErr error
-	switch spec0.Kind {
-	case Base2L, Base3L:
-		s := newBaseline(baselineConfig(spec0.Kind, opt0))
-		defer s.Release()
-		engine := sim.NewEngine(sim.WrapBaseline(s), opt0.Nodes)
-		var snap *WarmSnapshot
-		if wc != nil {
-			snap = wc.GetWarm(key)
-		}
-		src, err := warmedStream(ctx, engine, snap, mk, opt0.Warmup)
+	mech, err := mechFor(spec0.Kind)
+	if err != nil {
+		return nil, err
+	}
+	inst := mech.New(mechOptions(opt0))
+	defer inst.Release()
+	engine := sim.NewEngine(inst, opt0.Nodes)
+	var snap *WarmSnapshot
+	if wc != nil {
+		snap = wc.GetWarm(key)
+	}
+	src, err := warmedStream(ctx, engine, snap, mk, opt0.Warmup)
+	if err != nil {
+		return nil, err
+	}
+	if snap != nil {
+		inst.Restore(snap.state)
+	} else if wc != nil && wantWarm(wc, key) {
+		ws := &WarmSnapshot{key: key, warmup: opt0.Warmup, state: inst.Snapshot()}
+		ws.finish(src)
+		wc.PutWarm(ws)
+	}
+	var sinkErr error
+	sink := func(lane int, rep sim.Report) {
+		r := Result{Kind: spec0.Kind, Benchmark: benchName, Suite: benchSuite}
+		r.fillCommon(rep)
+		flitHops, err := r.fillFromInstance(inst, rep, mech)
 		if err != nil {
-			return nil, err
+			sinkErr = err
+			return
 		}
-		if snap != nil {
-			snap.base.RestoreInto(s)
-		} else if wc != nil && wantWarm(wc, key) {
-			ws := &WarmSnapshot{key: key, warmup: opt0.Warmup, base: s.Snapshot()}
-			ws.finish(src)
-			wc.PutWarm(ws)
-		}
-		sink := func(lane int, rep sim.Report) {
-			r := Result{Kind: spec0.Kind, Benchmark: benchName, Suite: benchSuite}
-			r.fillCommon(rep)
-			r.fillBaseline(s, rep)
-			r.applyBandwidth(lanes[lane].Spec.Options.withDefaults(), s.Meter().Count(energy.OpNoCFlit))
-			outs[lane] = LaneOutcome{Output: RunOutput{Result: r, Engine: EngineVector}}
-			captured[lane] = true
-		}
-		groupErr = engine.MeasureLanes(ctx, src, measures, active, sink)
-	default:
-		s := newCore(coreConfig(spec0.Kind, opt0))
-		defer s.Release()
-		engine := sim.NewEngine(sim.WrapCore(s), opt0.Nodes)
-		var snap *WarmSnapshot
-		if wc != nil {
-			snap = wc.GetWarm(key)
-		}
-		src, err := warmedStream(ctx, engine, snap, mk, opt0.Warmup)
-		if err != nil {
-			return nil, err
-		}
-		if snap != nil {
-			snap.core.RestoreInto(s)
-		} else if wc != nil && wantWarm(wc, key) {
-			ws := &WarmSnapshot{key: key, warmup: opt0.Warmup, core: s.Snapshot()}
-			ws.finish(src)
-			wc.PutWarm(ws)
-		}
-		sink := func(lane int, rep sim.Report) {
-			r := Result{Kind: spec0.Kind, Benchmark: benchName, Suite: benchSuite}
-			r.fillCommon(rep)
-			r.fillCore(s, rep, spec0.Kind)
-			r.applyBandwidth(lanes[lane].Spec.Options.withDefaults(), s.Meter().Count(energy.OpNoCFlit))
-			outs[lane] = LaneOutcome{Output: RunOutput{Result: r, Engine: EngineVector}}
-			captured[lane] = true
-		}
-		groupErr = engine.MeasureLanes(ctx, src, measures, active, sink)
+		r.applyBandwidth(lanes[lane].Spec.Options.withDefaults(), flitHops)
+		outs[lane] = LaneOutcome{Output: RunOutput{Result: r, Engine: EngineVector}}
+		captured[lane] = true
+	}
+	groupErr := engine.MeasureLanes(ctx, src, measures, active, sink)
+	if groupErr == nil {
+		groupErr = sinkErr
 	}
 	if groupErr != nil {
 		return nil, groupErr
